@@ -1,0 +1,135 @@
+"""Ablation benchmarks (DESIGN.md AB1-AB3).
+
+* AB1 — coarse selector on/off: selection size and TALP overhead.
+* AB2 — inlining compensation on/off: how much profile data would be
+  silently lost without §V-E's post-processing.
+* AB3 — static vs dynamic turnaround across refinement iterations
+  (§VII-A: a 50-minute rebuild vs seconds of re-patching).
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_WORKLOAD
+from repro.core.ic import InstrumentationConfig
+from repro.core.inlining import available_symbols, compensate_inlining
+from repro.core.pipeline import run_spec
+from repro.core.spec.modules import load_spec
+from repro.core.static_inst import StaticInstrumenter
+from repro.dyncapi.runtime import DynCapi
+from repro.execution.clock import CYCLES_PER_SECOND, VirtualClock
+from repro.experiments.runner import run_configuration
+from repro.program.loader import DynamicLoader
+from repro.xray.runtime import XRayRuntime
+
+COARSE_ON = """
+!import("mpi.capi")
+excluded = join(inSystemHeader(%%), inlineSpecified(%%))
+mpi_targets = byName("MPI_.*", %%)
+coarse(subtract(onCallPathTo(%mpi_targets), %excluded))
+"""
+COARSE_OFF = """
+!import("mpi.capi")
+excluded = join(inSystemHeader(%%), inlineSpecified(%%))
+mpi_targets = byName("MPI_.*", %%)
+subtract(onCallPathTo(%mpi_targets), %excluded)
+"""
+
+
+class TestCoarseAblation:
+    @pytest.mark.parametrize("variant", ["on", "off"])
+    def test_coarse_selection_cost(self, benchmark, openfoam_prepared, variant):
+        spec = load_spec(COARSE_ON if variant == "on" else COARSE_OFF)
+        graph = openfoam_prepared.app.graph
+        result = benchmark(lambda: run_spec(spec, graph))
+        benchmark.extra_info["selected"] = len(result.selected)
+
+    def test_coarse_shrinks_selection_and_overhead(
+        self, openfoam_prepared, openfoam_ics
+    ):
+        graph = openfoam_prepared.app.graph
+        on = run_spec(load_spec(COARSE_ON), graph)
+        off = run_spec(load_spec(COARSE_OFF), graph)
+        assert len(on.selected) < len(off.selected)
+        r_on = run_configuration(
+            openfoam_prepared,
+            mode="ic",
+            tool="talp",
+            ic=openfoam_ics["mpi coarse"],
+            workload=BENCH_WORKLOAD,
+        ).result
+        r_off = run_configuration(
+            openfoam_prepared,
+            mode="ic",
+            tool="talp",
+            ic=openfoam_ics["mpi"],
+            workload=BENCH_WORKLOAD,
+        ).result
+        assert r_on.t_total < r_off.t_total
+
+
+class TestInliningAblation:
+    def test_compensation_cost(self, benchmark, openfoam_prepared):
+        """Benchmark the §V-E post-processing pass itself."""
+        outcome = openfoam_prepared.capi.select(
+            COARSE_OFF, spec_name="mpi-raw"
+        )
+        result = benchmark(
+            lambda: compensate_inlining(
+                outcome.ic,
+                openfoam_prepared.app.graph,
+                openfoam_prepared.app.linked,
+            )
+        )
+        benchmark.extra_info["removed"] = len(result.removed)
+        benchmark.extra_info["added"] = len(result.added)
+
+    def test_without_compensation_profile_data_is_lost(self, openfoam_prepared):
+        """AB2: selected-but-inlined functions produce no events at all;
+        compensation guarantees an instrumented non-inlined ancestor."""
+        prepared = openfoam_prepared
+        outcome = prepared.capi.select(COARSE_OFF, spec_name="mpi-raw")
+        raw_ic = outcome.ic
+        symbols = available_symbols(prepared.app.linked)
+        lost = {f for f in raw_ic.functions if f not in symbols}
+        assert lost, "ablation needs inlined functions in the raw IC"
+        comp = compensate_inlining(
+            raw_ic, prepared.app.graph, prepared.app.linked
+        )
+        patchable = prepared.app.linked.patchable_function_names()
+        # after compensation every IC entry is actually patchable
+        # (up to symbol-retained inlined functions, the §V-E caveat)
+        unpatchable = comp.ic.functions - patchable
+        assert len(unpatchable) < len(lost) * 0.2
+
+
+class TestTurnaroundAblation:
+    def test_static_vs_dynamic_refinement(self, benchmark, openfoam_prepared, openfoam_ics):
+        """AB3: N=3 refinement iterations, cumulative turnaround."""
+        prepared = openfoam_prepared
+        loader = DynamicLoader()
+        loader.load_program(prepared.app.linked)
+        dyn = DynCapi(
+            xray=XRayRuntime(loader.image), loader=loader, clock=VirtualClock()
+        )
+        dyn.startup(ic=openfoam_ics["mpi"])
+        static = StaticInstrumenter(program=prepared.app.program)
+        sequence = [
+            openfoam_ics["mpi coarse"],
+            openfoam_ics["kernels"],
+            openfoam_ics["kernels coarse"],
+        ]
+
+        def refine_dynamic():
+            total = 0.0
+            for ic in sequence:
+                total += dyn.repatch(ic).init_cycles / CYCLES_PER_SECOND
+            return total
+
+        dynamic_seconds = benchmark.pedantic(refine_dynamic, rounds=1, iterations=1)
+        static_seconds = sum(
+            static.rebuild_cost_seconds() for _ in sequence
+        )
+        benchmark.extra_info["dynamic_virtual_s"] = dynamic_seconds
+        benchmark.extra_info["static_virtual_s"] = static_seconds
+        # the paper's argument: repatching is orders of magnitude faster
+        assert dynamic_seconds * 100 < static_seconds

@@ -1,0 +1,38 @@
+"""Shared benchmark fixtures: prepared applications, scaled for speed.
+
+The benchmarks regenerate the paper's tables at a reduced default scale
+so ``pytest benchmarks/ --benchmark-only`` completes in minutes; the
+``repro-table1``/``repro-table2`` CLIs run the full default scale and
+accept ``--scale paper``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.execution.workload import Workload
+from repro.experiments.runner import PreparedApp, prepare_app
+
+#: benchmark-scale graphs (structure identical, fewer utility nodes)
+BENCH_SCALES = {"lulesh": 3360, "openfoam": 8000}
+BENCH_WORKLOAD = Workload(site_cap=2, event_budget=100_000)
+
+
+@pytest.fixture(scope="session")
+def lulesh_prepared() -> PreparedApp:
+    return prepare_app("lulesh", BENCH_SCALES["lulesh"])
+
+
+@pytest.fixture(scope="session")
+def openfoam_prepared() -> PreparedApp:
+    return prepare_app("openfoam", BENCH_SCALES["openfoam"])
+
+
+@pytest.fixture(scope="session")
+def openfoam_ics(openfoam_prepared):
+    return {k: v.ic for k, v in openfoam_prepared.select_all().items()}
+
+
+@pytest.fixture(scope="session")
+def lulesh_ics(lulesh_prepared):
+    return {k: v.ic for k, v in lulesh_prepared.select_all().items()}

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Automatic instrumentation refinement (PIRA-style) + XRay accounting.
+
+Starts from a one-function IC on the openfoam-like solver and lets the
+:class:`~repro.core.refinement.PiraRefiner` close the measure → score →
+adjust loop automatically: hot regions are drilled into, overhead
+offenders are dropped, and every adjustment is applied by re-patching —
+never by recompiling.  The final IC is then measured once more with
+XRay's accounting mode to print an ``llvm-xray account``-style table.
+
+Run:  python examples/pira_refinement.py
+"""
+
+from repro.apps import build_openfoam
+from repro.core.ic import InstrumentationConfig
+from repro.core.refinement import PiraRefiner
+from repro.execution.workload import Workload
+from repro.workflow import build_app, run_app
+
+program = build_openfoam(target_nodes=5000)
+app = build_app(program)
+
+refiner = PiraRefiner(
+    app=app,
+    graph=app.graph,
+    max_overhead_ratio=0.5,
+    hotspot_share=0.10,
+    workload=Workload(site_cap=2, event_budget=60_000),
+)
+
+initial = InstrumentationConfig(functions=frozenset({"main"}))
+result = refiner.refine(initial, iterations=5)
+
+print("refinement session:")
+for step in result.steps:
+    print(
+        f"  iter {step.iteration}: IC={step.ic_size:<4} "
+        f"Ttotal={step.t_total:6.3f}s  "
+        f"+{len(step.expanded)} hot callees, -{len(step.excluded)} offenders"
+    )
+print(f"converged: {result.converged}, final IC: {len(result.ic)} functions")
+print(f"total virtual turnaround: {result.total_turnaround_seconds:.2f}s "
+      f"(every adjustment was a re-patch, not a rebuild)\n")
+
+# -- measure the final IC with XRay accounting mode ---------------------------
+from repro.execution.clock import VirtualClock  # noqa: E402
+from repro.dyncapi.runtime import DynCapi  # noqa: E402
+from repro.program.loader import DynamicLoader  # noqa: E402
+from repro.xray.modes import AccountingMode  # noqa: E402
+from repro.xray.runtime import XRayRuntime  # noqa: E402
+from repro.execution.engine import ExecutionEngine  # noqa: E402
+from repro.simmpi.comm import SimComm  # noqa: E402
+from repro.simmpi.pmpi import PmpiLayer  # noqa: E402
+from repro.simmpi.world import MpiWorld  # noqa: E402
+
+loader = DynamicLoader()
+loaded = loader.load_program(app.linked)
+clock = VirtualClock()
+dyn = DynCapi(xray=XRayRuntime(loader.image), loader=loader, clock=clock)
+dyn.startup(ic=result.ic)
+accounting = AccountingMode(clock=clock)
+dyn.xray.set_handler(accounting.handler)
+
+engine = ExecutionEngine(
+    linked=app.linked,
+    loaded=loaded,
+    tool="none",
+    xray_runtime=dyn.xray,
+    pmpi=PmpiLayer(SimComm(MpiWorld(size=4))),
+    workload=Workload(site_cap=2, event_budget=60_000),
+    clock=clock,
+)
+engine.run(config_name="accounting")
+
+print("xray accounting (top functions by inclusive latency):")
+print(accounting.report(resolve=dyn.id_names.name_of))

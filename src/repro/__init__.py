@@ -1,0 +1,37 @@
+"""repro — reproduction of "Runtime-Adaptable Selective Performance
+Instrumentation" (Kreutzer et al., 2023, arXiv:2303.11110).
+
+The package models the paper's full toolchain in pure Python:
+
+* :mod:`repro.program` — program IR, compiler pipeline, linker, loader,
+  page-protected process memory (the C++/Clang/ELF substitute),
+* :mod:`repro.cg` — MetaCG-style whole-program call graphs,
+* :mod:`repro.xray` — the XRay runtime with the paper's DSO extension
+  (packed ids, xray-dso registration, PIC trampolines, patching),
+* :mod:`repro.core` — CaPI: selection DSL, selector pipeline, ICs,
+  coarse selector, inlining compensation, static workflow,
+* :mod:`repro.dyncapi` — the DynCaPI runtime and tool bridges,
+* :mod:`repro.scorep` / :mod:`repro.talp` — measurement substrates,
+* :mod:`repro.simmpi` / :mod:`repro.execution` — simulated MPI and the
+  deterministic virtual-clock execution engine,
+* :mod:`repro.apps` — synthetic LULESH/OpenFOAM-like workloads,
+* :mod:`repro.experiments` — regenerate the paper's tables.
+
+Quickstart::
+
+    from repro.apps import build_lulesh, PAPER_SPECS
+    from repro.core import Capi
+    from repro.workflow import build_app, run_app
+
+    app = build_app(build_lulesh())
+    capi = Capi(graph=app.graph, app_name=app.name)
+    outcome = capi.select(PAPER_SPECS["kernels"], linked=app.linked)
+    run = run_app(app, mode="ic", ic=outcome.ic, tool="scorep")
+    print(run.result.t_total)
+"""
+
+from repro.workflow import BuiltApp, RunOutcome, build_app, run_app
+
+__version__ = "1.0.0"
+
+__all__ = ["BuiltApp", "RunOutcome", "__version__", "build_app", "run_app"]

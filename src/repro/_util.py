@@ -1,0 +1,93 @@
+"""Small shared helpers: deterministic RNG, comparison operators, text tables.
+
+Everything in the repro toolchain must be deterministic for a given seed,
+so random structure generation always goes through :func:`rng_for` rather
+than the global NumPy RNG.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+#: Comparison operators accepted by metric selectors in the CaPI DSL
+#: (e.g. ``flops(">=", 10, %%)``).
+COMPARE_OPS: Mapping[str, Callable[[float, float], bool]] = {
+    ">=": operator.ge,
+    "<=": operator.le,
+    ">": operator.gt,
+    "<": operator.lt,
+    "==": operator.eq,
+    "!=": operator.ne,
+}
+
+
+def compare(op: str, lhs: float, rhs: float) -> bool:
+    """Apply a DSL comparison operator string.
+
+    Raises ``KeyError``-free :class:`ValueError` on unknown operators so
+    DSL-level errors surface with a readable message.
+    """
+    try:
+        fn = COMPARE_OPS[op]
+    except KeyError:
+        raise ValueError(
+            f"unknown comparison operator {op!r}; expected one of "
+            f"{sorted(COMPARE_OPS)}"
+        ) from None
+    return fn(lhs, rhs)
+
+
+def rng_for(seed: int, *stream: object) -> np.random.Generator:
+    """Return a deterministic generator for ``(seed, *stream)``.
+
+    ``stream`` components (strings/ints) decorrelate sub-streams so that
+    e.g. the lulesh generator and the openfoam generator with the same
+    user seed do not produce identical draws.
+    """
+    ss = np.random.SeedSequence(
+        [seed & 0xFFFFFFFF] + [stable_hash(repr(s)) & 0xFFFFFFFF for s in stream]
+    )
+    return np.random.default_rng(ss)
+
+
+def stable_hash(text: str) -> int:
+    """A process-stable 64-bit FNV-1a hash (``hash()`` is salted)."""
+    h = 0xCBF29CE484222325
+    for byte in text.encode("utf-8"):
+        h ^= byte
+        h = (h * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return h
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render a plain-text table in the style of the paper's tables."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(sep))
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def percent(part: int, whole: int) -> str:
+    """Format ``part`` as a percentage of ``whole`` like the paper: (4.1%)."""
+    if whole <= 0:
+        return "(0.0%)"
+    return f"({100.0 * part / whole:.1f}%)"

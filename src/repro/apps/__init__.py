@@ -1,0 +1,29 @@
+"""Synthetic target applications: lulesh-like and openfoam-like."""
+
+from repro.apps.lulesh import PAPER_NODE_COUNT as LULESH_PAPER_NODES
+from repro.apps.lulesh import build_lulesh
+from repro.apps.openfoam import (
+    DEFAULT_NODE_COUNT as OPENFOAM_DEFAULT_NODES,
+)
+from repro.apps.openfoam import PAPER_NODE_COUNT as OPENFOAM_PAPER_NODES
+from repro.apps.openfoam import build_openfoam
+from repro.apps.specs import (
+    KERNELS_COARSE_SPEC,
+    KERNELS_SPEC,
+    MPI_COARSE_SPEC,
+    MPI_SPEC,
+    PAPER_SPECS,
+)
+
+__all__ = [
+    "KERNELS_COARSE_SPEC",
+    "KERNELS_SPEC",
+    "LULESH_PAPER_NODES",
+    "MPI_COARSE_SPEC",
+    "MPI_SPEC",
+    "OPENFOAM_DEFAULT_NODES",
+    "OPENFOAM_PAPER_NODES",
+    "PAPER_SPECS",
+    "build_lulesh",
+    "build_openfoam",
+]

@@ -1,0 +1,52 @@
+"""The four evaluation specifications of the paper (§VI).
+
+* ``mpi`` — "functions that are on a call path to an MPI operation,
+  excluding functions marked as inlined and those defined in system
+  headers",
+* ``kernels`` — "functions that are on a call path to a function that
+  contains at least 10 flops and a loop", same exclusions,
+* ``mpi coarse`` / ``kernels coarse`` — "like mpi/kernels, with a coarse
+  selector applied at the end".
+
+The coarse variants keep the hot compute kernels as critical functions
+so region sets still cover the main hotspots (paper §V-D: "functions
+selected by this instance will be retained in all cases").
+"""
+
+from __future__ import annotations
+
+MPI_SPEC = """
+!import("mpi.capi")
+excluded = join(inSystemHeader(%%), inlineSpecified(%%))
+mpi_targets = byName("MPI_.*", %%)
+subtract(onCallPathTo(%mpi_targets), %excluded)
+"""
+
+KERNELS_SPEC = """
+excluded = join(inSystemHeader(%%), inlineSpecified(%%))
+kernels = flops(">=", 10, loopDepth(">=", 1, %%))
+subtract(onCallPathTo(%kernels), %excluded)
+"""
+
+MPI_COARSE_SPEC = """
+!import("mpi.capi")
+excluded = join(inSystemHeader(%%), inlineSpecified(%%))
+mpi_targets = byName("MPI_.*", %%)
+critical = flops(">=", 100, loopDepth(">=", 1, %%))
+coarse(subtract(onCallPathTo(%mpi_targets), %excluded), %critical)
+"""
+
+KERNELS_COARSE_SPEC = """
+excluded = join(inSystemHeader(%%), inlineSpecified(%%))
+kernels = flops(">=", 10, loopDepth(">=", 1, %%))
+critical = flops(">=", 100, loopDepth(">=", 1, %%))
+coarse(subtract(onCallPathTo(%kernels), %excluded), %critical)
+"""
+
+#: name → spec source, in the paper's Table I/II row order
+PAPER_SPECS: dict[str, str] = {
+    "mpi": MPI_SPEC,
+    "mpi coarse": MPI_COARSE_SPEC,
+    "kernels": KERNELS_SPEC,
+    "kernels coarse": KERNELS_COARSE_SPEC,
+}

@@ -1,0 +1,161 @@
+"""Shared building blocks for the synthetic target applications.
+
+Both generators (lulesh-like and openfoam-like) assemble their programs
+from the same deterministic primitives: pools of small utility functions
+(templates/system headers/inline helpers), deep pass-through wrapper
+chains (the coarse selector's target), compute kernels with flops and
+loops, and MPI communication wrappers.  Everything derives from a seed
+so selections and runs are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.program.builder import ProgramBuilder
+
+#: MPI operations the generators may reference.
+MPI_OPS = (
+    "MPI_Init",
+    "MPI_Finalize",
+    "MPI_Comm_rank",
+    "MPI_Comm_size",
+    "MPI_Allreduce",
+    "MPI_Barrier",
+    "MPI_Isend",
+    "MPI_Irecv",
+    "MPI_Wait",
+    "MPI_Bcast",
+)
+
+
+def add_mpi_stubs(b: ProgramBuilder) -> None:
+    """Declare the MPI library surface (system-header stubs)."""
+    for op in MPI_OPS:
+        b.mpi_function(op)
+
+
+@dataclass
+class UtilityPool:
+    """A batch of generated leaf/utility functions."""
+
+    names: list[str]
+    hidden_names: list[str]
+
+    def visible(self) -> list[str]:
+        hidden = set(self.hidden_names)
+        return [n for n in self.names if n not in hidden]
+
+
+def add_utility_pool(
+    b: ProgramBuilder,
+    prefix: str,
+    count: int,
+    rng: np.random.Generator,
+    *,
+    system_frac: float = 0.3,
+    inline_frac: float = 0.3,
+    hidden_frac: float = 0.0,
+    statements_low: int = 1,
+    statements_high: int = 6,
+    source_path: str = "",
+) -> UtilityPool:
+    """Generate ``count`` small utility functions.
+
+    Sizes are drawn uniformly from ``[statements_low, statements_high]``;
+    small ones get auto-inlined by the compiler model, which is what
+    produces the paper's large pre→post selection drop on OpenFOAM.
+    """
+    names: list[str] = []
+    hidden_names: list[str] = []
+    system = rng.random(count) < system_frac
+    inline = rng.random(count) < inline_frac
+    hidden = rng.random(count) < hidden_frac
+    statements = rng.integers(statements_low, statements_high + 1, size=count)
+    for i in range(count):
+        name = f"{prefix}_{i:05d}"
+        b.function(
+            name,
+            statements=int(statements[i]),
+            flops=int(statements[i]) if rng.random() < 0.2 else 0,
+            inline_marked=bool(inline[i]),
+            in_system_header=bool(system[i]),
+            hidden=bool(hidden[i]),
+            source_path=source_path
+            or ("/usr/include/c++/bits/" + prefix if system[i] else ""),
+        )
+        names.append(name)
+        if hidden[i]:
+            hidden_names.append(name)
+    return UtilityPool(names, hidden_names)
+
+
+def add_wrapper_chain(
+    b: ProgramBuilder,
+    names: list[str],
+    *,
+    statements: int = 2,
+    count: int = 1,
+) -> None:
+    """A pass-through chain ``names[0] -> names[1] -> ...``.
+
+    Each function "performs very little work beside calling the next
+    function in the chain" (paper Listing 3 discussion).  Functions are
+    created if missing, then wired with the given multiplicity.
+    """
+    for name in names:
+        if not b.has_function(name):
+            b.function(name, statements=statements)
+    b.chain(names, count=count)
+
+
+def add_kernel(
+    b: ProgramBuilder,
+    name: str,
+    rng: np.random.Generator,
+    *,
+    flops_low: int = 20,
+    flops_high: int = 400,
+    loop_depth: int = 2,
+) -> str:
+    """A compute kernel: enough flops and loops for the kernels spec."""
+    b.function(
+        name,
+        statements=int(rng.integers(8, 40)),
+        flops=int(rng.integers(flops_low, flops_high + 1)),
+        loop_depth=loop_depth,
+    )
+    return name
+
+
+def sprinkle_calls(
+    b: ProgramBuilder,
+    callers: list[str],
+    callees: list[str],
+    rng: np.random.Generator,
+    *,
+    avg_out: float = 2.0,
+    count_low: int = 1,
+    count_high: int = 4,
+) -> None:
+    """Randomly wire callers to callees (deterministic given the rng).
+
+    Each caller receives a Poisson-distributed number of callees; this
+    creates the caller-sharing that keeps the coarse selector from
+    collapsing everything.
+    """
+    if not callers or not callees:
+        return
+    out_degrees = rng.poisson(avg_out, size=len(callers))
+    for caller, degree in zip(callers, out_degrees):
+        if degree == 0:
+            continue
+        picked = rng.choice(len(callees), size=min(degree, len(callees)), replace=False)
+        for idx in picked:
+            b.call(
+                caller,
+                callees[int(idx)],
+                count=int(rng.integers(count_low, count_high + 1)),
+            )

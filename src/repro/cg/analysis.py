@@ -1,0 +1,181 @@
+"""Call-graph analyses shared by selectors and the coarse pass.
+
+All traversals are iterative (no recursion) and linear in nodes+edges so
+they stay usable at the paper's 410k-node OpenFOAM scale.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterable
+
+from repro.cg.graph import CallGraph
+
+
+def on_call_path_to(graph: CallGraph, targets: Iterable[str]) -> set[str]:
+    """Nodes on some call path from anywhere to a target.
+
+    This is reverse reachability — CaPI's ``onCallPathTo`` semantics:
+    the function itself, plus every (transitive) caller.
+    """
+    return graph.reaching(targets)
+
+
+def on_call_path_from(graph: CallGraph, sources: Iterable[str]) -> set[str]:
+    """Nodes reachable from the sources (``onCallPathFrom``)."""
+    return graph.reachable_from(sources)
+
+
+def call_path_between(
+    graph: CallGraph, sources: Iterable[str], targets: Iterable[str]
+) -> set[str]:
+    """Nodes on some path source→…→target (e.g. main→MPI op).
+
+    The ``mpi_comm`` selector of the bundled ``mpi.capi`` module is
+    exactly this with sources={main} and targets={MPI_*}.
+    """
+    return graph.reachable_from(sources) & graph.reaching(targets)
+
+
+def call_depths_from(graph: CallGraph, root: str) -> dict[str, int]:
+    """Shortest call depth from ``root`` (BFS; unreachable nodes absent)."""
+    if root not in graph:
+        return {}
+    depths = {root: 0}
+    queue = deque([root])
+    while queue:
+        name = queue.popleft()
+        for callee in graph.callees_of(name):
+            if callee not in depths:
+                depths[callee] = depths[name] + 1
+                queue.append(callee)
+    return depths
+
+
+def aggregate_statements(
+    graph: CallGraph, root: str, *, metric: Callable[[str], int] | None = None
+) -> dict[str, int]:
+    """Statement aggregation along call chains (Iwainsky & Bischof [16]).
+
+    For each node, the maximum over all call paths from ``root`` of the
+    summed statement counts along the path.  Cycles contribute each
+    member once (the aggregation is computed over the DAG of strongly
+    connected components).
+    """
+    if root not in graph:
+        return {}
+    metric = metric or (lambda n: graph.node(n).meta.statements)
+    comp_of, comp_members = _condense(graph, root)
+    comp_metric = {
+        cid: sum(metric(m) for m in members)
+        for cid, members in comp_members.items()
+    }
+    # longest-path DP over the condensation in reverse topological order
+    order = _topo_order(comp_of, comp_members, graph)
+    best: dict[int, int] = {}
+    root_comp = comp_of[root]
+    best[root_comp] = comp_metric[root_comp]
+    for cid in order:
+        if cid not in best:
+            continue
+        for member in comp_members[cid]:
+            for callee in graph.callees_of(member):
+                tgt = comp_of.get(callee)
+                if tgt is None or tgt == cid:
+                    continue
+                cand = best[cid] + comp_metric[tgt]
+                if cand > best.get(tgt, -1):
+                    best[tgt] = cand
+    return {
+        member: best[cid]
+        for cid, members in comp_members.items()
+        if cid in best
+        for member in members
+    }
+
+
+def single_caller_nodes(graph: CallGraph, within: set[str]) -> set[str]:
+    """Nodes in ``within`` whose only caller *within the set* is unique.
+
+    Helper for the coarse selector: a callee with exactly one selected
+    caller is a pass-through candidate.
+    """
+    out = set()
+    for name in within:
+        callers = graph.callers_of(name) & within
+        if len(callers) == 1:
+            out.add(name)
+    return out
+
+
+# -- internals -------------------------------------------------------------------
+
+
+def _condense(graph: CallGraph, root: str) -> tuple[dict[str, int], dict[int, list[str]]]:
+    """Tarjan SCC over the subgraph reachable from ``root`` (iterative)."""
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    comp_of: dict[str, int] = {}
+    comp_members: dict[int, list[str]] = {}
+    counter = 0
+    comp_id = 0
+
+    call_stack: list[tuple[str, Iterable[str]]] = []
+    reachable = graph.reachable_from([root])
+    for start in sorted(reachable):
+        if start in index:
+            continue
+        call_stack.append((start, iter(sorted(graph.callees_of(start) & reachable))))
+        index[start] = low[start] = counter
+        counter += 1
+        stack.append(start)
+        on_stack.add(start)
+        while call_stack:
+            node, children = call_stack[-1]
+            advanced = False
+            for child in children:
+                if child not in index:
+                    index[child] = low[child] = counter
+                    counter += 1
+                    stack.append(child)
+                    on_stack.add(child)
+                    call_stack.append(
+                        (child, iter(sorted(graph.callees_of(child) & reachable)))
+                    )
+                    advanced = True
+                    break
+                if child in on_stack:
+                    low[node] = min(low[node], index[child])
+            if advanced:
+                continue
+            call_stack.pop()
+            if call_stack:
+                parent = call_stack[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                members = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    members.append(member)
+                    comp_of[member] = comp_id
+                    if member == node:
+                        break
+                comp_members[comp_id] = members
+                comp_id += 1
+    return comp_of, comp_members
+
+
+def _topo_order(
+    comp_of: dict[str, int],
+    comp_members: dict[int, list[str]],
+    graph: CallGraph,
+) -> list[int]:
+    """Topological order of the condensation (callers before callees).
+
+    Tarjan emits SCCs in reverse topological order of the condensation,
+    so iterating component ids from high to low visits callers first.
+    """
+    return sorted(comp_members, reverse=True)

@@ -1,0 +1,38 @@
+"""Static function-pointer resolution (paper §III-A).
+
+"MetaCG additionally tries to statically resolve function pointer
+calls."  Pointer identities whose target set is statically visible
+contribute POINTER edges; the rest stay unresolved and must be filled
+in by profile validation (:mod:`repro.cg.validation`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.cg.graph import CallGraph, EdgeReason
+from repro.cg.local import UnresolvedPointerCall
+from repro.program.ir import SourceProgram
+
+
+def resolve_static_pointers(
+    graph: CallGraph,
+    pointer_calls: Iterable[UnresolvedPointerCall],
+    program: SourceProgram,
+) -> tuple[int, list[UnresolvedPointerCall]]:
+    """Insert edges for statically resolvable pointers.
+
+    Returns ``(edges_inserted, still_unresolved)``.
+    """
+    inserted = 0
+    unresolved: list[UnresolvedPointerCall] = []
+    for pc in pointer_calls:
+        targets = program.pointer_targets.get(pc.pointer_id)
+        if targets is None or not targets.static_resolvable:
+            unresolved.append(pc)
+            continue
+        for target in targets.targets:
+            if not graph.has_edge(pc.caller, target):
+                inserted += 1
+            graph.add_edge(pc.caller, target, EdgeReason.POINTER)
+    return inserted, unresolved

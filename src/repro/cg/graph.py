@@ -1,0 +1,206 @@
+"""Whole-program call graph with per-function metadata (MetaCG model).
+
+The call graph is CaPI's single source of truth: selectors query node
+metadata (statements, flops, loop depth, ``inline`` keyword, system
+header origin) and edge structure (call paths).  Edges carry a *reason*
+so tests can distinguish statically-found direct edges from virtual-call
+over-approximation and profile-validated function-pointer edges.
+
+Adjacency is plain ``dict[str, set[str]]`` — at the paper's OpenFOAM
+scale (410k nodes) this keeps construction and traversal linear and
+allocation-light.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator
+
+from repro.errors import CallGraphError
+
+
+class EdgeReason(enum.Enum):
+    """Why MetaCG believes a call edge exists."""
+
+    DIRECT = "direct"
+    #: Over-approximation: edge to every known override of a virtual call.
+    VIRTUAL = "virtual"
+    #: Function pointer target resolved statically.
+    POINTER = "pointer"
+    #: Edge inserted by profile validation (observed at runtime only).
+    PROFILE = "profile"
+
+
+@dataclass(frozen=True)
+class NodeMeta:
+    """Static metadata attached to one call-graph node.
+
+    Mirrors the annotations the MetaCG tooling attaches for CaPI's
+    selector pipeline.  ``has_body`` distinguishes definitions from
+    declarations seen only as call targets in some TU.
+    """
+
+    statements: int = 0
+    flops: int = 0
+    loop_depth: int = 0
+    inline_marked: bool = False
+    in_system_header: bool = False
+    is_virtual: bool = False
+    is_mpi: bool = False
+    is_static_initializer: bool = False
+    has_body: bool = False
+    source_path: str = ""
+    tu: str = ""
+
+    def merged_with(self, other: "NodeMeta") -> "NodeMeta":
+        """Combine a definition with a declaration (definition wins)."""
+        if self.has_body and other.has_body:
+            if self != other:
+                raise CallGraphError("conflicting definitions cannot be merged")
+            return self
+        return self if self.has_body else other
+
+
+@dataclass
+class CGNode:
+    name: str
+    meta: NodeMeta = field(default_factory=NodeMeta)
+
+
+@dataclass(frozen=True)
+class Edge:
+    caller: str
+    callee: str
+    reason: EdgeReason = EdgeReason.DIRECT
+
+
+class CallGraph:
+    """Mutable whole-program call graph."""
+
+    def __init__(self) -> None:
+        self._nodes: dict[str, CGNode] = {}
+        self._succ: dict[str, set[str]] = {}
+        self._pred: dict[str, set[str]] = {}
+        self._edge_reasons: dict[tuple[str, str], EdgeReason] = {}
+
+    # -- construction -----------------------------------------------------------
+
+    def add_node(self, name: str, meta: NodeMeta | None = None) -> CGNode:
+        """Add or refine a node; metadata merges definition-over-declaration."""
+        node = self._nodes.get(name)
+        if node is None:
+            node = CGNode(name, meta or NodeMeta())
+            self._nodes[name] = node
+            self._succ[name] = set()
+            self._pred[name] = set()
+        elif meta is not None:
+            node.meta = meta.merged_with(node.meta)
+        return node
+
+    def add_edge(
+        self, caller: str, callee: str, reason: EdgeReason = EdgeReason.DIRECT
+    ) -> None:
+        if caller not in self._nodes:
+            self.add_node(caller)
+        if callee not in self._nodes:
+            self.add_node(callee)
+        self._succ[caller].add(callee)
+        self._pred[callee].add(caller)
+        # keep the strongest (most static) reason when an edge is re-added
+        key = (caller, callee)
+        old = self._edge_reasons.get(key)
+        if old is None or _REASON_RANK[reason] < _REASON_RANK[old]:
+            self._edge_reasons[key] = reason
+
+    def remove_node(self, name: str) -> None:
+        if name not in self._nodes:
+            raise CallGraphError(f"unknown node {name!r}")
+        for p in list(self._pred[name]):
+            self._succ[p].discard(name)
+            self._edge_reasons.pop((p, name), None)
+        for s in list(self._succ[name]):
+            self._pred[s].discard(name)
+            self._edge_reasons.pop((name, s), None)
+        del self._nodes[name], self._succ[name], self._pred[name]
+
+    # -- queries ------------------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def node(self, name: str) -> CGNode:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise CallGraphError(f"unknown node {name!r}") from None
+
+    def nodes(self) -> Iterator[CGNode]:
+        return iter(self._nodes.values())
+
+    def node_names(self) -> set[str]:
+        return set(self._nodes)
+
+    def callees_of(self, name: str) -> set[str]:
+        return set(self._succ.get(name, ()))
+
+    def callers_of(self, name: str) -> set[str]:
+        return set(self._pred.get(name, ()))
+
+    def edges(self) -> Iterator[Edge]:
+        for (caller, callee), reason in self._edge_reasons.items():
+            yield Edge(caller, callee, reason)
+
+    def edge_count(self) -> int:
+        return len(self._edge_reasons)
+
+    def edge_reason(self, caller: str, callee: str) -> EdgeReason | None:
+        return self._edge_reasons.get((caller, callee))
+
+    def has_edge(self, caller: str, callee: str) -> bool:
+        return (caller, callee) in self._edge_reasons
+
+    # -- traversal -----------------------------------------------------------------
+
+    def reachable_from(self, roots: Iterable[str]) -> set[str]:
+        """Forward-reachable node set (roots included when present)."""
+        seen: set[str] = set()
+        stack = [r for r in roots if r in self._nodes]
+        while stack:
+            name = stack.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            stack.extend(self._succ[name] - seen)
+        return seen
+
+    def reaching(self, targets: Iterable[str]) -> set[str]:
+        """Reverse-reachable set: nodes from which a target is reachable."""
+        seen: set[str] = set()
+        stack = [t for t in targets if t in self._nodes]
+        while stack:
+            name = stack.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            stack.extend(self._pred[name] - seen)
+        return seen
+
+    def copy(self) -> "CallGraph":
+        out = CallGraph()
+        for node in self._nodes.values():
+            out.add_node(node.name, replace(node.meta))
+        for (caller, callee), reason in self._edge_reasons.items():
+            out.add_edge(caller, callee, reason)
+        return out
+
+
+_REASON_RANK = {
+    EdgeReason.DIRECT: 0,
+    EdgeReason.VIRTUAL: 1,
+    EdgeReason.POINTER: 2,
+    EdgeReason.PROFILE: 3,
+}

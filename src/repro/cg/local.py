@@ -1,0 +1,87 @@
+"""Per-translation-unit local call-graph construction (MetaCG step 1).
+
+A local graph sees only the functions *defined* in its TU plus the
+names it references: callees from other TUs appear as declaration-only
+nodes, virtual call sites cannot be resolved (the class hierarchy is
+global), and function-pointer sites are recorded for later resolution.
+Whole-program knowledge is reconstructed in :mod:`repro.cg.merge`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cg.graph import CallGraph, EdgeReason, NodeMeta
+from repro.program.ir import CallKind, FunctionDef, TranslationUnit
+
+
+@dataclass
+class UnresolvedVirtualCall:
+    """A virtual call site awaiting whole-program override resolution."""
+
+    caller: str
+    static_target: str
+
+
+@dataclass
+class UnresolvedPointerCall:
+    """A function-pointer call site awaiting resolution."""
+
+    caller: str
+    pointer_id: str
+
+
+@dataclass
+class LocalCallGraph:
+    """One TU's call graph plus its unresolved call sites."""
+
+    tu_name: str
+    graph: CallGraph
+    virtual_calls: list[UnresolvedVirtualCall] = field(default_factory=list)
+    pointer_calls: list[UnresolvedPointerCall] = field(default_factory=list)
+
+
+def meta_of(fn: FunctionDef, tu_name: str) -> NodeMeta:
+    """Translate IR function metadata into MetaCG node annotations."""
+    return NodeMeta(
+        statements=fn.statements,
+        flops=fn.flops,
+        loop_depth=fn.loop_depth,
+        inline_marked=fn.inline_marked,
+        in_system_header=fn.in_system_header,
+        is_virtual=fn.is_virtual,
+        is_mpi=fn.is_mpi,
+        is_static_initializer=fn.is_static_initializer,
+        has_body=True,
+        source_path=fn.source_path,
+        tu=tu_name,
+    )
+
+
+def build_local_cg(tu: TranslationUnit) -> LocalCallGraph:
+    """Construct the local call graph of one translation unit."""
+    graph = CallGraph()
+    local = LocalCallGraph(tu_name=tu.name, graph=graph)
+    for fn in tu:
+        graph.add_node(fn.name, meta_of(fn, tu.name))
+    for fn in tu:
+        for cs in fn.call_sites:
+            if cs.kind is CallKind.DIRECT:
+                assert cs.callee is not None
+                graph.add_node(cs.callee)  # declaration-only if foreign
+                graph.add_edge(fn.name, cs.callee, EdgeReason.DIRECT)
+            elif cs.kind is CallKind.VIRTUAL:
+                assert cs.callee is not None
+                graph.add_node(cs.callee)
+                # the static target is a valid callee; overriders are
+                # added during whole-program merge
+                graph.add_edge(fn.name, cs.callee, EdgeReason.VIRTUAL)
+                local.virtual_calls.append(
+                    UnresolvedVirtualCall(fn.name, cs.callee)
+                )
+            else:
+                assert cs.pointer_id is not None
+                local.pointer_calls.append(
+                    UnresolvedPointerCall(fn.name, cs.pointer_id)
+                )
+    return local

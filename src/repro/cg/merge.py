@@ -1,0 +1,67 @@
+"""Whole-program call-graph merge (MetaCG step 2).
+
+Local per-TU graphs are merged into one graph: definitions override
+declarations, edges are unioned, virtual call sites get
+over-approximation edges to every known override, and statically
+resolvable function pointers contribute pointer edges.  The result is
+the graph CaPI's selector pipeline runs on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.cg.fpointers import resolve_static_pointers
+from repro.cg.graph import CallGraph
+from repro.cg.local import LocalCallGraph, build_local_cg
+from repro.cg.virtual import insert_override_edges
+from repro.errors import MergeConflictError
+from repro.program.ir import SourceProgram
+
+
+def merge_local_graphs(
+    locals_: Sequence[LocalCallGraph], program: SourceProgram
+) -> CallGraph:
+    """Merge local graphs into the whole-program call graph.
+
+    ``program`` supplies the two global facts local analysis cannot
+    see: the class hierarchy (for virtual-call over-approximation) and
+    the registered pointer-target sets.
+    """
+    merged = CallGraph()
+    for local in locals_:
+        for node in local.graph.nodes():
+            try:
+                merged.add_node(node.name, node.meta)
+            except Exception as exc:  # pragma: no cover - defensive
+                raise MergeConflictError(
+                    f"node {node.name!r} from TU {local.tu_name!r}: {exc}"
+                ) from exc
+        for edge in local.graph.edges():
+            merged.add_edge(edge.caller, edge.callee, edge.reason)
+
+    all_virtual = [vc for local in locals_ for vc in local.virtual_calls]
+    insert_override_edges(merged, all_virtual, program)
+
+    all_pointers = [pc for local in locals_ for pc in local.pointer_calls]
+    resolve_static_pointers(merged, all_pointers, program)
+    return merged
+
+
+def build_whole_program_cg(
+    program: SourceProgram, *, tus: Iterable[str] | None = None
+) -> CallGraph:
+    """End-to-end MetaCG workflow: local construction, then merge.
+
+    ``tus`` restricts the merge to a subset of translation units — the
+    paper's workflow note about "manually combining relevant source
+    files" (Fig. 2, step 4).  Omitting TUs yields a partial graph with
+    declaration-only nodes, exactly as MetaCG would.
+    """
+    selected = set(tus) if tus is not None else None
+    locals_ = [
+        build_local_cg(tu)
+        for name, tu in program.translation_units.items()
+        if selected is None or name in selected
+    ]
+    return merge_local_graphs(locals_, program)

@@ -1,0 +1,45 @@
+"""Profile-based call-graph validation (paper §III-A).
+
+"For cases where this is unsuccessful, a utility is available that
+validates the static call-graph via a Score-P-generated profile and
+inserts missing edges automatically."  Given observed caller→callee
+pairs from a measurement run, any pair missing from the static graph is
+inserted with reason ``PROFILE``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.cg.graph import CallGraph, EdgeReason
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of one validation pass."""
+
+    observed_pairs: int = 0
+    already_present: int = 0
+    inserted: list[tuple[str, str]] = field(default_factory=list)
+    #: Observed callees that were not even nodes (fully invisible to
+    #: static analysis, e.g. dlopen'ed plugins).
+    new_nodes: list[str] = field(default_factory=list)
+
+
+def validate_with_profile(
+    graph: CallGraph, observed_edges: Iterable[tuple[str, str]]
+) -> ValidationReport:
+    """Insert profile-observed edges missing from the static graph."""
+    report = ValidationReport()
+    for caller, callee in observed_edges:
+        report.observed_pairs += 1
+        if graph.has_edge(caller, callee):
+            report.already_present += 1
+            continue
+        for name in (caller, callee):
+            if name not in graph:
+                report.new_nodes.append(name)
+        graph.add_edge(caller, callee, EdgeReason.PROFILE)
+        report.inserted.append((caller, callee))
+    return report

@@ -1,0 +1,39 @@
+"""CaPI — the paper's primary contribution.
+
+Selection DSL (:mod:`spec`), selector pipeline (:mod:`selectors`,
+:mod:`pipeline`), instrumentation configurations (:mod:`ic`), the
+coarse selector (:mod:`selectors.coarse`), inlining compensation
+(:mod:`inlining`), the legacy static workflow (:mod:`static_inst`) and
+the high-level driver (:mod:`capi`).
+"""
+
+from repro.core.capi import Capi, CapiOutcome
+from repro.core.ic import IC_ENV_VAR, ICProvenance, InstrumentationConfig
+from repro.core.inlining import CompensationResult, compensate_inlining
+from repro.core.pipeline import (
+    PipelineBuilder,
+    SelectionResult,
+    evaluate_pipeline,
+    run_spec,
+)
+from repro.core.refinement import PiraRefiner, RefinementResult, RefinementStep
+from repro.core.static_inst import StaticBuild, StaticInstrumenter
+
+__all__ = [
+    "PiraRefiner",
+    "RefinementResult",
+    "RefinementStep",
+    "Capi",
+    "CapiOutcome",
+    "CompensationResult",
+    "IC_ENV_VAR",
+    "ICProvenance",
+    "InstrumentationConfig",
+    "PipelineBuilder",
+    "SelectionResult",
+    "StaticBuild",
+    "StaticInstrumenter",
+    "compensate_inlining",
+    "evaluate_pipeline",
+    "run_spec",
+]

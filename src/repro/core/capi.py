@@ -1,0 +1,107 @@
+"""The high-level CaPI driver: spec → selection → post-processing → IC.
+
+This is the paper's Fig. 1 "Select" stage: given a whole-program call
+graph and a selection specification, evaluate the pipeline, then (when
+the target binaries are available) run the inlining-compensation
+post-processing, producing the final instrumentation configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.cg.graph import CallGraph
+from repro.core.ic import ICProvenance, InstrumentationConfig
+from repro.core.inlining import CompensationResult, compensate_inlining
+from repro.core.pipeline import PipelineBuilder, SelectionResult, evaluate_pipeline
+from repro.core.spec.modules import load_spec, load_spec_file
+from repro.program.linker import LinkedProgram
+
+
+@dataclass
+class CapiOutcome:
+    """Everything a selection run produced — one Table I row."""
+
+    ic: InstrumentationConfig
+    selection: SelectionResult
+    compensation: CompensationResult | None = None
+
+    @property
+    def selected_pre(self) -> int:
+        return self.ic.provenance.selected_pre
+
+    @property
+    def selected_final(self) -> int:
+        """#selected in the paper: after inlined functions are removed."""
+        return len(self.ic.functions) - self.ic.provenance.added_compensation
+
+    @property
+    def added(self) -> int:
+        return self.ic.provenance.added_compensation
+
+
+@dataclass
+class Capi:
+    """CaPI configured for one target application."""
+
+    graph: CallGraph
+    app_name: str = ""
+    search_paths: list[Path] = field(default_factory=list)
+
+    def select(
+        self,
+        spec_source: str,
+        *,
+        spec_name: str = "",
+        linked: LinkedProgram | None = None,
+    ) -> CapiOutcome:
+        """Run a specification given as source text.
+
+        When ``linked`` binaries are supplied, inlining compensation is
+        applied (it needs the symbol tables); otherwise the raw pipeline
+        result becomes the IC.
+        """
+        spec = load_spec(spec_source, search_paths=self.search_paths)
+        entry, _ = PipelineBuilder().build(spec)
+        selection = evaluate_pipeline(entry, self.graph)
+        ic = InstrumentationConfig(
+            functions=selection.selected,
+            provenance=ICProvenance(
+                spec_name=spec_name,
+                app_name=self.app_name,
+                selection_seconds=selection.duration_seconds,
+                selected_pre=len(selection.selected),
+            ),
+        )
+        compensation = None
+        if linked is not None:
+            compensation = compensate_inlining(ic, self.graph, linked)
+            ic = compensation.ic
+        return CapiOutcome(ic=ic, selection=selection, compensation=compensation)
+
+    def select_file(
+        self,
+        spec_path: str | Path,
+        *,
+        linked: LinkedProgram | None = None,
+    ) -> CapiOutcome:
+        """Run a specification from a ``.capi`` file."""
+        spec_path = Path(spec_path)
+        spec = load_spec_file(spec_path, search_paths=self.search_paths)
+        entry, _ = PipelineBuilder().build(spec)
+        selection = evaluate_pipeline(entry, self.graph)
+        ic = InstrumentationConfig(
+            functions=selection.selected,
+            provenance=ICProvenance(
+                spec_name=spec_path.stem,
+                app_name=self.app_name,
+                selection_seconds=selection.duration_seconds,
+                selected_pre=len(selection.selected),
+            ),
+        )
+        compensation = None
+        if linked is not None:
+            compensation = compensate_inlining(ic, self.graph, linked)
+            ic = compensation.ic
+        return CapiOutcome(ic=ic, selection=selection, compensation=compensation)

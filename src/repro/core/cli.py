@@ -1,0 +1,103 @@
+"""``capi`` command-line interface.
+
+Mirrors the tool surface of the original CaPI:
+
+* ``capi select``  — evaluate a ``.capi`` spec against a MetaCG JSON
+  call graph and write the IC as a Score-P-compatible filter file.
+* ``capi cg``      — build the MetaCG call graph of a bundled synthetic
+  application and write it to JSON (stand-in for the MetaCG tool).
+* ``capi specs``   — print the paper's bundled evaluation specs.
+
+Example::
+
+    capi cg --app openfoam --nodes 8000 -o icoFoam.mcg.json
+    capi select --cg icoFoam.mcg.json --spec mpi.capi -o mpi.filter
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.apps import PAPER_SPECS, build_lulesh, build_openfoam
+from repro.cg import io as cg_io
+from repro.cg.merge import build_whole_program_cg
+from repro.core.capi import Capi
+from repro.errors import ReproError
+
+
+def _cmd_cg(args: argparse.Namespace) -> int:
+    if args.app == "lulesh":
+        program = build_lulesh(target_nodes=args.nodes or 3360)
+    else:
+        program = build_openfoam(target_nodes=args.nodes or 20_000)
+    graph = build_whole_program_cg(program)
+    cg_io.save(graph, args.output)
+    print(f"wrote {len(graph)} nodes / {graph.edge_count()} edges to {args.output}")
+    return 0
+
+
+def _cmd_select(args: argparse.Namespace) -> int:
+    graph = cg_io.load(args.cg)
+    capi = Capi(graph=graph, search_paths=[Path(args.spec).parent])
+    if args.spec in PAPER_SPECS:
+        outcome = capi.select(PAPER_SPECS[args.spec], spec_name=args.spec)
+    else:
+        outcome = capi.select_file(args.spec)
+    outcome.ic.dump_filter(args.output)
+    if args.json:
+        outcome.ic.dump_json(args.json)
+    prov = outcome.ic.provenance
+    print(
+        f"selected {len(outcome.ic)} functions "
+        f"({prov.selected_pre} pre) in {prov.selection_seconds:.2f}s "
+        f"-> {args.output}"
+    )
+    return 0
+
+
+def _cmd_specs(_args: argparse.Namespace) -> int:
+    for name, source in PAPER_SPECS.items():
+        print(f"# --- {name} ---{source}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="capi", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_cg = sub.add_parser("cg", help="build a MetaCG call graph (JSON)")
+    p_cg.add_argument("--app", choices=["lulesh", "openfoam"], required=True)
+    p_cg.add_argument("--nodes", type=int, default=None)
+    p_cg.add_argument("-o", "--output", required=True)
+    p_cg.set_defaults(func=_cmd_cg)
+
+    p_sel = sub.add_parser("select", help="evaluate a spec into an IC")
+    p_sel.add_argument("--cg", required=True, help="MetaCG JSON file")
+    p_sel.add_argument(
+        "--spec",
+        required=True,
+        help="path to a .capi file, or a bundled spec name "
+        f"({', '.join(PAPER_SPECS)})",
+    )
+    p_sel.add_argument("-o", "--output", required=True, help="filter file")
+    p_sel.add_argument("--json", help="also write IC + provenance as JSON")
+    p_sel.set_defaults(func=_cmd_select)
+
+    p_specs = sub.add_parser("specs", help="print the bundled paper specs")
+    p_specs.set_defaults(func=_cmd_specs)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"capi: error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,105 @@
+"""Instrumentation configurations (ICs).
+
+An IC is the artefact CaPI produces: the set of functions to instrument,
+plus provenance of the post-processing steps applied to it.  It is
+written out "as a filter file that is compatible with the format used by
+Score-P" (paper §III-A) and consumed either at compile time (static
+instrumentation) or by DynCaPI at program start via an environment
+variable (``CAPI_FILTER_FILE`` in our model).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.scorep.filter import ScorePFilter
+
+#: environment variable DynCaPI reads the IC path from
+IC_ENV_VAR = "CAPI_FILTER_FILE"
+
+
+@dataclass(frozen=True)
+class ICProvenance:
+    """Where an IC came from — the columns of the paper's Table I."""
+
+    spec_name: str = ""
+    app_name: str = ""
+    selection_seconds: float = 0.0
+    #: selected before post-processing (#selected pre)
+    selected_pre: int = 0
+    #: removed because the symbol-approximation marked them inlined
+    removed_inlined: int = 0
+    #: callers added by inlining compensation (#added)
+    added_compensation: int = 0
+
+
+@dataclass(frozen=True)
+class InstrumentationConfig:
+    """An immutable instrumentation configuration."""
+
+    functions: frozenset[str]
+    provenance: ICProvenance = field(default_factory=ICProvenance)
+
+    def __len__(self) -> int:
+        return len(self.functions)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.functions
+
+    def with_functions(self, functions: frozenset[str], **prov_updates) -> "InstrumentationConfig":
+        from dataclasses import replace
+
+        return InstrumentationConfig(
+            functions=functions,
+            provenance=replace(self.provenance, **prov_updates),
+        )
+
+    # -- Score-P filter compatibility ------------------------------------------
+
+    def to_filter(self) -> ScorePFilter:
+        return ScorePFilter.include_only(self.functions)
+
+    @classmethod
+    def from_filter(cls, filt: ScorePFilter) -> "InstrumentationConfig":
+        return cls(functions=frozenset(filt.included_names()))
+
+    def dump_filter(self, path: str | Path) -> None:
+        self.to_filter().dump(path)
+
+    @classmethod
+    def load_filter(cls, path: str | Path) -> "InstrumentationConfig":
+        return cls.from_filter(ScorePFilter.load(path))
+
+    # -- JSON sidecar with provenance -----------------------------------------------
+
+    def dump_json(self, path: str | Path) -> None:
+        data = {
+            "functions": sorted(self.functions),
+            "provenance": {
+                "spec_name": self.provenance.spec_name,
+                "app_name": self.provenance.app_name,
+                "selection_seconds": self.provenance.selection_seconds,
+                "selected_pre": self.provenance.selected_pre,
+                "removed_inlined": self.provenance.removed_inlined,
+                "added_compensation": self.provenance.added_compensation,
+            },
+        }
+        Path(path).write_text(json.dumps(data, indent=1))
+
+    @classmethod
+    def load_json(cls, path: str | Path) -> "InstrumentationConfig":
+        data = json.loads(Path(path).read_text())
+        prov = data.get("provenance", {})
+        return cls(
+            functions=frozenset(data["functions"]),
+            provenance=ICProvenance(
+                spec_name=prov.get("spec_name", ""),
+                app_name=prov.get("app_name", ""),
+                selection_seconds=prov.get("selection_seconds", 0.0),
+                selected_pre=prov.get("selected_pre", 0),
+                removed_inlined=prov.get("removed_inlined", 0),
+                added_compensation=prov.get("added_compensation", 0),
+            ),
+        )

@@ -1,0 +1,120 @@
+"""Build and evaluate a selection pipeline from a parsed specification.
+
+The builder turns the flattened spec AST into a selector DAG: ``%name``
+references resolve to previously-defined instances, ``%%`` to the
+universe selector, and the last statement becomes the pipeline entry
+point.  Evaluation returns both the selected set and per-selector trace
+information (used for Table I's selection-time column and diagnostics).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.cg.graph import CallGraph
+from repro.core.selectors.base import AllSelector, EvalContext, NamedRef, Selector
+from repro.core.selectors.registry import Factory, lookup
+from repro.core.spec.ast import (
+    AllExpr,
+    Assign,
+    CallExpr,
+    Expr,
+    NumLit,
+    RefExpr,
+    SpecFile,
+    StrLit,
+)
+from repro.errors import SpecSemanticError
+
+
+@dataclass
+class SelectionResult:
+    """Outcome of evaluating a pipeline over one call graph."""
+
+    selected: frozenset[str]
+    duration_seconds: float
+    graph_size: int
+    trace: list[tuple[str, int]] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.selected)
+
+
+class PipelineBuilder:
+    """Resolve a spec AST into a selector DAG."""
+
+    def __init__(self, registry: dict[str, Factory] | None = None):
+        self._registry = registry
+        self._all = AllSelector()
+
+    def build(self, spec: SpecFile) -> tuple[Selector, dict[str, Selector]]:
+        """Returns ``(entry selector, named instances)``."""
+        named: dict[str, Selector] = {}
+        entry: Selector | None = None
+        for stmt in spec.statements:
+            if isinstance(stmt, Assign):
+                if stmt.name in named:
+                    raise SpecSemanticError(
+                        f"selector instance {stmt.name!r} redefined"
+                    )
+                selector = NamedRef(stmt.name, self._build_expr(stmt.expr, named))
+                named[stmt.name] = selector
+                entry = selector
+            else:
+                entry = self._build_expr(stmt, named)
+        if entry is None:
+            raise SpecSemanticError("specification defines no selectors")
+        return entry, named
+
+    def _build_expr(self, expr: Expr, named: dict[str, Selector]) -> Selector:
+        if isinstance(expr, AllExpr):
+            return self._all
+        if isinstance(expr, RefExpr):
+            try:
+                return named[expr.name]
+            except KeyError:
+                raise SpecSemanticError(
+                    f"reference to undefined selector %{expr.name}"
+                ) from None
+        if isinstance(expr, CallExpr):
+            factory = lookup(expr.selector, self._registry)
+            args = []
+            for arg in expr.args:
+                if isinstance(arg, StrLit):
+                    args.append(arg.value)
+                elif isinstance(arg, NumLit):
+                    args.append(arg.value)
+                else:
+                    args.append(self._build_expr(arg, named))
+            return factory(*args)
+        raise SpecSemanticError(
+            f"literal {expr!r} cannot be used as a selector"
+        )
+
+
+def evaluate_pipeline(
+    entry: Selector, graph: CallGraph
+) -> SelectionResult:
+    """Evaluate a built pipeline, timing the selection process."""
+    start = time.perf_counter()
+    ctx = EvalContext(graph)
+    selected = ctx.evaluate(entry)
+    duration = time.perf_counter() - start
+    return SelectionResult(
+        selected=selected,
+        duration_seconds=duration,
+        graph_size=len(graph),
+        trace=ctx.trace,
+    )
+
+
+def run_spec(
+    spec: SpecFile,
+    graph: CallGraph,
+    *,
+    registry: dict[str, Factory] | None = None,
+) -> SelectionResult:
+    """Build and evaluate in one step."""
+    entry, _named = PipelineBuilder(registry).build(spec)
+    return evaluate_pipeline(entry, graph)

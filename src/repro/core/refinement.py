@@ -1,0 +1,147 @@
+"""PIRA-style automatic instrumentation refinement (paper §II-B).
+
+"PIRA improves the selection by incrementally running the application
+and using the collected profiling information."  This module closes the
+paper's Fig. 1 loop automatically on top of the *dynamic* workflow: each
+iteration runs the instrumented application, scores the profile, and
+produces the next IC by
+
+* **excluding** regions whose estimated measurement overhead dominates
+  their useful time (scorep-score logic), and
+* optionally **expanding** into callees of hot regions that are not yet
+  instrumented (hotspot drill-down), bounded by the call graph.
+
+Because re-patching replaces recompilation, a whole refinement session
+costs seconds of virtual time — the usability claim of §VII-A.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.cg.graph import CallGraph
+from repro.core.ic import InstrumentationConfig
+from repro.execution.workload import Workload
+from repro.scorep.regions import flatten
+from repro.scorep.score_tool import score_profile
+
+if TYPE_CHECKING:  # workflow imports core.ic; import lazily to avoid a cycle
+    from repro.workflow import BuiltApp
+
+
+@dataclass
+class RefinementStep:
+    """Record of one refinement iteration."""
+
+    iteration: int
+    ic_size: int
+    t_total: float
+    t_init: float
+    excluded: list[str] = field(default_factory=list)
+    expanded: list[str] = field(default_factory=list)
+
+
+@dataclass
+class RefinementResult:
+    ic: InstrumentationConfig
+    steps: list[RefinementStep]
+    converged: bool
+
+    @property
+    def total_turnaround_seconds(self) -> float:
+        """Virtual cost of all measurement+adjustment iterations."""
+        return sum(s.t_total for s in self.steps)
+
+
+@dataclass
+class PiraRefiner:
+    """Iterative measure → score → adjust loop over the dynamic workflow."""
+
+    app: "BuiltApp"
+    graph: CallGraph
+    #: exclude regions whose overhead/runtime ratio exceeds this
+    max_overhead_ratio: float = 0.3
+    #: expand into callees of regions holding at least this share of
+    #: total inclusive time (0 disables expansion)
+    hotspot_share: float = 0.2
+    max_new_per_iteration: int = 50
+    workload: Workload = field(default_factory=lambda: Workload(site_cap=2, event_budget=100_000))
+
+    def refine(
+        self,
+        initial_ic: InstrumentationConfig,
+        *,
+        iterations: int = 4,
+        tool: str = "scorep",
+    ) -> RefinementResult:
+        from repro.workflow import run_app  # deferred: avoids import cycle
+
+        ic = initial_ic
+        steps: list[RefinementStep] = []
+        converged = False
+        patchable = self.app.linked.patchable_function_names()
+        for i in range(iterations):
+            outcome = run_app(
+                self.app,
+                mode="ic",
+                ic=ic,
+                tool=tool,  # type: ignore[arg-type]
+                workload=self.workload,
+                config_name=f"refine-{i}",
+            )
+            flat = flatten(outcome.scorep_profile)
+            excluded = self._select_exclusions(flat)
+            expanded = self._select_expansions(flat, ic, patchable)
+            steps.append(
+                RefinementStep(
+                    iteration=i,
+                    ic_size=len(ic),
+                    t_total=outcome.result.t_total,
+                    t_init=outcome.result.t_init,
+                    excluded=sorted(excluded),
+                    expanded=sorted(expanded),
+                )
+            )
+            if not excluded and not expanded:
+                converged = True
+                break
+            ic = InstrumentationConfig(
+                functions=frozenset((ic.functions - excluded) | expanded),
+                provenance=ic.provenance,
+            )
+        return RefinementResult(ic=ic, steps=steps, converged=converged)
+
+    # -- policies ---------------------------------------------------------------
+
+    def _select_exclusions(self, flat) -> set[str]:
+        out = set()
+        for entry in score_profile(flat):
+            if entry.overhead_ratio > self.max_overhead_ratio:
+                out.add(entry.name)
+            if len(out) >= self.max_new_per_iteration:
+                break
+        return out
+
+    def _select_expansions(
+        self, flat, ic: InstrumentationConfig, patchable: set[str]
+    ) -> set[str]:
+        if self.hotspot_share <= 0:
+            return set()
+        total = sum(r.inclusive_cycles for r in flat.values()) or 1.0
+        out: set[str] = set()
+        for region in flat.values():
+            if region.inclusive_cycles / total < self.hotspot_share:
+                continue
+            if region.name not in self.graph:
+                continue
+            for callee in self.graph.callees_of(region.name):
+                if (
+                    callee not in ic.functions
+                    and callee in patchable
+                    and not self.graph.node(callee).meta.in_system_header
+                ):
+                    out.add(callee)
+                if len(out) >= self.max_new_per_iteration:
+                    return out
+        return out

@@ -1,0 +1,32 @@
+"""Statement-aggregation selection (Iwainsky & Bischof [16], paper §II-B).
+
+"The local number of code statements is aggregated over the whole call
+chain.  Functions are selected for instrumentation if the aggregated
+statement count reaches a pre-determined threshold."  This heuristic is
+also the basis of PIRA's initial selection.
+"""
+
+from __future__ import annotations
+
+from repro.cg.analysis import aggregate_statements
+from repro.core.selectors.base import EvalContext, Selector
+
+
+class StatementAggregation(Selector):
+    """``statementAggregation(threshold, input)`` rooted at ``main``."""
+
+    def __init__(self, threshold: float, inner: Selector, *, root: str = "main"):
+        self.threshold = threshold
+        self.inner = inner
+        self.root = root
+
+    def select(self, ctx: EvalContext) -> set[str]:
+        aggregated = aggregate_statements(ctx.graph, self.root)
+        return {
+            n
+            for n in ctx.evaluate(self.inner)
+            if aggregated.get(n, 0) >= self.threshold
+        }
+
+    def describe(self) -> str:
+        return f"statementAggregation(>={self.threshold:g})"

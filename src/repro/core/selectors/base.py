@@ -1,0 +1,74 @@
+"""Selector protocol and evaluation context.
+
+A selector determines "the set of functions from the given call graph
+that match its inclusion conditions" (paper §III-A).  Selectors form a
+DAG: combinators take other selectors as inputs, and named instances may
+feed several consumers.  Evaluation memoises per-instance results in the
+context so shared sub-pipelines are computed once.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.cg.graph import CallGraph
+
+
+@dataclass
+class EvalContext:
+    """Evaluation state for one pipeline run over one call graph."""
+
+    graph: CallGraph
+    _cache: dict[int, frozenset[str]] = field(default_factory=dict)
+    #: evaluation statistics: selector description -> result size
+    trace: list[tuple[str, int]] = field(default_factory=list)
+
+    def evaluate(self, selector: "Selector") -> frozenset[str]:
+        key = id(selector)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        result = frozenset(selector.select(self))
+        self._cache[key] = result
+        self.trace.append((selector.describe(), len(result)))
+        return result
+
+
+class Selector(abc.ABC):
+    """One node of the selection pipeline."""
+
+    @abc.abstractmethod
+    def select(self, ctx: EvalContext) -> set[str]:
+        """Compute the selected function-name set (uncached)."""
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+    # convenience for tests / embedding
+    def evaluate(self, graph: CallGraph) -> frozenset[str]:
+        return EvalContext(graph).evaluate(self)
+
+
+class AllSelector(Selector):
+    """``%%`` — every function in the call graph."""
+
+    def select(self, ctx: EvalContext) -> set[str]:
+        return ctx.graph.node_names()
+
+    def describe(self) -> str:
+        return "%%"
+
+
+class NamedRef(Selector):
+    """Wrapper giving a selector instance its DSL name (diagnostics)."""
+
+    def __init__(self, name: str, inner: Selector):
+        self.name = name
+        self.inner = inner
+
+    def select(self, ctx: EvalContext) -> set[str]:
+        return set(ctx.evaluate(self.inner))
+
+    def describe(self) -> str:
+        return f"%{self.name}"

@@ -1,0 +1,75 @@
+"""Call-path selectors: reachability-based selection over the call graph."""
+
+from __future__ import annotations
+
+from repro._util import compare
+from repro.cg.analysis import call_depths_from, call_path_between
+from repro.core.selectors.base import EvalContext, Selector
+from repro.errors import SpecSemanticError
+
+
+class OnCallPathTo(Selector):
+    """The input functions plus all their transitive callers.
+
+    This is how "functions on a call path to an MPI operation" selections
+    are built (paper §VI evaluation specs).
+    """
+
+    def __init__(self, inner: Selector):
+        self.inner = inner
+
+    def select(self, ctx: EvalContext) -> set[str]:
+        return set(ctx.graph.reaching(ctx.evaluate(self.inner)))
+
+
+class OnCallPathFrom(Selector):
+    """The input functions plus everything transitively reachable."""
+
+    def __init__(self, inner: Selector):
+        self.inner = inner
+
+    def select(self, ctx: EvalContext) -> set[str]:
+        return set(ctx.graph.reachable_from(ctx.evaluate(self.inner)))
+
+
+class CallPath(Selector):
+    """Functions on some path from a source to a target selection.
+
+    The bundled ``mpi.capi`` defines ``mpi_comm = callPath(%main_entry,
+    %mpi_ops)`` — "all functions on a call path from main to any MPI
+    communication operation" (paper Listing 1 caption).
+    """
+
+    def __init__(self, sources: Selector, targets: Selector):
+        self.sources = sources
+        self.targets = targets
+
+    def select(self, ctx: EvalContext) -> set[str]:
+        return call_path_between(
+            ctx.graph, ctx.evaluate(self.sources), ctx.evaluate(self.targets)
+        )
+
+
+class CallDepth(Selector):
+    """Filter by shortest call depth from the entry function.
+
+    ``callDepth("<=", 3, %%)`` keeps functions within 3 calls of main.
+    """
+
+    def __init__(self, op: str, depth: float, inner: Selector, *, root: str = "main"):
+        try:
+            compare(op, 0, 0)
+        except ValueError as exc:
+            raise SpecSemanticError(str(exc)) from exc
+        self.op = op
+        self.depth = depth
+        self.inner = inner
+        self.root = root
+
+    def select(self, ctx: EvalContext) -> set[str]:
+        depths = call_depths_from(ctx.graph, self.root)
+        return {
+            n
+            for n in ctx.evaluate(self.inner)
+            if n in depths and compare(self.op, depths[n], self.depth)
+        }

@@ -1,0 +1,59 @@
+"""The coarse call-path selector for TALP regions (paper §V-D).
+
+"This selector traverses the call graph from top to bottom.  For each
+callee of a selected function node, it is then determined if the
+current function is the only caller.  If this is the case, the callee is
+removed from the IC.  Optionally, the user can provide a selector
+instance for critical functions.  Functions selected by this instance
+will be retained in all cases."
+
+The effect on chains like the paper's Listing 3 OpenFOAM excerpt
+(``solve → solveSegregated → … → Amul``): pass-through wrappers with a
+single caller collapse into the topmost function, leaving a sparse
+region set suited to TALP's coarse reports.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.selectors.base import EvalContext, Selector
+
+
+class Coarse(Selector):
+    """``coarse(input[, critical])``."""
+
+    def __init__(self, inner: Selector, critical: Selector | None = None):
+        self.inner = inner
+        self.critical = critical
+
+    def select(self, ctx: EvalContext) -> set[str]:
+        graph = ctx.graph
+        selected = set(ctx.evaluate(self.inner))
+        critical = (
+            set(ctx.evaluate(self.critical)) if self.critical is not None else set()
+        )
+        result = set(selected)
+
+        # top-down traversal: start from graph roots (functions without
+        # callers, e.g. main and static initialisers), BFS order
+        roots = [n for n in sorted(graph.node_names()) if not graph.callers_of(n)]
+        visited: set[str] = set()
+        queue = deque(roots)
+        while queue:
+            name = queue.popleft()
+            if name in visited:
+                continue
+            visited.add(name)
+            for callee in sorted(graph.callees_of(name)):
+                if (
+                    callee in result
+                    and callee not in critical
+                    and graph.callers_of(callee) == {name}
+                ):
+                    result.discard(callee)
+                queue.append(callee)
+        return result
+
+    def describe(self) -> str:
+        return "coarse" + ("+critical" if self.critical else "")

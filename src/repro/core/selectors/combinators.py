@@ -1,0 +1,60 @@
+"""Set-algebra combinators: join, subtract, intersect, complement."""
+
+from __future__ import annotations
+
+from repro.core.selectors.base import EvalContext, Selector
+
+
+class Join(Selector):
+    """Union of any number of input selectors (paper's ``join``)."""
+
+    def __init__(self, *inputs: Selector):
+        self.inputs = inputs
+
+    def select(self, ctx: EvalContext) -> set[str]:
+        out: set[str] = set()
+        for sel in self.inputs:
+            out |= ctx.evaluate(sel)
+        return out
+
+    def describe(self) -> str:
+        return f"join/{len(self.inputs)}"
+
+
+class Subtract(Selector):
+    """Set difference: first input minus all following inputs."""
+
+    def __init__(self, base: Selector, *removed: Selector):
+        self.base = base
+        self.removed = removed
+
+    def select(self, ctx: EvalContext) -> set[str]:
+        out = set(ctx.evaluate(self.base))
+        for sel in self.removed:
+            out -= ctx.evaluate(sel)
+        return out
+
+
+class Intersect(Selector):
+    """Intersection of all inputs."""
+
+    def __init__(self, *inputs: Selector):
+        if not inputs:
+            raise ValueError("intersect needs at least one input")
+        self.inputs = inputs
+
+    def select(self, ctx: EvalContext) -> set[str]:
+        out = set(ctx.evaluate(self.inputs[0]))
+        for sel in self.inputs[1:]:
+            out &= ctx.evaluate(sel)
+        return out
+
+
+class Complement(Selector):
+    """All functions not selected by the input."""
+
+    def __init__(self, inner: Selector):
+        self.inner = inner
+
+    def select(self, ctx: EvalContext) -> set[str]:
+        return ctx.graph.node_names() - ctx.evaluate(self.inner)

@@ -1,0 +1,65 @@
+"""Metric threshold selectors over MetaCG node annotations.
+
+These implement the local-property strategies of Mußler et al. [15] and
+the paper's Listing 1 (``flops(">=", 10, ...)``, ``loopDepth(">=", 1,
+...)``): filter an input set by comparing one static metric against a
+threshold with a DSL-supplied operator string.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro._util import compare
+from repro.cg.graph import CGNode
+from repro.core.selectors.base import EvalContext, Selector
+from repro.errors import SpecSemanticError
+
+MetricFn = Callable[[EvalContext, CGNode], float]
+
+
+def _meta_metric(attr: str) -> MetricFn:
+    return lambda ctx, node: float(getattr(node.meta, attr))
+
+
+METRICS: dict[str, MetricFn] = {
+    "flops": _meta_metric("flops"),
+    "loopDepth": _meta_metric("loop_depth"),
+    "statements": _meta_metric("statements"),
+    #: out-degree — how many distinct callees a function has
+    "callSites": lambda ctx, node: float(len(ctx.graph.callees_of(node.name))),
+    #: in-degree — how many distinct callers reference the function
+    "callers": lambda ctx, node: float(len(ctx.graph.callers_of(node.name))),
+}
+
+
+class MetricThreshold(Selector):
+    """``metric(op, threshold, input)`` for any registered metric."""
+
+    def __init__(self, metric: str, op: str, threshold: float, inner: Selector):
+        if metric not in METRICS:
+            raise SpecSemanticError(
+                f"unknown metric {metric!r}; expected one of {sorted(METRICS)}"
+            )
+        try:
+            compare(op, 0, 0)
+        except ValueError as exc:
+            raise SpecSemanticError(str(exc)) from exc
+        self.metric = metric
+        self.op = op
+        self.threshold = threshold
+        self.inner = inner
+
+    def select(self, ctx: EvalContext) -> set[str]:
+        fn = METRICS[self.metric]
+        out = set()
+        for name in ctx.evaluate(self.inner):
+            if name not in ctx.graph:
+                continue
+            node = ctx.graph.node(name)
+            if compare(self.op, fn(ctx, node), self.threshold):
+                out.add(name)
+        return out
+
+    def describe(self) -> str:
+        return f"{self.metric}({self.op}{self.threshold:g})"

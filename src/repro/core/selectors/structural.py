@@ -1,0 +1,106 @@
+"""Structural/property selectors: headers, inline, names, paths, kinds."""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.selectors.base import EvalContext, Selector
+from repro.errors import SpecSemanticError
+
+
+class InSystemHeader(Selector):
+    """Functions defined in system headers (paper Listing 1)."""
+
+    def __init__(self, inner: Selector):
+        self.inner = inner
+
+    def select(self, ctx: EvalContext) -> set[str]:
+        return {
+            n
+            for n in ctx.evaluate(self.inner)
+            if n in ctx.graph and ctx.graph.node(n).meta.in_system_header
+        }
+
+
+class InlineSpecified(Selector):
+    """Functions carrying the ``inline`` keyword.
+
+    Note the paper's §V-E caveat: the keyword "does not necessarily
+    coincide with the final inlining decisions made by the compiler" —
+    this selector sees only the source-level marker.
+    """
+
+    def __init__(self, inner: Selector):
+        self.inner = inner
+
+    def select(self, ctx: EvalContext) -> set[str]:
+        return {
+            n
+            for n in ctx.evaluate(self.inner)
+            if n in ctx.graph and ctx.graph.node(n).meta.inline_marked
+        }
+
+
+class ByName(Selector):
+    """Functions whose name matches an anchored regular expression."""
+
+    def __init__(self, pattern: str, inner: Selector):
+        try:
+            self._re = re.compile(pattern)
+        except re.error as exc:
+            raise SpecSemanticError(f"bad byName regex {pattern!r}: {exc}") from exc
+        self.pattern = pattern
+        self.inner = inner
+
+    def select(self, ctx: EvalContext) -> set[str]:
+        return {n for n in ctx.evaluate(self.inner) if self._re.fullmatch(n)}
+
+    def describe(self) -> str:
+        return f"byName({self.pattern})"
+
+
+class ByPath(Selector):
+    """Functions whose source path matches a regular expression."""
+
+    def __init__(self, pattern: str, inner: Selector):
+        try:
+            self._re = re.compile(pattern)
+        except re.error as exc:
+            raise SpecSemanticError(f"bad byPath regex {pattern!r}: {exc}") from exc
+        self.pattern = pattern
+        self.inner = inner
+
+    def select(self, ctx: EvalContext) -> set[str]:
+        return {
+            n
+            for n in ctx.evaluate(self.inner)
+            if n in ctx.graph and self._re.search(ctx.graph.node(n).meta.source_path)
+        }
+
+
+class VirtualFunctions(Selector):
+    """Virtual methods (bases and overrides)."""
+
+    def __init__(self, inner: Selector):
+        self.inner = inner
+
+    def select(self, ctx: EvalContext) -> set[str]:
+        return {
+            n
+            for n in ctx.evaluate(self.inner)
+            if n in ctx.graph and ctx.graph.node(n).meta.is_virtual
+        }
+
+
+class DefinedFunctions(Selector):
+    """Functions with a body (excludes declaration-only CG nodes)."""
+
+    def __init__(self, inner: Selector):
+        self.inner = inner
+
+    def select(self, ctx: EvalContext) -> set[str]:
+        return {
+            n
+            for n in ctx.evaluate(self.inner)
+            if n in ctx.graph and ctx.graph.node(n).meta.has_body
+        }

@@ -1,0 +1,31 @@
+"""CaPI selection-DSL frontend: lexer, parser, AST, module imports."""
+
+from repro.core.spec.ast import (
+    AllExpr,
+    Assign,
+    CallExpr,
+    ImportDirective,
+    NumLit,
+    RefExpr,
+    SpecFile,
+    StrLit,
+)
+from repro.core.spec.lexer import tokenize
+from repro.core.spec.modules import ModuleResolver, load_spec, load_spec_file
+from repro.core.spec.parser import parse_spec
+
+__all__ = [
+    "AllExpr",
+    "Assign",
+    "CallExpr",
+    "ImportDirective",
+    "ModuleResolver",
+    "NumLit",
+    "RefExpr",
+    "SpecFile",
+    "StrLit",
+    "load_spec",
+    "load_spec_file",
+    "parse_spec",
+    "tokenize",
+]

@@ -1,0 +1,122 @@
+"""Lexer for the CaPI selection DSL.
+
+Handles the surface syntax of the paper's Listing 1: identifiers,
+double-quoted strings, integers/floats, parentheses, commas, ``=``,
+``%name`` references, the ``%%`` universe selector, ``!import`` and
+``#``-to-end-of-line comments.
+"""
+
+from __future__ import annotations
+
+from repro.core.spec.tokens import Token, TokenKind
+from repro.errors import SpecSyntaxError
+
+_IDENT_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_IDENT_CONT = _IDENT_START | set("0123456789")
+
+
+def tokenize(text: str) -> list[Token]:
+    tokens: list[Token] = []
+    line, col = 1, 1
+    i = 0
+    n = len(text)
+
+    def tok(kind: TokenKind, value: str, l: int, c: int) -> None:
+        tokens.append(Token(kind, value, l, c))
+
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            col = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if ch == "#":
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        start_line, start_col = line, col
+        if ch == "(":
+            tok(TokenKind.LPAREN, ch, start_line, start_col)
+            i += 1
+            col += 1
+        elif ch == ")":
+            tok(TokenKind.RPAREN, ch, start_line, start_col)
+            i += 1
+            col += 1
+        elif ch == ",":
+            tok(TokenKind.COMMA, ch, start_line, start_col)
+            i += 1
+            col += 1
+        elif ch == "=":
+            tok(TokenKind.EQUALS, ch, start_line, start_col)
+            i += 1
+            col += 1
+        elif ch == "!":
+            tok(TokenKind.BANG, ch, start_line, start_col)
+            i += 1
+            col += 1
+        elif ch == "%":
+            if i + 1 < n and text[i + 1] == "%":
+                tok(TokenKind.ALL, "%%", start_line, start_col)
+                i += 2
+                col += 2
+            else:
+                j = i + 1
+                if j >= n or text[j] not in _IDENT_START:
+                    raise SpecSyntaxError(
+                        "expected identifier after '%'", start_line, start_col
+                    )
+                while j < n and text[j] in _IDENT_CONT:
+                    j += 1
+                tok(TokenKind.REF, text[i + 1 : j], start_line, start_col)
+                col += j - i
+                i = j
+        elif ch == '"':
+            j = i + 1
+            buf = []
+            while j < n and text[j] != '"':
+                if text[j] == "\n":
+                    raise SpecSyntaxError(
+                        "unterminated string literal", start_line, start_col
+                    )
+                if text[j] == "\\" and j + 1 < n:
+                    buf.append(text[j + 1])
+                    j += 2
+                    continue
+                buf.append(text[j])
+                j += 1
+            if j >= n:
+                raise SpecSyntaxError(
+                    "unterminated string literal", start_line, start_col
+                )
+            tok(TokenKind.STRING, "".join(buf), start_line, start_col)
+            col += j + 1 - i
+            i = j + 1
+        elif ch.isdigit() or (
+            ch == "-" and i + 1 < n and text[i + 1].isdigit()
+        ):
+            j = i + 1
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                if text[j] == ".":
+                    seen_dot = True
+                j += 1
+            tok(TokenKind.NUMBER, text[i:j], start_line, start_col)
+            col += j - i
+            i = j
+        elif ch in _IDENT_START:
+            j = i
+            while j < n and text[j] in _IDENT_CONT:
+                j += 1
+            tok(TokenKind.IDENT, text[i:j], start_line, start_col)
+            col += j - i
+            i = j
+        else:
+            raise SpecSyntaxError(f"unexpected character {ch!r}", line, col)
+    tokens.append(Token(TokenKind.EOF, "", line, col))
+    return tokens

@@ -1,0 +1,34 @@
+"""Token definitions for the CaPI selection DSL."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TokenKind(enum.Enum):
+    IDENT = "ident"
+    STRING = "string"
+    NUMBER = "number"
+    LPAREN = "("
+    RPAREN = ")"
+    COMMA = ","
+    EQUALS = "="
+    #: ``%name`` — reference to a named selector instance
+    REF = "ref"
+    #: ``%%`` — the set of all functions
+    ALL = "%%"
+    #: ``!import`` directive introducer
+    BANG = "!"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging sugar
+        return f"Token({self.kind.name}, {self.text!r}, {self.line}:{self.column})"

@@ -1,0 +1,46 @@
+"""The generic ``-finstrument-functions``-compatible interface (§V-C).
+
+DynCaPI's default event interface mimics GCC's
+``__cyg_profile_func_enter`` / ``__cyg_profile_func_exit``: the
+measurement side receives only the *address* of the instrumented
+function (plus a call-site address we do not model) and must resolve
+names itself — the root of the Score-P DSO-resolution limitation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.execution.clock import VirtualClock
+from repro.execution.costs import CostModel
+from repro.xray.ids import PackedId
+from repro.xray.runtime import XRayRuntime
+from repro.xray.trampoline import EventType
+
+#: ``__cyg_profile_func_enter(void* fn, void* callsite)`` analogue
+CygCallback = Callable[[int], None]
+
+
+@dataclass
+class CygProfileDispatcher:
+    """Translate XRay events into address-based cyg_profile callbacks."""
+
+    runtime: XRayRuntime
+    clock: VirtualClock
+    cost_model: CostModel = field(default_factory=CostModel)
+    on_enter: CygCallback | None = None
+    on_exit: CygCallback | None = None
+    events: int = 0
+
+    def handler(self, packed: PackedId, event: EventType) -> None:
+        """Install this as the XRay handler (``__xray_set_handler``)."""
+        self.events += 1
+        self.clock.advance(self.cost_model.cyg_shim)
+        address = self.runtime.function_address(packed)
+        if event is EventType.ENTRY:
+            if self.on_enter is not None:
+                self.on_enter(address)
+        else:
+            if self.on_exit is not None:
+                self.on_exit(address)

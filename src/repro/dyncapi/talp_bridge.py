@@ -1,0 +1,90 @@
+"""DynCaPI → TALP bridge (paper §V-C.2, Listing 2).
+
+"A monitoring region map is maintained that stores the handle and other
+region information.  On entry and exit events, the corresponding region
+information is retrieved and, if necessary, registered in TALP, before
+the start/stop function is invoked."
+
+Two measured anomalies of §VI-B(b) surface here:
+
+* regions first entered before ``MPI_Init`` cannot be registered (DLB
+  returns an invalid handle) and are simply not recorded;
+* at very high registered-region counts, starting some regions fails
+  (the TALP region-map bug) — counted as unique failed region entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dyncapi.symbols import IdNameMap
+from repro.execution.clock import VirtualClock
+from repro.execution.costs import CostModel
+from repro.talp.dlb import DLB_INVALID_HANDLE, DLB_SUCCESS, DlbLibrary
+from repro.xray.ids import PackedId
+from repro.xray.trampoline import EventType
+
+
+@dataclass
+class _RegionInfo:
+    handle: int = DLB_INVALID_HANDLE
+    registered: bool = False
+
+
+@dataclass
+class TalpBridge:
+    """Adapts XRay events to DLB monitoring-region start/stop calls."""
+
+    dlb: DlbLibrary
+    id_names: IdNameMap
+    clock: VirtualClock
+    cost_model: CostModel = field(default_factory=CostModel)
+    #: per-name region info (the paper's "monitoring region map")
+    regions: dict[str, _RegionInfo] = field(default_factory=dict)
+    #: regions whose registration failed (entered before MPI_Init)
+    failed_registrations: set[str] = field(default_factory=set)
+    #: unique regions whose start call failed (TALP region-map bug)
+    failed_entries: set[str] = field(default_factory=set)
+    #: events for functions whose id has no name (hidden symbols)
+    unnamed_events: int = 0
+
+    def handler(self, packed: PackedId, event: EventType) -> None:
+        self.clock.advance(
+            self.cost_model.cyg_shim + self.cost_model.talp_event
+        )
+        name = self.id_names.name_of(packed)
+        if name is None:
+            self.unnamed_events += 1
+            return
+        if event is EventType.ENTRY:
+            self._enter(name)
+        else:
+            self._exit(name)
+
+    # -- internals ------------------------------------------------------------
+
+    def _enter(self, name: str) -> None:
+        info = self.regions.setdefault(name, _RegionInfo())
+        if not info.registered:
+            handle = self.dlb.MonitoringRegionRegister(name)
+            if handle == DLB_INVALID_HANDLE:
+                # entered before MPI_Init: not recorded (paper §VI-B)
+                self.failed_registrations.add(name)
+                return
+            info.handle = handle
+            info.registered = True
+            self.failed_registrations.discard(name)
+        if self.dlb.MonitoringRegionStart(info.handle) != DLB_SUCCESS:
+            self.failed_entries.add(name)
+
+    def _exit(self, name: str) -> None:
+        info = self.regions.get(name)
+        if info is None or not info.registered:
+            return
+        self.dlb.MonitoringRegionStop(info.handle)
+
+    # -- statistics --------------------------------------------------------------
+
+    @property
+    def registered_count(self) -> int:
+        return sum(1 for info in self.regions.values() if info.registered)

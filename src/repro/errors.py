@@ -1,0 +1,154 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by the library derive from :class:`ReproError` so
+callers can catch everything coming out of the toolchain with a single
+``except`` clause, while still being able to discriminate the layer that
+failed (program model, XRay runtime, CaPI selection, measurement, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+# ---------------------------------------------------------------------------
+# Program model / compiler / linker
+# ---------------------------------------------------------------------------
+
+
+class ProgramModelError(ReproError):
+    """Malformed program IR (duplicate functions, dangling call sites...)."""
+
+
+class CompilationError(ReproError):
+    """The compiler pipeline could not lower a program."""
+
+
+class LinkError(ReproError):
+    """Linking failed (duplicate strong symbols, unresolved references)."""
+
+
+class LoaderError(ReproError):
+    """The dynamic loader could not map or relocate an object."""
+
+
+class SegmentationFault(ReproError):
+    """A write hit a non-writable virtual page.
+
+    Raised by the memory model when patching is attempted without the
+    copy-on-write ``mprotect`` step, or when a non-position-independent
+    trampoline is used from a relocated DSO.
+    """
+
+
+# ---------------------------------------------------------------------------
+# Call graph
+# ---------------------------------------------------------------------------
+
+
+class CallGraphError(ReproError):
+    """Structural problem in a call graph."""
+
+
+class MergeConflictError(CallGraphError):
+    """Conflicting metadata while merging translation-unit call graphs."""
+
+
+# ---------------------------------------------------------------------------
+# XRay
+# ---------------------------------------------------------------------------
+
+
+class XRayError(ReproError):
+    """Generic XRay runtime error."""
+
+
+class PackedIdError(XRayError):
+    """Object or function id outside the packed-id bit ranges."""
+
+
+class ObjectRegistrationError(XRayError):
+    """DSO registration failed (limit exceeded, duplicate, unloaded...)."""
+
+
+class PatchingError(XRayError):
+    """A sled could not be (un)patched."""
+
+
+class TrampolineRelocationError(XRayError):
+    """A non-PIC trampoline was invoked from a relocated shared object."""
+
+
+# ---------------------------------------------------------------------------
+# CaPI / selection DSL
+# ---------------------------------------------------------------------------
+
+
+class CapiError(ReproError):
+    """Generic CaPI driver error."""
+
+
+class SpecSyntaxError(CapiError):
+    """Lexical or syntactic error in a ``.capi`` specification."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        super().__init__(f"{line}:{column}: {message}" if line else message)
+        self.line = line
+        self.column = column
+
+
+class SpecSemanticError(CapiError):
+    """Semantic error: unknown selector, bad arity, unresolved reference."""
+
+
+class ImportResolutionError(CapiError):
+    """A ``!import(...)`` directive could not be resolved."""
+
+
+class SelectionError(CapiError):
+    """Selector evaluation failed at runtime."""
+
+
+# ---------------------------------------------------------------------------
+# Measurement substrates
+# ---------------------------------------------------------------------------
+
+
+class MeasurementError(ReproError):
+    """Generic measurement-system error."""
+
+
+class ScorePError(MeasurementError):
+    """Score-P substrate error."""
+
+
+class FilterFormatError(ScorePError):
+    """Malformed Score-P filter file."""
+
+
+class TalpError(MeasurementError):
+    """TALP/DLB substrate error."""
+
+
+class MpiNotInitializedError(TalpError):
+    """A TALP region operation happened before ``MPI_Init``.
+
+    The paper (section VI-B) observes that regions entered before
+    ``MPI_Init`` cannot be registered and are silently dropped by
+    DynCaPI; the raw DLB API reports this condition as an error.
+    """
+
+
+class SimMpiError(ReproError):
+    """Simulated-MPI misuse (rank out of range, mismatched collective...)."""
+
+
+# ---------------------------------------------------------------------------
+# Execution engine
+# ---------------------------------------------------------------------------
+
+
+class ExecutionError(ReproError):
+    """The virtual-clock execution engine hit an inconsistent state."""

@@ -1,0 +1,16 @@
+"""Virtual-clock execution engine and overhead cost model."""
+
+from repro.execution.clock import CYCLES_PER_SECOND, VirtualClock
+from repro.execution.costs import CostModel
+from repro.execution.engine import ExecutionEngine
+from repro.execution.result import RunResult
+from repro.execution.workload import Workload
+
+__all__ = [
+    "CYCLES_PER_SECOND",
+    "CostModel",
+    "ExecutionEngine",
+    "RunResult",
+    "VirtualClock",
+    "Workload",
+]

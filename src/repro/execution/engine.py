@@ -1,0 +1,330 @@
+"""The virtual-clock execution engine.
+
+Runs a linked, loaded program by walking its machine-level call tree
+from the entry point, charging the virtual clock for every mechanism
+along the way:
+
+* function body cost (``base_cost`` — "useful" computation),
+* sled traversal: NOP cost when unpatched, trampoline dispatch plus the
+  installed handler's cost when patched (the handler itself advances the
+  clock, exactly like a real tool steals cycles in-line),
+* MPI operations routed through the PMPI layer, and
+* static initialisers executed before ``main`` (they fire sleds too —
+  this is where the paper's "regions entered before MPI_Init" anomaly
+  comes from).
+
+Deep hot loops are bounded by the :class:`~repro.execution.workload.
+Workload` caps; capped-off repetitions are charged *analytically* from
+a memoised per-function cost closure so the total virtual time still
+reflects the full dynamic workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._util import stable_hash
+from repro.errors import ExecutionError
+from repro.execution.clock import VirtualClock
+from repro.execution.costs import CostModel
+from repro.execution.result import RunResult
+from repro.execution.workload import Workload
+from repro.program.ir import CallKind, SourceProgram, resolve_call_targets
+from repro.program.linker import LinkedProgram
+from repro.program.loader import LoadedObject
+from repro.program.machine import FUNCTION_HEADER_BYTES, MachineCallSite, MachineFunction
+from repro.simmpi.pmpi import PmpiLayer
+from repro.xray.runtime import XRayRuntime
+from repro.xray.sled import SLED_BYTES
+
+
+@dataclass
+class _AnalyticTotals:
+    """Per-invocation cost closure of one function's whole subtree."""
+
+    cycles: float = 0.0
+    useful: float = 0.0
+    mpi_cycles: float = 0.0
+    mpi_calls: int = 0
+    entries: int = 0
+
+
+@dataclass
+class ExecutionEngine:
+    """One configured run of a loaded program."""
+
+    linked: LinkedProgram
+    loaded: list[LoadedObject]
+    tool: str = "none"
+    xray_runtime: XRayRuntime | None = None
+    pmpi: PmpiLayer | None = None
+    cost_model: CostModel = field(default_factory=CostModel)
+    workload: Workload = field(default_factory=Workload)
+    clock: VirtualClock = field(default_factory=VirtualClock)
+
+    def __post_init__(self) -> None:
+        self._functions: dict[str, MachineFunction] = {}
+        self._sled_addrs: dict[str, tuple[int, int]] = {}
+        for lo in self.loaded:
+            for mf in lo.binary.functions.values():
+                self._functions[mf.name] = mf
+                if mf.xray_instrumented:
+                    entry = lo.base + mf.offset + FUNCTION_HEADER_BYTES
+                    exit_ = lo.base + mf.offset + mf.size_bytes - SLED_BYTES
+                    self._sled_addrs[mf.name] = (entry, exit_)
+        self._program: SourceProgram = self.linked.compiled.program
+        self._patched_cache: dict[str, bool] = {}
+        self._analytic_memo: dict[str, _AnalyticTotals] = {}
+        self._result: RunResult | None = None
+
+    # -- public ---------------------------------------------------------------
+
+    def run(self, *, config_name: str = "") -> RunResult:
+        """Execute static initialisers, then ``main``; returns the result."""
+        if self._result is not None:
+            raise ExecutionError("engine instances are single-use")
+        result = RunResult(
+            app_name=self._program.name, tool=self.tool, config_name=config_name
+        )
+        self._result = result
+        start = self.clock.now()
+        for name in self._static_initializers():
+            self._execute(name, depth=0)
+        entry = self._program.entry
+        if entry not in self._functions:
+            raise ExecutionError(f"entry function {entry!r} was not emitted")
+        self._execute(entry, depth=0)
+        result.t_app_cycles = self.clock.now() - start
+        if self.pmpi is not None:
+            result.mpi_calls += self.pmpi.world.mpi_calls
+            result.mpi_cycles += self.pmpi.world.mpi_cycles
+        if self.xray_runtime is not None:
+            result.patched_functions = self.xray_runtime.patched_count()
+            result.patched_sleds = self.xray_runtime.patcher.stats.patched
+        return result
+
+    # -- execution -------------------------------------------------------------
+
+    def _static_initializers(self) -> list[str]:
+        """Initialisers in object-load order (executable first, then DSOs)."""
+        names = []
+        for lo in self.loaded:
+            for mf in sorted(lo.binary.functions.values(), key=lambda f: f.offset):
+                if mf.is_static_initializer:
+                    names.append(mf.name)
+        return names
+
+    def _execute(self, name: str, depth: int) -> None:
+        mf = self._functions.get(name)
+        if mf is None:
+            # target was fully inlined: its cost lives in the caller already
+            return
+        result = self._result
+        assert result is not None
+        if mf.is_mpi:
+            self._mpi_call(mf)
+            return
+        result.entry_events += 1
+        result.per_function_calls[name] = result.per_function_calls.get(name, 0) + 1
+        self._fire_sled(mf, entry=True)
+        self.clock.advance(mf.base_cost)
+        result.useful_cycles += mf.base_cost
+        if depth < self.workload.max_depth:
+            for site in mf.call_sites:
+                self._execute_site(mf, site, depth)
+        result.exit_events += 1
+        self._fire_sled(mf, entry=False)
+
+    def _execute_site(self, mf: MachineFunction, site: MachineCallSite, depth: int) -> None:
+        result = self._result
+        assert result is not None
+        targets = self._resolve_targets(site)
+        if not targets:
+            return
+        if targets[0] in ("MPI_Init", "MPI_Finalize"):
+            # lifecycle calls are one-shot: never scaled, never charged
+            walked, charged = site.count, 0
+        else:
+            walked, charged = self.workload.split(site.count)
+        if result.entry_events >= self.workload.event_budget:
+            charged += walked
+            walked = 0
+        for i in range(walked):
+            self._execute(targets[i % len(targets)], depth + 1)
+        if charged > 0:
+            self._charge(targets[0], charged)
+
+    def _resolve_targets(self, site: MachineCallSite) -> list[str]:
+        """Dynamic targets of a site, deterministically ordered.
+
+        Virtual sites rotate through the overrider set starting at a
+        hash-picked offset so different call sites exercise different
+        concrete implementations.
+        """
+        targets = resolve_call_targets(
+            self._program,
+            _as_ir_site(site),
+            include_dynamic_pointers=True,
+        )
+        if len(targets) > 1:
+            offset = stable_hash(f"{site.callee}:{site.pointer_id}") % len(targets)
+            targets = targets[offset:] + targets[:offset]
+        return targets
+
+    def _mpi_call(self, mf: MachineFunction) -> None:
+        result = self._result
+        assert result is not None
+        if self.pmpi is None:
+            # headless run (no MPI world): charge the stub cost only
+            self.clock.advance(mf.base_cost)
+            return
+        cycles = self.pmpi.call(mf.name)
+        self.clock.advance(cycles)
+
+    # -- sleds --------------------------------------------------------------------
+
+    def _fire_sled(self, mf: MachineFunction, *, entry: bool) -> None:
+        if self.xray_runtime is None or not mf.xray_instrumented:
+            return
+        addrs = self._sled_addrs.get(mf.name)
+        if addrs is None:
+            return
+        fired = self.xray_runtime.fire_sled(addrs[0] if entry else addrs[1])
+        if fired:
+            self.clock.advance(self.cost_model.patched_dispatch)
+        else:
+            self.clock.advance(self.cost_model.nop_sled)
+
+    def _is_patched(self, name: str) -> bool:
+        if self.xray_runtime is None:
+            return False
+        cached = self._patched_cache.get(name)
+        if cached is None:
+            addrs = self._sled_addrs.get(name)
+            cached = bool(
+                addrs and self.xray_runtime.patcher.read_sled(addrs[0]) is not None
+            )
+            self._patched_cache[name] = cached
+        return cached
+
+    # -- analytic charging -----------------------------------------------------------
+
+    def _charge(self, name: str, times: int) -> None:
+        """Charge ``times`` capped-off invocations of ``name`` analytically."""
+        totals = self._analytic(name)
+        result = self._result
+        assert result is not None
+        extra_mpi = self._interceptor_estimate() * totals.mpi_calls * times
+        self.clock.advance(times * totals.cycles + extra_mpi)
+        result.useful_cycles += times * totals.useful
+        result.charged_only_calls += times * totals.entries
+        if self.pmpi is not None:
+            result.mpi_cycles += times * totals.mpi_cycles
+            result.mpi_calls += times * totals.mpi_calls
+
+    def _interceptor_estimate(self) -> float:
+        """Current per-MPI-call interceptor overhead (e.g. TALP's)."""
+        if self.pmpi is None:
+            return 0.0
+        return sum(
+            interceptor.estimate_extra()
+            for interceptor in self.pmpi.interceptors
+            if hasattr(interceptor, "estimate_extra")
+        )
+
+    def _analytic(self, name: str) -> _AnalyticTotals:
+        """Memoised per-invocation subtree cost (cycles/useful/MPI/events).
+
+        Computed iteratively over the call DAG; back edges of recursion
+        cycles contribute a single level (consistent with the depth cap
+        applied to walked execution).
+        """
+        memo = self._analytic_memo
+        if name in memo:
+            return memo[name]
+        in_progress: set[str] = set()
+        stack: list[tuple[str, int]] = [(name, 0)]
+        order: list[str] = []
+        while stack:
+            fn_name, state = stack.pop()
+            if state == 0:
+                if fn_name in memo or fn_name in in_progress:
+                    continue
+                in_progress.add(fn_name)
+                stack.append((fn_name, 1))
+                mf = self._functions.get(fn_name)
+                if mf is None or mf.is_mpi:
+                    continue
+                for site in mf.call_sites:
+                    for target in self._resolve_targets(site):
+                        if target not in memo and target not in in_progress:
+                            stack.append((target, 0))
+            else:
+                order.append(fn_name)
+        for fn_name in order:
+            memo[fn_name] = self._analytic_of(fn_name, memo)
+        return memo[name]
+
+    def _analytic_of(
+        self, name: str, memo: dict[str, _AnalyticTotals]
+    ) -> _AnalyticTotals:
+        mf = self._functions.get(name)
+        totals = _AnalyticTotals()
+        if mf is None:
+            return totals
+        if mf.is_mpi:
+            if self.pmpi is not None:
+                cost = self.pmpi.comm.cost_of(mf.name)
+                totals.cycles = cost
+                totals.mpi_cycles = cost
+                totals.mpi_calls = 1
+            else:
+                totals.cycles = mf.base_cost
+            return totals
+        totals.entries = 1
+        totals.useful = mf.base_cost
+        totals.cycles = mf.base_cost
+        patched = (
+            mf.xray_instrumented
+            and self.xray_runtime is not None
+            and self._is_patched(name)
+        )
+        if mf.xray_instrumented and self.xray_runtime is not None:
+            if patched:
+                per_sled = (
+                    self.cost_model.patched_dispatch
+                    + self.cost_model.handler_cost(self.tool)
+                )
+            else:
+                per_sled = self.cost_model.nop_sled
+            totals.cycles += 2 * per_sled
+        for site in mf.call_sites:
+            count = self.workload.effective_count(site.count)
+            if count == 0:
+                continue
+            targets = self._resolve_targets(site)
+            if not targets:
+                continue
+            sub = memo.get(targets[0], _AnalyticTotals())
+            totals.cycles += count * sub.cycles
+            totals.useful += count * sub.useful
+            totals.mpi_cycles += count * sub.mpi_cycles
+            totals.mpi_calls += count * sub.mpi_calls
+            totals.entries += count * sub.entries
+        if patched and self.tool == "talp" and totals.mpi_calls > 0:
+            # mirror the walked path: a TALP region whose instance saw
+            # MPI pays the POP accounting update on exit
+            totals.cycles += self.cost_model.talp_mpi_region_update
+        return totals
+
+
+def _as_ir_site(site: MachineCallSite):
+    """Bridge a machine call site back to an IR site for target lookup."""
+    from repro.program.ir import CallSite
+
+    return CallSite(
+        callee=site.callee,
+        kind=site.kind,
+        pointer_id=site.pointer_id,
+        calls_per_invocation=max(site.count, 0),
+    )

@@ -1,0 +1,53 @@
+"""Dynamic workload shaping: bounding the simulated call tree.
+
+Call-site multiplicities in the synthetic applications describe
+*relative* hotness; executed literally they would explode combinatorially
+down deep call chains.  A :class:`Workload` clamps the expansion
+deterministically — per-site caps, a depth cap, and a global event
+budget — while the virtual clock still charges the *uncapped* residual
+cost so total runtime reflects the full workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ExecutionError
+
+
+@dataclass(frozen=True)
+class Workload:
+    """Execution shaping parameters.
+
+    ``site_cap`` limits how many times one call site is *walked* per
+    invocation of its caller; the remaining ``count - cap`` invocations
+    are charged analytically (cost-only, no events).  This keeps event
+    streams bounded while preserving total virtual time first-order.
+    """
+
+    #: multiplier applied to every call-site count (problem size knob)
+    scale: float = 1.0
+    #: walk at most this many repetitions of one call site
+    site_cap: int = 3
+    #: maximum dynamic call depth
+    max_depth: int = 120
+    #: hard ceiling on function-entry events for one run
+    event_budget: int = 2_000_000
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ExecutionError("workload scale must be positive")
+        if self.site_cap < 1:
+            raise ExecutionError("site_cap must be >= 1")
+        if self.max_depth < 2:
+            raise ExecutionError("max_depth must be >= 2")
+
+    def effective_count(self, declared: int) -> int:
+        """Scaled dynamic repetition count of a call site."""
+        return max(0, round(declared * self.scale))
+
+    def split(self, declared: int) -> tuple[int, int]:
+        """Return ``(walked, charged_only)`` repetitions of a site."""
+        total = self.effective_count(declared)
+        walked = min(total, self.site_cap)
+        return walked, total - walked

@@ -1,0 +1,32 @@
+"""Paper-experiment regeneration harness (Tables I and II, anomalies)."""
+
+from repro.experiments.runner import (
+    DEFAULT_SCALES,
+    DEFAULT_WORKLOAD,
+    PAPER_SCALES,
+    SPEC_ORDER,
+    PreparedApp,
+    prepare_app,
+    run_configuration,
+)
+from repro.experiments.table1 import Table1Row, compute_table1, render_table1
+from repro.experiments.table2 import Table2Row, compute_table2, render_table2
+from repro.experiments.anomalies import AnomalyReport, compute_anomalies
+
+__all__ = [
+    "AnomalyReport",
+    "DEFAULT_SCALES",
+    "DEFAULT_WORKLOAD",
+    "PAPER_SCALES",
+    "PreparedApp",
+    "SPEC_ORDER",
+    "Table1Row",
+    "Table2Row",
+    "compute_anomalies",
+    "compute_table1",
+    "compute_table2",
+    "prepare_app",
+    "render_table1",
+    "render_table2",
+    "run_configuration",
+]

@@ -1,0 +1,104 @@
+"""Regenerate Table I — selection results (paper §VI-A).
+
+Columns per configuration: selection time, #selected pre (before
+post-processing, with percentage of graph nodes), #selected (after
+removal of inlined functions), #added (inlining compensation).
+
+Run with ``python -m repro.experiments.table1`` (or ``repro-table1``);
+``--scale paper`` restores the paper's 410k-node OpenFOAM graph.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+
+from repro._util import format_table, percent
+from repro.experiments.runner import (
+    DEFAULT_SCALES,
+    PAPER_SCALES,
+    SPEC_ORDER,
+    prepare_app,
+)
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    app: str
+    spec: str
+    time_seconds: float
+    selected_pre: int
+    selected: int
+    added: int
+    graph_nodes: int
+
+
+def compute_table1(
+    apps: tuple[str, ...] = ("lulesh", "openfoam"),
+    *,
+    scales: dict[str, int] | None = None,
+) -> list[Table1Row]:
+    scales = scales or DEFAULT_SCALES
+    rows: list[Table1Row] = []
+    for app_name in apps:
+        prepared = prepare_app(app_name, scales.get(app_name))
+        n = len(prepared.app.graph)
+        for spec_name in SPEC_ORDER:
+            outcome = prepared.select(spec_name)
+            rows.append(
+                Table1Row(
+                    app=app_name,
+                    spec=spec_name,
+                    time_seconds=outcome.ic.provenance.selection_seconds,
+                    selected_pre=outcome.selected_pre,
+                    selected=outcome.selected_final,
+                    added=outcome.added,
+                    graph_nodes=n,
+                )
+            )
+    return rows
+
+
+def render_table1(rows: list[Table1Row]) -> str:
+    out = []
+    for app in dict.fromkeys(r.app for r in rows):
+        app_rows = [r for r in rows if r.app == app]
+        table = format_table(
+            ["", "Time", "#selected pre", "#selected", "#added"],
+            [
+                (
+                    r.spec,
+                    f"{r.time_seconds:.2f}s",
+                    f"{r.selected_pre} {percent(r.selected_pre, r.graph_nodes)}",
+                    f"{r.selected} {percent(r.selected, r.graph_nodes)}",
+                    str(r.added),
+                )
+                for r in app_rows
+            ],
+            title=f"TABLE I — SELECTION RESULTS — {app} "
+            f"({app_rows[0].graph_nodes} CG nodes)",
+        )
+        out.append(table)
+    return "\n\n".join(out)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale",
+        choices=["default", "paper"],
+        default="default",
+        help="call-graph sizes; 'paper' uses 410,666 nodes for openfoam",
+    )
+    parser.add_argument(
+        "--app", choices=["lulesh", "openfoam", "both"], default="both"
+    )
+    args = parser.parse_args(argv)
+    scales = PAPER_SCALES if args.scale == "paper" else DEFAULT_SCALES
+    apps = ("lulesh", "openfoam") if args.app == "both" else (args.app,)
+    print(render_table1(compute_table1(apps, scales=scales)))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,158 @@
+"""Regenerate Table II — instrumentation overhead (paper §VI-C).
+
+For each application and measurement tool (TALP, Score-P) the harness
+runs: vanilla (no sleds), xray inactive (sleds unpatched), xray full
+(everything patched) and the four IC-filtered configurations; it prints
+Tinit and Ttotal in virtual seconds plus the overhead factor relative
+to vanilla.
+
+Run with ``python -m repro.experiments.table2`` (or ``repro-table2``).
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+
+from repro._util import format_table
+from repro.experiments.runner import (
+    DEFAULT_SCALES,
+    PAPER_SCALES,
+    SPEC_ORDER,
+    PreparedApp,
+    prepare_app,
+    run_configuration,
+)
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    app: str
+    tool: str
+    config: str
+    t_init: float | None
+    t_total: float
+    overhead: float  # Ttotal / vanilla Ttotal - 1
+
+
+def compute_table2_app(
+    prepared: PreparedApp, *, ranks: int = 4
+) -> list[Table2Row]:
+    """All Table II rows for one application."""
+    rows: list[Table2Row] = []
+    app = prepared.name
+
+    vanilla = run_configuration(
+        prepared, mode="vanilla", ranks=ranks, config_name="vanilla"
+    ).result
+    rows.append(Table2Row(app, "-", "vanilla", None, vanilla.t_total, 0.0))
+
+    ics = prepared.select_all()
+    inactive = run_configuration(
+        prepared, mode="inactive", ranks=ranks, config_name="xray inactive"
+    ).result
+    for tool in ("talp", "scorep"):
+        rows.append(
+            Table2Row(
+                app,
+                tool,
+                "xray inactive",
+                None,
+                inactive.t_total,
+                inactive.t_total / vanilla.t_total - 1,
+            )
+        )
+        full = run_configuration(
+            prepared, mode="full", tool=tool, ranks=ranks, config_name="xray full"
+        ).result
+        rows.append(
+            Table2Row(
+                app,
+                tool,
+                "xray full",
+                full.t_init,
+                full.t_total,
+                full.t_total / vanilla.t_total - 1,
+            )
+        )
+        for spec_name in SPEC_ORDER:
+            result = run_configuration(
+                prepared,
+                mode="ic",
+                tool=tool,
+                ic=ics[spec_name].ic,
+                ranks=ranks,
+                config_name=spec_name,
+            ).result
+            rows.append(
+                Table2Row(
+                    app,
+                    tool,
+                    spec_name,
+                    result.t_init,
+                    result.t_total,
+                    result.t_total / vanilla.t_total - 1,
+                )
+            )
+    return rows
+
+
+def compute_table2(
+    apps: tuple[str, ...] = ("lulesh", "openfoam"),
+    *,
+    scales: dict[str, int] | None = None,
+    ranks: int = 4,
+) -> list[Table2Row]:
+    scales = scales or DEFAULT_SCALES
+    rows: list[Table2Row] = []
+    for app_name in apps:
+        prepared = prepare_app(app_name, scales.get(app_name))
+        rows.extend(compute_table2_app(prepared, ranks=ranks))
+    return rows
+
+
+def render_table2(rows: list[Table2Row]) -> str:
+    out = []
+    for app in dict.fromkeys(r.app for r in rows):
+        app_rows = [r for r in rows if r.app == app]
+        body = []
+        for tool in ("-", "talp", "scorep"):
+            for r in app_rows:
+                if r.tool != tool:
+                    continue
+                body.append(
+                    (
+                        {"-": "", "talp": "TALP", "scorep": "Score-P"}[tool],
+                        r.config,
+                        "-" if r.t_init is None else f"{r.t_init:.2f}",
+                        f"{r.t_total:.2f}",
+                        f"+{100 * r.overhead:.0f}%",
+                    )
+                )
+        out.append(
+            format_table(
+                ["tool", "config", "Tinit", "Ttotal", "overhead"],
+                body,
+                title=f"TABLE II — INSTRUMENTATION OVERHEAD — {app} "
+                f"(virtual seconds)",
+            )
+        )
+    return "\n\n".join(out)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=["default", "paper"], default="default")
+    parser.add_argument(
+        "--app", choices=["lulesh", "openfoam", "both"], default="both"
+    )
+    parser.add_argument("--ranks", type=int, default=4)
+    args = parser.parse_args(argv)
+    scales = PAPER_SCALES if args.scale == "paper" else DEFAULT_SCALES
+    apps = ("lulesh", "openfoam") if args.app == "both" else (args.app,)
+    print(render_table2(compute_table2(apps, scales=scales, ranks=args.ranks)))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,45 @@
+"""Program-model substrate: IR, compiler pipeline, linker, loader, memory.
+
+This package replaces the C++/Clang/ELF toolchain the paper operates on.
+A :class:`~repro.program.ir.SourceProgram` is an explicit model of a C++
+code base (translation units, functions with static metadata, call
+sites).  The :mod:`~repro.program.compiler` lowers it — running the
+inlining pass and the XRay sled-insertion machine pass — and the
+:mod:`~repro.program.linker` produces an executable plus shared objects
+with symbol tables and sled tables, mapped into a simulated process
+address space (:mod:`~repro.program.memory`).
+"""
+
+from repro.program.ir import (
+    CallKind,
+    CallSite,
+    FunctionDef,
+    SourceProgram,
+    TranslationUnit,
+    Visibility,
+)
+from repro.program.builder import ProgramBuilder
+from repro.program.compiler import Compiler, CompilerConfig
+from repro.program.linker import Linker, LinkedProgram
+from repro.program.binary import BinaryObject, Symbol, SymbolTable
+from repro.program.memory import ProcessImage
+from repro.program.loader import DynamicLoader
+
+__all__ = [
+    "BinaryObject",
+    "CallKind",
+    "CallSite",
+    "Compiler",
+    "CompilerConfig",
+    "DynamicLoader",
+    "FunctionDef",
+    "LinkedProgram",
+    "Linker",
+    "ProcessImage",
+    "ProgramBuilder",
+    "SourceProgram",
+    "Symbol",
+    "SymbolTable",
+    "TranslationUnit",
+    "Visibility",
+]

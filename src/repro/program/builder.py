@@ -1,0 +1,157 @@
+"""Fluent builder for :class:`~repro.program.ir.SourceProgram`.
+
+Hand-written tests and the synthetic application generators both build
+programs through this API; it keeps TU bookkeeping and call wiring terse
+while funnelling everything through the IR validation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.program.ir import (
+    CallKind,
+    FunctionDef,
+    SourceProgram,
+    TranslationUnit,
+    Visibility,
+)
+
+
+class ProgramBuilder:
+    """Incrementally assemble a validated :class:`SourceProgram`.
+
+    Example
+    -------
+    >>> b = ProgramBuilder("demo")
+    >>> b.tu("main.cpp")
+    >>> b.function("main", statements=5)
+    >>> b.function("kernel", flops=40, loop_depth=2)
+    >>> b.call("main", "kernel", count=10)
+    >>> program = b.build()
+    """
+
+    def __init__(self, name: str, *, entry: str = "main"):
+        self._program = SourceProgram(name=name, entry=entry)
+        self._current_tu: TranslationUnit | None = None
+
+    # -- structure ------------------------------------------------------------
+
+    def tu(self, name: str) -> "ProgramBuilder":
+        """Open (or re-open) a translation unit; new functions go here."""
+        if name in self._program.translation_units:
+            self._current_tu = self._program.translation_units[name]
+        else:
+            self._current_tu = self._program.add_tu(TranslationUnit(name))
+        return self
+
+    def library(self, lib_name: str, tu_names: Iterable[str]) -> "ProgramBuilder":
+        """Link the listed TUs into a shared object instead of the exe."""
+        self._program.add_library(lib_name, tu_names)
+        return self
+
+    # -- functions ------------------------------------------------------------
+
+    def function(
+        self,
+        name: str,
+        *,
+        statements: int = 1,
+        flops: int = 0,
+        loop_depth: int = 0,
+        inline_marked: bool = False,
+        in_system_header: bool = False,
+        hidden: bool = False,
+        overrides: str | None = None,
+        is_static_initializer: bool = False,
+        address_taken: bool = False,
+        base_cost: float = 0.0,
+        source_path: str = "",
+    ) -> FunctionDef:
+        if self._current_tu is None:
+            self.tu(f"{self._program.name}.cpp")
+        assert self._current_tu is not None
+        fn = FunctionDef(
+            name=name,
+            statements=statements,
+            flops=flops,
+            loop_depth=loop_depth,
+            inline_marked=inline_marked,
+            in_system_header=in_system_header,
+            visibility=Visibility.HIDDEN if hidden else Visibility.DEFAULT,
+            overrides=overrides,
+            is_static_initializer=is_static_initializer,
+            address_taken=address_taken,
+            base_cost=base_cost,
+            source_path=source_path,
+        )
+        return self._current_tu.add(fn)
+
+    def mpi_function(self, name: str, *, base_cost: float = 50.0) -> FunctionDef:
+        """Declare an MPI operation stub (``MPI_*``) in a system header."""
+        return self.function(
+            name,
+            statements=2,
+            in_system_header=True,
+            base_cost=base_cost,
+            source_path="/usr/include/mpi.h",
+        )
+
+    def has_function(self, name: str) -> bool:
+        return name in self._program
+
+    def function_count(self) -> int:
+        return self._program.function_count()
+
+    # -- calls ----------------------------------------------------------------
+
+    def call(
+        self,
+        caller: str,
+        callee: str,
+        *,
+        count: int = 1,
+        kind: CallKind = CallKind.DIRECT,
+    ) -> "ProgramBuilder":
+        self._program.function(caller).add_call(
+            callee, kind=kind, calls_per_invocation=count
+        )
+        return self
+
+    def virtual_call(self, caller: str, base_method: str, *, count: int = 1):
+        return self.call(caller, base_method, count=count, kind=CallKind.VIRTUAL)
+
+    def pointer_call(
+        self,
+        caller: str,
+        pointer_id: str,
+        targets: Iterable[str],
+        *,
+        count: int = 1,
+        static_resolvable: bool = True,
+    ) -> "ProgramBuilder":
+        if pointer_id not in self._program.pointer_targets:
+            self._program.register_pointer(
+                pointer_id, targets, static_resolvable=static_resolvable
+            )
+        self._program.function(caller).add_call(
+            None,
+            kind=CallKind.POINTER,
+            pointer_id=pointer_id,
+            calls_per_invocation=count,
+        )
+        return self
+
+    def chain(self, names: Iterable[str], *, count: int = 1) -> "ProgramBuilder":
+        """Wire ``a -> b -> c -> ...`` with the given per-link multiplicity."""
+        names = list(names)
+        for caller, callee in zip(names, names[1:]):
+            self.call(caller, callee, count=count)
+        return self
+
+    # -- finish ---------------------------------------------------------------
+
+    def build(self, *, validate: bool = True) -> SourceProgram:
+        if validate:
+            self._program.validate()
+        return self._program

@@ -1,0 +1,300 @@
+"""The compiler pipeline: inlining pass + XRay sled-insertion machine pass.
+
+Two decisions made here drive everything the paper evaluates:
+
+* **Inlining** happens *before* the XRay machine pass, so inlined
+  functions never receive sleds and cannot be patched at runtime
+  (paper section V-E).  Whether the symbol of an inlined function
+  survives in the binary is a per-function compiler quirk — CaPI's
+  inlining compensation *approximates* inlining from missing symbols,
+  and the paper notes the approximation is imperfect.  We reproduce
+  both the rule and the exception.
+
+* **Sled insertion** pre-filters functions below an instruction-count
+  threshold (``xray_instruction_threshold``), exactly like the real
+  ``-fxray-instruction-threshold``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro._util import stable_hash
+from repro.errors import CompilationError
+from repro.program.ir import CallKind, FunctionDef, SourceProgram
+from repro.program.machine import MachineCallSite, MachineFunction
+
+
+@dataclass(frozen=True)
+class CompilerConfig:
+    """Knobs of the simulated Clang invocation.
+
+    ``opt_level`` 0 disables inlining entirely (like ``-O0``); levels 2/3
+    differ in how aggressively unmarked small functions are inlined,
+    matching the paper's builds (``-O2`` for openfoam, ``-O3`` for
+    lulesh).
+    """
+
+    opt_level: int = 2
+    #: ``-fxray-instruction-threshold``: functions below it get no sleds.
+    xray_instruction_threshold: int = 1
+    #: Max pre-inline instruction count for ``inline``-marked functions.
+    inline_marked_max: int = 80
+    #: Max instruction count for *unmarked* functions to be auto-inlined.
+    auto_inline_max: int = 8
+    #: One in ``symbol_retention_modulus`` inlined functions keeps its
+    #: symbol anyway (linkonce_odr kept for vague-linkage reasons); this
+    #: exercises the imperfection of symbol-based inlining detection.
+    symbol_retention_modulus: int = 17
+    #: Build shared objects position-independent (``-fPIC``).  Turning
+    #: this off produces DSOs whose XRay trampolines fault after
+    #: relocation — used by tests for the paper's PIC fix (§V-B.2).
+    pic: bool = True
+    #: Derived base cost per statement / per flop, in virtual cycles.
+    cycles_per_statement: float = 3.0
+    cycles_per_flop: float = 1.0
+
+
+@dataclass
+class CompiledProgram:
+    """Output of :meth:`Compiler.compile` — input to the linker."""
+
+    program: SourceProgram
+    config: CompilerConfig
+    machine_functions: dict[str, MachineFunction] = field(default_factory=dict)
+    #: Functions removed from the object code because every call site
+    #: inlined them.
+    inlined: set[str] = field(default_factory=set)
+    #: Subset of ``inlined`` whose symbol was nevertheless retained.
+    symbol_retained_inlined: set[str] = field(default_factory=set)
+
+    def function(self, name: str) -> MachineFunction:
+        return self.machine_functions[name]
+
+
+class Compiler:
+    """Deterministically lower a :class:`SourceProgram`."""
+
+    def __init__(self, config: CompilerConfig | None = None):
+        self.config = config or CompilerConfig()
+
+    # -- public ---------------------------------------------------------------
+
+    def compile(self, program: SourceProgram) -> CompiledProgram:
+        program.validate()
+        inlined = self._inlining_decisions(program)
+        out = CompiledProgram(program=program, config=self.config, inlined=inlined)
+        for fn in program.functions():
+            if fn.name in inlined:
+                if self._retains_symbol(fn):
+                    out.symbol_retained_inlined.add(fn.name)
+                continue
+            out.machine_functions[fn.name] = self._lower(program, fn, inlined)
+        self._xray_machine_pass(out)
+        return out
+
+    # -- inlining -------------------------------------------------------------
+
+    def _inlining_decisions(self, program: SourceProgram) -> set[str]:
+        """Pick the set of functions inlined at *all* call sites.
+
+        A function is inlined when it is small enough, not recursive,
+        not virtual, not address-taken, not the entry point, and not an
+        MPI stub (those must stay interceptable).
+        """
+        if self.config.opt_level == 0:
+            return set()
+        recursive = _functions_in_cycles(program)
+        decisions: set[str] = set()
+        for fn in program.functions():
+            if fn.name == program.entry or fn.is_mpi:
+                continue
+            if fn.is_virtual or fn.address_taken or fn.is_static_initializer:
+                continue
+            if fn.name in recursive:
+                continue
+            limit = (
+                self.config.inline_marked_max
+                if fn.inline_marked
+                else self.config.auto_inline_max
+            )
+            if self.config.opt_level >= 3 and not fn.inline_marked:
+                limit = self.config.auto_inline_max * 2
+            if fn.instruction_count <= limit:
+                decisions.add(fn.name)
+        return decisions
+
+    def _retains_symbol(self, fn: FunctionDef) -> bool:
+        return stable_hash(fn.name) % self.config.symbol_retention_modulus == 0
+
+    # -- lowering -------------------------------------------------------------
+
+    def _lower(
+        self, program: SourceProgram, fn: FunctionDef, inlined: set[str]
+    ) -> MachineFunction:
+        """Fold inlined callees (transitively) into ``fn``.
+
+        Costs and instruction counts of inlined bodies are multiplied by
+        the call-site multiplicity; the inlined body's own call sites are
+        hoisted into the caller.
+        """
+        instructions = fn.instruction_count
+        cost = fn.base_cost or (
+            fn.statements * self.config.cycles_per_statement
+            + fn.flops * self.config.cycles_per_flop
+        )
+        sites: list[MachineCallSite] = []
+        # worklist of (call site, multiplicity) pairs; FIFO so the
+        # lowered call-site order matches source order (MPI_Init must
+        # stay ahead of the solver loop and MPI_Finalize)
+        work = deque((cs, 1) for cs in fn.call_sites)
+        guard = 0
+        while work:
+            guard += 1
+            if guard > 100_000:
+                raise CompilationError(
+                    f"inlining explosion while lowering {fn.name!r}"
+                )
+            cs, mult = work.popleft()
+            total = cs.calls_per_invocation * mult
+            if (
+                cs.kind is CallKind.DIRECT
+                and cs.callee in inlined
+                and cs.callee is not None
+            ):
+                callee = program.function(cs.callee)
+                instructions += callee.instruction_count * min(total, 4)
+                cost += total * (
+                    callee.base_cost
+                    or (
+                        callee.statements * self.config.cycles_per_statement
+                        + callee.flops * self.config.cycles_per_flop
+                    )
+                )
+                work.extend((inner, total) for inner in callee.call_sites)
+            else:
+                sites.append(
+                    MachineCallSite(
+                        callee=cs.callee,
+                        kind=cs.kind,
+                        pointer_id=cs.pointer_id,
+                        count=total,
+                    )
+                )
+        absorbed = _absorbed_names(program, fn, inlined)
+        return MachineFunction(
+            name=fn.name,
+            tu=program.tu_of(fn.name),
+            source_path=fn.source_path,
+            instruction_count=instructions,
+            base_cost=cost,
+            visibility=fn.visibility,
+            has_symbol=True,
+            is_static_initializer=fn.is_static_initializer,
+            is_mpi=fn.is_mpi,
+            absorbed=tuple(sorted(absorbed)),
+            call_sites=sites,
+        )
+
+    # -- XRay machine pass ------------------------------------------------------
+
+    def _xray_machine_pass(self, compiled: CompiledProgram) -> None:
+        """Mark functions receiving entry/exit sleds.
+
+        Mirrors LLVM's XRay pass: every *emitted* machine function at or
+        above the instruction threshold gets sleds; there is no
+        selection here — filtering is entirely a runtime decision, which
+        is the whole point of the paper's workflow.
+        """
+        threshold = self.config.xray_instruction_threshold
+        for mf in compiled.machine_functions.values():
+            # MPI stubs model a pre-built library: never sled-instrumented
+            # (they are measured via PMPI interception instead).
+            mf.xray_instrumented = (
+                not mf.is_mpi and mf.instruction_count >= threshold
+            )
+
+
+def _absorbed_names(
+    program: SourceProgram, fn: FunctionDef, inlined: set[str]
+) -> set[str]:
+    """Transitive closure of inlined direct callees folded into ``fn``."""
+    absorbed: set[str] = set()
+    work = [
+        cs.callee
+        for cs in fn.call_sites
+        if cs.kind is CallKind.DIRECT and cs.callee in inlined
+    ]
+    while work:
+        name = work.pop()
+        if name is None or name in absorbed:
+            continue
+        absorbed.add(name)
+        callee = program.function(name)
+        work.extend(
+            cs.callee
+            for cs in callee.call_sites
+            if cs.kind is CallKind.DIRECT and cs.callee in inlined
+        )
+    return absorbed
+
+
+def _functions_in_cycles(program: SourceProgram) -> set[str]:
+    """Names of functions on a direct-call cycle (never inlined).
+
+    Iterative DFS over direct edges only; virtual/pointer dispatch is
+    conservatively treated as non-inlinable anyway.
+    """
+    graph: dict[str, list[str]] = {}
+    for fn in program.functions():
+        graph[fn.name] = [
+            cs.callee
+            for cs in fn.call_sites
+            if cs.kind is CallKind.DIRECT and cs.callee is not None
+        ]
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    result: set[str] = set()
+    counter = 0
+
+    for root in graph:
+        if root in index:
+            continue
+        # iterative Tarjan SCC
+        call_stack: list[tuple[str, int]] = [(root, 0)]
+        while call_stack:
+            node, child_i = call_stack[-1]
+            if child_i == 0:
+                index[node] = low[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            children = graph.get(node, [])
+            if child_i < len(children):
+                call_stack[-1] = (node, child_i + 1)
+                child = children[child_i]
+                if child == node:
+                    result.add(node)  # direct self-recursion
+                elif child not in index:
+                    call_stack.append((child, 0))
+                elif child in on_stack:
+                    low[node] = min(low[node], index[child])
+            else:
+                call_stack.pop()
+                if call_stack:
+                    parent = call_stack[-1][0]
+                    low[parent] = min(low[parent], low[node])
+                if low[node] == index[node]:
+                    scc = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        scc.append(member)
+                        if member == node:
+                            break
+                    if len(scc) > 1:
+                        result.update(scc)
+    return result

@@ -1,0 +1,335 @@
+"""Source-level intermediate representation of a target application.
+
+The paper's toolchain consumes three things from a real C++ code base:
+
+* per-translation-unit structure (for MetaCG local call-graph
+  construction),
+* static function metadata — statement count, flops, loop depth,
+  ``inline`` keyword, system-header origin — used by CaPI selectors,
+* the link layout (which functions land in the executable vs which DSO),
+  which drives the XRay DSO extension.
+
+This IR captures exactly that.  It deliberately does **not** model
+statements or expressions; CaPI never needs them, only their counts.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import ProgramModelError
+
+#: Name of the special program entry function.
+ENTRY_FUNCTION = "main"
+
+#: Prefix used to recognise MPI operations (the simulated PMPI layer and
+#: the bundled ``mpi.capi`` selector module both key off this).
+MPI_PREFIX = "MPI_"
+
+
+class CallKind(enum.Enum):
+    """How a call site dispatches to its target."""
+
+    DIRECT = "direct"
+    #: C++ virtual dispatch: the static target is a virtual method; the
+    #: dynamic target may be any known override (MetaCG over-approximates).
+    VIRTUAL = "virtual"
+    #: Call through a function pointer; targets may be statically
+    #: resolvable or only discoverable from a profile.
+    POINTER = "pointer"
+
+
+class Visibility(enum.Enum):
+    """Symbol visibility, mirroring ELF ``default`` vs ``hidden``.
+
+    Hidden symbols are the reason DynCaPI cannot resolve 1,444 functions
+    in the paper's OpenFOAM case (section VI-B): they exist in the DSO
+    but are absent from its dynamic symbol table.
+    """
+
+    DEFAULT = "default"
+    HIDDEN = "hidden"
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call site inside a function body.
+
+    ``calls_per_invocation`` is the number of times the site fires per
+    invocation of the enclosing function — the execution engine uses it
+    to expand the dynamic call tree deterministically.
+    """
+
+    callee: str | None = None
+    kind: CallKind = CallKind.DIRECT
+    #: For ``VIRTUAL`` calls: the statically-declared method.  Overriders
+    #: are discovered from the program's class hierarchy, not stored here.
+    #: For ``POINTER`` calls: the pointer variable's identity.
+    pointer_id: str | None = None
+    calls_per_invocation: int = 1
+
+    def __post_init__(self) -> None:
+        if self.calls_per_invocation < 0:
+            raise ProgramModelError(
+                f"negative call multiplicity at call site to {self.callee!r}"
+            )
+        if self.kind is CallKind.POINTER:
+            if self.pointer_id is None:
+                raise ProgramModelError("pointer call site needs a pointer_id")
+        elif self.callee is None:
+            raise ProgramModelError(f"{self.kind.value} call site needs a callee")
+
+
+@dataclass
+class FunctionDef:
+    """A function definition with the static metadata CaPI selectors use.
+
+    ``base_cost`` is the *exclusive* virtual-cycle cost of one invocation
+    (excluding callees); if left at 0 it is derived from ``statements``
+    and ``flops`` during compilation.
+    """
+
+    name: str
+    statements: int = 1
+    flops: int = 0
+    loop_depth: int = 0
+    inline_marked: bool = False
+    in_system_header: bool = False
+    visibility: Visibility = Visibility.DEFAULT
+    #: Name of the virtual method this function overrides (C++ `override`);
+    #: ``None`` for non-virtual functions.  A virtual base method points at
+    #: itself.
+    overrides: str | None = None
+    is_static_initializer: bool = False
+    #: True if the function's address is taken somewhere (prevents the
+    #: compiler from dropping its symbol after inlining).
+    address_taken: bool = False
+    base_cost: float = 0.0
+    #: Source file path (used by ``byPath`` selectors and filter files).
+    source_path: str = ""
+    call_sites: list[CallSite] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ProgramModelError("function name must be non-empty")
+        if self.statements < 0 or self.flops < 0 or self.loop_depth < 0:
+            raise ProgramModelError(f"negative metadata on function {self.name!r}")
+
+    # -- derived properties -------------------------------------------------
+
+    @property
+    def is_virtual(self) -> bool:
+        """True for virtual methods (base or override)."""
+        return self.overrides is not None
+
+    @property
+    def is_mpi(self) -> bool:
+        """True for MPI operations (``MPI_*``), intercepted via PMPI."""
+        return self.name.startswith(MPI_PREFIX)
+
+    @property
+    def instruction_count(self) -> int:
+        """Approximate machine instruction count before inlining.
+
+        XRay's machine pass pre-filters functions below an instruction
+        threshold; we derive the count from source metadata the same way
+        a simple lowering would: every statement costs a handful of
+        instructions, flops one each, and loops add bookkeeping.
+        """
+        return self.statements * 3 + self.flops + self.loop_depth * 4 + 2
+
+    def callees(self) -> Iterator[CallSite]:
+        return iter(self.call_sites)
+
+    def add_call(
+        self,
+        callee: str,
+        *,
+        kind: CallKind = CallKind.DIRECT,
+        calls_per_invocation: int = 1,
+        pointer_id: str | None = None,
+    ) -> None:
+        self.call_sites.append(
+            CallSite(
+                callee=callee,
+                kind=kind,
+                calls_per_invocation=calls_per_invocation,
+                pointer_id=pointer_id,
+            )
+        )
+
+
+@dataclass
+class TranslationUnit:
+    """One compilation unit: a named source file plus its functions."""
+
+    name: str
+    functions: dict[str, FunctionDef] = field(default_factory=dict)
+
+    def add(self, fn: FunctionDef) -> FunctionDef:
+        if fn.name in self.functions:
+            raise ProgramModelError(
+                f"duplicate definition of {fn.name!r} in TU {self.name!r}"
+            )
+        if not fn.source_path:
+            fn.source_path = self.name
+        self.functions[fn.name] = fn
+        return fn
+
+    def __iter__(self) -> Iterator[FunctionDef]:
+        return iter(self.functions.values())
+
+    def __len__(self) -> int:
+        return len(self.functions)
+
+
+@dataclass
+class SourceProgram:
+    """A whole application: translation units plus its link layout.
+
+    ``libraries`` maps a DSO name (e.g. ``"libfiniteVolume.so"``) to the
+    translation units linked into it; every TU not claimed by a library
+    is linked into the main executable.
+
+    ``pointer_targets`` records, per function-pointer identity, the set
+    of functions it may point at, and whether static analysis can see
+    that set (``static_resolvable``) — MetaCG resolves the static ones
+    and relies on profile validation for the rest.
+    """
+
+    name: str
+    entry: str = ENTRY_FUNCTION
+    translation_units: dict[str, TranslationUnit] = field(default_factory=dict)
+    libraries: dict[str, list[str]] = field(default_factory=dict)
+    pointer_targets: dict[str, "PointerTargets"] = field(default_factory=dict)
+
+    # -- construction --------------------------------------------------------
+
+    def add_tu(self, tu: TranslationUnit) -> TranslationUnit:
+        if tu.name in self.translation_units:
+            raise ProgramModelError(f"duplicate translation unit {tu.name!r}")
+        self.translation_units[tu.name] = tu
+        return tu
+
+    def add_library(self, lib_name: str, tu_names: Iterable[str]) -> None:
+        if lib_name in self.libraries:
+            raise ProgramModelError(f"duplicate library {lib_name!r}")
+        self.libraries[lib_name] = list(tu_names)
+
+    def register_pointer(
+        self, pointer_id: str, targets: Iterable[str], *, static_resolvable: bool = True
+    ) -> None:
+        self.pointer_targets[pointer_id] = PointerTargets(
+            pointer_id, tuple(targets), static_resolvable
+        )
+
+    # -- queries --------------------------------------------------------------
+
+    def functions(self) -> Iterator[FunctionDef]:
+        for tu in self.translation_units.values():
+            yield from tu
+
+    def function(self, name: str) -> FunctionDef:
+        for tu in self.translation_units.values():
+            if name in tu.functions:
+                return tu.functions[name]
+        raise KeyError(name)
+
+    def __contains__(self, name: str) -> bool:
+        return any(name in tu.functions for tu in self.translation_units.values())
+
+    def function_count(self) -> int:
+        return sum(len(tu) for tu in self.translation_units.values())
+
+    def tu_of(self, function_name: str) -> str:
+        for tu in self.translation_units.values():
+            if function_name in tu.functions:
+                return tu.name
+        raise KeyError(function_name)
+
+    def executable_tus(self) -> list[str]:
+        """Translation units linked into the main executable."""
+        claimed = {t for tus in self.libraries.values() for t in tus}
+        return [name for name in self.translation_units if name not in claimed]
+
+    def overriders_of(self, base: str) -> list[str]:
+        """All functions overriding virtual method ``base`` (incl. itself)."""
+        return sorted(
+            fn.name for fn in self.functions() if fn.overrides == base
+        )
+
+    # -- validation ----------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check referential integrity of the whole program.
+
+        Direct callees must exist; library TU lists must reference real
+        TUs and not claim a TU twice; the entry function must exist and
+        live in the executable; pointer targets must exist.
+        """
+        names = {fn.name for fn in self.functions()}
+        if self.entry not in names:
+            raise ProgramModelError(f"entry function {self.entry!r} not defined")
+        claimed: dict[str, str] = {}
+        for lib, tus in self.libraries.items():
+            for tu in tus:
+                if tu not in self.translation_units:
+                    raise ProgramModelError(
+                        f"library {lib!r} references unknown TU {tu!r}"
+                    )
+                if tu in claimed:
+                    raise ProgramModelError(
+                        f"TU {tu!r} linked into both {claimed[tu]!r} and {lib!r}"
+                    )
+                claimed[tu] = lib
+        if self.tu_of(self.entry) not in self.executable_tus():
+            raise ProgramModelError("entry function must live in the executable")
+        for fn in self.functions():
+            for cs in fn.call_sites:
+                if cs.kind is CallKind.POINTER:
+                    if cs.pointer_id not in self.pointer_targets:
+                        raise ProgramModelError(
+                            f"{fn.name}: unregistered pointer {cs.pointer_id!r}"
+                        )
+                elif cs.callee not in names:
+                    raise ProgramModelError(
+                        f"{fn.name}: call to undefined function {cs.callee!r}"
+                    )
+        for pt in self.pointer_targets.values():
+            for tgt in pt.targets:
+                if tgt not in names:
+                    raise ProgramModelError(
+                        f"pointer {pt.pointer_id!r} targets undefined {tgt!r}"
+                    )
+
+
+@dataclass(frozen=True)
+class PointerTargets:
+    """Possible targets of one function pointer identity."""
+
+    pointer_id: str
+    targets: tuple[str, ...]
+    static_resolvable: bool = True
+
+
+def resolve_call_targets(
+    program: SourceProgram, site: CallSite, *, include_dynamic_pointers: bool = True
+) -> list[str]:
+    """Ground truth dynamic targets of a call site.
+
+    Virtual calls may reach any override of the static target; pointer
+    calls any registered target.  The execution engine uses this; MetaCG
+    applies its own (over- or under-) approximation instead.
+    """
+    if site.kind is CallKind.DIRECT:
+        return [site.callee] if site.callee else []
+    if site.kind is CallKind.VIRTUAL:
+        assert site.callee is not None
+        overr = program.overriders_of(site.callee)
+        return overr or [site.callee]
+    pt = program.pointer_targets[site.pointer_id or ""]
+    if not pt.static_resolvable and not include_dynamic_pointers:
+        return []
+    return list(pt.targets)

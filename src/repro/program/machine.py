@@ -1,0 +1,67 @@
+"""Machine-level artifacts produced by the compiler pipeline.
+
+A :class:`MachineFunction` is the post-inlining lowering of a source
+function: concrete instruction count, folded-in costs of inlined
+callees, and machine call sites with multiplicities.  The linker lays
+these out into binary objects; the execution engine walks their call
+sites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.program.ir import CallKind, Visibility
+
+#: Bytes per modelled machine instruction (x86-64 average-ish; only the
+#: *relative* sizes matter for page/sled layout).
+INSTRUCTION_BYTES = 4
+
+#: Function prologue bytes reserved before the entry sled.
+FUNCTION_HEADER_BYTES = 16
+
+
+@dataclass(frozen=True)
+class MachineCallSite:
+    """A lowered call site: target, dispatch kind, dynamic multiplicity."""
+
+    callee: str | None
+    kind: CallKind
+    pointer_id: str | None
+    count: int
+
+
+@dataclass
+class MachineFunction:
+    """One function after inlining and lowering.
+
+    ``offset`` is assigned by the linker (relative to the containing
+    object's base).  ``has_symbol`` is False when inlining removed the
+    function's symbol — the condition the paper's inlining-compensation
+    approximates from the binary.
+    """
+
+    name: str
+    tu: str
+    source_path: str
+    instruction_count: int
+    base_cost: float
+    visibility: Visibility = Visibility.DEFAULT
+    has_symbol: bool = True
+    is_static_initializer: bool = False
+    is_mpi: bool = False
+    #: Names of functions whose bodies were folded into this one.
+    absorbed: tuple[str, ...] = ()
+    call_sites: list[MachineCallSite] = field(default_factory=list)
+    #: Whether the XRay machine pass put sleds into this function.
+    xray_instrumented: bool = False
+    offset: int = -1
+
+    @property
+    def size_bytes(self) -> int:
+        """Laid-out size: header + body + (optional) entry/exit sleds."""
+        from repro.xray.sled import SLED_BYTES  # local: avoid import cycle
+
+        body = max(self.instruction_count, 1) * INSTRUCTION_BYTES
+        sleds = 2 * SLED_BYTES if self.xray_instrumented else 0
+        return FUNCTION_HEADER_BYTES + body + sleds

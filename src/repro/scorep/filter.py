@@ -1,0 +1,114 @@
+"""Score-P filter-file format: parse, serialise, and match.
+
+CaPI writes its instrumentation configurations "as a filter file that is
+compatible with the format used by Score-P" (paper §III-A).  We support
+the region-name block of that format::
+
+    SCOREP_REGION_NAMES_BEGIN
+      EXCLUDE *
+      INCLUDE main
+      INCLUDE solve_*
+    SCOREP_REGION_NAMES_END
+
+Rules are evaluated in order; the last matching INCLUDE/EXCLUDE wins.
+Patterns use shell-style wildcards (``fnmatch``).
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from repro.errors import FilterFormatError
+
+BEGIN = "SCOREP_REGION_NAMES_BEGIN"
+END = "SCOREP_REGION_NAMES_END"
+
+
+@dataclass(frozen=True)
+class FilterRule:
+    include: bool
+    pattern: str
+
+    def matches(self, name: str) -> bool:
+        if not any(ch in self.pattern for ch in "*?["):
+            return name == self.pattern
+        return fnmatch.fnmatchcase(name, self.pattern)
+
+
+@dataclass
+class ScorePFilter:
+    """An ordered list of include/exclude rules over region names."""
+
+    rules: list[FilterRule] = field(default_factory=list)
+    #: names are included when no rule matches (Score-P default)
+    default_include: bool = True
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def include_only(cls, names: Iterable[str]) -> "ScorePFilter":
+        """The shape CaPI emits: exclude everything, include the IC."""
+        rules = [FilterRule(include=False, pattern="*")]
+        rules.extend(FilterRule(include=True, pattern=n) for n in sorted(names))
+        return cls(rules=rules)
+
+    def add(self, *, include: bool, pattern: str) -> None:
+        self.rules.append(FilterRule(include=include, pattern=pattern))
+
+    # -- matching ---------------------------------------------------------------
+
+    def is_included(self, name: str) -> bool:
+        verdict = self.default_include
+        for rule in self.rules:
+            if rule.matches(name):
+                verdict = rule.include
+        return verdict
+
+    def included_names(self) -> list[str]:
+        """Literal (non-wildcard) include patterns — the IC function set."""
+        return [
+            r.pattern
+            for r in self.rules
+            if r.include and not any(ch in r.pattern for ch in "*?[")
+        ]
+
+    # -- serialisation --------------------------------------------------------------
+
+    def dumps(self) -> str:
+        lines = [BEGIN]
+        for rule in self.rules:
+            keyword = "INCLUDE" if rule.include else "EXCLUDE"
+            lines.append(f"  {keyword} {rule.pattern}")
+        lines.append(END)
+        return "\n".join(lines) + "\n"
+
+    def dump(self, path: str | Path) -> None:
+        Path(path).write_text(self.dumps())
+
+    @classmethod
+    def loads(cls, text: str) -> "ScorePFilter":
+        lines = [ln.strip() for ln in text.splitlines()]
+        lines = [ln for ln in lines if ln and not ln.startswith("#")]
+        if not lines or lines[0] != BEGIN:
+            raise FilterFormatError(f"filter must start with {BEGIN}")
+        if lines[-1] != END:
+            raise FilterFormatError(f"filter must end with {END}")
+        rules = []
+        for ln in lines[1:-1]:
+            m = re.match(r"(INCLUDE|EXCLUDE)\s+(.+)$", ln)
+            if not m:
+                raise FilterFormatError(f"bad filter line: {ln!r}")
+            keyword, patterns = m.groups()
+            for pattern in patterns.split():
+                rules.append(
+                    FilterRule(include=keyword == "INCLUDE", pattern=pattern)
+                )
+        return cls(rules=rules)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ScorePFilter":
+        return cls.loads(Path(path).read_text())

@@ -1,0 +1,52 @@
+"""Profile persistence: dump/load call-path profiles as JSON.
+
+Used by the refinement-loop example (measure → inspect → adjust) and by
+the call-graph validation utility, which consumes observed caller→callee
+pairs from a previous profile run.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.scorep.regions import CallTreeNode
+
+
+def to_dict(node: CallTreeNode) -> dict:
+    return {
+        "name": node.name,
+        "visits": node.visits,
+        "inclusive_cycles": node.inclusive_cycles,
+        "children": [to_dict(c) for c in sorted(node.children.values(), key=lambda n: n.name)],
+    }
+
+
+def from_dict(data: dict, parent: CallTreeNode | None = None) -> CallTreeNode:
+    node = CallTreeNode(name=data["name"], parent=parent)
+    node.visits = data.get("visits", 0)
+    node.inclusive_cycles = data.get("inclusive_cycles", 0.0)
+    for child in data.get("children", []):
+        node.children[child["name"]] = from_dict(child, node)
+    return node
+
+
+def save(root: CallTreeNode, path: str | Path) -> None:
+    Path(path).write_text(json.dumps(to_dict(root), indent=1))
+
+
+def load(path: str | Path) -> CallTreeNode:
+    return from_dict(json.loads(Path(path).read_text()))
+
+
+def observed_edges(root: CallTreeNode) -> list[tuple[str, str]]:
+    """Caller→callee pairs observed in the profile.
+
+    This is the input to MetaCG's profile-based validation: edges seen
+    at runtime that static analysis may have missed.
+    """
+    pairs: set[tuple[str, str]] = set()
+    for node in root.walk():
+        if node.parent is not None and node.parent.name != "ROOT":
+            pairs.add((node.parent.name, node.name))
+    return sorted(pairs)

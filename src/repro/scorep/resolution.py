@@ -1,0 +1,60 @@
+"""Address→name resolution for the generic compiler interface.
+
+With ``-finstrument-functions``-style instrumentation, Score-P only
+receives function *addresses* and must resolve names itself by mapping
+the executable binary.  The paper's key limitation (§V-C.1): "Score-P is
+unable to resolve addresses from shared objects" this way.  DynCaPI's
+symbol-injection workaround supplies translated symbol addresses for
+every loaded DSO, restoring resolution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.program.loader import DynamicLoader, LoadedObject
+
+
+@dataclass
+class AddressResolver:
+    """Resolve instruction addresses to function names.
+
+    Out of the box only the main executable's symbols are known.
+    :meth:`inject_symbols` adds externally supplied (name, absolute
+    address, size) triples — the DynCaPI symbol-injection path.
+    """
+
+    loader: DynamicLoader
+    executable_name: str
+    #: absolute address -> (name, size), sorted lazily for lookup
+    _injected: dict[int, tuple[str, int]] = field(default_factory=dict)
+    unresolved_queries: int = 0
+    resolved_queries: int = 0
+
+    def resolve(self, address: int) -> str | None:
+        """Name covering ``address``, or None (counted) if unknown."""
+        exe = self.loader.loaded.get(self.executable_name)
+        if exe is not None and exe.region.contains(address):
+            sym = exe.binary.symtab.at_offset(address - exe.base)
+            if sym is not None:
+                self.resolved_queries += 1
+                return sym.name
+        for start, (name, size) in self._injected.items():
+            if start <= address < start + max(size, 1):
+                self.resolved_queries += 1
+                return name
+        self.unresolved_queries += 1
+        return None
+
+    def inject_symbols(self, triples: list[tuple[str, int, int]]) -> None:
+        """Add (name, absolute address, size) entries from DynCaPI."""
+        for name, addr, size in triples:
+            self._injected[addr] = (name, size)
+
+    def can_resolve_object(self, lo: LoadedObject) -> bool:
+        """Whether any address of the given object would resolve."""
+        if lo.binary.name == self.executable_name:
+            return True
+        return any(
+            lo.region.contains(addr) for addr in self._injected
+        )

@@ -1,0 +1,70 @@
+"""The ``scorep-score`` utility: suggest initial filters from a profile.
+
+The classic semi-automatic workflow (paper §II-B): run once fully
+instrumented, then filter out functions "suspected to contribute most of
+the overhead, i.e. small, frequently called functions".  Given a flat
+profile, regions are scored by estimated measurement overhead relative
+to their useful time; offenders go into an EXCLUDE filter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.execution.costs import CostModel
+from repro.scorep.filter import ScorePFilter
+from repro.scorep.regions import FlatRegion
+
+
+@dataclass(frozen=True)
+class ScoreEntry:
+    """One scored region, mirroring a `scorep-score -r` row."""
+
+    name: str
+    visits: int
+    inclusive_cycles: float
+    estimated_overhead_cycles: float
+
+    @property
+    def overhead_ratio(self) -> float:
+        if self.inclusive_cycles <= 0:
+            return float("inf") if self.estimated_overhead_cycles > 0 else 0.0
+        return self.estimated_overhead_cycles / self.inclusive_cycles
+
+
+def score_profile(
+    flat: dict[str, FlatRegion], cost_model: CostModel | None = None
+) -> list[ScoreEntry]:
+    """Score every region by estimated per-event overhead, worst first."""
+    cm = cost_model or CostModel()
+    per_event = cm.scorep_event + cm.patched_dispatch
+    entries = [
+        ScoreEntry(
+            name=region.name,
+            visits=region.visits,
+            inclusive_cycles=region.inclusive_cycles,
+            estimated_overhead_cycles=2.0 * per_event * region.visits,
+        )
+        for region in flat.values()
+    ]
+    entries.sort(key=lambda e: (-e.overhead_ratio, -e.visits, e.name))
+    return entries
+
+
+def suggest_filter(
+    flat: dict[str, FlatRegion],
+    *,
+    max_overhead_ratio: float = 0.1,
+    cost_model: CostModel | None = None,
+) -> ScorePFilter:
+    """Build an EXCLUDE filter for regions above the overhead ratio.
+
+    The result is the "initial filter file" scorep-score generates; the
+    paper contrasts this context-free heuristic with CaPI's
+    call-graph-aware selection.
+    """
+    filt = ScorePFilter()
+    for entry in score_profile(flat, cost_model):
+        if entry.overhead_ratio > max_overhead_ratio:
+            filt.add(include=False, pattern=entry.name)
+    return filt

@@ -1,0 +1,119 @@
+"""Score-P tracing mode: timestamped event streams (OTF2 stand-in).
+
+Score-P is "a widely used profiling **and tracing** infrastructure"
+(paper §I).  Besides the call-path profile, the measurement runtime can
+record a full event trace — enter/leave per region plus MPI operation
+markers — which downstream tools (Vampir, Scalasca) consume as OTF2.
+We model the event stream and a JSON-lines serialisation.
+
+Tracing costs more per event than profiling (buffer writes, timestamp
+acquisition); the cost model charges ``TRACE_EVENT_EXTRA`` on top of the
+normal handler cost, which is why production measurements filter first.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.execution.clock import VirtualClock
+
+#: additional per-event cycles for trace-buffer writes
+TRACE_EVENT_EXTRA = 110.0
+
+
+class TraceEventKind(enum.Enum):
+    ENTER = "ENTER"
+    LEAVE = "LEAVE"
+    MPI = "MPI"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    kind: TraceEventKind
+    region: str
+    timestamp_cycles: float
+
+
+@dataclass
+class ScorePTracer:
+    """Event-trace recorder, attachable next to the profile measurement."""
+
+    clock: VirtualClock
+    events: list[TraceEvent] = field(default_factory=list)
+    #: flush threshold: a full buffer is flushed to `flushed` wholesale
+    buffer_size: int = 1 << 16
+    flushed: list[TraceEvent] = field(default_factory=list)
+    flush_count: int = 0
+
+    # -- recording --------------------------------------------------------------
+
+    def enter(self, region: str) -> None:
+        self._record(TraceEventKind.ENTER, region)
+
+    def leave(self, region: str) -> None:
+        self._record(TraceEventKind.LEAVE, region)
+
+    def mpi(self, op: str) -> None:
+        self._record(TraceEventKind.MPI, op)
+
+    def _record(self, kind: TraceEventKind, region: str) -> None:
+        self.clock.advance(TRACE_EVENT_EXTRA)
+        self.events.append(TraceEvent(kind, region, self.clock.now()))
+        if len(self.events) >= self.buffer_size:
+            self.flushed.extend(self.events)
+            self.events.clear()
+            self.flush_count += 1
+
+    # -- results ----------------------------------------------------------------
+
+    def all_events(self) -> list[TraceEvent]:
+        return [*self.flushed, *self.events]
+
+    def save(self, path: str | Path) -> int:
+        events = self.all_events()
+        with open(path, "w") as fh:
+            for ev in events:
+                fh.write(
+                    json.dumps(
+                        {"k": ev.kind.value, "r": ev.region, "t": ev.timestamp_cycles}
+                    )
+                    + "\n"
+                )
+        return len(events)
+
+    @classmethod
+    def load(cls, path: str | Path) -> list[TraceEvent]:
+        out = []
+        for line in Path(path).read_text().splitlines():
+            data = json.loads(line)
+            out.append(
+                TraceEvent(TraceEventKind(data["k"]), data["r"], data["t"])
+            )
+        return out
+
+
+def validate_trace(events: list[TraceEvent]) -> list[str]:
+    """Consistency checks a trace analyser would run.
+
+    Returns a list of violation descriptions: non-monotonic timestamps
+    and unbalanced enter/leave nesting per region stream.
+    """
+    problems: list[str] = []
+    last_t = -1.0
+    stack: list[str] = []
+    for ev in events:
+        if ev.timestamp_cycles < last_t:
+            problems.append(f"timestamp regression at {ev.region}")
+        last_t = ev.timestamp_cycles
+        if ev.kind is TraceEventKind.ENTER:
+            stack.append(ev.region)
+        elif ev.kind is TraceEventKind.LEAVE:
+            if not stack or stack[-1] != ev.region:
+                problems.append(f"unbalanced LEAVE {ev.region}")
+            else:
+                stack.pop()
+    problems.extend(f"unclosed region {r}" for r in stack)
+    return problems

@@ -1,0 +1,7 @@
+"""Simulated MPI substrate: world, communicator cost model, PMPI layer."""
+
+from repro.simmpi.world import MpiWorld
+from repro.simmpi.comm import CommCosts, SimComm
+from repro.simmpi.pmpi import MpiInterceptor, PmpiLayer
+
+__all__ = ["CommCosts", "MpiInterceptor", "MpiWorld", "PmpiLayer", "SimComm"]

@@ -1,0 +1,68 @@
+"""PMPI interception layer.
+
+Real TALP monitors applications exclusively through the MPI profiling
+interface: every ``MPI_X`` resolves to a wrapper that notifies the tool
+before forwarding to ``PMPI_X``.  The simulated layer does the same —
+the execution engine routes every MPI machine function through
+:class:`PmpiLayer`, which notifies registered interceptors with the
+operation name and its cost.
+
+Interceptors may return extra virtual cycles (their own bookkeeping
+cost); the engine charges those to the clock, which is how TALP's
+per-open-region update cost enters the overhead model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+from repro.simmpi.comm import SimComm
+from repro.simmpi.world import MpiWorld
+
+
+class MpiInterceptor(Protocol):
+    """The hook contract: called around every MPI operation."""
+
+    def on_mpi_call(self, op: str, cost_cycles: float) -> float:
+        """Notification; returns the interceptor's own added cycles."""
+        ...
+
+
+@dataclass
+class PmpiLayer:
+    """Dispatch MPI calls to the simulated library plus interceptors."""
+
+    comm: SimComm
+    interceptors: list[MpiInterceptor] = field(default_factory=list)
+    #: optional callbacks fired on MPI_Init / MPI_Finalize
+    on_init: list[Callable[[], None]] = field(default_factory=list)
+    on_finalize: list[Callable[[], None]] = field(default_factory=list)
+
+    @property
+    def world(self) -> MpiWorld:
+        return self.comm.world
+
+    def register(self, interceptor: MpiInterceptor) -> None:
+        self.interceptors.append(interceptor)
+
+    def call(self, op: str, *, message_bytes: int = 8192) -> float:
+        """Execute one MPI operation; returns total virtual cycles.
+
+        The returned cost includes the operation itself plus whatever
+        the interceptors report as their own overhead.
+        """
+        if op == "MPI_Init":
+            self.world.init()
+            for cb in self.on_init:
+                cb()
+        elif op == "MPI_Finalize":
+            for cb in self.on_finalize:
+                cb()
+            self.world.finalize()
+        base = self.comm.cost_of(op, message_bytes=message_bytes)
+        extra = 0.0
+        for interceptor in self.interceptors:
+            extra += interceptor.on_mpi_call(op, base)
+        self.world.record_mpi(base)
+        return base + extra

@@ -1,0 +1,86 @@
+"""Simulated MPI world: ranks, lifecycle, and load-imbalance model.
+
+The reproduction executes the target program once (the bottleneck
+rank's perspective) and *synthesises* the other ranks analytically:
+rank ``r`` performs the same computation scaled by a deterministic
+per-rank factor ``s_r <= 1`` (rank 0 is the slowest, ``s_0 = 1``), and
+all ranks synchronise at collectives.  This is sufficient for TALP's
+POP metrics — load balance and communication efficiency are functions
+of the per-rank useful times and the synchronised elapsed time — while
+keeping the engine single-pass and deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._util import rng_for
+from repro.errors import SimMpiError
+
+
+@dataclass
+class MpiWorld:
+    """One simulated ``MPI_COMM_WORLD``.
+
+    ``imbalance`` is the maximum fractional reduction of compute load on
+    the fastest rank; per-rank factors are drawn deterministically from
+    ``seed``.
+    """
+
+    size: int = 4
+    imbalance: float = 0.2
+    seed: int = 7
+    initialized: bool = False
+    finalized: bool = False
+    #: virtual cycles spent inside MPI calls (bottleneck rank)
+    mpi_cycles: float = 0.0
+    #: number of MPI operations issued
+    mpi_calls: int = 0
+    _factors: np.ndarray | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise SimMpiError(f"world size must be >= 1, got {self.size}")
+        if not 0.0 <= self.imbalance < 1.0:
+            raise SimMpiError("imbalance must be in [0, 1)")
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def init(self) -> None:
+        """``MPI_Init``: gate for TALP region registration."""
+        if self.initialized:
+            raise SimMpiError("MPI_Init called twice")
+        if self.finalized:
+            raise SimMpiError("MPI_Init after MPI_Finalize")
+        self.initialized = True
+
+    def finalize(self) -> None:
+        if not self.initialized:
+            raise SimMpiError("MPI_Finalize before MPI_Init")
+        if self.finalized:
+            raise SimMpiError("MPI_Finalize called twice")
+        self.finalized = True
+
+    # -- imbalance model --------------------------------------------------------
+
+    @property
+    def compute_factors(self) -> np.ndarray:
+        """Per-rank compute scale factors, rank 0 always the slowest (1.0)."""
+        if self._factors is None:
+            rng = rng_for(self.seed, "mpi-imbalance", self.size)
+            jitter = rng.uniform(0.0, self.imbalance, size=self.size)
+            factors = 1.0 - jitter
+            factors[0] = 1.0
+            self._factors = factors
+        return self._factors
+
+    def load_balance(self) -> float:
+        """Ideal LB coefficient of the pure application (no overhead)."""
+        f = self.compute_factors
+        return float(f.mean() / f.max())
+
+    def record_mpi(self, cycles: float) -> None:
+        self.mpi_calls += 1
+        self.mpi_cycles += cycles

@@ -1,0 +1,29 @@
+"""TALP/DLB substrate: monitoring regions, POP metrics, text report."""
+
+from repro.talp.dlb import (
+    DLB_ERR_NOINIT,
+    DLB_ERR_UNKNOWN,
+    DLB_INVALID_HANDLE,
+    DLB_SUCCESS,
+    DlbLibrary,
+)
+from repro.talp.monitor import MonitoringRegion, TalpMonitor
+from repro.talp.pop import PopMetrics, compute_pop
+from repro.talp.report import TalpReport, build_report
+from repro.talp.api import RegionSnapshot, TalpRuntimeApi
+
+__all__ = [
+    "RegionSnapshot",
+    "TalpRuntimeApi",
+    "DLB_ERR_NOINIT",
+    "DLB_ERR_UNKNOWN",
+    "DLB_INVALID_HANDLE",
+    "DLB_SUCCESS",
+    "DlbLibrary",
+    "MonitoringRegion",
+    "PopMetrics",
+    "TalpMonitor",
+    "TalpReport",
+    "build_report",
+    "compute_pop",
+]

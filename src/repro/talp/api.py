@@ -1,0 +1,98 @@
+"""TALP's runtime metrics-collection API (paper §III-B).
+
+"TALP allows the application or an external entity (job scheduler,
+resource manager or other software) to gather the metrics at runtime,
+thus enabling the application or an external resource manager software
+to make decisions during the execution."
+
+:class:`TalpRuntimeApi` provides that external view: non-destructive
+snapshots of any monitoring region *while it is still running*, either
+by handle or for the whole region set.  Open regions contribute their
+elapsed-so-far interval, so a scheduler polling mid-run sees current
+numbers rather than the last closed instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TalpError
+from repro.simmpi.world import MpiWorld
+from repro.talp.monitor import MonitoringRegion, TalpMonitor
+from repro.talp.pop import PopMetrics, compute_pop
+
+
+@dataclass(frozen=True)
+class RegionSnapshot:
+    """Point-in-time view of one monitoring region."""
+
+    name: str
+    visits: int
+    open_now: bool
+    elapsed_cycles: float
+    mpi_cycles: float
+    useful_cycles: float
+    pop: PopMetrics
+
+
+@dataclass
+class TalpRuntimeApi:
+    """External-entity access to live TALP metrics."""
+
+    monitor: TalpMonitor
+    world: MpiWorld
+
+    def snapshot(self, handle: int) -> RegionSnapshot:
+        """``DLB_TALP_CollectPOPMetrics`` analogue for one region."""
+        region = self.monitor.regions.get(handle)
+        if region is None:
+            raise TalpError(f"unknown region handle {handle}")
+        live = self._live_view(region)
+        pop = compute_pop(live, self.world, frequency=self.monitor.clock.frequency)
+        return RegionSnapshot(
+            name=region.name,
+            visits=region.visits,
+            open_now=region.open_depth > 0,
+            elapsed_cycles=live.elapsed_cycles,
+            mpi_cycles=live.mpi_cycles,
+            useful_cycles=live.useful_cycles,
+            pop=pop,
+        )
+
+    def snapshot_by_name(self, name: str) -> RegionSnapshot:
+        region = self.monitor.region_by_name(name)
+        if region is None:
+            raise TalpError(f"unknown region {name!r}")
+        return self.snapshot(region.handle)
+
+    def snapshot_all(self) -> list[RegionSnapshot]:
+        return [self.snapshot(h) for h in sorted(self.monitor.regions)]
+
+    def global_parallel_efficiency(self) -> float:
+        """Aggregate PE over all regions, elapsed-time weighted.
+
+        This is the single number a resource manager would act on
+        (e.g. DROM shrinking a poorly-scaling job).
+        """
+        snaps = [s for s in self.snapshot_all() if s.elapsed_cycles > 0]
+        if not snaps:
+            return 1.0
+        total = sum(s.elapsed_cycles for s in snaps)
+        return sum(
+            s.pop.parallel_efficiency * s.elapsed_cycles for s in snaps
+        ) / total
+
+    # -- internals ------------------------------------------------------------
+
+    def _live_view(self, region: MonitoringRegion) -> MonitoringRegion:
+        """A copy with the currently-open interval folded in."""
+        live = MonitoringRegion(name=region.name, handle=region.handle)
+        live.visits = region.visits
+        live.elapsed_cycles = region.elapsed_cycles
+        live.mpi_cycles = region.mpi_cycles
+        if region.open_depth > 0:
+            live.elapsed_cycles += self.monitor.clock.now() - region._started_at
+            live.mpi_cycles += (
+                self.monitor._global_mpi_cycles() - region._mpi_at_start
+            )
+        return live

@@ -1,0 +1,55 @@
+"""The DLB library facade (paper Listing 2).
+
+DLB bundles LeWI, DROM and TALP; this reproduction implements the TALP
+module behind the exact C API names the paper shows::
+
+    dlb_monitor_t* handle = DLB_MonitoringRegionRegister("foo");
+    DLB_MonitoringRegionStart(handle);
+    ...
+    DLB_MonitoringRegionStop(handle);
+
+Return codes mirror DLB: ``DLB_SUCCESS`` (0) or ``DLB_ERR_NOINIT`` when
+MPI (and hence DLB's PMPI hooks) is not initialised yet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MpiNotInitializedError, TalpError
+from repro.talp.monitor import TalpMonitor
+
+DLB_SUCCESS = 0
+DLB_ERR_NOINIT = -2
+DLB_ERR_UNKNOWN = -1
+
+#: sentinel returned instead of a handle when registration fails
+DLB_INVALID_HANDLE = -1
+
+
+@dataclass
+class DlbLibrary:
+    """Process-wide DLB entry points backed by a TALP monitor."""
+
+    talp: TalpMonitor
+
+    def MonitoringRegionRegister(self, name: str) -> int:
+        """Returns a region handle, or ``DLB_INVALID_HANDLE`` on error."""
+        try:
+            return self.talp.register(name)
+        except MpiNotInitializedError:
+            return DLB_INVALID_HANDLE
+
+    def MonitoringRegionStart(self, handle: int) -> int:
+        try:
+            self.talp.start(handle)
+            return DLB_SUCCESS
+        except TalpError:
+            return DLB_ERR_UNKNOWN
+
+    def MonitoringRegionStop(self, handle: int) -> int:
+        try:
+            self.talp.stop(handle)
+            return DLB_SUCCESS
+        except TalpError:
+            return DLB_ERR_UNKNOWN

@@ -1,0 +1,185 @@
+"""TALP monitoring regions (paper §III-B, §V-C.2).
+
+TALP tracks user-defined regions: registered by name, started/stopped
+around code of interest, possibly nested or overlapping.  Per region it
+accumulates elapsed time, MPI time (attributed via PMPI interception to
+*every currently open region*), and derives useful computation time.
+
+Two behaviours from the paper's evaluation are reproduced faithfully:
+
+* regions cannot be registered before ``MPI_Init``
+  (:class:`~repro.errors.MpiNotInitializedError`), and
+* at high registered-region counts, starting some previously registered
+  regions fails sporadically — the unexplained bug of §VI-B(b).  We
+  model it as a deterministic hash-collision in the region map so runs
+  are reproducible: it only triggers beyond ``REGION_BUG_THRESHOLD``
+  registered regions, "correlated with the high number of registered
+  regions" like the original observation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._util import stable_hash
+from repro.errors import MpiNotInitializedError, TalpError
+from repro.execution.clock import VirtualClock
+from repro.execution.costs import CostModel
+from repro.simmpi.world import MpiWorld
+
+#: registered-region count beyond which the start-failure bug can trigger
+REGION_BUG_THRESHOLD = 8192
+#: one in this many names (by hash) is affected once over the threshold
+REGION_BUG_MODULUS = 701
+
+
+@dataclass
+class MonitoringRegion:
+    """Accumulated measurements of one registered region."""
+
+    name: str
+    handle: int
+    visits: int = 0
+    elapsed_cycles: float = 0.0
+    mpi_cycles: float = 0.0
+    #: number of times the region is currently open (regions may nest
+    #: into themselves recursively)
+    open_depth: int = 0
+    _started_at: float = 0.0
+    _mpi_at_start: float = 0.0
+
+    @property
+    def useful_cycles(self) -> float:
+        """Elapsed time not spent inside MPI."""
+        return max(0.0, self.elapsed_cycles - self.mpi_cycles)
+
+
+@dataclass
+class TalpMonitor:
+    """Region bookkeeping plus the PMPI interceptor."""
+
+    clock: VirtualClock
+    world: MpiWorld
+    cost_model: CostModel = field(default_factory=CostModel)
+    regions: dict[int, MonitoringRegion] = field(default_factory=dict)
+    _by_name: dict[str, int] = field(default_factory=dict)
+    _open: list[int] = field(default_factory=list)
+    _next_handle: int = 1
+    #: names whose start failed due to the high-region-count bug
+    failed_starts: set[str] = field(default_factory=set)
+    #: emulate the paper's region-map bug (on by default, like reality)
+    emulate_region_bug: bool = True
+    #: registered-region count beyond which the bug can trigger; the
+    #: default matches the full-scale TALP build — experiments on
+    #: scaled-down applications may scale it down proportionally
+    bug_threshold: int = REGION_BUG_THRESHOLD
+    #: one in ``bug_modulus`` names (by hash) is affected once over the
+    #: threshold (the paper saw 24 of 16,956 ≈ 1/700)
+    bug_modulus: int = REGION_BUG_MODULUS
+
+    # -- DLB API ---------------------------------------------------------------
+
+    def register(self, name: str) -> int:
+        """``DLB_MonitoringRegionRegister``; returns the region handle."""
+        if not self.world.initialized:
+            raise MpiNotInitializedError(
+                f"cannot register region {name!r} before MPI_Init"
+            )
+        existing = self._by_name.get(name)
+        if existing is not None:
+            return existing
+        handle = self._next_handle
+        self._next_handle += 1
+        self.regions[handle] = MonitoringRegion(name=name, handle=handle)
+        self._by_name[name] = handle
+        return handle
+
+    def start(self, handle: int) -> None:
+        """``DLB_MonitoringRegionStart``."""
+        region = self._region(handle)
+        if (
+            self.emulate_region_bug
+            and len(self.regions) > self.bug_threshold
+            and stable_hash(region.name) % self.bug_modulus == 0
+        ):
+            self.failed_starts.add(region.name)
+            raise TalpError(
+                f"region {region.name!r}: start failed (region-map bug at "
+                f"{len(self.regions)} registered regions)"
+            )
+        if region.open_depth == 0:
+            region._started_at = self.clock.now()
+            region._mpi_at_start = self._global_mpi_cycles()
+            self._open.append(handle)
+        region.open_depth += 1
+        region.visits += 1
+
+    def stop(self, handle: int) -> None:
+        """``DLB_MonitoringRegionStop``."""
+        region = self._region(handle)
+        if region.open_depth == 0:
+            raise TalpError(f"region {region.name!r} stopped but not started")
+        region.open_depth -= 1
+        if region.open_depth == 0:
+            region.elapsed_cycles += self.clock.now() - region._started_at
+            mpi_delta = self._global_mpi_cycles() - region._mpi_at_start
+            region.mpi_cycles += mpi_delta
+            if mpi_delta > 0:
+                # POP accounting: MPI happened inside this instance, so
+                # the stop path updates the efficiency counters — the
+                # expensive exit that §VI-C's mpi-IC asymmetry rests on
+                self.clock.advance(self.cost_model.talp_mpi_region_update)
+            self._open.remove(handle)
+
+    def stop_all_open(self) -> None:
+        """Close any regions still open at MPI_Finalize."""
+        for handle in list(reversed(self._open)):
+            region = self.regions[handle]
+            while region.open_depth > 0:
+                self.stop(handle)
+
+    # -- PMPI interceptor ------------------------------------------------------
+
+    def on_mpi_call(self, op: str, cost_cycles: float) -> float:
+        """Attribute MPI time; pay bookkeeping per open region.
+
+        The returned extra cycles model TALP's PMPI wrapper plus the
+        per-open-region counter updates on each MPI call.
+        """
+        self._mpi_cycles_total = self._global_mpi_cycles() + cost_cycles
+        return (
+            self.cost_model.talp_pmpi_base
+            + self.cost_model.talp_mpi_per_open_region * len(self._open)
+        )
+
+    def estimate_extra(self) -> float:
+        """Per-MPI-call overhead estimate for analytic charging."""
+        return (
+            self.cost_model.talp_pmpi_base
+            + self.cost_model.talp_mpi_per_open_region * len(self._open)
+        )
+
+    # -- queries ------------------------------------------------------------------
+
+    def region_by_name(self, name: str) -> MonitoringRegion | None:
+        handle = self._by_name.get(name)
+        return self.regions.get(handle) if handle is not None else None
+
+    def open_region_count(self) -> int:
+        return len(self._open)
+
+    def registered_count(self) -> int:
+        return len(self.regions)
+
+    # -- internals -------------------------------------------------------------------
+
+    _mpi_cycles_total: float = 0.0
+
+    def _global_mpi_cycles(self) -> float:
+        return self._mpi_cycles_total
+
+    def _region(self, handle: int) -> MonitoringRegion:
+        try:
+            return self.regions[handle]
+        except KeyError:
+            raise TalpError(f"unknown region handle {handle}") from None

@@ -1,0 +1,70 @@
+"""POP parallel efficiency metrics (paper §III-B, ref [23]).
+
+TALP reports the POP hierarchy for each monitoring region:
+
+* **Load Balance (LB)** — average over ranks of useful compute time
+  divided by the maximum: ``avg_r(useful_r) / max_r(useful_r)``.
+* **Communication Efficiency (CommEff)** — the fraction of the
+  bottleneck rank's elapsed time that is useful:
+  ``max_r(useful_r) / elapsed``.
+* **Parallel Efficiency (PE)** — ``LB × CommEff``.
+
+The reproduction executes the bottleneck rank (factor 1.0) and scales
+useful time for the remaining ranks by the world's deterministic
+imbalance factors; all ranks share the region's elapsed time because
+collectives synchronise them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.simmpi.world import MpiWorld
+from repro.talp.monitor import MonitoringRegion
+
+
+@dataclass(frozen=True)
+class PopMetrics:
+    """POP efficiency metrics of one region across the MPI world."""
+
+    region: str
+    visits: int
+    elapsed_seconds: float
+    avg_useful_seconds: float
+    max_useful_seconds: float
+    mpi_seconds: float
+
+    @property
+    def load_balance(self) -> float:
+        if self.max_useful_seconds <= 0:
+            return 1.0
+        return self.avg_useful_seconds / self.max_useful_seconds
+
+    @property
+    def communication_efficiency(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return 1.0
+        return min(1.0, self.max_useful_seconds / self.elapsed_seconds)
+
+    @property
+    def parallel_efficiency(self) -> float:
+        return self.load_balance * self.communication_efficiency
+
+
+def compute_pop(
+    region: MonitoringRegion, world: MpiWorld, *, frequency: float
+) -> PopMetrics:
+    """Synthesise cross-rank POP metrics from the bottleneck-rank run."""
+    factors = world.compute_factors
+    useful = region.useful_cycles
+    useful_per_rank = useful * factors
+    return PopMetrics(
+        region=region.name,
+        visits=region.visits,
+        elapsed_seconds=region.elapsed_cycles / frequency,
+        avg_useful_seconds=float(np.mean(useful_per_rank)) / frequency,
+        max_useful_seconds=float(np.max(useful_per_rank)) / frequency,
+        mpi_seconds=region.mpi_cycles / frequency,
+    )

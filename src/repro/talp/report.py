@@ -1,0 +1,69 @@
+"""TALP end-of-run text report.
+
+"TALP outputs a text-based summary of the parallel efficiency metrics of
+each monitoring region at the end of the execution" (paper §III-B).
+The layout loosely follows DLB's ``TALP Report`` blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.execution.clock import CYCLES_PER_SECOND
+from repro.simmpi.world import MpiWorld
+from repro.talp.monitor import TalpMonitor
+from repro.talp.pop import PopMetrics, compute_pop
+
+
+@dataclass
+class TalpReport:
+    """Computed report: one POP block per monitored region."""
+
+    world_size: int
+    metrics: list[PopMetrics] = field(default_factory=list)
+    failed_registrations: int = 0
+    failed_starts: int = 0
+
+    def render(self) -> str:
+        lines = [
+            "=" * 64,
+            f"TALP Report — {self.world_size} MPI ranks",
+            "=" * 64,
+        ]
+        for m in sorted(self.metrics, key=lambda m: -m.elapsed_seconds):
+            lines += [
+                f"### Region: {m.region}",
+                f"    Visits                    : {m.visits}",
+                f"    Elapsed time              : {m.elapsed_seconds:.6f} s",
+                f"    Useful time (avg/max)     : "
+                f"{m.avg_useful_seconds:.6f} / {m.max_useful_seconds:.6f} s",
+                f"    MPI time                  : {m.mpi_seconds:.6f} s",
+                f"    Load balance              : {m.load_balance:6.2%}",
+                f"    Communication efficiency  : {m.communication_efficiency:6.2%}",
+                f"    Parallel efficiency       : {m.parallel_efficiency:6.2%}",
+            ]
+        if self.failed_registrations or self.failed_starts:
+            lines += [
+                "-" * 64,
+                f"WARNING: {self.failed_registrations} regions could not be "
+                f"registered (entered before MPI_Init)",
+                f"WARNING: {self.failed_starts} unique region entries failed",
+            ]
+        return "\n".join(lines)
+
+
+def build_report(
+    monitor: TalpMonitor,
+    world: MpiWorld,
+    *,
+    frequency: float = CYCLES_PER_SECOND,
+    failed_registrations: int = 0,
+) -> TalpReport:
+    report = TalpReport(
+        world_size=world.size,
+        failed_registrations=failed_registrations,
+        failed_starts=len(monitor.failed_starts),
+    )
+    for region in monitor.regions.values():
+        report.metrics.append(compute_pop(region, world, frequency=frequency))
+    return report

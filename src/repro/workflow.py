@@ -1,0 +1,293 @@
+"""End-to-end workflow facade: build, load, instrument, run, measure.
+
+This is the public API most users want: it wires the substrates into
+the paper's Fig. 3 pipeline.
+
+* :func:`build_app` — compile + link a :class:`SourceProgram` (and
+  construct its MetaCG whole-program call graph).
+* :func:`run_app` — execute one configuration: ``vanilla`` (no sleds),
+  ``inactive`` (sleds, nothing patched), ``full`` (all sleds patched) or
+  an IC-driven selective instrumentation, under the ``none``/``scorep``/
+  ``talp`` measurement tool.
+
+Each call returns a :class:`RunOutcome` carrying the timing result
+(Table II's Tinit/Ttotal), the DynCaPI startup report (§VI-B anomalies)
+and the tool artefacts (Score-P profile / TALP report).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal
+
+from repro.cg.graph import CallGraph
+from repro.cg.merge import build_whole_program_cg
+from repro.core.ic import InstrumentationConfig
+from repro.dyncapi.handlers import CygProfileDispatcher
+from repro.dyncapi.runtime import DynCapi, StartupReport
+from repro.dyncapi.scorep_bridge import ScorePBridge
+from repro.dyncapi.talp_bridge import TalpBridge
+from repro.errors import CapiError
+from repro.execution.clock import VirtualClock
+from repro.execution.costs import CostModel
+from repro.execution.engine import ExecutionEngine
+from repro.execution.result import RunResult
+from repro.execution.workload import Workload
+from repro.program.compiler import Compiler, CompilerConfig
+from repro.program.ir import SourceProgram
+from repro.program.linker import LinkedProgram, Linker
+from repro.program.loader import DynamicLoader
+from repro.scorep.measurement import ScorePMeasurement
+from repro.scorep.regions import CallTreeNode
+from repro.scorep.tracing import ScorePTracer
+from repro.simmpi.comm import SimComm
+from repro.simmpi.pmpi import PmpiLayer
+from repro.simmpi.world import MpiWorld
+from repro.talp.dlb import DlbLibrary
+from repro.talp.monitor import TalpMonitor
+from repro.talp.report import TalpReport, build_report
+from repro.xray.runtime import XRayRuntime
+
+Mode = Literal["vanilla", "inactive", "full", "ic"]
+Tool = Literal["none", "scorep", "talp"]
+
+
+@dataclass
+class _MpiTraceMarker:
+    """PMPI interceptor writing MPI markers into the event trace."""
+
+    tracer: ScorePTracer
+
+    def on_mpi_call(self, op: str, cost_cycles: float) -> float:
+        self.tracer.mpi(op)
+        return 0.0
+
+    def estimate_extra(self) -> float:
+        return 0.0
+
+
+@dataclass
+class BuiltApp:
+    """A compiled + linked application with its whole-program call graph."""
+
+    program: SourceProgram
+    linked: LinkedProgram
+    graph: CallGraph
+
+    @property
+    def name(self) -> str:
+        return self.program.name
+
+
+def build_app(
+    program: SourceProgram,
+    *,
+    xray: bool = True,
+    compiler_config: CompilerConfig | None = None,
+    graph: CallGraph | None = None,
+) -> BuiltApp:
+    """Compile and link; ``xray=False`` produces the vanilla build."""
+    config = compiler_config or CompilerConfig()
+    if not xray:
+        from dataclasses import replace
+
+        config = replace(config, xray_instruction_threshold=2**31)
+    compiled = Compiler(config).compile(program)
+    linked = Linker().link(compiled)
+    if graph is None:
+        graph = build_whole_program_cg(program)
+    return BuiltApp(program=program, linked=linked, graph=graph)
+
+
+@dataclass
+class RunOutcome:
+    """Everything one configured run produced."""
+
+    result: RunResult
+    startup: StartupReport | None = None
+    scorep_profile: CallTreeNode | None = None
+    talp_report: TalpReport | None = None
+    #: the tool bridge (ScorePBridge / TalpBridge / CygProfileDispatcher)
+    bridge: object | None = None
+    measurement: ScorePMeasurement | None = None
+    monitor: TalpMonitor | None = None
+    world: MpiWorld | None = None
+    #: present when ``tracing=True`` was requested with the scorep tool
+    tracer: ScorePTracer | None = None
+
+
+def run_app(
+    built: BuiltApp,
+    *,
+    mode: Mode = "ic",
+    tool: Tool = "none",
+    ic: InstrumentationConfig | None = None,
+    ranks: int = 4,
+    workload: Workload | None = None,
+    cost_model: CostModel | None = None,
+    symbol_injection: bool = True,
+    emulate_talp_bug: bool = True,
+    talp_bug_threshold: int | None = None,
+    talp_bug_modulus: int | None = None,
+    tracing: bool = False,
+    config_name: str = "",
+) -> RunOutcome:
+    """Execute one instrumentation/measurement configuration.
+
+    ``tracing=True`` (scorep tool only) attaches an event tracer next to
+    the profile: every region enter/leave and MPI operation lands in
+    ``outcome.tracer`` with timestamps, at extra per-event cost.
+    """
+    if mode == "ic" and ic is None:
+        raise CapiError("mode='ic' requires an instrumentation configuration")
+    if mode != "ic" and ic is not None:
+        raise CapiError(f"mode={mode!r} does not take an IC")
+
+    cm = cost_model or CostModel()
+    clock = VirtualClock()
+    workload = workload or Workload()
+    loader = DynamicLoader()
+    loaded = loader.load_program(built.linked)
+
+    world = MpiWorld(size=ranks)
+    pmpi = PmpiLayer(SimComm(world))
+
+    outcome = RunOutcome(result=RunResult(built.name, tool, config_name), world=world)
+    xray_rt: XRayRuntime | None = None
+    startup: StartupReport | None = None
+    engine_tool = "none"
+
+    if mode != "vanilla":
+        xray_rt = XRayRuntime(loader.image)
+        dyn = DynCapi(xray=xray_rt, loader=loader, clock=clock, cost_model=cm)
+        if mode == "inactive":
+            startup = dyn.startup_inactive()
+        else:
+            tool_init = {
+                "none": 0.0,
+                "scorep": cm.scorep_init_base,
+                "talp": cm.talp_init_base,
+            }[tool]
+            startup = dyn.startup(
+                ic=ic if mode == "ic" else None,
+                handler=None,
+                tool_init_cycles=tool_init,
+            )
+            engine_tool = tool
+            _install_tool(
+                outcome,
+                tool,
+                tracing=tracing,
+                dyn=dyn,
+                loader=loader,
+                clock=clock,
+                cm=cm,
+                world=world,
+                pmpi=pmpi,
+                xray_rt=xray_rt,
+                symbol_injection=symbol_injection,
+                emulate_talp_bug=emulate_talp_bug,
+                talp_bug_threshold=talp_bug_threshold,
+                talp_bug_modulus=talp_bug_modulus,
+            )
+
+    engine = ExecutionEngine(
+        linked=built.linked,
+        loaded=loaded,
+        tool=engine_tool,
+        xray_runtime=xray_rt,
+        pmpi=pmpi,
+        cost_model=cm,
+        workload=workload,
+        clock=clock,
+    )
+    result = engine.run(config_name=config_name)
+    result.t_init_cycles = startup.init_cycles if startup else 0.0
+    outcome.result = result
+    outcome.startup = startup
+
+    if outcome.measurement is not None:
+        outcome.measurement.finalize()
+        outcome.scorep_profile = outcome.measurement.profile()
+    if outcome.monitor is not None:
+        outcome.monitor.stop_all_open()
+        failed_reg = (
+            len(outcome.bridge.failed_registrations)
+            if isinstance(outcome.bridge, TalpBridge)
+            else 0
+        )
+        outcome.talp_report = build_report(
+            outcome.monitor,
+            world,
+            frequency=clock.frequency,
+            failed_registrations=failed_reg,
+        )
+    return outcome
+
+
+def _install_tool(
+    outcome: RunOutcome,
+    tool: Tool,
+    *,
+    dyn: DynCapi,
+    loader: DynamicLoader,
+    clock: VirtualClock,
+    cm: CostModel,
+    world: MpiWorld,
+    pmpi: PmpiLayer,
+    xray_rt: XRayRuntime,
+    symbol_injection: bool,
+    emulate_talp_bug: bool,
+    talp_bug_threshold: int | None = None,
+    talp_bug_modulus: int | None = None,
+    tracing: bool = False,
+) -> None:
+    """Wire the measurement bridge and install it as the XRay handler."""
+    if tool == "scorep":
+        measurement = ScorePMeasurement(clock=clock, cost_model=cm)
+        tracer = ScorePTracer(clock=clock) if tracing else None
+        bridge = ScorePBridge(
+            runtime=xray_rt,
+            loader=loader,
+            measurement=measurement,
+            clock=clock,
+            cost_model=cm,
+            tracer=tracer,
+        )
+        if symbol_injection:
+            bridge.inject_dso_symbols()
+        pmpi.register(measurement)
+        if tracer is not None:
+            pmpi.register(_MpiTraceMarker(tracer))
+            outcome.tracer = tracer
+        xray_rt.set_handler(bridge.handler)
+        outcome.bridge = bridge
+        outcome.measurement = measurement
+    elif tool == "talp":
+        monitor = TalpMonitor(
+            clock=clock,
+            world=world,
+            cost_model=cm,
+            emulate_region_bug=emulate_talp_bug,
+        )
+        if talp_bug_threshold is not None:
+            monitor.bug_threshold = talp_bug_threshold
+        if talp_bug_modulus is not None:
+            monitor.bug_modulus = talp_bug_modulus
+        bridge = TalpBridge(
+            dlb=DlbLibrary(monitor),
+            id_names=dyn.id_names,
+            clock=clock,
+            cost_model=cm,
+        )
+        pmpi.register(monitor)
+        pmpi.on_finalize.append(monitor.stop_all_open)
+        xray_rt.set_handler(bridge.handler)
+        outcome.bridge = bridge
+        outcome.monitor = monitor
+    else:
+        dispatcher = CygProfileDispatcher(
+            runtime=xray_rt, clock=clock, cost_model=cm
+        )
+        xray_rt.set_handler(dispatcher.handler)
+        outcome.bridge = dispatcher

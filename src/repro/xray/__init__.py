@@ -1,0 +1,47 @@
+"""XRay substrate: sleds, packed ids, trampolines, patching, runtimes.
+
+Models LLVM's XRay instrumentation feature plus the paper's extension
+for dynamic shared objects: packed 8/24-bit ids (:mod:`ids`), per-object
+sled tables (:mod:`sled`), position-independent trampolines
+(:mod:`trampoline`), ``mprotect``-guarded patching (:mod:`patching`),
+the main runtime (:mod:`runtime`) and the per-DSO registration library
+(:mod:`dso`).
+"""
+
+from repro.xray.ids import (
+    MAIN_EXECUTABLE_OBJECT_ID,
+    MAX_DSOS,
+    MAX_FUNCTION_ID,
+    MAX_OBJECT_ID,
+    PackedId,
+)
+from repro.xray.sled import SLED_BYTES, SledKind, SledRecord
+from repro.xray.trampoline import EventType, Handler, Trampoline, TrampolineTable
+from repro.xray.patching import PatchStats, SledPatcher
+from repro.xray.runtime import RegisteredObject, XRayRuntime
+from repro.xray.dso import XRayDsoRuntime
+from repro.xray.modes import AccountingMode, BasicMode, FunctionAccount, TraceRecord
+
+__all__ = [
+    "AccountingMode",
+    "BasicMode",
+    "EventType",
+    "FunctionAccount",
+    "TraceRecord",
+    "Handler",
+    "MAIN_EXECUTABLE_OBJECT_ID",
+    "MAX_DSOS",
+    "MAX_FUNCTION_ID",
+    "MAX_OBJECT_ID",
+    "PackedId",
+    "PatchStats",
+    "RegisteredObject",
+    "SLED_BYTES",
+    "SledKind",
+    "SledPatcher",
+    "SledRecord",
+    "Trampoline",
+    "TrampolineTable",
+    "XRayDsoRuntime",
+    "XRayRuntime",
+]

@@ -1,0 +1,66 @@
+"""The ``xray-dso`` runtime library (paper §V-B.2).
+
+Each instrumented DSO links a small runtime that, when the object is
+loaded, collects the DSO's sled table and hands it — together with the
+DSO's *local, position-independent* trampolines — to the main XRay
+runtime's registration API.  On ``dlclose`` the object deregisters.
+
+The local trampoline definitions are functionally identical to the main
+executable's, but address the handler symbol GOT-relative (``-fPIC``);
+a DSO built without PIC gets non-PIC trampolines, which fault on first
+use after relocation — reproducing why the paper had to change the x86
+trampoline implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import ObjectRegistrationError
+from repro.xray.runtime import XRayRuntime
+
+if TYPE_CHECKING:  # avoid a cycle: program.linker imports xray.sled
+    from repro.program.loader import LoadedObject
+
+
+@dataclass
+class XRayDsoRuntime:
+    """Registration glue linked into every instrumented DSO."""
+
+    main_runtime: XRayRuntime
+    #: DSO name -> assigned object id, for deregistration.
+    _registered: dict[str, int] = field(default_factory=dict)
+
+    def on_load(self, loaded: "LoadedObject") -> int:
+        """DSO constructor: collect sled data and register.
+
+        Returns the object id assigned by the main runtime.
+        """
+        binary = loaded.binary
+        if not binary.is_dso:
+            raise ObjectRegistrationError(
+                f"xray-dso runtime linked into non-DSO {binary.name!r}"
+            )
+        trampolines = self.main_runtime.trampolines.create_pair(
+            binary.name, pic=binary.pic
+        )
+        object_id = self.main_runtime.register_dso(
+            name=binary.name,
+            base=loaded.base,
+            sled_records=list(binary.sled_records),
+            function_names=dict(binary.function_ids),
+            trampolines=trampolines,
+        )
+        self._registered[binary.name] = object_id
+        return object_id
+
+    def on_unload(self, name: str) -> None:
+        """DSO destructor: deregister from the main runtime."""
+        object_id = self._registered.pop(name, None)
+        if object_id is None:
+            raise ObjectRegistrationError(f"DSO {name!r} was never registered")
+        self.main_runtime.deregister_object(object_id)
+
+    def object_id_of(self, name: str) -> int:
+        return self._registered[name]

@@ -1,0 +1,158 @@
+"""XRay's pre-existing operation modes (paper §V-A).
+
+"XRay provides a few different pre-existing modes, each defining their
+own handler functions."  The two that matter in practice are modelled:
+
+* **basic mode** (``xray-basic``): append every entry/exit event to an
+  in-memory trace log, flushed to a file at exit — the raw material for
+  the ``llvm-xray`` tooling.
+* **accounting mode** (an ``llvm-xray account``-style aggregation):
+  per-function call counts and inclusive latency, computed online from
+  a shadow stack.
+
+Both are ordinary handlers installed via ``__xray_set_handler``
+(:meth:`~repro.xray.runtime.XRayRuntime.set_handler`), so they compose
+with DynCaPI-selected patching as well as full patching.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Protocol
+
+from repro.xray.ids import PackedId
+from repro.xray.trampoline import EventType
+
+
+class _Clock(Protocol):
+    """The slice of the virtual clock the modes need.
+
+    Structural typing avoids importing :mod:`repro.execution` (which
+    depends on the program package, which depends on this package).
+    """
+
+    def now(self) -> float: ...
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One basic-mode log record (function id, event type, timestamp)."""
+
+    packed_id: int
+    event: str
+    timestamp_cycles: float
+
+
+@dataclass
+class BasicMode:
+    """``xray-basic``: buffered event logging.
+
+    ``buffer_size`` bounds memory like the real ring buffers; when the
+    buffer is full the oldest records are dropped and counted.
+    """
+
+    clock: _Clock
+    buffer_size: int = 65536
+    records: list[TraceRecord] = field(default_factory=list)
+    dropped: int = 0
+
+    def handler(self, packed: PackedId, event: EventType) -> None:
+        if len(self.records) >= self.buffer_size:
+            self.records.pop(0)
+            self.dropped += 1
+        self.records.append(
+            TraceRecord(packed.pack(), event.value, self.clock.now())
+        )
+
+    def flush(self, path: str | Path) -> int:
+        """Write the log as JSON lines; returns the record count."""
+        with open(path, "w") as fh:
+            for rec in self.records:
+                fh.write(
+                    json.dumps(
+                        {
+                            "id": rec.packed_id,
+                            "event": rec.event,
+                            "t": rec.timestamp_cycles,
+                        }
+                    )
+                    + "\n"
+                )
+        return len(self.records)
+
+    @classmethod
+    def load(cls, path: str | Path) -> list[TraceRecord]:
+        records = []
+        for line in Path(path).read_text().splitlines():
+            data = json.loads(line)
+            records.append(TraceRecord(data["id"], data["event"], data["t"]))
+        return records
+
+
+@dataclass
+class FunctionAccount:
+    """Aggregated latency statistics of one function."""
+
+    packed_id: int
+    count: int = 0
+    total_cycles: float = 0.0
+    min_cycles: float = float("inf")
+    max_cycles: float = 0.0
+
+    @property
+    def mean_cycles(self) -> float:
+        return self.total_cycles / self.count if self.count else 0.0
+
+
+@dataclass
+class AccountingMode:
+    """``llvm-xray account``-style online latency accounting.
+
+    Maintains a shadow stack of (packed id, entry timestamp); on exit
+    the inclusive latency is attributed to the function.  Unbalanced
+    exits (tail calls cut short by the depth cap) are tolerated and
+    counted.
+    """
+
+    clock: _Clock
+    accounts: dict[int, FunctionAccount] = field(default_factory=dict)
+    unbalanced: int = 0
+    _stack: list[tuple[int, float]] = field(default_factory=list)
+
+    def handler(self, packed: PackedId, event: EventType) -> None:
+        key = packed.pack()
+        if event is EventType.ENTRY:
+            self._stack.append((key, self.clock.now()))
+            return
+        if not self._stack or self._stack[-1][0] != key:
+            self.unbalanced += 1
+            return
+        _, entered = self._stack.pop()
+        account = self.accounts.setdefault(key, FunctionAccount(key))
+        latency = self.clock.now() - entered
+        account.count += 1
+        account.total_cycles += latency
+        account.min_cycles = min(account.min_cycles, latency)
+        account.max_cycles = max(account.max_cycles, latency)
+
+    def top(self, n: int = 10) -> list[FunctionAccount]:
+        """Hottest functions by total inclusive latency."""
+        return sorted(
+            self.accounts.values(), key=lambda a: -a.total_cycles
+        )[:n]
+
+    def report(self, resolve=None) -> str:
+        """llvm-xray-account style text table.
+
+        ``resolve`` optionally maps a packed id to a display name.
+        """
+        lines = ["funcid  count  total(cyc)     mean(cyc)   name"]
+        for acc in self.top(50):
+            name = resolve(PackedId.unpack(acc.packed_id)) if resolve else ""
+            lines.append(
+                f"{acc.packed_id:>6}  {acc.count:>5}  "
+                f"{acc.total_cycles:>12.0f}  {acc.mean_cycles:>10.1f}   {name or ''}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,86 @@
+"""Sled patching: the runtime byte-rewriting machinery.
+
+Patching follows the exact sequence the paper describes (§V-A): first
+``mprotect`` flips the sled's pages to copy-on-write writable, then the
+NOP sequence is replaced by the jump encoding, then protection is
+restored.  Unpatching restores the NOPs.  All byte traffic goes through
+the page-protected memory model, so a missing ``mprotect`` faults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.errors import PatchingError, SegmentationFault
+from repro.xray.sled import (
+    SLED_BYTES,
+    UNPATCHED,
+    decode_patch,
+    encode_patch,
+)
+
+
+class Memory(Protocol):
+    """The slice of the process-image API patching needs."""
+
+    def read(self, address: int, length: int) -> bytes: ...
+
+    def write(self, address: int, payload: bytes) -> None: ...
+
+    def mprotect(self, start: int, length: int, *, writable: bool) -> None: ...
+
+
+@dataclass
+class PatchStats:
+    """Counters feeding the Tinit cost model."""
+
+    patched: int = 0
+    unpatched: int = 0
+    mprotect_calls: int = 0
+
+
+@dataclass
+class SledPatcher:
+    """Patch/unpatch individual sleds in a process image."""
+
+    memory: Memory
+    stats: PatchStats = field(default_factory=PatchStats)
+
+    def patch(self, address: int, function_id: int, trampoline_id: int) -> None:
+        """Overwrite the NOP sled at ``address`` with a trampoline jump."""
+        current = self._read_sled(address)
+        if decode_patch(current) is not None:
+            raise PatchingError(f"sled at {address:#x} is already patched")
+        self._protected_write(address, encode_patch(function_id, trampoline_id))
+        self.stats.patched += 1
+
+    def unpatch(self, address: int) -> None:
+        """Restore the original NOP sequence."""
+        current = self._read_sled(address)
+        if decode_patch(current) is None:
+            raise PatchingError(f"sled at {address:#x} is not patched")
+        self._protected_write(address, UNPATCHED)
+        self.stats.unpatched += 1
+
+    def read_sled(self, address: int) -> tuple[int, int] | None:
+        """Decoded (function id, trampoline id), or ``None`` if unpatched."""
+        return decode_patch(self._read_sled(address))
+
+    # -- internals ------------------------------------------------------------
+
+    def _read_sled(self, address: int) -> bytes:
+        try:
+            return self.memory.read(address, SLED_BYTES)
+        except SegmentationFault as exc:
+            raise PatchingError(f"sled read failed: {exc}") from exc
+
+    def _protected_write(self, address: int, payload: bytes) -> None:
+        """The mprotect → write → mprotect dance from the paper."""
+        self.memory.mprotect(address, SLED_BYTES, writable=True)
+        self.stats.mprotect_calls += 1
+        try:
+            self.memory.write(address, payload)
+        finally:
+            self.memory.mprotect(address, SLED_BYTES, writable=False)
+            self.stats.mprotect_calls += 1

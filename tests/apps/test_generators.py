@@ -1,0 +1,128 @@
+"""Tests for the synthetic application generators."""
+
+import pytest
+
+from repro.apps.lulesh import PAPER_NODE_COUNT as LULESH_NODES
+from repro.apps.lulesh import build_lulesh
+from repro.apps.openfoam import DSOS, SOLVER_CHAIN, build_openfoam
+from repro.apps.specs import PAPER_SPECS
+from repro.cg.merge import build_whole_program_cg
+
+
+@pytest.fixture(scope="module")
+def lulesh():
+    return build_lulesh()
+
+
+@pytest.fixture(scope="module")
+def openfoam():
+    return build_openfoam(target_nodes=4000)
+
+
+class TestLulesh:
+    def test_paper_node_count(self, lulesh):
+        assert lulesh.function_count() == LULESH_NODES == 3360
+
+    def test_no_shared_libraries(self, lulesh):
+        assert lulesh.libraries == {}
+
+    def test_validates(self, lulesh):
+        lulesh.validate()
+
+    def test_deterministic(self):
+        a = build_lulesh(target_nodes=500)
+        b = build_lulesh(target_nodes=500)
+        assert {f.name for f in a.functions()} == {f.name for f in b.functions()}
+
+    def test_seed_changes_structure(self):
+        a = build_lulesh(seed=1, target_nodes=500)
+        b = build_lulesh(seed=2, target_nodes=500)
+        calls_a = sum(len(f.call_sites) for f in a.functions())
+        calls_b = sum(len(f.call_sites) for f in b.functions())
+        assert calls_a != calls_b
+
+    def test_has_mpi_and_kernels(self, lulesh):
+        names = {f.name for f in lulesh.functions()}
+        assert "MPI_Allreduce" in names
+        kernels = [
+            f for f in lulesh.functions() if f.flops >= 10 and f.loop_depth >= 1
+        ]
+        assert len(kernels) >= 10
+
+    def test_cg_connects_main_to_kernels(self, lulesh):
+        g = build_whole_program_cg(lulesh)
+        reachable = g.reachable_from(["main"])
+        assert "CalcFBHourglassForceForElems" in reachable
+        assert "MPI_Isend" in reachable
+
+
+class TestOpenfoam:
+    def test_six_patchable_dsos(self, openfoam):
+        assert set(openfoam.libraries) == set(DSOS)
+        assert len(DSOS) == 6
+
+    def test_validates(self, openfoam):
+        openfoam.validate()
+
+    def test_target_nodes_respected(self, openfoam):
+        assert abs(openfoam.function_count() - 4000) < 400
+
+    def test_solver_chain_matches_listing3(self, openfoam):
+        """The deep single-caller chain of paper Listing 3 exists."""
+        g = build_whole_program_cg(openfoam)
+        for caller, callee in zip(SOLVER_CHAIN, SOLVER_CHAIN[1:]):
+            assert g.has_edge(caller, callee)
+            assert g.callers_of(callee) == {caller}
+
+    def test_virtual_solver_interface(self, openfoam):
+        overriders = openfoam.overriders_of("lduSolver_solve")
+        assert len(overriders) >= 3
+
+    def test_hidden_functions_exist_in_dsos_only(self, openfoam):
+        hidden = [
+            f for f in openfoam.functions()
+            if f.visibility.value == "hidden"
+        ]
+        assert hidden
+        exe_tus = set(openfoam.executable_tus())
+        for fn in hidden:
+            assert openfoam.tu_of(fn.name) not in exe_tus
+
+    def test_hidden_functions_not_on_mpi_paths(self, openfoam):
+        """Paper §VI-B(a): none of the unresolvable functions are
+        selected by the evaluated ICs."""
+        g = build_whole_program_cg(openfoam)
+        mpi_reachers = g.reaching(
+            [f.name for f in openfoam.functions() if f.is_mpi]
+        )
+        hidden = {
+            f.name for f in openfoam.functions()
+            if f.visibility.value == "hidden"
+        }
+        assert not (hidden & mpi_reachers)
+
+    def test_amul_is_a_kernel(self, openfoam):
+        amul = openfoam.function("Amul")
+        assert amul.flops >= 10
+        assert amul.loop_depth >= 1
+
+    def test_startup_chain_reaches_mpi_init(self, openfoam):
+        g = build_whole_program_cg(openfoam)
+        assert "MPI_Init" in g.reachable_from(["argList_construct"])
+
+
+class TestSpecs:
+    def test_all_paper_specs_parse_and_run(self, openfoam):
+        from repro.core.pipeline import run_spec
+        from repro.core.spec.modules import load_spec
+
+        g = build_whole_program_cg(openfoam)
+        sizes = {}
+        for name, source in PAPER_SPECS.items():
+            result = run_spec(load_spec(source), g)
+            sizes[name] = len(result.selected)
+            assert result.selected, f"spec {name} selected nothing"
+        # qualitative Table I orderings
+        assert sizes["mpi"] > sizes["kernels"]
+        assert sizes["mpi coarse"] < sizes["mpi"]
+        assert sizes["kernels coarse"] <= sizes["kernels"]

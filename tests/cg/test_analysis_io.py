@@ -1,0 +1,119 @@
+"""Tests for call-graph analyses and JSON round-trip."""
+
+import pytest
+
+from repro.cg.analysis import (
+    aggregate_statements,
+    call_depths_from,
+    call_path_between,
+    on_call_path_from,
+    on_call_path_to,
+    single_caller_nodes,
+)
+from repro.cg.graph import CallGraph, NodeMeta
+from repro.cg.io import from_dict, load, save, to_dict
+from repro.cg.merge import build_whole_program_cg
+from repro.errors import CallGraphError
+from tests.conftest import make_demo_builder
+
+
+def chain_graph():
+    g = CallGraph()
+    for name, stmts in (
+        ("main", 2), ("a", 3), ("b", 5), ("kernel", 20), ("other", 7)
+    ):
+        g.add_node(name, NodeMeta(statements=stmts, has_body=True))
+    g.add_edge("main", "a")
+    g.add_edge("a", "b")
+    g.add_edge("b", "kernel")
+    g.add_edge("main", "other")
+    return g
+
+
+class TestCallPaths:
+    def test_on_call_path_to(self):
+        g = chain_graph()
+        assert on_call_path_to(g, ["kernel"]) == {"kernel", "b", "a", "main"}
+
+    def test_on_call_path_from(self):
+        g = chain_graph()
+        assert on_call_path_from(g, ["a"]) == {"a", "b", "kernel"}
+
+    def test_call_path_between(self):
+        g = chain_graph()
+        assert call_path_between(g, ["main"], ["kernel"]) == {
+            "main", "a", "b", "kernel",
+        }
+        assert "other" not in call_path_between(g, ["main"], ["kernel"])
+
+    def test_call_depths(self):
+        g = chain_graph()
+        depths = call_depths_from(g, "main")
+        assert depths["main"] == 0
+        assert depths["kernel"] == 3
+
+    def test_call_depths_unknown_root(self):
+        assert call_depths_from(chain_graph(), "ghost") == {}
+
+
+class TestStatementAggregation:
+    def test_aggregation_along_chain(self):
+        g = chain_graph()
+        agg = aggregate_statements(g, "main")
+        assert agg["main"] == 2
+        assert agg["a"] == 5
+        assert agg["kernel"] == 30  # 2+3+5+20
+
+    def test_aggregation_takes_max_path(self):
+        g = CallGraph()
+        for name, stmts in (("main", 1), ("big", 50), ("small", 2), ("leaf", 3)):
+            g.add_node(name, NodeMeta(statements=stmts, has_body=True))
+        g.add_edge("main", "big")
+        g.add_edge("main", "small")
+        g.add_edge("big", "leaf")
+        g.add_edge("small", "leaf")
+        assert aggregate_statements(g, "main")["leaf"] == 54  # via big
+
+    def test_aggregation_handles_cycles(self):
+        g = CallGraph()
+        for name in ("main", "x", "y"):
+            g.add_node(name, NodeMeta(statements=4, has_body=True))
+        g.add_edge("main", "x")
+        g.add_edge("x", "y")
+        g.add_edge("y", "x")  # cycle
+        agg = aggregate_statements(g, "main")
+        assert agg["x"] == agg["y"] == 12  # each SCC counted once
+
+
+class TestSingleCaller:
+    def test_single_caller_detection(self):
+        g = chain_graph()
+        within = {"main", "a", "b", "kernel"}
+        singles = single_caller_nodes(g, within)
+        assert {"a", "b", "kernel"} <= singles
+        assert "main" not in singles
+
+
+class TestJsonRoundTrip:
+    def test_roundtrip_preserves_graph(self, tmp_path):
+        g = build_whole_program_cg(make_demo_builder().build())
+        path = tmp_path / "cg.json"
+        save(g, path)
+        g2 = load(path)
+        assert g2.node_names() == g.node_names()
+        assert {(e.caller, e.callee, e.reason) for e in g2.edges()} == {
+            (e.caller, e.callee, e.reason) for e in g.edges()
+        }
+        for node in g.nodes():
+            assert g2.node(node.name).meta == node.meta
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(CallGraphError):
+            from_dict({"_CG": {}})
+
+    def test_dict_shape(self):
+        g = chain_graph()
+        data = to_dict(g)
+        assert "_MetaCG" in data
+        assert data["_CG"]["b"]["callees"] == {"kernel": "direct"}
+        assert data["_CG"]["kernel"]["meta"]["numStatements"] == 20

@@ -1,0 +1,135 @@
+"""Tests for local CG construction, merge, virtual/pointer resolution."""
+
+from repro.cg.graph import EdgeReason
+from repro.cg.local import build_local_cg
+from repro.cg.merge import build_whole_program_cg, merge_local_graphs
+from repro.cg.validation import validate_with_profile
+from repro.program.builder import ProgramBuilder
+
+
+def cross_tu_program():
+    b = ProgramBuilder("p")
+    b.tu("a.cpp")
+    b.function("main", statements=5)
+    b.function("base_m", statements=3, overrides="base_m")
+    b.virtual_call("main", "base_m")
+    b.tu("b.cpp")
+    b.function("impl_1", statements=3, overrides="base_m")
+    b.function("impl_2", statements=3, overrides="base_m")
+    b.function("foreign", statements=8)
+    b.call("main", "foreign")
+    return b
+
+
+class TestLocalConstruction:
+    def test_foreign_callee_is_declaration_only(self):
+        p = cross_tu_program().build()
+        local = build_local_cg(p.translation_units["a.cpp"])
+        assert "foreign" in local.graph
+        assert not local.graph.node("foreign").meta.has_body
+        assert local.graph.node("main").meta.has_body
+
+    def test_virtual_sites_recorded_for_merge(self):
+        p = cross_tu_program().build()
+        local = build_local_cg(p.translation_units["a.cpp"])
+        assert len(local.virtual_calls) == 1
+        assert local.virtual_calls[0].static_target == "base_m"
+
+    def test_pointer_sites_recorded(self):
+        b = ProgramBuilder("p")
+        b.tu("a.cpp")
+        b.function("main")
+        b.function("cb")
+        b.pointer_call("main", "fp", ["cb"])
+        p = b.build()
+        local = build_local_cg(p.translation_units["a.cpp"])
+        assert len(local.pointer_calls) == 1
+        # pointer edges are NOT in the local graph
+        assert not local.graph.has_edge("main", "cb")
+
+
+class TestMerge:
+    def test_merge_resolves_declarations(self):
+        p = cross_tu_program().build()
+        g = build_whole_program_cg(p)
+        assert g.node("foreign").meta.has_body
+        assert len(g) == p.function_count()
+
+    def test_virtual_overapproximation_covers_all_overriders(self):
+        """Paper §III-A: edges to all known inheriting definitions."""
+        p = cross_tu_program().build()
+        g = build_whole_program_cg(p)
+        for target in ("base_m", "impl_1", "impl_2"):
+            assert g.has_edge("main", target)
+            assert g.edge_reason("main", target) is EdgeReason.VIRTUAL
+
+    def test_merge_is_idempotent(self):
+        p = cross_tu_program().build()
+        locals_ = [build_local_cg(tu) for tu in p.translation_units.values()]
+        g1 = merge_local_graphs(locals_, p)
+        g2 = merge_local_graphs(locals_, p)
+        assert g1.node_names() == g2.node_names()
+        assert {(e.caller, e.callee) for e in g1.edges()} == {
+            (e.caller, e.callee) for e in g2.edges()
+        }
+
+    def test_merge_order_invariant(self):
+        p = cross_tu_program().build()
+        locals_ = [build_local_cg(tu) for tu in p.translation_units.values()]
+        g1 = merge_local_graphs(locals_, p)
+        g2 = merge_local_graphs(list(reversed(locals_)), p)
+        assert g1.node_names() == g2.node_names()
+        assert g1.edge_count() == g2.edge_count()
+
+    def test_static_pointer_resolution(self):
+        b = ProgramBuilder("p")
+        b.tu("a.cpp")
+        b.function("main")
+        b.function("cb1")
+        b.function("cb2")
+        b.pointer_call("main", "fp", ["cb1", "cb2"])
+        g = build_whole_program_cg(b.build())
+        assert g.edge_reason("main", "cb1") is EdgeReason.POINTER
+        assert g.edge_reason("main", "cb2") is EdgeReason.POINTER
+
+    def test_dynamic_pointer_left_unresolved(self):
+        b = ProgramBuilder("p")
+        b.tu("a.cpp")
+        b.function("main")
+        b.function("cb")
+        b.pointer_call("main", "fp", ["cb"], static_resolvable=False)
+        g = build_whole_program_cg(b.build())
+        assert not g.has_edge("main", "cb")
+
+    def test_tu_subset_merge(self):
+        p = cross_tu_program().build()
+        g = build_whole_program_cg(p, tus=["a.cpp"])
+        assert "main" in g
+        assert not g.node("foreign").meta.has_body  # declaration only
+
+
+class TestProfileValidation:
+    def test_missing_edge_inserted(self):
+        b = ProgramBuilder("p")
+        b.tu("a.cpp")
+        b.function("main")
+        b.function("cb")
+        b.pointer_call("main", "fp", ["cb"], static_resolvable=False)
+        g = build_whole_program_cg(b.build())
+        report = validate_with_profile(g, [("main", "cb")])
+        assert report.inserted == [("main", "cb")]
+        assert g.edge_reason("main", "cb") is EdgeReason.PROFILE
+
+    def test_existing_edges_untouched(self):
+        g = build_whole_program_cg(cross_tu_program().build())
+        before = g.edge_count()
+        report = validate_with_profile(g, [("main", "foreign")])
+        assert report.already_present == 1
+        assert g.edge_count() == before
+        assert g.edge_reason("main", "foreign") is EdgeReason.DIRECT
+
+    def test_unknown_nodes_created(self):
+        g = build_whole_program_cg(cross_tu_program().build())
+        report = validate_with_profile(g, [("main", "dlopened_plugin_fn")])
+        assert "dlopened_plugin_fn" in report.new_nodes
+        assert g.has_edge("main", "dlopened_plugin_fn")

@@ -1,0 +1,125 @@
+"""Unit + property tests for the call-graph data structure."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cg.graph import CallGraph, EdgeReason, NodeMeta
+from repro.errors import CallGraphError
+
+
+def small_graph():
+    g = CallGraph()
+    g.add_edge("main", "a")
+    g.add_edge("main", "b")
+    g.add_edge("a", "c")
+    g.add_edge("b", "c")
+    g.add_edge("c", "leaf")
+    return g
+
+
+class TestStructure:
+    def test_add_edge_creates_nodes(self):
+        g = CallGraph()
+        g.add_edge("x", "y")
+        assert "x" in g and "y" in g
+        assert g.edge_count() == 1
+
+    def test_callers_and_callees(self):
+        g = small_graph()
+        assert g.callees_of("main") == {"a", "b"}
+        assert g.callers_of("c") == {"a", "b"}
+
+    def test_remove_node_cleans_edges(self):
+        g = small_graph()
+        g.remove_node("c")
+        assert "c" not in g
+        assert g.callees_of("a") == set()
+        assert g.callers_of("leaf") == set()
+
+    def test_remove_unknown_node_rejected(self):
+        with pytest.raises(CallGraphError):
+            CallGraph().remove_node("ghost")
+
+    def test_node_lookup_unknown_rejected(self):
+        with pytest.raises(CallGraphError):
+            small_graph().node("ghost")
+
+    def test_edge_reason_keeps_most_static(self):
+        g = CallGraph()
+        g.add_edge("a", "b", EdgeReason.PROFILE)
+        g.add_edge("a", "b", EdgeReason.DIRECT)
+        assert g.edge_reason("a", "b") is EdgeReason.DIRECT
+        g.add_edge("a", "b", EdgeReason.VIRTUAL)
+        assert g.edge_reason("a", "b") is EdgeReason.DIRECT
+
+
+class TestMetaMerge:
+    def test_definition_wins_over_declaration(self):
+        g = CallGraph()
+        g.add_node("f")  # declaration (no body)
+        g.add_node("f", NodeMeta(statements=5, has_body=True))
+        assert g.node("f").meta.statements == 5
+
+    def test_declaration_does_not_overwrite_definition(self):
+        g = CallGraph()
+        g.add_node("f", NodeMeta(statements=5, has_body=True))
+        g.add_node("f", NodeMeta())
+        assert g.node("f").meta.statements == 5
+
+    def test_conflicting_definitions_rejected(self):
+        g = CallGraph()
+        g.add_node("f", NodeMeta(statements=5, has_body=True))
+        with pytest.raises(CallGraphError):
+            g.add_node("f", NodeMeta(statements=9, has_body=True))
+
+
+class TestTraversal:
+    def test_reachable_from(self):
+        g = small_graph()
+        assert g.reachable_from(["a"]) == {"a", "c", "leaf"}
+
+    def test_reaching(self):
+        g = small_graph()
+        assert g.reaching(["c"]) == {"c", "a", "b", "main"}
+
+    def test_unknown_roots_ignored(self):
+        g = small_graph()
+        assert g.reachable_from(["ghost"]) == set()
+
+    def test_copy_is_deep_for_structure(self):
+        g = small_graph()
+        g2 = g.copy()
+        g2.remove_node("c")
+        assert "c" in g
+        assert g2.edge_count() < g.edge_count()
+
+
+names = st.text(alphabet="abcdef", min_size=1, max_size=3)
+
+
+@settings(max_examples=50)
+@given(edges=st.lists(st.tuples(names, names), max_size=30))
+def test_reaching_is_inverse_of_reachable(edges):
+    """Property: y reachable from x  ⟺  x in reaching({y})."""
+    g = CallGraph()
+    for a, b in edges:
+        g.add_edge(a, b)
+    nodes = list(g.node_names())[:5]
+    for x in nodes:
+        fwd = g.reachable_from([x])
+        for y in nodes:
+            assert (y in fwd) == (x in g.reaching([y]))
+
+
+@settings(max_examples=50)
+@given(edges=st.lists(st.tuples(names, names), max_size=30))
+def test_copy_preserves_everything(edges):
+    g = CallGraph()
+    for a, b in edges:
+        g.add_edge(a, b)
+    g2 = g.copy()
+    assert g2.node_names() == g.node_names()
+    assert {(e.caller, e.callee, e.reason) for e in g2.edges()} == {
+        (e.caller, e.callee, e.reason) for e in g.edges()
+    }

@@ -1,0 +1,63 @@
+"""Shared fixtures: small programs, built apps, and runtimes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.program.builder import ProgramBuilder
+from repro.program.compiler import Compiler, CompilerConfig
+from repro.program.linker import Linker
+from repro.program.loader import DynamicLoader
+
+
+def make_demo_builder() -> ProgramBuilder:
+    """A small program: exe + one DSO, MPI, a kernel, inline helpers."""
+    b = ProgramBuilder("demo")
+    b.tu("main.cpp")
+    b.mpi_function("MPI_Init")
+    b.mpi_function("MPI_Finalize")
+    b.mpi_function("MPI_Allreduce")
+    b.function("main", statements=5)
+    b.function("solve", statements=10)
+    b.function("wrap1", statements=4)
+    b.function("wrap2", statements=4)
+    b.function("kernel", flops=100, loop_depth=2, statements=12)
+    b.function("tiny", statements=1, inline_marked=True)
+    b.call("main", "MPI_Init")
+    b.call("main", "solve", count=5)
+    b.call("main", "MPI_Finalize")
+    b.call("solve", "wrap1")
+    b.call("wrap1", "wrap2")
+    b.call("wrap2", "kernel", count=20)
+    b.call("solve", "MPI_Allreduce")
+    b.call("kernel", "tiny", count=4)
+    b.tu("lib.cpp")
+    b.function("lib_helper", statements=8)
+    b.function("lib_hidden", statements=6, hidden=True)
+    b.function("lib_init", statements=2, hidden=True, is_static_initializer=True)
+    b.call("solve", "lib_helper", count=2)
+    b.call("lib_helper", "lib_hidden")
+    b.library("libdemo.so", ["lib.cpp"])
+    return b
+
+
+@pytest.fixture
+def demo_program():
+    return make_demo_builder().build()
+
+
+@pytest.fixture
+def demo_compiled(demo_program):
+    return Compiler(CompilerConfig()).compile(demo_program)
+
+
+@pytest.fixture
+def demo_linked(demo_compiled):
+    return Linker().link(demo_compiled)
+
+
+@pytest.fixture
+def demo_loaded(demo_linked):
+    loader = DynamicLoader()
+    objs = loader.load_program(demo_linked)
+    return loader, objs

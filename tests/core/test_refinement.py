@@ -1,0 +1,69 @@
+"""Tests for the PIRA-style automatic refinement loop."""
+
+import pytest
+
+from repro.core.ic import InstrumentationConfig
+from repro.core.refinement import PiraRefiner
+from repro.execution.workload import Workload
+from repro.workflow import build_app
+from tests.conftest import make_demo_builder
+
+
+@pytest.fixture(scope="module")
+def app():
+    return build_app(make_demo_builder().build())
+
+
+def make_refiner(app, **kwargs):
+    defaults = dict(
+        app=app,
+        graph=app.graph,
+        workload=Workload(site_cap=4),
+        hotspot_share=0.2,
+    )
+    defaults.update(kwargs)
+    return PiraRefiner(**defaults)
+
+
+class TestRefinement:
+    def test_expands_into_hot_callees(self, app):
+        refiner = make_refiner(app, max_overhead_ratio=1e9)  # never exclude
+        initial = InstrumentationConfig(functions=frozenset({"main"}))
+        result = refiner.refine(initial, iterations=4)
+        # main dominates runtime -> its callees get instrumented
+        assert "solve" in result.ic.functions
+        assert len(result.ic.functions) > 1
+        assert result.steps[0].expanded
+
+    def test_excludes_high_overhead_regions(self, app):
+        refiner = make_refiner(app, max_overhead_ratio=0.01, hotspot_share=0)
+        # wrap2/kernel are hot & tiny: measurement overhead dominates
+        initial = InstrumentationConfig(
+            functions=frozenset({"main", "solve", "wrap1", "wrap2", "kernel"})
+        )
+        result = refiner.refine(initial, iterations=3)
+        assert len(result.ic.functions) < 5
+        assert any(step.excluded for step in result.steps)
+
+    def test_convergence_flag(self, app):
+        refiner = make_refiner(app, max_overhead_ratio=1e9, hotspot_share=0)
+        initial = InstrumentationConfig(functions=frozenset({"main"}))
+        result = refiner.refine(initial, iterations=5)
+        assert result.converged
+        assert len(result.steps) == 1  # nothing to change after run 1
+
+    def test_steps_recorded(self, app):
+        refiner = make_refiner(app)
+        initial = InstrumentationConfig(functions=frozenset({"main"}))
+        result = refiner.refine(initial, iterations=2)
+        assert result.steps[0].iteration == 0
+        assert result.steps[0].ic_size == 1
+        assert result.steps[0].t_total > 0
+        assert result.total_turnaround_seconds > 0
+
+    def test_never_selects_unpatchable_functions(self, app):
+        refiner = make_refiner(app, max_overhead_ratio=1e9)
+        initial = InstrumentationConfig(functions=frozenset({"main"}))
+        result = refiner.refine(initial, iterations=4)
+        patchable = app.linked.patchable_function_names()
+        assert result.ic.functions <= patchable | initial.functions

@@ -1,0 +1,88 @@
+"""Tests for the paper-experiment harness (table renderers + runners)."""
+
+import pytest
+
+from repro.experiments.anomalies import compute_anomalies, render
+from repro.experiments.runner import SPEC_ORDER, prepare_app, run_configuration
+from repro.experiments.table1 import compute_table1, render_table1
+from repro.experiments.table2 import Table2Row, render_table2
+from repro.execution.workload import Workload
+
+SMALL = {"lulesh": 800, "openfoam": 2500}
+WL = Workload(site_cap=2, event_budget=30_000)
+
+
+class TestPreparedApp:
+    def test_prepare_app_cached(self):
+        a = prepare_app("lulesh", SMALL["lulesh"])
+        b = prepare_app("lulesh", SMALL["lulesh"])
+        assert a is b
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(ValueError):
+            prepare_app("gromacs")
+
+    def test_select_all_covers_spec_order(self):
+        prepared = prepare_app("lulesh", SMALL["lulesh"])
+        outcomes = prepared.select_all()
+        assert tuple(outcomes) == SPEC_ORDER
+
+
+class TestTable1:
+    def test_rows_and_rendering(self):
+        rows = compute_table1(("lulesh",), scales=SMALL)
+        assert len(rows) == len(SPEC_ORDER)
+        for row in rows:
+            assert row.selected_pre >= row.selected - row.added
+            assert row.time_seconds >= 0
+        text = render_table1(rows)
+        assert "TABLE I" in text
+        assert "kernels coarse" in text
+        assert "#added" in text
+
+
+class TestTable2Rendering:
+    def test_render_includes_all_sections(self):
+        rows = [
+            Table2Row("app", "-", "vanilla", None, 10.0, 0.0),
+            Table2Row("app", "talp", "xray full", 1.0, 30.0, 2.0),
+            Table2Row("app", "scorep", "mpi", 1.5, 15.0, 0.5),
+        ]
+        text = render_table2(rows)
+        assert "TABLE II" in text
+        assert "TALP" in text and "Score-P" in text
+        assert "+200%" in text
+        assert "-" in text  # vanilla has no Tinit
+
+
+class TestRunConfiguration:
+    def test_vanilla_uses_sled_free_build(self):
+        prepared = prepare_app("openfoam", SMALL["openfoam"])
+        outcome = run_configuration(prepared, mode="vanilla", workload=WL)
+        assert outcome.startup is None
+        assert outcome.result.patched_functions == 0
+
+    def test_ic_mode(self):
+        prepared = prepare_app("openfoam", SMALL["openfoam"])
+        ic = prepared.select("kernels").ic
+        outcome = run_configuration(
+            prepared, mode="ic", tool="talp", ic=ic, workload=WL
+        )
+        assert outcome.startup.patched_functions > 0
+        assert outcome.talp_report is not None
+
+
+class TestAnomalies:
+    def test_report_and_rendering(self):
+        report = compute_anomalies(
+            target_nodes=SMALL["openfoam"],
+            talp_bug_threshold=20,
+            talp_bug_modulus=8,
+        )
+        assert report.hidden_functions > 0
+        assert report.unresolved_ids == report.hidden_functions
+        assert report.unresolved_selected_by_ic == 0
+        assert report.talp_failed_registrations > 0
+        text = render(report)
+        assert "MPI_Init" in text
+        assert str(report.hidden_functions) in text

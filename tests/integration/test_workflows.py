@@ -1,0 +1,193 @@
+"""Integration tests: the full paper workflows end to end.
+
+These run the complete pipeline — generate → compile/link → MetaCG →
+CaPI selection → DynCaPI patching → simulated execution → measurement —
+on a small openfoam-like instance, checking the behaviours the paper's
+evaluation section reports.
+"""
+
+import pytest
+
+from repro.apps import PAPER_SPECS, build_lulesh, build_openfoam
+from repro.core import Capi
+from repro.execution.workload import Workload
+from repro.workflow import build_app, run_app
+
+WL = Workload(site_cap=2, event_budget=50_000)
+
+
+@pytest.fixture(scope="module")
+def foam():
+    program = build_openfoam(target_nodes=3000)
+    app = build_app(program)
+    vanilla = build_app(program, xray=False, graph=app.graph)
+    capi = Capi(graph=app.graph, app_name="openfoam")
+    ics = {
+        name: capi.select(spec, spec_name=name, linked=app.linked).ic
+        for name, spec in PAPER_SPECS.items()
+    }
+    return app, vanilla, ics
+
+
+class TestDynamicWorkflow:
+    def test_vanilla_vs_inactive(self, foam):
+        app, vanilla, _ = foam
+        v = run_app(vanilla, mode="vanilla", workload=WL).result
+        i = run_app(app, mode="inactive", workload=WL).result
+        assert i.t_total == pytest.approx(v.t_total, rel=0.05)
+
+    def test_full_instrumentation_much_slower(self, foam):
+        app, vanilla, _ = foam
+        v = run_app(vanilla, mode="vanilla", workload=WL).result
+        f = run_app(app, mode="full", tool="scorep", workload=WL).result
+        assert f.t_total > 1.5 * v.t_total
+
+    def test_filtered_cheaper_than_full(self, foam):
+        app, _, ics = foam
+        for tool in ("talp", "scorep"):
+            full = run_app(app, mode="full", tool=tool, workload=WL).result
+            filtered = run_app(
+                app, mode="ic", tool=tool, ic=ics["kernels"], workload=WL
+            ).result
+            assert filtered.t_total < full.t_total
+            assert filtered.t_init < full.t_init
+
+    def test_scorep_profile_covers_ic(self, foam):
+        app, _, ics = foam
+        out = run_app(app, mode="ic", tool="scorep", ic=ics["kernels"], workload=WL)
+        assert out.scorep_profile is not None
+        flat_names = set()
+        for node in out.scorep_profile.walk():
+            flat_names.add(node.name)
+        # the hot kernel is recorded under its real (injected) name
+        assert "Amul" in flat_names
+        assert out.bridge.unresolved_events == 0
+
+    def test_scorep_without_injection_cannot_name_dso_functions(self, foam):
+        """Paper §V-C.1: generic interface can't resolve DSO addresses."""
+        app, _, ics = foam
+        out = run_app(
+            app,
+            mode="ic",
+            tool="scorep",
+            ic=ics["kernels"],
+            workload=WL,
+            symbol_injection=False,
+        )
+        assert out.bridge.unresolved_events > 0
+        names = {n.name for n in out.scorep_profile.walk()}
+        assert any(n.startswith("UNKNOWN@") for n in names)
+        assert "Amul" not in names  # Amul lives in liblduSolvers.so
+
+    def test_talp_report_has_pop_metrics(self, foam):
+        app, _, ics = foam
+        out = run_app(
+            app, mode="ic", tool="talp", ic=ics["kernels coarse"], workload=WL
+        )
+        assert out.talp_report is not None
+        assert out.talp_report.metrics
+        for m in out.talp_report.metrics:
+            assert 0.0 < m.parallel_efficiency <= 1.0
+        text = out.talp_report.render()
+        assert "Parallel efficiency" in text
+
+    def test_talp_pre_init_regions_not_recorded(self, foam):
+        """Paper §VI-B(b): regions entered before MPI_Init fail."""
+        app, _, ics = foam
+        out = run_app(app, mode="ic", tool="talp", ic=ics["mpi"], workload=WL)
+        failed = out.bridge.failed_registrations
+        assert "main" in failed
+        assert "argList_construct" in failed
+        # failed regions are few compared to registered ones
+        assert len(failed) < out.bridge.registered_count
+
+    def test_unresolved_hidden_ids_reported(self, foam):
+        app, _, ics = foam
+        out = run_app(app, mode="full", tool="talp", workload=WL)
+        assert out.startup is not None
+        assert out.startup.unresolved_ids > 0
+
+    def test_patched_count_matches_resolvable_ic(self, foam):
+        app, _, ics = foam
+        out = run_app(app, mode="ic", tool="scorep", ic=ics["kernels"], workload=WL)
+        assert out.startup.patched_functions <= len(ics["kernels"])
+        assert out.startup.patched_functions > 0
+
+
+class TestOverheadShape:
+    """The qualitative Table II relations on a small instance."""
+
+    @pytest.fixture(scope="class")
+    def results(self, foam):
+        app, vanilla, ics = foam
+        res = {"vanilla": run_app(vanilla, mode="vanilla", workload=WL).result}
+        for tool in ("talp", "scorep"):
+            res[(tool, "full")] = run_app(
+                app, mode="full", tool=tool, workload=WL
+            ).result
+            for spec in ("mpi", "mpi coarse", "kernels"):
+                res[(tool, spec)] = run_app(
+                    app, mode="ic", tool=tool, ic=ics[spec], workload=WL
+                ).result
+        return res
+
+    def test_ordering_within_each_tool(self, results):
+        for tool in ("talp", "scorep"):
+            assert (
+                results[(tool, "full")].t_total
+                > results[(tool, "mpi")].t_total
+                > results[(tool, "kernels")].t_total
+                > results["vanilla"].t_total
+            )
+
+    def test_coarse_reduces_overhead(self, results):
+        for tool in ("talp", "scorep"):
+            assert (
+                results[(tool, "mpi coarse")].t_total
+                <= results[(tool, "mpi")].t_total
+            )
+
+    def test_scorep_full_worse_than_talp_full(self, results):
+        assert (
+            results[("scorep", "full")].t_total
+            > results[("talp", "full")].t_total
+        )
+
+    def test_talp_mpi_worse_than_scorep_mpi_in_app_time(self, results):
+        """§VI-C: TALP's mpi variants cost more (setup time aside)."""
+        talp = results[("talp", "mpi")]
+        scorep = results[("scorep", "mpi")]
+        assert talp.t_app_cycles > scorep.t_app_cycles
+
+
+class TestStaticVsDynamicTurnaround:
+    def test_refinement_iterations_cost(self):
+        """§VII-A: static workflow pays a full rebuild per IC change."""
+        from repro.core.static_inst import StaticInstrumenter
+        from repro.dyncapi.runtime import DynCapi
+        from repro.execution.clock import CYCLES_PER_SECOND, VirtualClock
+        from repro.program.loader import DynamicLoader
+        from repro.xray.runtime import XRayRuntime
+        from repro.core.ic import InstrumentationConfig
+
+        program = build_lulesh(target_nodes=400)
+        app = build_app(program)
+        loader = DynamicLoader()
+        loader.load_program(app.linked)
+        dyn = DynCapi(
+            xray=XRayRuntime(loader.image),
+            loader=loader,
+            clock=VirtualClock(),
+        )
+        names = sorted(app.linked.patchable_function_names())
+        dyn.startup(ic=InstrumentationConfig(functions=frozenset(names[:3])))
+        static = StaticInstrumenter(program=program)
+        static.build(InstrumentationConfig(functions=frozenset(names[:3])))
+
+        dynamic_seconds = 0.0
+        for i in range(4):
+            ic = InstrumentationConfig(functions=frozenset(names[i : i + 3]))
+            report = dyn.repatch(ic)
+            dynamic_seconds += report.init_cycles / CYCLES_PER_SECOND
+            static.build(ic)
+        assert dynamic_seconds < static.total_rebuild_seconds / 1000

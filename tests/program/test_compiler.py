@@ -1,0 +1,191 @@
+"""Unit tests for the compiler pipeline (inlining + XRay machine pass)."""
+
+import pytest
+
+from repro.program.builder import ProgramBuilder
+from repro.program.compiler import Compiler, CompilerConfig
+from repro.program.ir import CallKind
+
+
+def compile_program(b, **cfg):
+    return Compiler(CompilerConfig(**cfg)).compile(b.build())
+
+
+def simple_builder():
+    b = ProgramBuilder("p")
+    b.tu("a.cpp")
+    b.function("main", statements=5)
+    return b
+
+
+class TestInliningDecisions:
+    def test_small_marked_function_inlined(self):
+        b = simple_builder()
+        b.function("helper", statements=2, inline_marked=True)
+        b.call("main", "helper")
+        out = compile_program(b)
+        assert "helper" in out.inlined
+        assert "helper" not in out.machine_functions
+
+    def test_large_marked_function_not_inlined(self):
+        b = simple_builder()
+        b.function("big", statements=100, inline_marked=True)
+        b.call("main", "big")
+        out = compile_program(b)
+        assert "big" not in out.inlined
+
+    def test_o0_disables_inlining(self):
+        b = simple_builder()
+        b.function("helper", statements=1, inline_marked=True)
+        b.call("main", "helper")
+        out = compile_program(b, opt_level=0)
+        assert not out.inlined
+
+    def test_entry_never_inlined(self):
+        b = ProgramBuilder("p")
+        b.tu("a.cpp")
+        b.function("main", statements=1)
+        out = compile_program(b)
+        assert "main" in out.machine_functions
+
+    def test_recursive_function_not_inlined(self):
+        b = simple_builder()
+        b.function("rec", statements=1)
+        b.call("main", "rec")
+        b.call("rec", "rec")
+        out = compile_program(b)
+        assert "rec" not in out.inlined
+
+    def test_mutually_recursive_not_inlined(self):
+        b = simple_builder()
+        b.function("ping", statements=1)
+        b.function("pong", statements=1)
+        b.call("main", "ping")
+        b.call("ping", "pong")
+        b.call("pong", "ping")
+        out = compile_program(b)
+        assert "ping" not in out.inlined
+        assert "pong" not in out.inlined
+
+    def test_address_taken_not_inlined(self):
+        b = simple_builder()
+        b.function("cb", statements=1, address_taken=True)
+        b.call("main", "cb")
+        out = compile_program(b)
+        assert "cb" not in out.inlined
+
+    def test_virtual_not_inlined(self):
+        b = simple_builder()
+        b.function("v", statements=1, overrides="v")
+        b.virtual_call("main", "v")
+        out = compile_program(b)
+        assert "v" not in out.inlined
+
+    def test_mpi_stub_not_inlined(self):
+        b = simple_builder()
+        b.mpi_function("MPI_Init")
+        b.call("main", "MPI_Init")
+        out = compile_program(b)
+        assert "MPI_Init" in out.machine_functions
+
+
+class TestLowering:
+    def test_inlined_cost_folded_into_caller(self):
+        b = simple_builder()
+        b.function("helper", statements=2, inline_marked=True, base_cost=10.0)
+        b.call("main", "helper", count=3)
+        out = compile_program(b)
+        main = out.machine_functions["main"]
+        assert main.base_cost >= 30.0
+        assert "helper" in main.absorbed
+
+    def test_inlined_callee_sites_hoisted(self):
+        b = simple_builder()
+        b.function("helper", statements=1, inline_marked=True)
+        b.function("deep", statements=50)
+        b.call("main", "helper", count=2)
+        b.call("helper", "deep", count=3)
+        out = compile_program(b)
+        main = out.machine_functions["main"]
+        hoisted = [cs for cs in main.call_sites if cs.callee == "deep"]
+        assert len(hoisted) == 1
+        assert hoisted[0].count == 6  # 2 * 3
+
+    def test_call_site_order_preserved(self):
+        b = simple_builder()
+        b.function("first", statements=20)
+        b.function("second", statements=20)
+        b.call("main", "first")
+        b.call("main", "second")
+        out = compile_program(b)
+        callees = [cs.callee for cs in out.machine_functions["main"].call_sites]
+        assert callees == ["first", "second"]
+
+    def test_transitive_inlining(self):
+        b = simple_builder()
+        b.function("h1", statements=1, inline_marked=True)
+        b.function("h2", statements=1, inline_marked=True)
+        b.call("main", "h1")
+        b.call("h1", "h2")
+        out = compile_program(b)
+        assert {"h1", "h2"} <= out.inlined
+        assert set(out.machine_functions["main"].absorbed) >= {"h1", "h2"}
+
+
+class TestXRayMachinePass:
+    def test_threshold_filters_small_functions(self):
+        b = simple_builder()
+        b.function("small", statements=4)  # big enough to avoid inlining
+        b.function("large", statements=100)
+        b.call("main", "small")
+        b.call("main", "large")
+        out = compile_program(b, xray_instruction_threshold=50)
+        assert not out.machine_functions["small"].xray_instrumented
+        assert out.machine_functions["large"].xray_instrumented
+
+    def test_default_threshold_instruments_everything(self):
+        b = simple_builder()
+        b.function("small", statements=4)
+        b.call("main", "small")
+        out = compile_program(b)
+        assert out.machine_functions["small"].xray_instrumented
+
+    def test_mpi_stubs_never_instrumented(self):
+        b = simple_builder()
+        b.mpi_function("MPI_Init")
+        b.call("main", "MPI_Init")
+        out = compile_program(b)
+        assert not out.machine_functions["MPI_Init"].xray_instrumented
+
+    def test_huge_threshold_produces_vanilla_build(self):
+        b = simple_builder()
+        out = compile_program(b, xray_instruction_threshold=2**31)
+        assert not any(
+            mf.xray_instrumented for mf in out.machine_functions.values()
+        )
+
+
+class TestSymbolRetention:
+    def test_some_inlined_functions_keep_symbols(self):
+        """The §V-E caveat: the symbol heuristic is not exact."""
+        b = simple_builder()
+        names = []
+        for i in range(60):
+            name = f"inl_{i}"
+            b.function(name, statements=1, inline_marked=True)
+            b.call("main", name)
+            names.append(name)
+        out = compile_program(b)
+        assert out.inlined >= set(names)
+        # with the default modulus of 17, ~1/17 of 60 keep their symbol
+        assert 0 < len(out.symbol_retained_inlined) < len(names)
+
+
+class TestVirtualLowering:
+    def test_virtual_site_survives_lowering(self):
+        b = simple_builder()
+        b.function("v", statements=4, overrides="v")
+        b.virtual_call("main", "v", count=2)
+        out = compile_program(b)
+        sites = out.machine_functions["main"].call_sites
+        assert any(s.kind is CallKind.VIRTUAL and s.callee == "v" for s in sites)

@@ -1,0 +1,163 @@
+"""Unit tests for the program IR."""
+
+import pytest
+
+from repro.errors import ProgramModelError
+from repro.program.builder import ProgramBuilder
+from repro.program.ir import (
+    CallKind,
+    CallSite,
+    FunctionDef,
+    SourceProgram,
+    TranslationUnit,
+    resolve_call_targets,
+)
+
+
+class TestCallSite:
+    def test_direct_call_requires_callee(self):
+        with pytest.raises(ProgramModelError):
+            CallSite(callee=None, kind=CallKind.DIRECT)
+
+    def test_pointer_call_requires_pointer_id(self):
+        with pytest.raises(ProgramModelError):
+            CallSite(callee=None, kind=CallKind.POINTER)
+
+    def test_negative_multiplicity_rejected(self):
+        with pytest.raises(ProgramModelError):
+            CallSite(callee="f", calls_per_invocation=-1)
+
+
+class TestFunctionDef:
+    def test_empty_name_rejected(self):
+        with pytest.raises(ProgramModelError):
+            FunctionDef(name="")
+
+    def test_negative_metadata_rejected(self):
+        with pytest.raises(ProgramModelError):
+            FunctionDef(name="f", flops=-1)
+
+    def test_is_mpi_by_prefix(self):
+        assert FunctionDef(name="MPI_Allreduce").is_mpi
+        assert not FunctionDef(name="compute").is_mpi
+
+    def test_is_virtual_via_overrides(self):
+        assert FunctionDef(name="f", overrides="base").is_virtual
+        assert not FunctionDef(name="f").is_virtual
+
+    def test_instruction_count_grows_with_metadata(self):
+        small = FunctionDef(name="a", statements=1)
+        big = FunctionDef(name="b", statements=10, flops=50, loop_depth=2)
+        assert big.instruction_count > small.instruction_count
+
+
+class TestTranslationUnit:
+    def test_duplicate_definition_rejected(self):
+        tu = TranslationUnit("a.cpp")
+        tu.add(FunctionDef(name="f"))
+        with pytest.raises(ProgramModelError):
+            tu.add(FunctionDef(name="f"))
+
+    def test_source_path_defaults_to_tu_name(self):
+        tu = TranslationUnit("a.cpp")
+        fn = tu.add(FunctionDef(name="f"))
+        assert fn.source_path == "a.cpp"
+
+
+class TestValidation:
+    def test_missing_entry_rejected(self):
+        p = SourceProgram(name="x")
+        tu = TranslationUnit("a.cpp")
+        tu.add(FunctionDef(name="helper"))
+        p.add_tu(tu)
+        with pytest.raises(ProgramModelError, match="entry"):
+            p.validate()
+
+    def test_undefined_callee_rejected(self):
+        b = ProgramBuilder("x")
+        b.tu("a.cpp")
+        fn = b.function("main")
+        fn.add_call("ghost")
+        with pytest.raises(ProgramModelError, match="ghost"):
+            b.build()
+
+    def test_tu_linked_twice_rejected(self):
+        b = ProgramBuilder("x")
+        b.tu("a.cpp")
+        b.function("main")
+        b.tu("b.cpp")
+        b.function("f")
+        b.library("lib1.so", ["b.cpp"])
+        b.library("lib2.so", ["b.cpp"])
+        with pytest.raises(ProgramModelError, match="linked into both"):
+            b.build()
+
+    def test_entry_must_be_in_executable(self):
+        b = ProgramBuilder("x")
+        b.tu("a.cpp")
+        b.function("main")
+        b.tu("b.cpp")
+        b.function("other")
+        b.library("lib.so", ["a.cpp"])
+        with pytest.raises(ProgramModelError):
+            b.build()
+
+
+class TestResolveTargets:
+    def test_virtual_resolves_to_overriders(self):
+        b = ProgramBuilder("x")
+        b.tu("a.cpp")
+        b.function("main")
+        b.function("base_m", overrides="base_m")
+        b.function("impl_a", overrides="base_m")
+        b.function("impl_b", overrides="base_m")
+        b.virtual_call("main", "base_m")
+        p = b.build()
+        site = p.function("main").call_sites[0]
+        targets = resolve_call_targets(p, site)
+        assert set(targets) == {"base_m", "impl_a", "impl_b"}
+
+    def test_pointer_targets(self):
+        b = ProgramBuilder("x")
+        b.tu("a.cpp")
+        b.function("main")
+        b.function("cb1")
+        b.function("cb2")
+        b.pointer_call("main", "fp", ["cb1", "cb2"])
+        p = b.build()
+        site = p.function("main").call_sites[0]
+        assert set(resolve_call_targets(p, site)) == {"cb1", "cb2"}
+
+    def test_dynamic_pointer_excluded_when_asked(self):
+        b = ProgramBuilder("x")
+        b.tu("a.cpp")
+        b.function("main")
+        b.function("cb")
+        b.pointer_call("main", "fp", ["cb"], static_resolvable=False)
+        p = b.build()
+        site = p.function("main").call_sites[0]
+        assert resolve_call_targets(p, site, include_dynamic_pointers=False) == []
+        assert resolve_call_targets(p, site) == ["cb"]
+
+
+class TestProgramQueries:
+    def test_executable_tus_excludes_library_tus(self, ):
+        b = ProgramBuilder("x")
+        b.tu("a.cpp")
+        b.function("main")
+        b.tu("b.cpp")
+        b.function("f")
+        b.library("lib.so", ["b.cpp"])
+        p = b.build()
+        assert p.executable_tus() == ["a.cpp"]
+
+    def test_tu_of_and_contains(self):
+        b = ProgramBuilder("x")
+        b.tu("a.cpp")
+        b.function("main")
+        p = b.build()
+        assert p.tu_of("main") == "a.cpp"
+        assert "main" in p
+        assert "ghost" not in p
+        with pytest.raises(KeyError):
+            p.tu_of("ghost")

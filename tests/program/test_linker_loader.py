@@ -1,0 +1,121 @@
+"""Unit tests for linker layout and the dynamic loader."""
+
+import pytest
+
+from repro.errors import LoaderError
+from repro.program.binary import ObjectKind
+from repro.program.builder import ProgramBuilder
+from repro.program.compiler import Compiler, CompilerConfig
+from repro.program.linker import Linker
+from repro.program.loader import DynamicLoader
+from repro.xray.sled import SLED_BYTES, UNPATCHED, SledKind
+
+
+class TestLinker:
+    def test_layout_groups_by_library(self, demo_linked):
+        assert demo_linked.executable.kind is ObjectKind.EXECUTABLE
+        assert [d.name for d in demo_linked.dsos] == ["libdemo.so"]
+        assert "lib_helper" in demo_linked.dsos[0].functions
+        assert "main" in demo_linked.executable.functions
+
+    def test_function_ids_one_based_and_dense(self, demo_linked):
+        for obj in demo_linked.all_objects():
+            ids = sorted(obj.function_ids)
+            assert ids == list(range(1, len(ids) + 1))
+
+    def test_sled_records_entry_and_exit(self, demo_linked):
+        exe = demo_linked.executable
+        entry = [r for r in exe.sled_records if r.kind is SledKind.ENTRY]
+        exits = [r for r in exe.sled_records if r.kind is SledKind.EXIT]
+        assert len(entry) == len(exits) == len(exe.function_ids)
+
+    def test_offsets_unique_and_non_overlapping(self, demo_linked):
+        for obj in demo_linked.all_objects():
+            spans = sorted(
+                (mf.offset, mf.offset + mf.size_bytes)
+                for mf in obj.functions.values()
+            )
+            for (s1, e1), (s2, _e2) in zip(spans, spans[1:]):
+                assert e1 <= s2
+
+    def test_hidden_symbols_absent_from_dynamic_table(self, demo_linked):
+        dso = demo_linked.dsos[0]
+        dynamic = {s.name for s in dso.dynamic_symbols()}
+        nm = {s.name for s in dso.nm_symbols()}
+        assert "lib_hidden" in nm
+        assert "lib_hidden" not in dynamic
+
+    def test_mpi_stub_has_no_sleds(self, demo_linked):
+        exe = demo_linked.executable
+        assert all(r.function_name != "MPI_Init" for r in exe.sled_records)
+
+    def test_dso_pic_follows_config(self, demo_program):
+        compiled = Compiler(CompilerConfig(pic=False)).compile(demo_program)
+        linked = Linker().link(compiled)
+        assert not linked.dsos[0].pic
+
+    def test_patchable_names(self, demo_linked):
+        names = demo_linked.patchable_function_names()
+        assert "kernel" in names
+        assert "MPI_Init" not in names
+        assert "tiny" not in names  # inlined
+
+
+class TestLoader:
+    def test_all_objects_mapped(self, demo_loaded):
+        loader, objs = demo_loaded
+        assert len(objs) == 2
+        assert set(loader.loaded) == {"demo", "libdemo.so"}
+
+    def test_sleds_initialised_to_nops(self, demo_loaded):
+        loader, objs = demo_loaded
+        for lo in objs:
+            for rec in lo.binary.sled_records:
+                blob = loader.image.read(lo.sled_address(rec), SLED_BYTES)
+                assert blob == UNPATCHED
+
+    def test_sled_pages_not_writable_after_load(self, demo_loaded):
+        loader, objs = demo_loaded
+        rec = objs[0].binary.sled_records[0]
+        assert not loader.image.is_writable(objs[0].sled_address(rec))
+
+    def test_double_load_rejected(self, demo_linked):
+        loader = DynamicLoader()
+        loader.load(demo_linked.executable)
+        with pytest.raises(LoaderError):
+            loader.load(demo_linked.executable)
+
+    def test_dlopen_requires_dso(self, demo_linked):
+        loader = DynamicLoader()
+        with pytest.raises(LoaderError):
+            loader.dlopen(demo_linked.executable)
+
+    def test_dlclose_unmaps(self, demo_linked):
+        loader = DynamicLoader()
+        loader.load_program(demo_linked)
+        loader.dlclose("libdemo.so")
+        assert "libdemo.so" not in loader.loaded
+        with pytest.raises(LoaderError):
+            loader.dlclose("libdemo.so")
+
+    def test_object_containing(self, demo_loaded):
+        loader, objs = demo_loaded
+        assert loader.object_containing(objs[1].base + 4).binary.name == "libdemo.so"
+        with pytest.raises(LoaderError):
+            loader.object_containing(0x10)
+
+    def test_dso_marked_relocated(self, demo_loaded):
+        _loader, objs = demo_loaded
+        assert not objs[0].relocated  # executable
+        assert objs[1].relocated  # DSO
+
+
+def test_builder_chain_helper():
+    b = ProgramBuilder("p")
+    b.tu("a.cpp")
+    for name in ("main", "x", "y"):
+        b.function(name, statements=3)
+    b.chain(["main", "x", "y"], count=2)
+    p = b.build()
+    assert p.function("main").call_sites[0].callee == "x"
+    assert p.function("x").call_sites[0].calls_per_invocation == 2

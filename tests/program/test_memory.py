@@ -1,0 +1,101 @@
+"""Unit tests for the page-protected process memory model."""
+
+import pytest
+
+from repro.errors import LoaderError, SegmentationFault
+from repro.program.memory import PAGE_SIZE, ProcessImage, page_of, page_range
+
+
+class TestPageMath:
+    def test_page_of(self):
+        assert page_of(0) == 0
+        assert page_of(PAGE_SIZE - 1) == 0
+        assert page_of(PAGE_SIZE) == 1
+
+    def test_page_range_spanning(self):
+        pages = list(page_range(PAGE_SIZE - 1, 2))
+        assert pages == [0, 1]
+
+    def test_page_range_empty(self):
+        assert list(page_range(100, 0)) == []
+
+
+class TestMapping:
+    def test_map_and_read_back(self):
+        img = ProcessImage()
+        region = img.map_region("exe", 100)
+        assert img.read(region.base, 100) == bytes(100)
+
+    def test_mappings_do_not_overlap(self):
+        img = ProcessImage()
+        a = img.map_region("a", PAGE_SIZE * 2)
+        b = img.map_region("b", PAGE_SIZE)
+        assert a.end <= b.base
+
+    def test_empty_region_rejected(self):
+        with pytest.raises(LoaderError):
+            ProcessImage().map_region("a", 0)
+
+    def test_unmap_then_access_faults(self):
+        img = ProcessImage()
+        region = img.map_region("a", 64)
+        img.unmap(region)
+        with pytest.raises(SegmentationFault):
+            img.read(region.base, 1)
+
+    def test_unmap_unknown_region_rejected(self):
+        img = ProcessImage()
+        region = img.map_region("a", 64)
+        img.unmap(region)
+        with pytest.raises(LoaderError):
+            img.unmap(region)
+
+
+class TestProtection:
+    def test_write_without_mprotect_faults(self):
+        img = ProcessImage()
+        region = img.map_region("a", 64)
+        with pytest.raises(SegmentationFault, match="mprotect"):
+            img.write(region.base, b"hi")
+
+    def test_write_after_mprotect_succeeds(self):
+        img = ProcessImage()
+        region = img.map_region("a", 64)
+        img.mprotect(region.base, 2, writable=True)
+        img.write(region.base, b"hi")
+        assert img.read(region.base, 2) == b"hi"
+
+    def test_protection_is_page_granular(self):
+        img = ProcessImage()
+        region = img.map_region("a", PAGE_SIZE)
+        img.mprotect(region.base, 1, writable=True)
+        # the whole page becomes writable, like the real syscall
+        img.write(region.base + 100, b"x")
+
+    def test_reprotect_readonly_blocks_writes(self):
+        img = ProcessImage()
+        region = img.map_region("a", 64)
+        img.mprotect(region.base, 64, writable=True)
+        img.mprotect(region.base, 64, writable=False)
+        with pytest.raises(SegmentationFault):
+            img.write(region.base, b"x")
+
+    def test_mprotect_unmapped_faults(self):
+        img = ProcessImage()
+        with pytest.raises(SegmentationFault):
+            img.mprotect(0xDEAD0000, 4, writable=True)
+
+
+class TestBounds:
+    def test_read_across_region_end_faults(self):
+        img = ProcessImage()
+        region = img.map_region("a", 16)
+        with pytest.raises(SegmentationFault):
+            img.read(region.base + 10, 10)
+
+    def test_write_across_region_end_faults(self):
+        img = ProcessImage()
+        region = img.map_region("a", 16)
+        img.mprotect(region.base, 16, writable=True)
+        with pytest.raises(SegmentationFault):
+            img.write(region.base + 10, b"0123456789")

@@ -1,0 +1,128 @@
+"""Tests for filter files, scorep-score, resolution, profile IO."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import FilterFormatError
+from repro.scorep.filter import ScorePFilter
+from repro.scorep.profile_io import from_dict, load, observed_edges, save, to_dict
+from repro.scorep.regions import CallTreeNode, FlatRegion
+from repro.scorep.score_tool import score_profile, suggest_filter
+
+
+class TestFilterFormat:
+    def test_roundtrip(self):
+        filt = ScorePFilter.include_only(["a", "b", "c"])
+        parsed = ScorePFilter.loads(filt.dumps())
+        for name in ("a", "b", "c", "zzz"):
+            assert parsed.is_included(name) == filt.is_included(name)
+
+    def test_include_only_semantics(self):
+        filt = ScorePFilter.include_only(["keep_me"])
+        assert filt.is_included("keep_me")
+        assert not filt.is_included("other")
+
+    def test_last_matching_rule_wins(self):
+        filt = ScorePFilter()
+        filt.add(include=False, pattern="solve_*")
+        filt.add(include=True, pattern="solve_special")
+        assert not filt.is_included("solve_x")
+        assert filt.is_included("solve_special")
+
+    def test_wildcards(self):
+        filt = ScorePFilter()
+        filt.add(include=False, pattern="MPI_*")
+        assert not filt.is_included("MPI_Send")
+        assert filt.is_included("compute")
+
+    def test_default_include(self):
+        assert ScorePFilter().is_included("anything")
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(FilterFormatError):
+            ScorePFilter.loads("INCLUDE foo")
+
+    def test_missing_end_rejected(self):
+        with pytest.raises(FilterFormatError):
+            ScorePFilter.loads("SCOREP_REGION_NAMES_BEGIN\n INCLUDE a\n")
+
+    def test_bad_line_rejected(self):
+        text = "SCOREP_REGION_NAMES_BEGIN\n FROB x\nSCOREP_REGION_NAMES_END"
+        with pytest.raises(FilterFormatError):
+            ScorePFilter.loads(text)
+
+    def test_comments_and_blanks_ignored(self):
+        text = (
+            "# a comment\nSCOREP_REGION_NAMES_BEGIN\n\n"
+            "  INCLUDE foo\nSCOREP_REGION_NAMES_END\n"
+        )
+        filt = ScorePFilter.loads(text)
+        assert filt.included_names() == ["foo"]
+
+    def test_file_roundtrip(self, tmp_path):
+        filt = ScorePFilter.include_only(["x"])
+        path = tmp_path / "f.filter"
+        filt.dump(path)
+        assert ScorePFilter.load(path).is_included("x")
+
+
+names_st = st.sets(
+    st.text(alphabet="abcdefgh_", min_size=1, max_size=8), max_size=12
+)
+
+
+@given(names=names_st)
+def test_filter_roundtrip_property(names):
+    filt = ScorePFilter.include_only(names)
+    parsed = ScorePFilter.loads(filt.dumps())
+    assert set(parsed.included_names()) == names
+    for n in names:
+        assert parsed.is_included(n)
+    assert not parsed.is_included("@@not-a-function@@")
+
+
+class TestScoreTool:
+    def make_flat(self):
+        return {
+            "hot_tiny": FlatRegion("hot_tiny", visits=1_000_000, inclusive_cycles=2e6),
+            "big_kernel": FlatRegion("big_kernel", visits=10, inclusive_cycles=1e9),
+        }
+
+    def test_scoring_ranks_offenders_first(self):
+        entries = score_profile(self.make_flat())
+        assert entries[0].name == "hot_tiny"
+        assert entries[0].overhead_ratio > entries[1].overhead_ratio
+
+    def test_suggest_filter_excludes_offenders(self):
+        filt = suggest_filter(self.make_flat(), max_overhead_ratio=0.1)
+        assert not filt.is_included("hot_tiny")
+        assert filt.is_included("big_kernel")
+
+
+class TestProfileIo:
+    def make_tree(self):
+        root = CallTreeNode("ROOT")
+        main = root.child("main")
+        main.visits = 1
+        main.inclusive_cycles = 1000.0
+        solve = main.child("solve")
+        solve.visits = 5
+        solve.inclusive_cycles = 800.0
+        return root
+
+    def test_roundtrip(self, tmp_path):
+        root = self.make_tree()
+        path = tmp_path / "profile.json"
+        save(root, path)
+        loaded = load(path)
+        assert to_dict(loaded) == to_dict(root)
+
+    def test_observed_edges(self):
+        root = self.make_tree()
+        assert observed_edges(root) == [("main", "solve")]
+
+    def test_from_dict_parents_wired(self):
+        root = from_dict(to_dict(self.make_tree()))
+        solve = root.children["main"].children["solve"]
+        assert solve.parent.name == "main"

@@ -1,0 +1,133 @@
+"""Unit tests for the Score-P measurement runtime."""
+
+import pytest
+
+from repro.errors import ScorePError
+from repro.execution.clock import VirtualClock
+from repro.scorep.filter import ScorePFilter
+from repro.scorep.measurement import ScorePMeasurement
+from repro.scorep.regions import flatten
+
+
+def run_sequence(measurement, *events):
+    for kind, name in events:
+        if kind == "in":
+            measurement.region_enter(name)
+        else:
+            measurement.region_exit(name)
+
+
+@pytest.fixture
+def meas():
+    return ScorePMeasurement(clock=VirtualClock())
+
+
+class TestCallTree:
+    def test_nested_regions_build_call_paths(self, meas):
+        run_sequence(
+            meas,
+            ("in", "main"), ("in", "solve"), ("out", "solve"), ("out", "main"),
+        )
+        meas.finalize()
+        root = meas.profile()
+        assert root.children["main"].children["solve"].visits == 1
+        assert root.children["main"].children["solve"].path() == "main/solve"
+
+    def test_inclusive_time_accumulates(self, meas):
+        meas.region_enter("main")
+        meas.clock.advance(1000)
+        meas.region_exit("main")
+        meas.finalize()
+        assert meas.profile().children["main"].inclusive_cycles >= 1000
+
+    def test_exclusive_excludes_children(self, meas):
+        meas.region_enter("main")
+        meas.region_enter("child")
+        meas.clock.advance(500)
+        meas.region_exit("child")
+        meas.clock.advance(100)
+        meas.region_exit("main")
+        meas.finalize()
+        main = meas.profile().children["main"]
+        assert main.exclusive_cycles < main.inclusive_cycles
+
+    def test_visits_counted_per_path(self, meas):
+        for _ in range(3):
+            run_sequence(meas, ("in", "main"), ("in", "f"), ("out", "f"), ("out", "main"))
+        meas.finalize()
+        assert meas.profile().children["main"].children["f"].visits == 3
+
+    def test_unbalanced_exit_tolerated(self, meas):
+        meas.region_exit("phantom")
+        assert meas.unbalanced_exits == 1
+
+    def test_profile_requires_finalize_when_open(self, meas):
+        meas.region_enter("main")
+        with pytest.raises(ScorePError):
+            meas.profile()
+        meas.finalize()
+        meas.profile()
+
+    def test_measurement_steals_cycles(self, meas):
+        before = meas.clock.cycles
+        run_sequence(meas, ("in", "a"), ("out", "a"))
+        assert meas.clock.cycles > before
+
+
+class TestRuntimeFiltering:
+    def test_filtered_regions_not_recorded_but_cost_retained(self):
+        filt = ScorePFilter.include_only(["keep"])
+        m = ScorePMeasurement(clock=VirtualClock(), runtime_filter=filt)
+        before = m.clock.cycles
+        run_sequence(m, ("in", "drop"), ("out", "drop"), ("in", "keep"), ("out", "keep"))
+        m.finalize()
+        flat = flatten(m.profile())
+        assert "keep" in flat
+        assert "drop" not in flat
+        assert m.filtered_events == 2
+        # paper §II-B: probe + filter check cost retained
+        assert m.clock.cycles > before
+
+    def test_nested_under_filter(self):
+        filt = ScorePFilter.include_only(["inner"])
+        m = ScorePMeasurement(clock=VirtualClock(), runtime_filter=filt)
+        run_sequence(
+            m, ("in", "outer"), ("in", "inner"), ("out", "inner"), ("out", "outer")
+        )
+        m.finalize()
+        flat = flatten(m.profile())
+        assert flat["inner"].visits == 1
+
+
+class TestFlatten:
+    def test_flat_aggregates_across_paths(self, meas):
+        run_sequence(
+            meas,
+            ("in", "a"), ("in", "x"), ("out", "x"), ("out", "a"),
+            ("in", "b"), ("in", "x"), ("out", "x"), ("out", "b"),
+        )
+        meas.finalize()
+        flat = flatten(meas.profile())
+        assert flat["x"].visits == 2
+
+    def test_recursion_not_double_counted(self, meas):
+        meas.region_enter("rec")
+        meas.clock.advance(100)
+        meas.region_enter("rec")
+        meas.clock.advance(100)
+        meas.region_exit("rec")
+        meas.region_exit("rec")
+        meas.finalize()
+        flat = flatten(meas.profile())
+        outer = meas.profile().children["rec"].inclusive_cycles
+        assert flat["rec"].inclusive_cycles == pytest.approx(outer)
+        assert flat["rec"].visits == 2
+
+
+class TestPmpiHook:
+    def test_mpi_wrapper_counts(self, meas):
+        extra = meas.on_mpi_call("MPI_Allreduce", 500.0)
+        assert extra == meas.cost_model.scorep_mpi_wrapper
+        assert meas.mpi_calls == 1
+        assert meas.mpi_cycles == 500.0
+        assert meas.estimate_extra() == extra

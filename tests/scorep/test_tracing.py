@@ -1,0 +1,79 @@
+"""Tests for Score-P tracing mode."""
+
+import pytest
+
+from repro.execution.clock import VirtualClock
+from repro.scorep.tracing import (
+    ScorePTracer,
+    TraceEventKind,
+    validate_trace,
+)
+
+
+@pytest.fixture
+def tracer():
+    return ScorePTracer(clock=VirtualClock())
+
+
+class TestRecording:
+    def test_events_timestamped_monotonically(self, tracer):
+        tracer.enter("main")
+        tracer.clock.advance(100)
+        tracer.enter("solve")
+        tracer.leave("solve")
+        tracer.leave("main")
+        events = tracer.all_events()
+        stamps = [e.timestamp_cycles for e in events]
+        assert stamps == sorted(stamps)
+        assert [e.kind for e in events] == [
+            TraceEventKind.ENTER,
+            TraceEventKind.ENTER,
+            TraceEventKind.LEAVE,
+            TraceEventKind.LEAVE,
+        ]
+
+    def test_recording_costs_cycles(self, tracer):
+        before = tracer.clock.cycles
+        tracer.enter("x")
+        assert tracer.clock.cycles > before
+
+    def test_mpi_markers(self, tracer):
+        tracer.enter("comm")
+        tracer.mpi("MPI_Allreduce")
+        tracer.leave("comm")
+        kinds = [e.kind for e in tracer.all_events()]
+        assert TraceEventKind.MPI in kinds
+
+    def test_buffer_flushing(self):
+        tracer = ScorePTracer(clock=VirtualClock(), buffer_size=4)
+        for i in range(10):
+            tracer.enter(f"r{i}")
+        assert tracer.flush_count >= 2
+        assert len(tracer.all_events()) == 10
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tracer, tmp_path):
+        tracer.enter("main")
+        tracer.mpi("MPI_Barrier")
+        tracer.leave("main")
+        path = tmp_path / "trace.jsonl"
+        assert tracer.save(path) == 3
+        loaded = ScorePTracer.load(path)
+        assert loaded == tracer.all_events()
+
+
+class TestValidation:
+    def test_clean_trace(self, tracer):
+        tracer.enter("a")
+        tracer.enter("b")
+        tracer.leave("b")
+        tracer.leave("a")
+        assert validate_trace(tracer.all_events()) == []
+
+    def test_unbalanced_leave_detected(self, tracer):
+        tracer.enter("a")
+        tracer.leave("b")
+        problems = validate_trace(tracer.all_events())
+        assert any("unbalanced" in p for p in problems)
+        assert any("unclosed" in p for p in problems)

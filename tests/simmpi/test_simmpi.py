@@ -1,0 +1,119 @@
+"""Unit tests for the simulated MPI substrate."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimMpiError
+from repro.simmpi.comm import CommCosts, SimComm
+from repro.simmpi.pmpi import PmpiLayer
+from repro.simmpi.world import MpiWorld
+
+
+class TestWorld:
+    def test_lifecycle(self):
+        w = MpiWorld(size=2)
+        assert not w.initialized
+        w.init()
+        assert w.initialized
+        w.finalize()
+        assert w.finalized
+
+    def test_double_init_rejected(self):
+        w = MpiWorld()
+        w.init()
+        with pytest.raises(SimMpiError):
+            w.init()
+
+    def test_finalize_before_init_rejected(self):
+        with pytest.raises(SimMpiError):
+            MpiWorld().finalize()
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(SimMpiError):
+            MpiWorld(size=0)
+        with pytest.raises(SimMpiError):
+            MpiWorld(imbalance=1.5)
+
+    def test_rank0_is_bottleneck(self):
+        w = MpiWorld(size=8, imbalance=0.3)
+        factors = w.compute_factors
+        assert factors[0] == 1.0
+        assert factors.max() == 1.0
+        assert (factors >= 0.7 - 1e-9).all()
+
+    def test_factors_deterministic(self):
+        a = MpiWorld(size=4, seed=9).compute_factors
+        b = MpiWorld(size=4, seed=9).compute_factors
+        assert np.array_equal(a, b)
+
+    def test_load_balance_bounds(self):
+        w = MpiWorld(size=4, imbalance=0.2)
+        assert 0.8 <= w.load_balance() <= 1.0
+
+
+class TestComm:
+    def test_collective_costs_more_than_p2p(self):
+        comm = SimComm(MpiWorld(size=8))
+        assert comm.cost_of("MPI_Allreduce") > comm.cost_of("MPI_Send")
+
+    def test_collective_cost_grows_with_world(self):
+        small = SimComm(MpiWorld(size=2)).cost_of("MPI_Bcast")
+        big = SimComm(MpiWorld(size=64)).cost_of("MPI_Bcast")
+        assert big > small
+
+    def test_message_size_matters(self):
+        comm = SimComm(MpiWorld())
+        assert comm.cost_of("MPI_Send", message_bytes=1 << 20) > comm.cost_of(
+            "MPI_Send", message_bytes=8
+        )
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(SimMpiError):
+            SimComm(MpiWorld()).cost_of("MPI_Bogus")
+
+    def test_query_ops_cheap(self):
+        comm = SimComm(MpiWorld())
+        assert comm.cost_of("MPI_Comm_rank") < comm.cost_of("MPI_Send")
+
+
+class _Recorder:
+    def __init__(self):
+        self.calls = []
+
+    def on_mpi_call(self, op, cost):
+        self.calls.append((op, cost))
+        return 5.0
+
+
+class TestPmpi:
+    def test_init_finalize_drive_world(self):
+        pmpi = PmpiLayer(SimComm(MpiWorld()))
+        pmpi.call("MPI_Init")
+        assert pmpi.world.initialized
+        pmpi.call("MPI_Finalize")
+        assert pmpi.world.finalized
+
+    def test_interceptor_notified_and_charged(self):
+        pmpi = PmpiLayer(SimComm(MpiWorld()))
+        rec = _Recorder()
+        pmpi.register(rec)
+        total = pmpi.call("MPI_Allreduce")
+        assert len(rec.calls) == 1
+        base = rec.calls[0][1]
+        assert total == pytest.approx(base + 5.0)
+
+    def test_world_statistics(self):
+        pmpi = PmpiLayer(SimComm(MpiWorld()))
+        pmpi.call("MPI_Init")
+        pmpi.call("MPI_Allreduce")
+        assert pmpi.world.mpi_calls == 2
+        assert pmpi.world.mpi_cycles > 0
+
+    def test_lifecycle_callbacks(self):
+        pmpi = PmpiLayer(SimComm(MpiWorld()))
+        seen = []
+        pmpi.on_init.append(lambda: seen.append("init"))
+        pmpi.on_finalize.append(lambda: seen.append("fin"))
+        pmpi.call("MPI_Init")
+        pmpi.call("MPI_Finalize")
+        assert seen == ["init", "fin"]

@@ -1,0 +1,91 @@
+"""Tests for the TALP runtime metrics API."""
+
+import pytest
+
+from repro.errors import TalpError
+from repro.execution.clock import VirtualClock
+from repro.simmpi.world import MpiWorld
+from repro.talp.api import TalpRuntimeApi
+from repro.talp.monitor import TalpMonitor
+
+
+@pytest.fixture
+def api():
+    world = MpiWorld(size=4)
+    world.init()
+    monitor = TalpMonitor(clock=VirtualClock(), world=world)
+    return TalpRuntimeApi(monitor=monitor, world=world), monitor
+
+
+class TestSnapshots:
+    def test_closed_region_snapshot(self, api):
+        api_, mon = api
+        h = mon.register("solver")
+        mon.start(h)
+        mon.clock.advance(1000)
+        mon.stop(h)
+        snap = api_.snapshot(h)
+        assert snap.name == "solver"
+        assert not snap.open_now
+        assert snap.elapsed_cycles == 1000
+
+    def test_open_region_includes_live_interval(self, api):
+        """A scheduler polling mid-run sees elapsed-so-far numbers."""
+        api_, mon = api
+        h = mon.register("solver")
+        mon.start(h)
+        mon.clock.advance(500)
+        snap = api_.snapshot(h)
+        assert snap.open_now
+        assert snap.elapsed_cycles == 500
+        # snapshot is non-destructive
+        mon.clock.advance(500)
+        mon.stop(h)
+        assert mon.regions[h].elapsed_cycles == 1000
+
+    def test_live_mpi_attribution(self, api):
+        api_, mon = api
+        h = mon.register("solver")
+        mon.start(h)
+        mon.on_mpi_call("MPI_Allreduce", 200.0)
+        mon.clock.advance(800)
+        snap = api_.snapshot(h)
+        assert snap.mpi_cycles == 200.0
+        assert snap.useful_cycles == pytest.approx(600.0)
+
+    def test_snapshot_by_name_and_unknowns(self, api):
+        api_, mon = api
+        h = mon.register("r")
+        assert api_.snapshot_by_name("r").name == "r"
+        with pytest.raises(TalpError):
+            api_.snapshot(999)
+        with pytest.raises(TalpError):
+            api_.snapshot_by_name("ghost")
+
+    def test_snapshot_all(self, api):
+        api_, mon = api
+        for name in ("a", "b", "c"):
+            h = mon.register(name)
+            mon.start(h)
+            mon.clock.advance(10)
+            mon.stop(h)
+        assert [s.name for s in api_.snapshot_all()] == ["a", "b", "c"]
+
+
+class TestGlobalEfficiency:
+    def test_weighted_aggregate(self, api):
+        api_, mon = api
+        h = mon.register("compute")
+        mon.start(h)
+        mon.clock.advance(10_000)
+        mon.stop(h)
+        pe = api_.global_parallel_efficiency()
+        assert 0.0 < pe <= 1.0
+        # matches the single region's PE when only one region exists
+        assert pe == pytest.approx(
+            api_.snapshot(h).pop.parallel_efficiency
+        )
+
+    def test_empty_monitor(self, api):
+        api_, _ = api
+        assert api_.global_parallel_efficiency() == 1.0

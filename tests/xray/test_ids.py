@@ -1,0 +1,81 @@
+"""Unit + property tests for packed ids (paper Fig. 4)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import PackedIdError
+from repro.xray.ids import (
+    MAIN_EXECUTABLE_OBJECT_ID,
+    MAX_DSOS,
+    MAX_FUNCTION_ID,
+    MAX_OBJECT_ID,
+    PackedId,
+)
+
+
+class TestLimits:
+    def test_paper_limits(self):
+        """8 bits → 255 DSOs; 24 bits → ~16.7M functions (paper §V-B.1)."""
+        assert MAX_DSOS == 255
+        assert MAX_FUNCTION_ID == 16_777_215
+
+    def test_object_id_out_of_range(self):
+        with pytest.raises(PackedIdError):
+            PackedId(256, 0)
+        with pytest.raises(PackedIdError):
+            PackedId(-1, 0)
+
+    def test_function_id_out_of_range(self):
+        with pytest.raises(PackedIdError):
+            PackedId(0, MAX_FUNCTION_ID + 1)
+
+    def test_unpack_too_wide(self):
+        with pytest.raises(PackedIdError):
+            PackedId.unpack(1 << 32)
+        with pytest.raises(PackedIdError):
+            PackedId.unpack(-1)
+
+
+class TestBackwardsCompatibility:
+    def test_main_executable_packed_id_equals_function_id(self):
+        """Object id 0 keeps packed ids identical to plain function ids —
+        the compatibility property the paper calls out explicitly."""
+        for fid in (0, 1, 12345, MAX_FUNCTION_ID):
+            assert PackedId(MAIN_EXECUTABLE_OBJECT_ID, fid).pack() == fid
+
+    def test_dso_ids_are_distinct_from_executable_ids(self):
+        assert PackedId(1, 5).pack() != PackedId(0, 5).pack()
+
+
+@given(
+    object_id=st.integers(0, MAX_OBJECT_ID),
+    function_id=st.integers(0, MAX_FUNCTION_ID),
+)
+def test_pack_unpack_roundtrip(object_id, function_id):
+    packed = PackedId(object_id, function_id)
+    assert PackedId.unpack(packed.pack()) == packed
+
+
+@given(value=st.integers(0, (1 << 32) - 1))
+def test_unpack_pack_roundtrip(value):
+    assert PackedId.unpack(value).pack() == value
+
+
+@given(
+    a=st.tuples(st.integers(0, MAX_OBJECT_ID), st.integers(0, MAX_FUNCTION_ID)),
+    b=st.tuples(st.integers(0, MAX_OBJECT_ID), st.integers(0, MAX_FUNCTION_ID)),
+)
+def test_packing_is_injective(a, b):
+    pa, pb = PackedId(*a), PackedId(*b)
+    if a != b:
+        assert pa.pack() != pb.pack()
+    else:
+        assert pa.pack() == pb.pack()
+
+
+def test_int_conversion_and_flags():
+    pid = PackedId(3, 7)
+    assert int(pid) == (3 << 24) | 7
+    assert not pid.is_main_executable
+    assert PackedId(0, 7).is_main_executable

@@ -1,0 +1,110 @@
+"""Tests for the XRay built-in modes (basic logging + accounting)."""
+
+import pytest
+
+from repro.execution.clock import VirtualClock
+from repro.xray.ids import PackedId
+from repro.xray.modes import AccountingMode, BasicMode, TraceRecord
+from repro.xray.trampoline import EventType
+
+
+@pytest.fixture
+def clock():
+    return VirtualClock()
+
+
+def feed(mode, clock, *events):
+    """events: (object_id, fn_id, 'entry'|'exit', advance_cycles)"""
+    for oid, fid, kind, adv in events:
+        clock.advance(adv)
+        mode.handler(
+            PackedId(oid, fid),
+            EventType.ENTRY if kind == "entry" else EventType.EXIT,
+        )
+
+
+class TestBasicMode:
+    def test_records_in_order(self, clock):
+        mode = BasicMode(clock=clock)
+        feed(mode, clock, (0, 1, "entry", 10), (0, 1, "exit", 20))
+        assert [r.event for r in mode.records] == ["entry", "exit"]
+        assert mode.records[0].timestamp_cycles == 10
+        assert mode.records[1].timestamp_cycles == 30
+
+    def test_buffer_drops_oldest(self, clock):
+        mode = BasicMode(clock=clock, buffer_size=3)
+        for i in range(5):
+            feed(mode, clock, (0, i + 1, "entry", 1))
+        assert len(mode.records) == 3
+        assert mode.dropped == 2
+        # the oldest were dropped
+        assert PackedId.unpack(mode.records[0].packed_id).function_id == 3
+
+    def test_flush_and_load_roundtrip(self, clock, tmp_path):
+        mode = BasicMode(clock=clock)
+        feed(mode, clock, (1, 2, "entry", 5), (1, 2, "exit", 7))
+        path = tmp_path / "xray.log"
+        assert mode.flush(path) == 2
+        loaded = BasicMode.load(path)
+        assert loaded == mode.records
+        assert isinstance(loaded[0], TraceRecord)
+
+    def test_installable_as_runtime_handler(self, demo_linked):
+        from repro.program.loader import DynamicLoader
+        from repro.xray.runtime import XRayRuntime
+
+        loader = DynamicLoader()
+        objs = loader.load_program(demo_linked)
+        rt = XRayRuntime(loader.image)
+        exe = objs[0]
+        rt.init_main_executable(
+            exe.binary.name, exe.base, exe.binary.sled_records, exe.binary.function_ids
+        )
+        clock = VirtualClock()
+        mode = BasicMode(clock=clock)
+        rt.set_handler(mode.handler)
+        rt.patch_all()
+        for sled in rt.object(0).sleds:
+            rt.fire_sled(sled.address)
+        assert len(mode.records) == len(rt.object(0).sleds)
+
+
+class TestAccountingMode:
+    def test_latency_attribution(self, clock):
+        mode = AccountingMode(clock=clock)
+        feed(
+            mode, clock,
+            (0, 1, "entry", 0),
+            (0, 2, "entry", 10),   # nested
+            (0, 2, "exit", 50),    # fn2 inclusive = 50
+            (0, 1, "exit", 40),    # fn1 inclusive = 100
+        )
+        acc1 = mode.accounts[PackedId(0, 1).pack()]
+        acc2 = mode.accounts[PackedId(0, 2).pack()]
+        assert acc2.total_cycles == pytest.approx(50)
+        assert acc1.total_cycles == pytest.approx(100)
+
+    def test_statistics(self, clock):
+        mode = AccountingMode(clock=clock)
+        for latency in (10, 30, 20):
+            feed(mode, clock, (0, 7, "entry", 0), (0, 7, "exit", latency))
+        acc = mode.accounts[PackedId(0, 7).pack()]
+        assert acc.count == 3
+        assert acc.min_cycles == 10
+        assert acc.max_cycles == 30
+        assert acc.mean_cycles == pytest.approx(20)
+
+    def test_unbalanced_exit_counted(self, clock):
+        mode = AccountingMode(clock=clock)
+        feed(mode, clock, (0, 1, "exit", 5))
+        assert mode.unbalanced == 1
+        assert not mode.accounts
+
+    def test_top_and_report(self, clock):
+        mode = AccountingMode(clock=clock)
+        feed(mode, clock, (0, 1, "entry", 0), (0, 1, "exit", 100))
+        feed(mode, clock, (0, 2, "entry", 0), (0, 2, "exit", 10))
+        top = mode.top(1)
+        assert top[0].packed_id == PackedId(0, 1).pack()
+        text = mode.report(resolve=lambda pid: f"fn{pid.function_id}")
+        assert "fn1" in text

@@ -1,0 +1,85 @@
+"""Unit + property tests for sled patching through protected memory."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PatchingError
+from repro.program.memory import ProcessImage
+from repro.xray.patching import SledPatcher
+from repro.xray.sled import SLED_BYTES, UNPATCHED
+
+
+@pytest.fixture
+def patcher_and_addr():
+    img = ProcessImage()
+    region = img.map_region("text", 4096)
+    addr = region.base + 64
+    img.mprotect(addr, SLED_BYTES, writable=True)
+    img.write(addr, UNPATCHED)
+    img.mprotect(addr, SLED_BYTES, writable=False)
+    return SledPatcher(img), addr, img
+
+
+class TestPatching:
+    def test_patch_writes_encoding(self, patcher_and_addr):
+        patcher, addr, img = patcher_and_addr
+        patcher.patch(addr, 42, 7)
+        assert patcher.read_sled(addr) == (42, 7)
+        assert patcher.stats.patched == 1
+
+    def test_patch_restores_protection(self, patcher_and_addr):
+        patcher, addr, img = patcher_and_addr
+        patcher.patch(addr, 1, 1)
+        assert not img.is_writable(addr)
+
+    def test_double_patch_rejected(self, patcher_and_addr):
+        patcher, addr, _ = patcher_and_addr
+        patcher.patch(addr, 1, 1)
+        with pytest.raises(PatchingError, match="already patched"):
+            patcher.patch(addr, 2, 2)
+
+    def test_unpatch_restores_nops(self, patcher_and_addr):
+        patcher, addr, img = patcher_and_addr
+        patcher.patch(addr, 9, 3)
+        patcher.unpatch(addr)
+        assert img.read(addr, SLED_BYTES) == UNPATCHED
+        assert patcher.read_sled(addr) is None
+
+    def test_unpatch_unpatched_rejected(self, patcher_and_addr):
+        patcher, addr, _ = patcher_and_addr
+        with pytest.raises(PatchingError, match="not patched"):
+            patcher.unpatch(addr)
+
+    def test_unmapped_address_raises_patching_error(self):
+        patcher = SledPatcher(ProcessImage())
+        with pytest.raises(PatchingError):
+            patcher.patch(0xDEAD000, 1, 1)
+
+    def test_mprotect_call_counting(self, patcher_and_addr):
+        patcher, addr, _ = patcher_and_addr
+        patcher.patch(addr, 1, 1)
+        patcher.unpatch(addr)
+        assert patcher.stats.mprotect_calls == 4
+
+
+@settings(max_examples=30)
+@given(
+    ops=st.lists(
+        st.tuples(st.integers(0, 2**31), st.integers(0, 255)), max_size=8
+    )
+)
+def test_patch_unpatch_always_restores_original_bytes(ops):
+    """Property: any patch/unpatch sequence leaves the image unchanged."""
+    img = ProcessImage()
+    region = img.map_region("text", 4096)
+    addr = region.base + 128
+    img.mprotect(addr, SLED_BYTES, writable=True)
+    img.write(addr, UNPATCHED)
+    img.mprotect(addr, SLED_BYTES, writable=False)
+    before = img.read(region.base, 4096)
+    patcher = SledPatcher(img)
+    for fid, tid in ops:
+        patcher.patch(addr, fid, tid)
+        patcher.unpatch(addr)
+    assert img.read(region.base, 4096) == before

@@ -1,0 +1,206 @@
+"""Unit tests for the XRay runtime with multi-object support."""
+
+import pytest
+
+from repro.errors import (
+    ObjectRegistrationError,
+    PatchingError,
+    TrampolineRelocationError,
+    XRayError,
+)
+from repro.program.compiler import Compiler, CompilerConfig
+from repro.program.linker import Linker
+from repro.program.loader import DynamicLoader
+from repro.xray.dso import XRayDsoRuntime
+from repro.xray.ids import PackedId
+from repro.xray.runtime import XRayRuntime
+from repro.xray.sled import SledKind, SledRecord
+from repro.xray.trampoline import EventType, TrampolineTable
+from tests.conftest import make_demo_builder
+
+
+@pytest.fixture
+def wired(demo_linked):
+    loader = DynamicLoader()
+    objs = loader.load_program(demo_linked)
+    rt = XRayRuntime(loader.image)
+    exe = objs[0]
+    rt.init_main_executable(
+        exe.binary.name, exe.base, exe.binary.sled_records, exe.binary.function_ids
+    )
+    dso_rt = XRayDsoRuntime(rt)
+    for lo in objs[1:]:
+        dso_rt.on_load(lo)
+    return rt, dso_rt, loader, objs
+
+
+class TestRegistration:
+    def test_main_executable_is_object_zero(self, wired):
+        rt, *_ = wired
+        assert rt.object_id_of("demo") == 0
+
+    def test_dso_ids_start_at_one(self, wired):
+        rt, *_ = wired
+        assert rt.object_id_of("libdemo.so") == 1
+
+    def test_double_init_rejected(self, wired):
+        rt, _, _, objs = wired
+        exe = objs[0]
+        with pytest.raises(ObjectRegistrationError):
+            rt.init_main_executable(
+                exe.binary.name, exe.base, [], {}
+            )
+
+    def test_duplicate_dso_rejected(self, wired):
+        rt, dso_rt, _, objs = wired
+        with pytest.raises(ObjectRegistrationError):
+            dso_rt.on_load(objs[1])
+
+    def test_deregister_removes_object(self, wired):
+        rt, dso_rt, *_ = wired
+        dso_rt.on_unload("libdemo.so")
+        with pytest.raises(XRayError):
+            rt.object_id_of("libdemo.so")
+
+    def test_deregister_main_rejected(self, wired):
+        rt, *_ = wired
+        with pytest.raises(ObjectRegistrationError):
+            rt.deregister_object(0)
+
+    def test_function_id_over_24_bits_rejected(self, wired):
+        rt, *_ = wired
+        tramps = rt.trampolines.create_pair("fake.so", pic=True)
+        with pytest.raises(ObjectRegistrationError, match="24-bit"):
+            rt.register_dso(
+                "fake.so",
+                0x7000000,
+                [],
+                {2**24: "too_big"},
+                tramps,
+            )
+
+    def test_dso_limit_255(self):
+        """Registering a 256th DSO must fail (8-bit object id)."""
+        img_rt = XRayRuntime(memory=None)  # type: ignore[arg-type]
+        for i in range(255):
+            tramps = img_rt.trampolines.create_pair(f"lib{i}.so", pic=True)
+            img_rt.register_dso(f"lib{i}.so", 0x1000 * (i + 1), [], {}, tramps)
+        tramps = img_rt.trampolines.create_pair("lib255.so", pic=True)
+        with pytest.raises(ObjectRegistrationError, match="255"):
+            img_rt.register_dso("lib255.so", 0xFFFF000, [], {}, tramps)
+
+
+class TestPatchingApi:
+    def test_patch_all_and_counts(self, wired):
+        rt, *_ = wired
+        sleds = rt.patch_all()
+        assert sleds == 2 * len(rt.packed_ids())
+        assert rt.patched_count() == len(rt.packed_ids())
+
+    def test_patch_function_in_dso(self, wired):
+        rt, *_ = wired
+        dso_obj = rt.object(1)
+        fid = next(iter(dso_obj.function_names))
+        packed = PackedId(1, fid)
+        assert rt.patch_function(packed) == 2
+        assert rt.is_patched(packed)
+        rt.unpatch_function(packed)
+        assert not rt.is_patched(packed)
+
+    def test_patch_unknown_function_id(self, wired):
+        rt, *_ = wired
+        with pytest.raises(PatchingError):
+            rt.patch_function(PackedId(0, 9999))
+
+    def test_unpatch_all_roundtrip(self, wired):
+        rt, *_ = wired
+        rt.patch_all()
+        rt.unpatch_all()
+        assert rt.patched_count() == 0
+
+
+class TestEventDispatch:
+    def test_fire_unpatched_sled_is_noop(self, wired):
+        rt, *_ = wired
+        events = []
+        rt.set_handler(lambda pid, et: events.append((pid, et)))
+        obj = rt.object(0)
+        assert rt.fire_sled(obj.sleds[0].address) is False
+        assert events == []
+
+    def test_fire_patched_sled_reaches_handler(self, wired):
+        rt, *_ = wired
+        events = []
+        rt.set_handler(lambda pid, et: events.append((pid, et)))
+        fid = next(iter(rt.object(0).function_names))
+        packed = PackedId(0, fid)
+        rt.patch_function(packed)
+        for sled in rt.object(0).sleds_of(fid):
+            rt.fire_sled(sled.address)
+        assert (packed, EventType.ENTRY) in events
+        assert (packed, EventType.EXIT) in events
+
+    def test_dso_events_carry_object_id(self, wired):
+        rt, *_ = wired
+        events = []
+        rt.set_handler(lambda pid, et: events.append(pid))
+        rt.patch_all()
+        fid = next(iter(rt.object(1).function_names))
+        for sled in rt.object(1).sleds_of(fid):
+            rt.fire_sled(sled.address)
+        assert all(pid.object_id == 1 for pid in events)
+
+    def test_function_address_and_name(self, wired):
+        rt, _, loader, objs = wired
+        fid = next(iter(rt.object(1).function_names))
+        packed = PackedId(1, fid)
+        addr = rt.function_address(packed)
+        assert objs[1].region.contains(addr)
+        assert rt.function_name(packed) == rt.object(1).function_names[fid]
+
+
+class TestPicTrampolines:
+    def test_non_pic_dso_faults_on_event(self):
+        """Paper §V-B.2: without the GOT-relative fix, relocated DSO
+        trampolines crash on first use."""
+        program = make_demo_builder().build()
+        compiled = Compiler(CompilerConfig(pic=False)).compile(program)
+        linked = Linker().link(compiled)
+        loader = DynamicLoader()
+        objs = loader.load_program(linked)
+        rt = XRayRuntime(loader.image)
+        exe = objs[0]
+        rt.init_main_executable(
+            exe.binary.name, exe.base, exe.binary.sled_records, exe.binary.function_ids
+        )
+        dso_rt = XRayDsoRuntime(rt)
+        dso_rt.on_load(objs[1])
+        rt.set_handler(lambda pid, et: None)
+        rt.patch_all()
+        dso_obj = rt.object(1)
+        with pytest.raises(TrampolineRelocationError, match="-fPIC"):
+            rt.fire_sled(dso_obj.sleds[0].address)
+
+    def test_executable_trampolines_never_fault(self, wired):
+        rt, *_ = wired
+        rt.set_handler(lambda pid, et: None)
+        rt.patch_all()
+        for sled in rt.object(0).sleds:
+            rt.fire_sled(sled.address)  # must not raise
+
+
+class TestTrampolineTable:
+    def test_pair_creation_and_removal(self):
+        table = TrampolineTable()
+        e, x = table.create_pair("a.so", pic=True)
+        assert len(table) == 2
+        assert e.event_type is EventType.ENTRY
+        assert x.event_type is EventType.EXIT
+        table.remove_object("a.so")
+        assert len(table) == 0
+
+
+def test_sled_record_is_frozen():
+    rec = SledRecord(0, SledKind.ENTRY, "f", 1)
+    with pytest.raises(AttributeError):
+        rec.offset = 5  # type: ignore[misc]
