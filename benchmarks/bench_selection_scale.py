@@ -1,0 +1,418 @@
+"""Selection + engine-walk scale benchmark with a seed-reference baseline.
+
+Times the interned-id selection pipeline and the memoised execution
+engine against a faithful re-implementation of the seed (pre-interning)
+code paths:
+
+* **selection baseline** — a string-keyed graph (``dict[str, set[str]]``
+  adjacency) evaluated with the seed's copying accessors and
+  string-set algebra, selector by selector;
+* **engine baseline** — the current engine with every pure-structure
+  cache replaced by a write-discarding stand-in (per-invocation target
+  resolution, exactly the seed behaviour) plus the seed's linear-scan
+  address/sled resolution restored via monkeypatching.
+
+Both baselines must produce *identical* results (selected sets,
+``t_total``/``t_init`` per Table II cell) — the speedup is asserted on
+top of that equivalence.  A ``BENCH_selection.json`` record is written
+to the repository root so the performance trajectory is tracked:
+
+    PYTHONPATH=src python benchmarks/bench_selection_scale.py
+    PYTHONPATH=src python -m pytest benchmarks/bench_selection_scale.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import time
+from contextlib import contextmanager
+from pathlib import Path
+
+from repro._util import compare
+from repro.apps import PAPER_SPECS
+from repro.cg.graph import CallGraph
+from repro.core.pipeline import PipelineBuilder, evaluate_pipeline
+from repro.core.spec.ast import AllExpr, Assign, CallExpr, RefExpr
+from repro.core.spec.modules import load_spec
+from repro.execution.engine import ExecutionEngine
+from repro.experiments.runner import prepare_app, run_configuration
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RECORD_PATH = REPO_ROOT / "BENCH_selection.json"
+
+#: the 8k-node bench graph of benchmarks/conftest.py
+BENCH_SCALE = 8000
+
+#: acceptance floors (ISSUE 1): selection >=3x, engine walk >=2x
+SELECTION_FLOOR = 3.0
+ENGINE_FLOOR = 2.0
+
+#: Table II cells exercised for the engine comparison (config kwargs)
+ENGINE_CELLS = (
+    ("vanilla/-", dict(mode="vanilla")),
+    ("inactive/-", dict(mode="inactive")),
+    ("full/talp", dict(mode="full", tool="talp")),
+    ("full/scorep", dict(mode="full", tool="scorep")),
+    ("ic mpi/talp", dict(mode="ic", tool="talp", ic="mpi")),
+    ("ic mpi/scorep", dict(mode="ic", tool="scorep", ic="mpi")),
+    ("ic kernels/scorep", dict(mode="ic", tool="scorep", ic="kernels")),
+    ("ic kernels coarse/talp", dict(mode="ic", tool="talp", ic="kernels coarse")),
+)
+
+
+# -- seed-reference selection -------------------------------------------------------
+#
+# A faithful re-implementation of the seed's string-keyed data structure
+# and per-selector algorithms, evaluated straight off the spec AST.
+
+
+class SeedGraph:
+    """The seed ``CallGraph`` layout: name-keyed dict-of-set adjacency."""
+
+    def __init__(self, graph: CallGraph):
+        self.meta = {node.name: node.meta for node in graph.nodes()}
+        self.succ: dict[str, set[str]] = {name: set() for name in self.meta}
+        self.pred: dict[str, set[str]] = {name: set() for name in self.meta}
+        for edge in graph.edges():
+            self.succ[edge.caller].add(edge.callee)
+            self.pred[edge.callee].add(edge.caller)
+
+    # the seed's copying accessors
+    def callees_of(self, name: str) -> set[str]:
+        return set(self.succ.get(name, ()))
+
+    def callers_of(self, name: str) -> set[str]:
+        return set(self.pred.get(name, ()))
+
+    def reachable_from(self, roots) -> set[str]:
+        seen: set[str] = set()
+        stack = [r for r in roots if r in self.meta]
+        while stack:
+            name = stack.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            stack.extend(self.succ[name] - seen)
+        return seen
+
+    def reaching(self, targets) -> set[str]:
+        seen: set[str] = set()
+        stack = [t for t in targets if t in self.meta]
+        while stack:
+            name = stack.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            stack.extend(self.pred[name] - seen)
+        return seen
+
+    def coarse(self, selected: set[str], critical: set[str]) -> set[str]:
+        from collections import deque
+
+        result = set(selected)
+        roots = [n for n in sorted(self.meta) if not self.pred[n]]
+        visited: set[str] = set()
+        queue = deque(roots)
+        while queue:
+            name = queue.popleft()
+            if name in visited:
+                continue
+            visited.add(name)
+            for callee in sorted(self.callees_of(name)):
+                if (
+                    callee in result
+                    and callee not in critical
+                    and self.callers_of(callee) == {name}
+                ):
+                    result.discard(callee)
+                queue.append(callee)
+        return result
+
+
+_META_FLAGS = {
+    "inSystemHeader": "in_system_header",
+    "inlineSpecified": "inline_marked",
+    "virtual": "is_virtual",
+    "defined": "has_body",
+}
+_METRICS = {
+    "flops": lambda g, n: g.meta[n].flops,
+    "loopDepth": lambda g, n: g.meta[n].loop_depth,
+    "statements": lambda g, n: g.meta[n].statements,
+    "callSites": lambda g, n: len(g.succ[n]),
+    "callers": lambda g, n: len(g.pred[n]),
+}
+
+
+def seed_reference_select(graph: CallGraph, spec_source: str) -> frozenset[str]:
+    """Evaluate a spec with the seed's string-set algorithms."""
+    g = SeedGraph(graph)
+    spec = load_spec(spec_source)
+    named: dict[str, set[str]] = {}
+
+    def ev(expr) -> set[str]:
+        if isinstance(expr, AllExpr):
+            return set(g.meta)
+        if isinstance(expr, RefExpr):
+            return set(named[expr.name])
+        assert isinstance(expr, CallExpr)
+        sel, args = expr.selector, expr.args
+        if sel == "join":
+            out: set[str] = set()
+            for a in args:
+                out |= ev(a)
+            return out
+        if sel == "subtract":
+            out = ev(args[0])
+            for a in args[1:]:
+                out -= ev(a)
+            return out
+        if sel == "intersect":
+            out = ev(args[0])
+            for a in args[1:]:
+                out &= ev(a)
+            return out
+        if sel == "complement":
+            return set(g.meta) - ev(args[0])
+        if sel in _META_FLAGS:
+            attr = _META_FLAGS[sel]
+            return {n for n in ev(args[0]) if getattr(g.meta[n], attr)}
+        if sel in _METRICS:
+            op, threshold = args[0].value, args[1].value
+            fn = _METRICS[sel]
+            return {
+                n for n in ev(args[2]) if compare(op, float(fn(g, n)), threshold)
+            }
+        if sel == "byName":
+            rx = re.compile(args[0].value)
+            return {n for n in ev(args[1]) if rx.fullmatch(n)}
+        if sel == "byPath":
+            rx = re.compile(args[0].value)
+            return {n for n in ev(args[1]) if rx.search(g.meta[n].source_path)}
+        if sel == "onCallPathTo":
+            return g.reaching(ev(args[0]))
+        if sel == "onCallPathFrom":
+            return g.reachable_from(ev(args[0]))
+        if sel == "callPath":
+            return g.reachable_from(ev(args[0])) & g.reaching(ev(args[1]))
+        if sel == "coarse":
+            critical = ev(args[1]) if len(args) > 1 else set()
+            return g.coarse(ev(args[0]), critical)
+        raise NotImplementedError(f"seed reference lacks selector {sel!r}")
+
+    result: set[str] = set()
+    for stmt in spec.statements:
+        if isinstance(stmt, Assign):
+            named[stmt.name] = ev(stmt.expr)
+            result = named[stmt.name]
+        else:
+            result = ev(stmt)
+    return frozenset(result)
+
+
+# -- seed-reference engine mode ---------------------------------------------------
+
+
+@contextmanager
+def seed_execution_mode():
+    """Restore the seed's per-call hot-path behaviour process-wide.
+
+    * every engine resolves call targets and rebuilds function records
+      per invocation (``defeat_memoization``),
+    * Score-P address resolution scans the executable symbol table and
+      all injected DSO symbols linearly per event, and
+    * XRay ``sleds_of`` scans the whole sled table per query.
+    """
+    from repro.scorep import resolution
+    from repro.xray import runtime as xray_runtime
+
+    orig_post = ExecutionEngine.__post_init__
+    orig_resolve = resolution.AddressResolver.resolve
+    orig_sleds_of = xray_runtime.RegisteredObject.sleds_of
+
+    def seed_post(self):
+        orig_post(self)
+        self.defeat_memoization()
+
+    def seed_resolve(self, address):
+        exe = self.loader.loaded.get(self.executable_name)
+        if exe is not None and exe.region.contains(address):
+            for sym in exe.binary.symtab:
+                if sym.offset <= address - exe.base < sym.offset + sym.size:
+                    self.resolved_queries += 1
+                    return sym.name
+        for start, (name, size) in self._injected.items():
+            if start <= address < start + max(size, 1):
+                self.resolved_queries += 1
+                return name
+        self.unresolved_queries += 1
+        return None
+
+    def seed_sleds_of(self, function_id):
+        return [s for s in self.sleds if s.record.function_id == function_id]
+
+    ExecutionEngine.__post_init__ = seed_post
+    resolution.AddressResolver.resolve = seed_resolve
+    xray_runtime.RegisteredObject.sleds_of = seed_sleds_of
+    try:
+        yield
+    finally:
+        ExecutionEngine.__post_init__ = orig_post
+        resolution.AddressResolver.resolve = orig_resolve
+        xray_runtime.RegisteredObject.sleds_of = orig_sleds_of
+
+
+# -- measurement ------------------------------------------------------------------
+
+
+def _best_of(fn, reps: int = 3) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def measure_selection(prepared) -> dict:
+    """Per-spec selection timing: interned-id pipeline vs seed reference."""
+    graph = prepared.app.graph
+    specs = {}
+    for name, source in PAPER_SPECS.items():
+        entry = PipelineBuilder().build(load_spec(source))[0]
+        new_result = evaluate_pipeline(entry, graph)
+        ref_selected = seed_reference_select(graph, source)
+        if new_result.selected != ref_selected:
+            raise AssertionError(
+                f"selection mismatch for {name!r}: interned-id and seed "
+                f"reference disagree on {len(new_result.selected ^ ref_selected)}"
+                " functions"
+            )
+        t_new = _best_of(lambda: evaluate_pipeline(entry, graph))
+        t_ref = _best_of(lambda: seed_reference_select(graph, source))
+        specs[name] = {
+            "selected": len(new_result.selected),
+            "seconds": t_new,
+            "seed_seconds": t_ref,
+            "speedup": t_ref / t_new,
+        }
+    total_new = sum(s["seconds"] for s in specs.values())
+    total_ref = sum(s["seed_seconds"] for s in specs.values())
+    return {
+        "graph_nodes": len(graph),
+        "graph_edges": graph.edge_count(),
+        "specs": specs,
+        "seconds": total_new,
+        "seed_seconds": total_ref,
+        "speedup": total_ref / total_new,
+    }
+
+
+def measure_engine(prepared) -> dict:
+    """Table II cell timing: memoised engine vs seed-mode engine."""
+    ics = {k: v.ic for k, v in prepared.select_all().items()}
+
+    def run_cell(spec):
+        kwargs = dict(spec)
+        ic_name = kwargs.pop("ic", None)
+        if ic_name is not None:
+            kwargs["ic"] = ics[ic_name]
+        return run_configuration(prepared, **kwargs).result
+
+    cells = {}
+    for cell_name, spec in ENGINE_CELLS:
+        t0 = time.perf_counter()
+        new_result = run_cell(spec)
+        t_new = time.perf_counter() - t0
+        with seed_execution_mode():
+            t0 = time.perf_counter()
+            ref_result = run_cell(spec)
+            t_ref = time.perf_counter() - t0
+        for field_name in ("t_total", "t_init", "entry_events", "mpi_calls"):
+            new_v = getattr(new_result, field_name)
+            ref_v = getattr(ref_result, field_name)
+            if new_v != ref_v:
+                raise AssertionError(
+                    f"engine mismatch in cell {cell_name!r}: {field_name} "
+                    f"memoised={new_v!r} seed={ref_v!r}"
+                )
+        cells[cell_name] = {
+            "t_total_virtual": new_result.t_total,
+            "t_init_virtual": new_result.t_init,
+            "seconds": t_new,
+            "seed_seconds": t_ref,
+            "speedup": t_ref / t_new,
+        }
+    total_new = sum(c["seconds"] for c in cells.values())
+    total_ref = sum(c["seed_seconds"] for c in cells.values())
+    return {
+        "cells": cells,
+        "seconds": total_new,
+        "seed_seconds": total_ref,
+        "speedup": total_ref / total_new,
+    }
+
+
+def collect_record(scale: int = BENCH_SCALE) -> dict:
+    prepared = prepare_app("openfoam", scale)
+    selection = measure_selection(prepared)
+    engine = measure_engine(prepared)
+    return {
+        "benchmark": "bench_selection_scale",
+        "app": "openfoam",
+        "scale": scale,
+        "selection": selection,
+        "engine": engine,
+        "floors": {"selection": SELECTION_FLOOR, "engine": ENGINE_FLOOR},
+    }
+
+
+def write_record(record: dict, path: Path = RECORD_PATH) -> Path:
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+# -- pytest entry points ----------------------------------------------------------
+
+
+def test_selection_scale_speedup_and_record(benchmark, openfoam_prepared):
+    """Selection >=3x and engine walk >=2x over the seed implementation,
+    identical selected sets and Table II virtual timings; emits the
+    BENCH_selection.json perf-trajectory record."""
+    record = collect_record(BENCH_SCALE)
+    write_record(record)
+    assert record["selection"]["speedup"] >= SELECTION_FLOOR, record["selection"]
+    assert record["engine"]["speedup"] >= ENGINE_FLOOR, record["engine"]
+    graph = openfoam_prepared.app.graph
+    entry = PipelineBuilder().build(load_spec(PAPER_SPECS["mpi"]))[0]
+    result = benchmark(lambda: evaluate_pipeline(entry, graph))
+    assert len(result.selected) > 0
+
+
+def main() -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale",
+        type=int,
+        default=BENCH_SCALE,
+        help=f"openfoam graph size (default {BENCH_SCALE}; paper scale 410666)",
+    )
+    parser.add_argument("--output", type=Path, default=RECORD_PATH)
+    args = parser.parse_args()
+    record = collect_record(args.scale)
+    path = write_record(record, args.output)
+    sel, eng = record["selection"], record["engine"]
+    print(f"selection: {sel['seed_seconds']:.3f}s -> {sel['seconds']:.3f}s "
+          f"({sel['speedup']:.1f}x, floor {SELECTION_FLOOR}x)")
+    print(f"engine:    {eng['seed_seconds']:.3f}s -> {eng['seconds']:.3f}s "
+          f"({eng['speedup']:.1f}x, floor {ENGINE_FLOOR}x)")
+    print(f"record written to {path}")
+    ok = sel["speedup"] >= SELECTION_FLOOR and eng["speedup"] >= ENGINE_FLOOR
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,7 +1,10 @@
 """Call-graph analyses shared by selectors and the coarse pass.
 
 All traversals are iterative (no recursion) and linear in nodes+edges so
-they stay usable at the paper's 410k-node OpenFOAM scale.
+they stay usable at the paper's 410k-node OpenFOAM scale.  The heavy
+lifting runs over the graph's interned integer ids (``*_ids`` variants);
+the string-keyed wrappers remain for callers that live at the name
+boundary.
 """
 
 from __future__ import annotations
@@ -26,6 +29,13 @@ def on_call_path_from(graph: CallGraph, sources: Iterable[str]) -> set[str]:
     return graph.reachable_from(sources)
 
 
+def call_path_between_ids(
+    graph: CallGraph, source_ids: Iterable[int], target_ids: Iterable[int]
+) -> set[int]:
+    """Ids on some path source→…→target, as integer set intersection."""
+    return graph.reachable_ids(source_ids) & graph.reaching_ids(target_ids)
+
+
 def call_path_between(
     graph: CallGraph, sources: Iterable[str], targets: Iterable[str]
 ) -> set[str]:
@@ -34,64 +44,108 @@ def call_path_between(
     The ``mpi_comm`` selector of the bundled ``mpi.capi`` module is
     exactly this with sources={main} and targets={MPI_*}.
     """
-    return graph.reachable_from(sources) & graph.reaching(targets)
+    ids = call_path_between_ids(
+        graph, graph.names_to_ids(sources), graph.names_to_ids(targets)
+    )
+    return set(graph.ids_to_names(ids))
+
+
+def call_depth_ids_from(graph: CallGraph, root_id: int) -> dict[int, int]:
+    """Shortest call depth from a root id (BFS; unreachable ids absent)."""
+    depths = {root_id: 0}
+    queue = deque([root_id])
+    succ = graph.succ_ids
+    while queue:
+        nid = queue.popleft()
+        base = depths[nid] + 1
+        for callee in succ(nid):
+            if callee not in depths:
+                depths[callee] = base
+                queue.append(callee)
+    return depths
 
 
 def call_depths_from(graph: CallGraph, root: str) -> dict[str, int]:
     """Shortest call depth from ``root`` (BFS; unreachable nodes absent)."""
-    if root not in graph:
+    root_id = graph.id_of(root)
+    if root_id is None:
         return {}
-    depths = {root: 0}
-    queue = deque([root])
-    while queue:
-        name = queue.popleft()
-        for callee in graph.callees_of(name):
-            if callee not in depths:
-                depths[callee] = depths[name] + 1
-                queue.append(callee)
-    return depths
+    name_of = graph.name_of
+    return {
+        name_of(nid): d for nid, d in call_depth_ids_from(graph, root_id).items()
+    }
+
+
+def aggregate_statement_ids(
+    graph: CallGraph, root_id: int, *, metric: Callable[[int], int] | None = None
+) -> dict[int, int]:
+    """Statement aggregation along call chains, over interned ids.
+
+    For each node, the maximum over all call paths from the root of the
+    summed statement counts along the path.  Cycles contribute each
+    member once (the aggregation is computed over the DAG of strongly
+    connected components).
+    """
+    metric = metric or (lambda nid: graph.meta_of(nid).statements)
+    comp_of, comp_members = _condense(graph, root_id)
+    comp_metric = [sum(metric(m) for m in members) for members in comp_members]
+    comp_succ = _condensation_edges(graph, comp_of, comp_members)
+    order = _topo_order(comp_succ)
+    best: dict[int, int] = {}
+    root_comp = comp_of[root_id]
+    best[root_comp] = comp_metric[root_comp]
+    # longest-path DP over the condensation in topological order
+    # (callers relaxed before their callees)
+    for cid in order:
+        if cid not in best:
+            continue
+        base = best[cid]
+        for tgt in comp_succ[cid]:
+            cand = base + comp_metric[tgt]
+            if cand > best.get(tgt, -1):
+                best[tgt] = cand
+    return {
+        member: best[cid]
+        for cid, members in enumerate(comp_members)
+        if cid in best
+        for member in members
+    }
 
 
 def aggregate_statements(
     graph: CallGraph, root: str, *, metric: Callable[[str], int] | None = None
 ) -> dict[str, int]:
-    """Statement aggregation along call chains (Iwainsky & Bischof [16]).
-
-    For each node, the maximum over all call paths from ``root`` of the
-    summed statement counts along the path.  Cycles contribute each
-    member once (the aggregation is computed over the DAG of strongly
-    connected components).
-    """
-    if root not in graph:
+    """Statement aggregation along call chains (Iwainsky & Bischof [16])."""
+    root_id = graph.id_of(root)
+    if root_id is None:
         return {}
-    metric = metric or (lambda n: graph.node(n).meta.statements)
-    comp_of, comp_members = _condense(graph, root)
-    comp_metric = {
-        cid: sum(metric(m) for m in members)
-        for cid, members in comp_members.items()
-    }
-    # longest-path DP over the condensation in reverse topological order
-    order = _topo_order(comp_of, comp_members, graph)
-    best: dict[int, int] = {}
-    root_comp = comp_of[root]
-    best[root_comp] = comp_metric[root_comp]
-    for cid in order:
-        if cid not in best:
-            continue
-        for member in comp_members[cid]:
-            for callee in graph.callees_of(member):
-                tgt = comp_of.get(callee)
-                if tgt is None or tgt == cid:
-                    continue
-                cand = best[cid] + comp_metric[tgt]
-                if cand > best.get(tgt, -1):
-                    best[tgt] = cand
+    id_metric = None
+    if metric is not None:
+        name_metric = metric
+        id_metric = lambda nid: name_metric(graph.name_of(nid))  # noqa: E731
+    name_of = graph.name_of
     return {
-        member: best[cid]
-        for cid, members in comp_members.items()
-        if cid in best
-        for member in members
+        name_of(nid): total
+        for nid, total in aggregate_statement_ids(
+            graph, root_id, metric=id_metric
+        ).items()
     }
+
+
+def single_caller_ids(graph: CallGraph, within: set[int]) -> set[int]:
+    """Ids in ``within`` whose only caller *within the set* is unique."""
+    out = set()
+    pred = graph.pred_ids
+    for nid in within:
+        count = 0
+        for p in pred(nid):
+            if p in within:
+                count += 1
+                if count > 1:
+                    break
+        if count == 1:
+            out.add(nid)
+    return out
 
 
 def single_caller_nodes(graph: CallGraph, within: set[str]) -> set[str]:
@@ -100,82 +154,116 @@ def single_caller_nodes(graph: CallGraph, within: set[str]) -> set[str]:
     Helper for the coarse selector: a callee with exactly one selected
     caller is a pass-through candidate.
     """
-    out = set()
-    for name in within:
-        callers = graph.callers_of(name) & within
-        if len(callers) == 1:
-            out.add(name)
-    return out
+    ids = single_caller_ids(graph, graph.names_to_ids(within))
+    return set(graph.ids_to_names(ids))
 
 
 # -- internals -------------------------------------------------------------------
 
 
-def _condense(graph: CallGraph, root: str) -> tuple[dict[str, int], dict[int, list[str]]]:
-    """Tarjan SCC over the subgraph reachable from ``root`` (iterative)."""
-    index: dict[str, int] = {}
-    low: dict[str, int] = {}
-    on_stack: set[str] = set()
-    stack: list[str] = []
-    comp_of: dict[str, int] = {}
-    comp_members: dict[int, list[str]] = {}
-    counter = 0
-    comp_id = 0
+def _condense(
+    graph: CallGraph, root_id: int
+) -> tuple[dict[int, int], list[list[int]]]:
+    """Tarjan SCC over the subgraph reachable from ``root_id`` (iterative).
 
-    call_stack: list[tuple[str, Iterable[str]]] = []
-    reachable = graph.reachable_from([root])
-    for start in sorted(reachable):
+    Returns ``(comp_of, comp_members)`` where ``comp_of`` maps a node id
+    to its component id and ``comp_members[cid]`` lists member node ids.
+    """
+    reachable = graph.reachable_ids([root_id])
+    index: dict[int, int] = {}
+    low: dict[int, int] = {}
+    on_stack: set[int] = set()
+    stack: list[int] = []
+    comp_of: dict[int, int] = {}
+    comp_members: list[list[int]] = []
+    counter = 0
+
+    succ = graph.succ_ids
+    call_stack: list[tuple[int, list[int], int]] = []
+    for start in reachable:
         if start in index:
             continue
-        call_stack.append((start, iter(sorted(graph.callees_of(start) & reachable))))
         index[start] = low[start] = counter
         counter += 1
         stack.append(start)
         on_stack.add(start)
+        call_stack.append((start, [c for c in succ(start) if c in reachable], 0))
         while call_stack:
-            node, children = call_stack[-1]
+            node, children, child_pos = call_stack[-1]
             advanced = False
-            for child in children:
+            while child_pos < len(children):
+                child = children[child_pos]
+                child_pos += 1
                 if child not in index:
+                    call_stack[-1] = (node, children, child_pos)
                     index[child] = low[child] = counter
                     counter += 1
                     stack.append(child)
                     on_stack.add(child)
                     call_stack.append(
-                        (child, iter(sorted(graph.callees_of(child) & reachable)))
+                        (child, [c for c in succ(child) if c in reachable], 0)
                     )
                     advanced = True
                     break
-                if child in on_stack:
-                    low[node] = min(low[node], index[child])
+                if child in on_stack and index[child] < low[node]:
+                    low[node] = index[child]
             if advanced:
                 continue
             call_stack.pop()
             if call_stack:
                 parent = call_stack[-1][0]
-                low[parent] = min(low[parent], low[node])
+                if low[node] < low[parent]:
+                    low[parent] = low[node]
             if low[node] == index[node]:
                 members = []
+                cid = len(comp_members)
                 while True:
                     member = stack.pop()
                     on_stack.discard(member)
                     members.append(member)
-                    comp_of[member] = comp_id
+                    comp_of[member] = cid
                     if member == node:
                         break
-                comp_members[comp_id] = members
-                comp_id += 1
+                comp_members.append(members)
     return comp_of, comp_members
 
 
-def _topo_order(
-    comp_of: dict[str, int],
-    comp_members: dict[int, list[str]],
-    graph: CallGraph,
-) -> list[int]:
-    """Topological order of the condensation (callers before callees).
+def _condensation_edges(
+    graph: CallGraph, comp_of: dict[int, int], comp_members: list[list[int]]
+) -> list[set[int]]:
+    """Cross-component successor sets of the condensation DAG."""
+    comp_succ: list[set[int]] = [set() for _ in comp_members]
+    succ = graph.succ_ids
+    get_comp = comp_of.get
+    for cid, members in enumerate(comp_members):
+        targets = comp_succ[cid]
+        for member in members:
+            for callee in succ(member):
+                tgt = get_comp(callee)
+                if tgt is not None and tgt != cid:
+                    targets.add(tgt)
+    return comp_succ
 
-    Tarjan emits SCCs in reverse topological order of the condensation,
-    so iterating component ids from high to low visits callers first.
+
+def _topo_order(comp_succ: list[set[int]]) -> list[int]:
+    """Explicit topological order of the condensation (callers first).
+
+    Kahn's algorithm over the cross-component edges.  Unlike relying on
+    Tarjan's emission order (reverse-topological by construction, but an
+    implementation detail of the traversal), this is order-correct for
+    any SCC labelling.
     """
-    return sorted(comp_members, reverse=True)
+    indegree = [0] * len(comp_succ)
+    for targets in comp_succ:
+        for tgt in targets:
+            indegree[tgt] += 1
+    ready = [cid for cid, deg in enumerate(indegree) if deg == 0]
+    order: list[int] = []
+    while ready:
+        cid = ready.pop()
+        order.append(cid)
+        for tgt in comp_succ[cid]:
+            indegree[tgt] -= 1
+            if indegree[tgt] == 0:
+                ready.append(tgt)
+    return order

@@ -6,14 +6,20 @@ header origin) and edge structure (call paths).  Edges carry a *reason*
 so tests can distinguish statically-found direct edges from virtual-call
 over-approximation and profile-validated function-pointer edges.
 
-Adjacency is plain ``dict[str, set[str]]`` — at the paper's OpenFOAM
-scale (410k nodes) this keeps construction and traversal linear and
-allocation-light.
+Function names are interned to dense integer ids on first mention; all
+adjacency is id-keyed (``list[set[int]]`` indexed by id) so traversals
+and selector set-algebra run over small ints instead of strings.  At the
+paper's OpenFOAM scale (410k nodes) this keeps construction linear and
+lets :meth:`reachable_ids` / :meth:`reaching_ids` sweep the graph with a
+preallocated visited byte-array instead of per-node set churn.  The
+string-keyed query API is preserved on top of the id core;
+``callees_of``/``callers_of`` return non-copying read-only views.
 """
 
 from __future__ import annotations
 
 import enum
+from collections.abc import Set as AbstractSet
 from dataclasses import dataclass, field, replace
 from typing import Iterable, Iterator
 
@@ -75,126 +81,276 @@ class Edge:
     reason: EdgeReason = EdgeReason.DIRECT
 
 
+class NameSetView(AbstractSet):
+    """Read-only set-of-names view over an id-set, without copying.
+
+    Supports the full ``collections.abc.Set`` algebra; binary set ops
+    with plain ``set``/``frozenset`` operands produce plain sets.
+    """
+
+    __slots__ = ("_graph", "_ids")
+
+    def __init__(self, graph: "CallGraph", ids: AbstractSet):
+        self._graph = graph
+        self._ids = ids
+
+    def __contains__(self, name: object) -> bool:
+        nid = self._graph._ids.get(name)  # type: ignore[arg-type]
+        return nid is not None and nid in self._ids
+
+    def __iter__(self) -> Iterator[str]:
+        names = self._graph._names
+        return (names[i] for i in self._ids)
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __repr__(self) -> str:
+        return f"NameSetView({set(self)!r})"
+
+    @classmethod
+    def _from_iterable(cls, it: Iterable[str]) -> set:
+        return set(it)
+
+
 class CallGraph:
-    """Mutable whole-program call graph."""
+    """Mutable whole-program call graph over interned function ids."""
 
     def __init__(self) -> None:
-        self._nodes: dict[str, CGNode] = {}
-        self._succ: dict[str, set[str]] = {}
-        self._pred: dict[str, set[str]] = {}
-        self._edge_reasons: dict[tuple[str, str], EdgeReason] = {}
+        #: live name -> id (removed nodes are dropped from this map)
+        self._ids: dict[str, int] = {}
+        #: id -> name, never shrinks (ids are stable, tombstones stay)
+        self._names: list[str] = []
+        #: id -> node, ``None`` for removed nodes
+        self._nodes: list[CGNode | None] = []
+        self._succ: list[set[int]] = []
+        self._pred: list[set[int]] = []
+        #: (caller_id << 32 | callee_id) -> reason
+        self._edge_reasons: dict[int, EdgeReason] = {}
+        self._live_count = 0
+        #: structure version; bumped on any mutation (invalidates columns)
+        self._version = 0
+        #: NodeMeta attr -> (version, id-indexed value column)
+        self._columns: dict[str, tuple[int, list]] = {}
 
     # -- construction -----------------------------------------------------------
 
+    def _intern(self, name: str) -> int:
+        """Id of ``name``, creating the node if it does not exist."""
+        nid = self._ids.get(name)
+        if nid is None:
+            nid = len(self._names)
+            self._ids[name] = nid
+            self._names.append(name)
+            self._nodes.append(CGNode(name))
+            self._succ.append(set())
+            self._pred.append(set())
+            self._live_count += 1
+            self._version += 1
+        return nid
+
     def add_node(self, name: str, meta: NodeMeta | None = None) -> CGNode:
         """Add or refine a node; metadata merges definition-over-declaration."""
-        node = self._nodes.get(name)
-        if node is None:
-            node = CGNode(name, meta or NodeMeta())
-            self._nodes[name] = node
-            self._succ[name] = set()
-            self._pred[name] = set()
-        elif meta is not None:
+        nid = self._ids.get(name)
+        if nid is None:
+            nid = self._intern(name)
+            node = self._nodes[nid]
+            assert node is not None
+            if meta is not None:
+                node.meta = meta
+            return node
+        node = self._nodes[nid]
+        assert node is not None
+        if meta is not None:
             node.meta = meta.merged_with(node.meta)
+            self._version += 1
         return node
 
     def add_edge(
         self, caller: str, callee: str, reason: EdgeReason = EdgeReason.DIRECT
     ) -> None:
-        if caller not in self._nodes:
-            self.add_node(caller)
-        if callee not in self._nodes:
-            self.add_node(callee)
-        self._succ[caller].add(callee)
-        self._pred[callee].add(caller)
+        u = self._intern(caller)
+        v = self._intern(callee)
+        self._succ[u].add(v)
+        self._pred[v].add(u)
         # keep the strongest (most static) reason when an edge is re-added
-        key = (caller, callee)
+        key = (u << 32) | v
         old = self._edge_reasons.get(key)
         if old is None or _REASON_RANK[reason] < _REASON_RANK[old]:
             self._edge_reasons[key] = reason
 
     def remove_node(self, name: str) -> None:
-        if name not in self._nodes:
+        nid = self._ids.get(name)
+        if nid is None:
             raise CallGraphError(f"unknown node {name!r}")
-        for p in list(self._pred[name]):
-            self._succ[p].discard(name)
-            self._edge_reasons.pop((p, name), None)
-        for s in list(self._succ[name]):
-            self._pred[s].discard(name)
-            self._edge_reasons.pop((name, s), None)
-        del self._nodes[name], self._succ[name], self._pred[name]
+        for p in self._pred[nid]:
+            self._succ[p].discard(nid)
+            self._edge_reasons.pop((p << 32) | nid, None)
+        for s in self._succ[nid]:
+            self._pred[s].discard(nid)
+            self._edge_reasons.pop((nid << 32) | s, None)
+        self._succ[nid].clear()
+        self._pred[nid].clear()
+        self._nodes[nid] = None
+        del self._ids[name]
+        self._live_count -= 1
+        self._version += 1
+
+    # -- id layer ----------------------------------------------------------------
+
+    @property
+    def id_bound(self) -> int:
+        """Exclusive upper bound on node ids (for sizing visited arrays)."""
+        return len(self._names)
+
+    def id_of(self, name: str) -> int | None:
+        """Interned id of a live node, or ``None``."""
+        return self._ids.get(name)
+
+    def name_of(self, nid: int) -> str:
+        return self._names[nid]
+
+    def node_ids(self) -> Iterator[int]:
+        """All live node ids."""
+        return iter(self._ids.values())
+
+    def node_id_set(self) -> set[int]:
+        return set(self._ids.values())
+
+    def meta_of(self, nid: int) -> NodeMeta:
+        node = self._nodes[nid]
+        if node is None:
+            raise CallGraphError(f"node id {nid} was removed")
+        return node.meta
+
+    def meta_column(self, attr: str) -> list:
+        """Dense id-indexed column of one ``NodeMeta`` attribute.
+
+        Built lazily, cached until the graph mutates.  Slots of removed
+        nodes hold ``None``; callers index live ids only.  This turns
+        per-node ``meta`` attribute chasing in selector filters into a
+        single list indexing.
+        """
+        cached = self._columns.get(attr)
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        column = [
+            getattr(node.meta, attr) if node is not None else None
+            for node in self._nodes
+        ]
+        self._columns[attr] = (self._version, column)
+        return column
+
+    def succ_ids(self, nid: int) -> set[int]:
+        """Callee ids of one node — the live set, do not mutate."""
+        return self._succ[nid]
+
+    def pred_ids(self, nid: int) -> set[int]:
+        """Caller ids of one node — the live set, do not mutate."""
+        return self._pred[nid]
+
+    def names_to_ids(self, names: Iterable[str]) -> set[int]:
+        """Ids of the given names; unknown names are skipped."""
+        get = self._ids.get
+        return {nid for nid in map(get, names) if nid is not None}
+
+    def ids_to_names(self, ids: Iterable[int]) -> frozenset[str]:
+        names = self._names
+        return frozenset(names[i] for i in ids)
 
     # -- queries ------------------------------------------------------------------
 
     def __contains__(self, name: str) -> bool:
-        return name in self._nodes
+        return name in self._ids
 
     def __len__(self) -> int:
-        return len(self._nodes)
+        return self._live_count
 
     def node(self, name: str) -> CGNode:
-        try:
-            return self._nodes[name]
-        except KeyError:
-            raise CallGraphError(f"unknown node {name!r}") from None
+        nid = self._ids.get(name)
+        if nid is None:
+            raise CallGraphError(f"unknown node {name!r}")
+        node = self._nodes[nid]
+        assert node is not None
+        return node
 
     def nodes(self) -> Iterator[CGNode]:
-        return iter(self._nodes.values())
+        return (n for n in self._nodes if n is not None)
 
     def node_names(self) -> set[str]:
-        return set(self._nodes)
+        return set(self._ids)
 
-    def callees_of(self, name: str) -> set[str]:
-        return set(self._succ.get(name, ()))
+    def callees_of(self, name: str) -> NameSetView:
+        nid = self._ids.get(name)
+        return NameSetView(self, self._succ[nid] if nid is not None else frozenset())
 
-    def callers_of(self, name: str) -> set[str]:
-        return set(self._pred.get(name, ()))
+    def callers_of(self, name: str) -> NameSetView:
+        nid = self._ids.get(name)
+        return NameSetView(self, self._pred[nid] if nid is not None else frozenset())
 
     def edges(self) -> Iterator[Edge]:
-        for (caller, callee), reason in self._edge_reasons.items():
-            yield Edge(caller, callee, reason)
+        names = self._names
+        for key, reason in self._edge_reasons.items():
+            yield Edge(names[key >> 32], names[key & 0xFFFFFFFF], reason)
 
     def edge_count(self) -> int:
         return len(self._edge_reasons)
 
     def edge_reason(self, caller: str, callee: str) -> EdgeReason | None:
-        return self._edge_reasons.get((caller, callee))
+        u = self._ids.get(caller)
+        v = self._ids.get(callee)
+        if u is None or v is None:
+            return None
+        return self._edge_reasons.get((u << 32) | v)
 
     def has_edge(self, caller: str, callee: str) -> bool:
-        return (caller, callee) in self._edge_reasons
+        return self.edge_reason(caller, callee) is not None
 
     # -- traversal -----------------------------------------------------------------
 
+    def reachable_ids(self, roots: Iterable[int]) -> set[int]:
+        """Forward-reachable id set (roots included)."""
+        return self._sweep(roots, self._succ)
+
+    def reaching_ids(self, targets: Iterable[int]) -> set[int]:
+        """Reverse-reachable id set: ids from which a target is reachable."""
+        return self._sweep(targets, self._pred)
+
+    def _sweep(self, seeds: Iterable[int], adj: list[set[int]]) -> set[int]:
+        """Graph sweep over int ids with a preallocated visited array."""
+        visited = bytearray(len(self._names))
+        stack: list[int] = []
+        for nid in seeds:
+            if not visited[nid]:
+                visited[nid] = 1
+                stack.append(nid)
+        out = list(stack)
+        pop = stack.pop
+        push = stack.append
+        while stack:
+            nid = pop()
+            for nxt in adj[nid]:
+                if not visited[nxt]:
+                    visited[nxt] = 1
+                    push(nxt)
+                    out.append(nxt)
+        return set(out)
+
     def reachable_from(self, roots: Iterable[str]) -> set[str]:
         """Forward-reachable node set (roots included when present)."""
-        seen: set[str] = set()
-        stack = [r for r in roots if r in self._nodes]
-        while stack:
-            name = stack.pop()
-            if name in seen:
-                continue
-            seen.add(name)
-            stack.extend(self._succ[name] - seen)
-        return seen
+        return set(self.ids_to_names(self.reachable_ids(self.names_to_ids(roots))))
 
     def reaching(self, targets: Iterable[str]) -> set[str]:
         """Reverse-reachable set: nodes from which a target is reachable."""
-        seen: set[str] = set()
-        stack = [t for t in targets if t in self._nodes]
-        while stack:
-            name = stack.pop()
-            if name in seen:
-                continue
-            seen.add(name)
-            stack.extend(self._pred[name] - seen)
-        return seen
+        return set(self.ids_to_names(self.reaching_ids(self.names_to_ids(targets))))
 
     def copy(self) -> "CallGraph":
         out = CallGraph()
-        for node in self._nodes.values():
+        for node in self.nodes():
             out.add_node(node.name, replace(node.meta))
-        for (caller, callee), reason in self._edge_reasons.items():
-            out.add_edge(caller, callee, reason)
+        names = self._names
+        for key, reason in self._edge_reasons.items():
+            out.add_edge(names[key >> 32], names[key & 0xFFFFFFFF], reason)
         return out
 
 

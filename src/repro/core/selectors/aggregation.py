@@ -8,7 +8,7 @@ also the basis of PIRA's initial selection.
 
 from __future__ import annotations
 
-from repro.cg.analysis import aggregate_statements
+from repro.cg.analysis import aggregate_statement_ids
 from repro.core.selectors.base import EvalContext, Selector
 
 
@@ -20,12 +20,16 @@ class StatementAggregation(Selector):
         self.inner = inner
         self.root = root
 
-    def select(self, ctx: EvalContext) -> set[str]:
-        aggregated = aggregate_statements(ctx.graph, self.root)
+    def select_ids(self, ctx: EvalContext) -> set[int]:
+        root_id = ctx.graph.id_of(self.root)
+        aggregated = (
+            aggregate_statement_ids(ctx.graph, root_id) if root_id is not None else {}
+        )
+        threshold = self.threshold
         return {
-            n
-            for n in ctx.evaluate(self.inner)
-            if aggregated.get(n, 0) >= self.threshold
+            nid
+            for nid in ctx.evaluate_ids(self.inner)
+            if aggregated.get(nid, 0) >= threshold
         }
 
     def describe(self) -> str:

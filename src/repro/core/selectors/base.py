@@ -5,11 +5,17 @@ that match its inclusion conditions" (paper §III-A).  Selectors form a
 DAG: combinators take other selectors as inputs, and named instances may
 feed several consumers.  Evaluation memoises per-instance results in the
 context so shared sub-pipelines are computed once.
+
+Evaluation runs over the call graph's interned integer ids end-to-end —
+combinators do integer set-algebra, traversal selectors sweep id
+adjacency — and results are converted to function names only at the
+:class:`~repro.core.pipeline.SelectionResult` boundary (or through the
+string-typed :meth:`EvalContext.evaluate` /:meth:`Selector.evaluate`
+compatibility surface).
 """
 
 from __future__ import annotations
 
-import abc
 from dataclasses import dataclass, field
 
 from repro.cg.graph import CallGraph
@@ -20,27 +26,50 @@ class EvalContext:
     """Evaluation state for one pipeline run over one call graph."""
 
     graph: CallGraph
-    _cache: dict[int, frozenset[str]] = field(default_factory=dict)
+    _cache: dict[int, frozenset[int]] = field(default_factory=dict)
     #: evaluation statistics: selector description -> result size
     trace: list[tuple[str, int]] = field(default_factory=list)
 
-    def evaluate(self, selector: "Selector") -> frozenset[str]:
+    def evaluate_ids(self, selector: "Selector") -> frozenset[int]:
+        """Evaluate to the interned-id set (the fast path)."""
         key = id(selector)
         cached = self._cache.get(key)
         if cached is not None:
             return cached
-        result = frozenset(selector.select(self))
+        select_ids = getattr(selector, "select_ids", None)
+        if select_ids is not None:
+            result = frozenset(select_ids(self))
+        else:
+            # duck-typed legacy selector exposing only name-based select()
+            result = frozenset(self.graph.names_to_ids(selector.select(self)))
         self._cache[key] = result
         self.trace.append((selector.describe(), len(result)))
         return result
 
+    def evaluate(self, selector: "Selector") -> frozenset[str]:
+        """Evaluate to function names (boundary/compatibility surface)."""
+        return self.graph.ids_to_names(self.evaluate_ids(selector))
 
-class Selector(abc.ABC):
-    """One node of the selection pipeline."""
 
-    @abc.abstractmethod
+class Selector:
+    """One node of the selection pipeline.
+
+    Subclasses implement :meth:`select_ids` (preferred — integer ids) or
+    the legacy :meth:`select` (function names); each has a default that
+    bridges to the other.
+    """
+
+    def select_ids(self, ctx: EvalContext) -> set[int]:
+        """Compute the selected id set (uncached)."""
+        if type(self).select is Selector.select:
+            raise NotImplementedError(
+                f"{type(self).__name__} implements neither select_ids nor select"
+            )
+        return ctx.graph.names_to_ids(self.select(ctx))
+
     def select(self, ctx: EvalContext) -> set[str]:
         """Compute the selected function-name set (uncached)."""
+        return set(ctx.graph.ids_to_names(self.select_ids(ctx)))
 
     def describe(self) -> str:
         return type(self).__name__
@@ -53,8 +82,8 @@ class Selector(abc.ABC):
 class AllSelector(Selector):
     """``%%`` — every function in the call graph."""
 
-    def select(self, ctx: EvalContext) -> set[str]:
-        return ctx.graph.node_names()
+    def select_ids(self, ctx: EvalContext) -> set[int]:
+        return ctx.graph.node_id_set()
 
     def describe(self) -> str:
         return "%%"
@@ -67,8 +96,8 @@ class NamedRef(Selector):
         self.name = name
         self.inner = inner
 
-    def select(self, ctx: EvalContext) -> set[str]:
-        return set(ctx.evaluate(self.inner))
+    def select_ids(self, ctx: EvalContext) -> set[int]:
+        return ctx.evaluate_ids(self.inner)
 
     def describe(self) -> str:
         return f"%{self.name}"

@@ -1,9 +1,13 @@
-"""Call-path selectors: reachability-based selection over the call graph."""
+"""Call-path selectors: reachability-based selection over the call graph.
+
+All traversals run over interned ids with the graph's preallocated
+visited-array sweeps — no per-node string hashing on the hot path.
+"""
 
 from __future__ import annotations
 
 from repro._util import compare
-from repro.cg.analysis import call_depths_from, call_path_between
+from repro.cg.analysis import call_depth_ids_from, call_path_between_ids
 from repro.core.selectors.base import EvalContext, Selector
 from repro.errors import SpecSemanticError
 
@@ -18,8 +22,8 @@ class OnCallPathTo(Selector):
     def __init__(self, inner: Selector):
         self.inner = inner
 
-    def select(self, ctx: EvalContext) -> set[str]:
-        return set(ctx.graph.reaching(ctx.evaluate(self.inner)))
+    def select_ids(self, ctx: EvalContext) -> set[int]:
+        return ctx.graph.reaching_ids(ctx.evaluate_ids(self.inner))
 
 
 class OnCallPathFrom(Selector):
@@ -28,8 +32,8 @@ class OnCallPathFrom(Selector):
     def __init__(self, inner: Selector):
         self.inner = inner
 
-    def select(self, ctx: EvalContext) -> set[str]:
-        return set(ctx.graph.reachable_from(ctx.evaluate(self.inner)))
+    def select_ids(self, ctx: EvalContext) -> set[int]:
+        return ctx.graph.reachable_ids(ctx.evaluate_ids(self.inner))
 
 
 class CallPath(Selector):
@@ -44,9 +48,11 @@ class CallPath(Selector):
         self.sources = sources
         self.targets = targets
 
-    def select(self, ctx: EvalContext) -> set[str]:
-        return call_path_between(
-            ctx.graph, ctx.evaluate(self.sources), ctx.evaluate(self.targets)
+    def select_ids(self, ctx: EvalContext) -> set[int]:
+        return call_path_between_ids(
+            ctx.graph,
+            ctx.evaluate_ids(self.sources),
+            ctx.evaluate_ids(self.targets),
         )
 
 
@@ -66,10 +72,15 @@ class CallDepth(Selector):
         self.inner = inner
         self.root = root
 
-    def select(self, ctx: EvalContext) -> set[str]:
-        depths = call_depths_from(ctx.graph, self.root)
-        return {
-            n
-            for n in ctx.evaluate(self.inner)
-            if n in depths and compare(self.op, depths[n], self.depth)
-        }
+    def select_ids(self, ctx: EvalContext) -> set[int]:
+        root_id = ctx.graph.id_of(self.root)
+        if root_id is None:
+            return set()
+        depths = call_depth_ids_from(ctx.graph, root_id)
+        op, limit = self.op, self.depth
+        out = set()
+        for nid in ctx.evaluate_ids(self.inner):
+            d = depths.get(nid)
+            if d is not None and compare(op, d, limit):
+                out.add(nid)
+        return out

@@ -27,32 +27,37 @@ class Coarse(Selector):
         self.inner = inner
         self.critical = critical
 
-    def select(self, ctx: EvalContext) -> set[str]:
+    def select_ids(self, ctx: EvalContext) -> set[int]:
         graph = ctx.graph
-        selected = set(ctx.evaluate(self.inner))
+        result = set(ctx.evaluate_ids(self.inner))
         critical = (
-            set(ctx.evaluate(self.critical)) if self.critical is not None else set()
+            ctx.evaluate_ids(self.critical)
+            if self.critical is not None
+            else frozenset()
         )
-        result = set(selected)
 
         # top-down traversal: start from graph roots (functions without
         # callers, e.g. main and static initialisers), BFS order
-        roots = [n for n in sorted(graph.node_names()) if not graph.callers_of(n)]
-        visited: set[str] = set()
-        queue = deque(roots)
+        pred = graph.pred_ids
+        succ = graph.succ_ids
+        visited = bytearray(graph.id_bound)
+        queue = deque()
+        for nid in graph.node_ids():
+            if not pred(nid):
+                visited[nid] = 1
+                queue.append(nid)
         while queue:
-            name = queue.popleft()
-            if name in visited:
-                continue
-            visited.add(name)
-            for callee in sorted(graph.callees_of(name)):
+            nid = queue.popleft()
+            for callee in succ(nid):
                 if (
                     callee in result
                     and callee not in critical
-                    and graph.callers_of(callee) == {name}
+                    and len(pred(callee)) == 1
                 ):
                     result.discard(callee)
-                queue.append(callee)
+                if not visited[callee]:
+                    visited[callee] = 1
+                    queue.append(callee)
         return result
 
     def describe(self) -> str:

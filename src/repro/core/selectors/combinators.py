@@ -1,4 +1,8 @@
-"""Set-algebra combinators: join, subtract, intersect, complement."""
+"""Set-algebra combinators: join, subtract, intersect, complement.
+
+All four operate on interned-id sets, so the set-algebra is over small
+ints regardless of function-name length.
+"""
 
 from __future__ import annotations
 
@@ -11,10 +15,10 @@ class Join(Selector):
     def __init__(self, *inputs: Selector):
         self.inputs = inputs
 
-    def select(self, ctx: EvalContext) -> set[str]:
-        out: set[str] = set()
+    def select_ids(self, ctx: EvalContext) -> set[int]:
+        out: set[int] = set()
         for sel in self.inputs:
-            out |= ctx.evaluate(sel)
+            out |= ctx.evaluate_ids(sel)
         return out
 
     def describe(self) -> str:
@@ -28,10 +32,10 @@ class Subtract(Selector):
         self.base = base
         self.removed = removed
 
-    def select(self, ctx: EvalContext) -> set[str]:
-        out = set(ctx.evaluate(self.base))
+    def select_ids(self, ctx: EvalContext) -> set[int]:
+        out = set(ctx.evaluate_ids(self.base))
         for sel in self.removed:
-            out -= ctx.evaluate(sel)
+            out -= ctx.evaluate_ids(sel)
         return out
 
 
@@ -43,10 +47,10 @@ class Intersect(Selector):
             raise ValueError("intersect needs at least one input")
         self.inputs = inputs
 
-    def select(self, ctx: EvalContext) -> set[str]:
-        out = set(ctx.evaluate(self.inputs[0]))
+    def select_ids(self, ctx: EvalContext) -> set[int]:
+        out = set(ctx.evaluate_ids(self.inputs[0]))
         for sel in self.inputs[1:]:
-            out &= ctx.evaluate(sel)
+            out &= ctx.evaluate_ids(sel)
         return out
 
 
@@ -56,5 +60,5 @@ class Complement(Selector):
     def __init__(self, inner: Selector):
         self.inner = inner
 
-    def select(self, ctx: EvalContext) -> set[str]:
-        return ctx.graph.node_names() - ctx.evaluate(self.inner)
+    def select_ids(self, ctx: EvalContext) -> set[int]:
+        return ctx.graph.node_id_set() - ctx.evaluate_ids(self.inner)

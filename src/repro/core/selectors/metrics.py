@@ -4,22 +4,31 @@ These implement the local-property strategies of Mußler et al. [15] and
 the paper's Listing 1 (``flops(">=", 10, ...)``, ``loopDepth(">=", 1,
 ...)``): filter an input set by comparing one static metric against a
 threshold with a DSL-supplied operator string.
+
+Metric functions take ``(ctx, node_id)`` — filtering runs over interned
+ids so the hot loop does list indexing instead of name-keyed lookups.
 """
 
 from __future__ import annotations
 
 from typing import Callable
 
-from repro._util import compare
-from repro.cg.graph import CGNode
+from repro._util import COMPARE_OPS, compare
 from repro.core.selectors.base import EvalContext, Selector
 from repro.errors import SpecSemanticError
 
-MetricFn = Callable[[EvalContext, CGNode], float]
+MetricFn = Callable[[EvalContext, int], float]
+
+#: metrics served straight from a cached NodeMeta column (no per-node call)
+_COLUMN_METRICS = {
+    "flops": "flops",
+    "loopDepth": "loop_depth",
+    "statements": "statements",
+}
 
 
 def _meta_metric(attr: str) -> MetricFn:
-    return lambda ctx, node: float(getattr(node.meta, attr))
+    return lambda ctx, nid: float(getattr(ctx.graph.meta_of(nid), attr))
 
 
 METRICS: dict[str, MetricFn] = {
@@ -27,9 +36,9 @@ METRICS: dict[str, MetricFn] = {
     "loopDepth": _meta_metric("loop_depth"),
     "statements": _meta_metric("statements"),
     #: out-degree — how many distinct callees a function has
-    "callSites": lambda ctx, node: float(len(ctx.graph.callees_of(node.name))),
+    "callSites": lambda ctx, nid: float(len(ctx.graph.succ_ids(nid))),
     #: in-degree — how many distinct callers reference the function
-    "callers": lambda ctx, node: float(len(ctx.graph.callers_of(node.name))),
+    "callers": lambda ctx, nid: float(len(ctx.graph.pred_ids(nid))),
 }
 
 
@@ -50,16 +59,23 @@ class MetricThreshold(Selector):
         self.threshold = threshold
         self.inner = inner
 
-    def select(self, ctx: EvalContext) -> set[str]:
+    def select_ids(self, ctx: EvalContext) -> set[int]:
+        op_fn = COMPARE_OPS[self.op]
+        threshold = self.threshold
+        attr = _COLUMN_METRICS.get(self.metric)
+        if attr is not None:
+            column = ctx.graph.meta_column(attr)
+            return {
+                nid
+                for nid in ctx.evaluate_ids(self.inner)
+                if op_fn(column[nid], threshold)
+            }
         fn = METRICS[self.metric]
-        out = set()
-        for name in ctx.evaluate(self.inner):
-            if name not in ctx.graph:
-                continue
-            node = ctx.graph.node(name)
-            if compare(self.op, fn(ctx, node), self.threshold):
-                out.add(name)
-        return out
+        return {
+            nid
+            for nid in ctx.evaluate_ids(self.inner)
+            if op_fn(fn(ctx, nid), threshold)
+        }
 
     def describe(self) -> str:
         return f"{self.metric}({self.op}{self.threshold:g})"

@@ -1,4 +1,8 @@
-"""Structural/property selectors: headers, inline, names, paths, kinds."""
+"""Structural/property selectors: headers, inline, names, paths, kinds.
+
+All filters iterate interned ids and read metadata through the graph's
+id-indexed node table; only the regex selectors materialise names.
+"""
 
 from __future__ import annotations
 
@@ -8,21 +12,26 @@ from repro.core.selectors.base import EvalContext, Selector
 from repro.errors import SpecSemanticError
 
 
-class InSystemHeader(Selector):
-    """Functions defined in system headers (paper Listing 1)."""
+class _MetaFlag(Selector):
+    """Base for selectors filtering on one boolean NodeMeta attribute."""
+
+    _attr = ""
 
     def __init__(self, inner: Selector):
         self.inner = inner
 
-    def select(self, ctx: EvalContext) -> set[str]:
-        return {
-            n
-            for n in ctx.evaluate(self.inner)
-            if n in ctx.graph and ctx.graph.node(n).meta.in_system_header
-        }
+    def select_ids(self, ctx: EvalContext) -> set[int]:
+        column = ctx.graph.meta_column(self._attr)
+        return {nid for nid in ctx.evaluate_ids(self.inner) if column[nid]}
 
 
-class InlineSpecified(Selector):
+class InSystemHeader(_MetaFlag):
+    """Functions defined in system headers (paper Listing 1)."""
+
+    _attr = "in_system_header"
+
+
+class InlineSpecified(_MetaFlag):
     """Functions carrying the ``inline`` keyword.
 
     Note the paper's §V-E caveat: the keyword "does not necessarily
@@ -30,15 +39,19 @@ class InlineSpecified(Selector):
     this selector sees only the source-level marker.
     """
 
-    def __init__(self, inner: Selector):
-        self.inner = inner
+    _attr = "inline_marked"
 
-    def select(self, ctx: EvalContext) -> set[str]:
-        return {
-            n
-            for n in ctx.evaluate(self.inner)
-            if n in ctx.graph and ctx.graph.node(n).meta.inline_marked
-        }
+
+class VirtualFunctions(_MetaFlag):
+    """Virtual methods (bases and overrides)."""
+
+    _attr = "is_virtual"
+
+
+class DefinedFunctions(_MetaFlag):
+    """Functions with a body (excludes declaration-only CG nodes)."""
+
+    _attr = "has_body"
 
 
 class ByName(Selector):
@@ -52,8 +65,12 @@ class ByName(Selector):
         self.pattern = pattern
         self.inner = inner
 
-    def select(self, ctx: EvalContext) -> set[str]:
-        return {n for n in ctx.evaluate(self.inner) if self._re.fullmatch(n)}
+    def select_ids(self, ctx: EvalContext) -> set[int]:
+        fullmatch = self._re.fullmatch
+        name_of = ctx.graph.name_of
+        return {
+            nid for nid in ctx.evaluate_ids(self.inner) if fullmatch(name_of(nid))
+        }
 
     def describe(self) -> str:
         return f"byName({self.pattern})"
@@ -70,37 +87,9 @@ class ByPath(Selector):
         self.pattern = pattern
         self.inner = inner
 
-    def select(self, ctx: EvalContext) -> set[str]:
+    def select_ids(self, ctx: EvalContext) -> set[int]:
+        search = self._re.search
+        column = ctx.graph.meta_column("source_path")
         return {
-            n
-            for n in ctx.evaluate(self.inner)
-            if n in ctx.graph and self._re.search(ctx.graph.node(n).meta.source_path)
-        }
-
-
-class VirtualFunctions(Selector):
-    """Virtual methods (bases and overrides)."""
-
-    def __init__(self, inner: Selector):
-        self.inner = inner
-
-    def select(self, ctx: EvalContext) -> set[str]:
-        return {
-            n
-            for n in ctx.evaluate(self.inner)
-            if n in ctx.graph and ctx.graph.node(n).meta.is_virtual
-        }
-
-
-class DefinedFunctions(Selector):
-    """Functions with a body (excludes declaration-only CG nodes)."""
-
-    def __init__(self, inner: Selector):
-        self.inner = inner
-
-    def select(self, ctx: EvalContext) -> set[str]:
-        return {
-            n
-            for n in ctx.evaluate(self.inner)
-            if n in ctx.graph and ctx.graph.node(n).meta.has_body
+            nid for nid in ctx.evaluate_ids(self.inner) if search(column[nid])
         }

@@ -17,6 +17,15 @@ Deep hot loops are bounded by the :class:`~repro.execution.workload.
 Workload` caps; capped-off repetitions are charged *analytically* from
 a memoised per-function cost closure so the total virtual time still
 reflects the full dynamic workload.
+
+The innermost walked-execution loop is memoised: dynamic call targets
+(including the deterministic virtual-dispatch hash rotation) are
+resolved **once per call site**, and each function's sites are folded
+into a per-function record carrying the precomputed ``(walked,
+charged)`` workload split.  All caches that depend on sled state
+(``_patched_cache``, ``_analytic_memo``) are keyed against the XRay
+patch epoch — the patcher's cumulative patch/unpatch counter — so
+mid-run repatching by the DynCaPI runtime can never serve stale costs.
 """
 
 from __future__ import annotations
@@ -37,6 +46,9 @@ from repro.simmpi.pmpi import PmpiLayer
 from repro.xray.runtime import XRayRuntime
 from repro.xray.sled import SLED_BYTES
 
+#: one-shot lifecycle calls: never scaled, never charged analytically
+_LIFECYCLE = ("MPI_Init", "MPI_Finalize")
+
 
 @dataclass
 class _AnalyticTotals:
@@ -47,6 +59,44 @@ class _AnalyticTotals:
     mpi_cycles: float = 0.0
     mpi_calls: int = 0
     entries: int = 0
+
+
+@dataclass
+class _SiteRecord:
+    """One machine call site with targets and workload split resolved."""
+
+    __slots__ = ("targets", "n_targets", "walked", "charged", "effective")
+
+    #: dynamic targets, virtual-dispatch rotation already applied
+    targets: tuple[str, ...]
+    n_targets: int
+    #: workload split of the site count (lifecycle sites: count, 0)
+    walked: int
+    charged: int
+    #: scaled repetition count for the analytic path
+    effective: int
+
+
+@dataclass
+class _FnRecord:
+    """Per-function execution record: everything ``_execute`` touches."""
+
+    __slots__ = ("mf", "name", "base_cost", "is_mpi", "sites")
+
+    mf: MachineFunction
+    name: str
+    base_cost: float
+    is_mpi: bool
+    #: resolved call sites; sites without targets are dropped up front
+    sites: list[_SiteRecord]
+
+
+class _NeverStore(dict):
+    """Cache stand-in that drops every write — used by equivalence tests
+    to force per-call recomputation through the exact same code path."""
+
+    def __setitem__(self, key, value) -> None:  # pragma: no cover - trivial
+        pass
 
 
 @dataclass
@@ -73,8 +123,14 @@ class ExecutionEngine:
                     exit_ = lo.base + mf.offset + mf.size_bytes - SLED_BYTES
                     self._sled_addrs[mf.name] = (entry, exit_)
         self._program: SourceProgram = self.linked.compiled.program
+        #: (callee, kind, pointer_id) -> rotated target tuple
+        self._target_cache: dict[tuple, tuple[str, ...]] = {}
+        #: function name -> _FnRecord (or None for fully-inlined targets)
+        self._records: dict[str, _FnRecord | None] = {}
         self._patched_cache: dict[str, bool] = {}
         self._analytic_memo: dict[str, _AnalyticTotals] = {}
+        #: XRay patch epoch the sled-state caches were computed under
+        self._cache_epoch = self._patch_epoch()
         self._result: RunResult | None = None
 
     # -- public ---------------------------------------------------------------
@@ -103,6 +159,75 @@ class ExecutionEngine:
             result.patched_sleds = self.xray_runtime.patcher.stats.patched
         return result
 
+    # -- memoised structure ------------------------------------------------------
+
+    def _site_targets(self, site: MachineCallSite) -> tuple[str, ...]:
+        """Dynamic targets of a site, deterministically ordered, memoised.
+
+        Virtual sites rotate through the overrider set starting at a
+        hash-picked offset so different call sites exercise different
+        concrete implementations.  Resolution and rotation depend only
+        on the static program, so they are computed once per distinct
+        ``(callee, kind, pointer_id)`` and reused for every invocation.
+        """
+        key = (site.callee, site.kind, site.pointer_id)
+        cached = self._target_cache.get(key)
+        if cached is not None:
+            return cached
+        targets = resolve_call_targets(
+            self._program,
+            _as_ir_site(site),
+            include_dynamic_pointers=True,
+        )
+        if len(targets) > 1:
+            offset = stable_hash(f"{site.callee}:{site.pointer_id}") % len(targets)
+            targets = targets[offset:] + targets[:offset]
+        resolved = tuple(targets)
+        self._target_cache[key] = resolved
+        return resolved
+
+    def _record_of(self, name: str) -> _FnRecord | None:
+        """Per-function execution record, memoised (None: fully inlined)."""
+        rec = self._records.get(name)
+        if rec is None and name not in self._records:
+            rec = self._build_record(name)
+            self._records[name] = rec
+        return rec
+
+    def _build_record(self, name: str) -> _FnRecord | None:
+        mf = self._functions.get(name)
+        if mf is None:
+            # target was fully inlined: its cost lives in the caller already
+            return None
+        sites: list[_SiteRecord] = []
+        split = self.workload.split
+        effective = self.workload.effective_count
+        for site in mf.call_sites:
+            targets = self._site_targets(site)
+            if not targets:
+                continue
+            if targets[0] in _LIFECYCLE:
+                # lifecycle calls are one-shot: never scaled, never charged
+                walked, charged = site.count, 0
+            else:
+                walked, charged = split(site.count)
+            sites.append(
+                _SiteRecord(
+                    targets=targets,
+                    n_targets=len(targets),
+                    walked=walked,
+                    charged=charged,
+                    effective=effective(site.count),
+                )
+            )
+        return _FnRecord(
+            mf=mf,
+            name=mf.name,
+            base_cost=mf.base_cost,
+            is_mpi=mf.is_mpi,
+            sites=sites,
+        )
+
     # -- execution -------------------------------------------------------------
 
     def _static_initializers(self) -> list[str]:
@@ -115,61 +240,45 @@ class ExecutionEngine:
         return names
 
     def _execute(self, name: str, depth: int) -> None:
-        mf = self._functions.get(name)
-        if mf is None:
-            # target was fully inlined: its cost lives in the caller already
+        rec = self._record_of(name)
+        if rec is None:
             return
         result = self._result
         assert result is not None
-        if mf.is_mpi:
-            self._mpi_call(mf)
+        if rec.is_mpi:
+            self._mpi_call(rec.mf)
             return
         result.entry_events += 1
-        result.per_function_calls[name] = result.per_function_calls.get(name, 0) + 1
-        self._fire_sled(mf, entry=True)
-        self.clock.advance(mf.base_cost)
-        result.useful_cycles += mf.base_cost
+        calls = result.per_function_calls
+        calls[name] = calls.get(name, 0) + 1
+        self._fire_sled(rec.mf, entry=True)
+        base_cost = rec.base_cost
+        self.clock.advance(base_cost)
+        result.useful_cycles += base_cost
         if depth < self.workload.max_depth:
-            for site in mf.call_sites:
-                self._execute_site(mf, site, depth)
+            child_depth = depth + 1
+            event_budget = self.workload.event_budget
+            execute = self._execute
+            for site in rec.sites:
+                walked = site.walked
+                charged = site.charged
+                if result.entry_events >= event_budget:
+                    charged += walked
+                    walked = 0
+                targets = site.targets
+                if walked:
+                    n = site.n_targets
+                    if n == 1:
+                        target = targets[0]
+                        for _ in range(walked):
+                            execute(target, child_depth)
+                    else:
+                        for i in range(walked):
+                            execute(targets[i % n], child_depth)
+                if charged > 0:
+                    self._charge(targets[0], charged)
         result.exit_events += 1
-        self._fire_sled(mf, entry=False)
-
-    def _execute_site(self, mf: MachineFunction, site: MachineCallSite, depth: int) -> None:
-        result = self._result
-        assert result is not None
-        targets = self._resolve_targets(site)
-        if not targets:
-            return
-        if targets[0] in ("MPI_Init", "MPI_Finalize"):
-            # lifecycle calls are one-shot: never scaled, never charged
-            walked, charged = site.count, 0
-        else:
-            walked, charged = self.workload.split(site.count)
-        if result.entry_events >= self.workload.event_budget:
-            charged += walked
-            walked = 0
-        for i in range(walked):
-            self._execute(targets[i % len(targets)], depth + 1)
-        if charged > 0:
-            self._charge(targets[0], charged)
-
-    def _resolve_targets(self, site: MachineCallSite) -> list[str]:
-        """Dynamic targets of a site, deterministically ordered.
-
-        Virtual sites rotate through the overrider set starting at a
-        hash-picked offset so different call sites exercise different
-        concrete implementations.
-        """
-        targets = resolve_call_targets(
-            self._program,
-            _as_ir_site(site),
-            include_dynamic_pointers=True,
-        )
-        if len(targets) > 1:
-            offset = stable_hash(f"{site.callee}:{site.pointer_id}") % len(targets)
-            targets = targets[offset:] + targets[:offset]
-        return targets
+        self._fire_sled(rec.mf, entry=False)
 
     def _mpi_call(self, mf: MachineFunction) -> None:
         result = self._result
@@ -195,9 +304,25 @@ class ExecutionEngine:
         else:
             self.clock.advance(self.cost_model.nop_sled)
 
+    def _patch_epoch(self) -> int:
+        """Monotone counter of sled-state changes (patch + unpatch ops)."""
+        if self.xray_runtime is None:
+            return 0
+        stats = self.xray_runtime.patcher.stats
+        return stats.patched + stats.unpatched
+
+    def _check_sled_caches(self) -> None:
+        """Drop sled-state-derived caches if any sled changed since."""
+        epoch = self._patch_epoch()
+        if epoch != self._cache_epoch:
+            self._patched_cache.clear()
+            self._analytic_memo.clear()
+            self._cache_epoch = epoch
+
     def _is_patched(self, name: str) -> bool:
         if self.xray_runtime is None:
             return False
+        self._check_sled_caches()
         cached = self._patched_cache.get(name)
         if cached is None:
             addrs = self._sled_addrs.get(name)
@@ -237,8 +362,12 @@ class ExecutionEngine:
 
         Computed iteratively over the call DAG; back edges of recursion
         cycles contribute a single level (consistent with the depth cap
-        applied to walked execution).
+        applied to walked execution).  The memo is keyed to the XRay
+        patch epoch: any patch/unpatch since it was filled invalidates
+        it wholesale, because patched-sled dispatch costs feed the
+        closure.
         """
+        self._check_sled_caches()
         memo = self._analytic_memo
         if name in memo:
             return memo[name]
@@ -252,11 +381,11 @@ class ExecutionEngine:
                     continue
                 in_progress.add(fn_name)
                 stack.append((fn_name, 1))
-                mf = self._functions.get(fn_name)
-                if mf is None or mf.is_mpi:
+                rec = self._record_of(fn_name)
+                if rec is None or rec.is_mpi:
                     continue
-                for site in mf.call_sites:
-                    for target in self._resolve_targets(site):
+                for site in rec.sites:
+                    for target in site.targets:
                         if target not in memo and target not in in_progress:
                             stack.append((target, 0))
             else:
@@ -268,11 +397,12 @@ class ExecutionEngine:
     def _analytic_of(
         self, name: str, memo: dict[str, _AnalyticTotals]
     ) -> _AnalyticTotals:
-        mf = self._functions.get(name)
+        rec = self._record_of(name)
         totals = _AnalyticTotals()
-        if mf is None:
+        if rec is None:
             return totals
-        if mf.is_mpi:
+        mf = rec.mf
+        if rec.is_mpi:
             if self.pmpi is not None:
                 cost = self.pmpi.comm.cost_of(mf.name)
                 totals.cycles = cost
@@ -298,14 +428,11 @@ class ExecutionEngine:
             else:
                 per_sled = self.cost_model.nop_sled
             totals.cycles += 2 * per_sled
-        for site in mf.call_sites:
-            count = self.workload.effective_count(site.count)
+        for site in rec.sites:
+            count = site.effective
             if count == 0:
                 continue
-            targets = self._resolve_targets(site)
-            if not targets:
-                continue
-            sub = memo.get(targets[0], _AnalyticTotals())
+            sub = memo.get(site.targets[0], _AnalyticTotals())
             totals.cycles += count * sub.cycles
             totals.useful += count * sub.useful
             totals.mpi_cycles += count * sub.mpi_cycles
@@ -316,6 +443,19 @@ class ExecutionEngine:
             # MPI pays the POP accounting update on exit
             totals.cycles += self.cost_model.talp_mpi_region_update
         return totals
+
+    # -- test hooks ---------------------------------------------------------------
+
+    def defeat_memoization(self) -> None:
+        """Swap every pure-structure cache for a write-discarding stand-in.
+
+        Equivalence tests call this to force per-invocation target
+        resolution and record building — the pre-memoisation behaviour —
+        through the identical code path, then assert bit-for-bit equal
+        :class:`RunResult` fields against a memoised engine.
+        """
+        self._target_cache = _NeverStore()
+        self._records = _NeverStore()
 
 
 def _as_ir_site(site: MachineCallSite):

@@ -12,6 +12,7 @@ object.  It exposes the two views DynCaPI actually consults:
 from __future__ import annotations
 
 import enum
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Iterator
 
@@ -40,23 +41,40 @@ class Symbol:
 
 
 class SymbolTable:
-    """Name- and offset-indexed symbol lookup."""
+    """Name- and offset-indexed symbol lookup.
+
+    ``at_offset`` is on the measurement hot path (one address→name query
+    per instrumentation event), so it bisects a sorted offset index that
+    is rebuilt lazily after mutations.  Function extents laid out by the
+    linker never overlap, so the covering symbol (if any) is always the
+    one with the greatest offset at or below the query.
+    """
 
     def __init__(self) -> None:
         self._by_name: dict[str, Symbol] = {}
+        self._offset_index: tuple[list[int], list[Symbol]] | None = None
 
     def add(self, symbol: Symbol) -> None:
         if symbol.name in self._by_name:
             raise LinkError(f"duplicate symbol {symbol.name!r}")
         self._by_name[symbol.name] = symbol
+        self._offset_index = None
 
     def lookup(self, name: str) -> Symbol | None:
         return self._by_name.get(name)
 
     def at_offset(self, offset: int) -> Symbol | None:
         """Symbol whose ``[offset, offset+size)`` covers the address."""
-        for sym in self._by_name.values():
-            if sym.offset <= offset < sym.offset + sym.size:
+        index = self._offset_index
+        if index is None:
+            ordered = sorted(self._by_name.values(), key=lambda s: s.offset)
+            index = ([s.offset for s in ordered], ordered)
+            self._offset_index = index
+        offsets, ordered = index
+        pos = bisect_right(offsets, offset) - 1
+        if pos >= 0:
+            sym = ordered[pos]
+            if offset < sym.offset + sym.size:
                 return sym
         return None
 

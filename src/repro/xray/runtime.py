@@ -58,14 +58,19 @@ class RegisteredObject:
     function_names: dict[int, str]
     #: object-local function id -> absolute entry address
     function_addresses: dict[int, int] = field(default_factory=dict)
+    #: object-local function id -> its sleds (patch/is_patched hot path)
+    _sleds_by_fid: dict[int, list[SledEntry]] = field(
+        default_factory=dict, repr=False
+    )
 
     def __post_init__(self) -> None:
         for sled in self.sleds:
+            self._sleds_by_fid.setdefault(sled.record.function_id, []).append(sled)
             if sled.record.kind is SledKind.ENTRY:
                 self.function_addresses[sled.record.function_id] = sled.address
 
     def sleds_of(self, function_id: int) -> list[SledEntry]:
-        return [s for s in self.sleds if s.record.function_id == function_id]
+        return self._sleds_by_fid.get(function_id, [])
 
 
 class XRayRuntime:

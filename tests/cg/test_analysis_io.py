@@ -85,6 +85,64 @@ class TestStatementAggregation:
         assert agg["x"] == agg["y"] == 12  # each SCC counted once
 
 
+class TestTopoOrder:
+    """Regression: the condensation DP must use an explicit topological
+    order, not Tarjan's emission order (an implementation detail)."""
+
+    def diamond_cycle_graph(self):
+        # diamond (main -> a|b -> join) feeding a 2-cycle (c1 <-> c2)
+        # that exits into a leaf
+        g = CallGraph()
+        for name, stmts in (
+            ("main", 1), ("a", 10), ("b", 20), ("join", 5),
+            ("c1", 3), ("c2", 4), ("leaf", 7),
+        ):
+            g.add_node(name, NodeMeta(statements=stmts, has_body=True))
+        g.add_edge("main", "a")
+        g.add_edge("main", "b")
+        g.add_edge("a", "join")
+        g.add_edge("b", "join")
+        g.add_edge("join", "c1")
+        g.add_edge("c1", "c2")
+        g.add_edge("c2", "c1")  # cycle
+        g.add_edge("c2", "leaf")
+        return g
+
+    def test_diamond_plus_cycle_aggregation(self):
+        agg = aggregate_statements(self.diamond_cycle_graph(), "main")
+        assert agg["main"] == 1
+        assert agg["a"] == 11
+        assert agg["b"] == 21
+        assert agg["join"] == 26  # max path goes via b
+        assert agg["c1"] == agg["c2"] == 33  # SCC counted once: 26 + (3+4)
+        assert agg["leaf"] == 40
+
+    def test_topo_order_is_edge_driven(self):
+        # component 0 calls component 1: any id-based ordering heuristic
+        # (the old "iterate comp ids high to low") would process the
+        # callee first; Kahn over the edges must not.
+        from repro.cg.analysis import _topo_order
+
+        assert _topo_order([{1}, set()]) == [0, 1]
+        assert _topo_order([set(), {0}]) == [1, 0]
+        # diamond condensation: 0 -> {1, 2} -> 3
+        order = _topo_order([{1, 2}, {3}, {3}, set()])
+        assert order.index(0) < order.index(1)
+        assert order.index(0) < order.index(2)
+        assert order.index(3) == 3
+
+    def test_interleaved_ids_still_aggregate_correctly(self):
+        # force SCC ids that are NOT reverse-topological by adding the
+        # deep nodes first, so any emission-order assumption breaks
+        g = CallGraph()
+        for name in ("leaf", "mid", "main"):
+            g.add_node(name, NodeMeta(statements=2, has_body=True))
+        g.add_edge("mid", "leaf")
+        g.add_edge("main", "mid")
+        agg = aggregate_statements(g, "main")
+        assert agg == {"main": 2, "mid": 4, "leaf": 6}
+
+
 class TestSingleCaller:
     def test_single_caller_detection(self):
         g = chain_graph()

@@ -146,6 +146,36 @@ class TestSledIntegration:
         assert result.patched_sleds == 2 * result.patched_functions
 
 
+class TestSledCacheInvalidation:
+    """Regression: ``_patched_cache``/``_analytic_memo`` must be keyed
+    to the XRay patch epoch — repatching mid-run invalidates them."""
+
+    def test_is_patched_tracks_repatching(self):
+        engine, rt = make_engine(with_xray=True, patch_all=False)
+        assert engine._is_patched("kernel") is False
+        rt.patch_all()
+        assert engine._is_patched("kernel") is True
+        rt.unpatch_all()
+        assert engine._is_patched("kernel") is False
+
+    def test_analytic_memo_tracks_repatching(self):
+        engine, rt = make_engine(with_xray=True, patch_all=False)
+        unpatched_cycles = engine._analytic("solve").cycles
+        rt.patch_all()
+        patched_cycles = engine._analytic("solve").cycles
+        # patched sleds dispatch to the handler: strictly more expensive
+        assert patched_cycles > unpatched_cycles
+        rt.unpatch_all()
+        assert engine._analytic("solve").cycles == unpatched_cycles
+
+    def test_memoization_defeat_is_equivalent(self):
+        memoised = make_engine(with_xray=True, patch_all=True)[0].run()
+        engine, _ = make_engine(with_xray=True, patch_all=True)
+        engine.defeat_memoization()
+        recomputed = engine.run()
+        assert memoised == recomputed
+
+
 class TestStaticInitializers:
     def test_initializers_run_before_main(self):
         b = make_demo_builder()
