@@ -48,6 +48,9 @@ BENCH_SCALE = 8000
 SELECTION_FLOOR = 3.0
 ENGINE_FLOOR = 2.0
 
+#: multi-rank engine benchmark shape (serial vs multiprocessing backend)
+MULTIRANK_RANKS = 8
+
 #: Table II cells exercised for the engine comparison (config kwargs)
 ENGINE_CELLS = (
     ("vanilla/-", dict(mode="vanilla")),
@@ -354,16 +357,74 @@ def measure_engine(prepared) -> dict:
     }
 
 
-def collect_record(scale: int = BENCH_SCALE) -> dict:
+def measure_multirank(prepared, ranks: int = MULTIRANK_RANKS) -> dict:
+    """Multi-rank engine benchmark: serial vs multiprocessing backend.
+
+    Runs one imbalanced ``ic mpi/scorep`` configuration across ``ranks``
+    simulated ranks with both backends, asserts the merged profile and
+    the POP metrics are bit-identical, and records both wall times.  On
+    a single-core container the pool adds overhead instead of speedup —
+    the record keeps both numbers so the trajectory is visible once the
+    bench runs on real cores; equality is the hard requirement.
+    """
+    from repro.multirank import ImbalanceSpec, flatten_merged
+    from repro.workflow import run_app
+
+    ic = prepared.select_all()["mpi"].ic
+    spec = ImbalanceSpec(imbalance=0.3, seed=17)
+
+    def run_cell(backend: str):
+        return run_app(
+            prepared.app,
+            mode="ic",
+            tool="scorep",
+            ic=ic,
+            ranks=ranks,
+            imbalance=spec,
+            backend=backend,
+            config_name="bench-multirank",
+        )
+
+    t0 = time.perf_counter()
+    serial = run_cell("serial")
+    t_serial = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    parallel = run_cell("multiprocessing")
+    t_parallel = time.perf_counter() - t0
+    if serial.pop.app != parallel.pop.app:
+        raise AssertionError("serial and multiprocessing POP metrics differ")
+    if flatten_merged(serial.merged_profile) != flatten_merged(
+        parallel.merged_profile
+    ):
+        raise AssertionError("serial and multiprocessing merged profiles differ")
+    pop = serial.pop.app
+    return {
+        "ranks": ranks,
+        "serial_seconds": t_serial,
+        "multiprocessing_seconds": t_parallel,
+        "speedup": t_serial / t_parallel,
+        "elapsed_virtual": serial.result.t_total,
+        "pop": {
+            "load_balance": pop.load_balance,
+            "communication_efficiency": pop.communication_efficiency,
+            "parallel_efficiency": pop.parallel_efficiency,
+        },
+        "backends_identical": True,
+    }
+
+
+def collect_record(scale: int = BENCH_SCALE, ranks: int = MULTIRANK_RANKS) -> dict:
     prepared = prepare_app("openfoam", scale)
     selection = measure_selection(prepared)
     engine = measure_engine(prepared)
+    multirank = measure_multirank(prepared, ranks)
     return {
         "benchmark": "bench_selection_scale",
         "app": "openfoam",
         "scale": scale,
         "selection": selection,
         "engine": engine,
+        "multirank": multirank,
         "floors": {"selection": SELECTION_FLOOR, "engine": ENGINE_FLOOR},
     }
 
@@ -384,6 +445,8 @@ def test_selection_scale_speedup_and_record(benchmark, openfoam_prepared):
     write_record(record)
     assert record["selection"]["speedup"] >= SELECTION_FLOOR, record["selection"]
     assert record["engine"]["speedup"] >= ENGINE_FLOOR, record["engine"]
+    assert record["multirank"]["backends_identical"], record["multirank"]
+    assert record["multirank"]["pop"]["load_balance"] < 1.0
     graph = openfoam_prepared.app.graph
     entry = PipelineBuilder().build(load_spec(PAPER_SPECS["mpi"]))[0]
     result = benchmark(lambda: evaluate_pipeline(entry, graph))
@@ -401,14 +464,23 @@ def main() -> int:
         help=f"openfoam graph size (default {BENCH_SCALE}; paper scale 410666)",
     )
     parser.add_argument("--output", type=Path, default=RECORD_PATH)
+    parser.add_argument(
+        "--ranks",
+        type=int,
+        default=MULTIRANK_RANKS,
+        help=f"multi-rank bench world size (default {MULTIRANK_RANKS})",
+    )
     args = parser.parse_args()
-    record = collect_record(args.scale)
+    record = collect_record(args.scale, args.ranks)
     path = write_record(record, args.output)
-    sel, eng = record["selection"], record["engine"]
+    sel, eng, mr = record["selection"], record["engine"], record["multirank"]
     print(f"selection: {sel['seed_seconds']:.3f}s -> {sel['seconds']:.3f}s "
           f"({sel['speedup']:.1f}x, floor {SELECTION_FLOOR}x)")
     print(f"engine:    {eng['seed_seconds']:.3f}s -> {eng['seconds']:.3f}s "
           f"({eng['speedup']:.1f}x, floor {ENGINE_FLOOR}x)")
+    print(f"multirank: {mr['ranks']} ranks, serial {mr['serial_seconds']:.3f}s, "
+          f"mp {mr['multiprocessing_seconds']:.3f}s ({mr['speedup']:.2f}x), "
+          f"LB {mr['pop']['load_balance']:.3f}, backends identical")
     print(f"record written to {path}")
     ok = sel["speedup"] >= SELECTION_FLOOR and eng["speedup"] >= ENGINE_FLOOR
     return 0 if ok else 1

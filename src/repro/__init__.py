@@ -30,8 +30,16 @@ Quickstart::
     print(run.result.t_total)
 """
 
+from repro.multirank.imbalance import ImbalanceSpec
 from repro.workflow import BuiltApp, RunOutcome, build_app, run_app
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["BuiltApp", "RunOutcome", "__version__", "build_app", "run_app"]
+__all__ = [
+    "BuiltApp",
+    "ImbalanceSpec",
+    "RunOutcome",
+    "__version__",
+    "build_app",
+    "run_app",
+]

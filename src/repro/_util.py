@@ -62,6 +62,20 @@ def stable_hash(text: str) -> int:
     return h
 
 
+def pinned_mean(values: np.ndarray) -> float:
+    """Mean that is *exact* for all-equal inputs.
+
+    ``sum([x]*n)/n`` accumulates binary rounding error, so a uniform
+    multi-rank world would report ``avg != max`` and a load balance
+    just below 1.0.  Cross-rank reducers therefore pin the mean to the
+    common value whenever ``min == max``.
+    """
+    arr = np.asarray(values, dtype=float)
+    lo = float(arr.min())
+    hi = float(arr.max())
+    return hi if lo == hi else float(arr.sum()) / arr.size
+
+
 def format_table(
     headers: Sequence[str],
     rows: Iterable[Sequence[object]],

@@ -7,6 +7,7 @@ from repro.apps.openfoam import (
 )
 from repro.apps.openfoam import PAPER_NODE_COUNT as OPENFOAM_PAPER_NODES
 from repro.apps.openfoam import build_openfoam
+from repro.apps.scenarios import SCENARIOS, scenario
 from repro.apps.specs import (
     KERNELS_COARSE_SPEC,
     KERNELS_SPEC,
@@ -24,6 +25,8 @@ __all__ = [
     "OPENFOAM_DEFAULT_NODES",
     "OPENFOAM_PAPER_NODES",
     "PAPER_SPECS",
+    "SCENARIOS",
     "build_lulesh",
     "build_openfoam",
+    "scenario",
 ]

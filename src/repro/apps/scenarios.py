@@ -1,0 +1,38 @@
+"""Named load-imbalance scenarios for the synthetic applications.
+
+The paper's evaluation apps are bulk-synchronous MPI codes whose real
+deployments exhibit characteristic imbalance shapes; these presets make
+them expressible in one argument to ``run_app(..., imbalance=...)``:
+
+* ``uniform`` — every rank runs the identical workload (the POP load
+  balance of a correct run must be exactly 1.0).
+* ``lulesh-imbalanced`` — LULESH-style spatial domain imbalance: the
+  Sedov blast wave concentrates work in the subdomains containing the
+  shock front, so per-rank element work varies by tens of percent.
+* ``openfoam-decomp`` — mesh-decomposition skew: decomposed OpenFOAM
+  cases give boundary-layer-heavy partitions more face loops, modelled
+  as a moderate jitter plus a linear ramp.
+* ``straggler`` — one slow rank (failing node, overloaded NUMA domain)
+  running ~60% more iterations than the rest; the classic DLB target.
+"""
+
+from __future__ import annotations
+
+from repro.multirank.imbalance import ImbalanceSpec
+
+SCENARIOS: dict[str, ImbalanceSpec] = {
+    "uniform": ImbalanceSpec(),
+    "lulesh-imbalanced": ImbalanceSpec(imbalance=0.35, seed=23),
+    "openfoam-decomp": ImbalanceSpec(imbalance=0.15, ramp=0.25, seed=29),
+    "straggler": ImbalanceSpec(stragglers=1, straggler_factor=1.6, seed=31),
+}
+
+
+def scenario(name: str) -> ImbalanceSpec:
+    """Look up a named imbalance scenario."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; available: {sorted(SCENARIOS)}"
+        ) from None

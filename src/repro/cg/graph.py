@@ -171,6 +171,10 @@ class CallGraph:
     ) -> None:
         u = self._intern(caller)
         v = self._intern(callee)
+        if v not in self._succ[u]:
+            # structure changed: version-keyed caches (columns, cross-run
+            # selector results) must observe profile-validated edges too
+            self._version += 1
         self._succ[u].add(v)
         self._pred[v].add(u)
         # keep the strongest (most static) reason when an edge is re-added
@@ -178,6 +182,10 @@ class CallGraph:
         old = self._edge_reasons.get(key)
         if old is None or _REASON_RANK[reason] < _REASON_RANK[old]:
             self._edge_reasons[key] = reason
+            if old is not None:
+                # a reason upgrade is observable metadata: version-keyed
+                # caches must not survive it
+                self._version += 1
 
     def remove_node(self, name: str) -> None:
         nid = self._ids.get(name)
@@ -197,6 +205,16 @@ class CallGraph:
         self._version += 1
 
     # -- id layer ----------------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotone structure version; bumps on any mutation.
+
+        Cross-run caches (selector results, meta columns) key against
+        this: equal versions of the same graph object guarantee equal
+        structure and metadata.
+        """
+        return self._version
 
     @property
     def id_bound(self) -> int:

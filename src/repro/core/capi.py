@@ -18,6 +18,10 @@ from repro.core.pipeline import PipelineBuilder, SelectionResult, evaluate_pipel
 from repro.core.spec.modules import load_spec, load_spec_file
 from repro.program.linker import LinkedProgram
 
+#: FIFO cap on the per-Capi selection-outcome memo (entries strongly
+#: reference linked program images)
+_MEMO_CAP = 64
+
 
 @dataclass
 class CapiOutcome:
@@ -43,11 +47,34 @@ class CapiOutcome:
 
 @dataclass
 class Capi:
-    """CaPI configured for one target application."""
+    """CaPI configured for one target application.
+
+    Whole selection outcomes are memoised per instance, keyed by the
+    graph version — repeated ``select``/``select_all`` sweeps over an
+    unchanged graph (rank sweeps, the Table I/II harnesses) are
+    near-free, while any graph mutation transparently re-evaluates.
+    Every *evaluated* (non-memo-hit) selection runs in a fresh context
+    without cross-run sharing, so its ``selection_seconds`` provenance
+    — Table I's time column — always measures one full evaluation.
+    (Callers wanting sub-expression sharing across different specs can
+    pass a :class:`~repro.core.selectors.base.CrossRunCache` to
+    :func:`~repro.core.pipeline.evaluate_pipeline` directly.)
+    """
 
     graph: CallGraph
     app_name: str = ""
     search_paths: list[Path] = field(default_factory=list)
+    #: (spec source, spec name) -> (linked object, outcome); entries hold
+    #: a strong reference to ``linked`` and are compared by identity, so
+    #: a recycled ``id()`` can never alias a dead program.  The whole
+    #: table is dropped when the graph version moves (no unbounded
+    #: growth across mutations).  The table is additionally FIFO-capped
+    #: at ``_MEMO_CAP`` entries so a caller re-linking per iteration
+    #: cannot pin unbounded linked images.  Instances with
+    #: ``search_paths`` skip the outcome memo entirely: ``!import``-ed
+    #: modules may change on disk between calls.
+    _outcomes: dict = field(default_factory=dict, repr=False)
+    _outcomes_version: int = field(default=-1, repr=False)
 
     def select(
         self,
@@ -62,6 +89,18 @@ class Capi:
         applied (it needs the symbol tables); otherwise the raw pipeline
         result becomes the IC.
         """
+        memoize = not self.search_paths
+        # id(linked) is safe in the key because the entry's strong
+        # reference keeps the object alive — a recycled id can never
+        # alias; the identity check below is belt-and-braces
+        memo_key = (spec_source, spec_name, id(linked))
+        if memoize:
+            if self._outcomes_version != self.graph.version:
+                self._outcomes.clear()
+                self._outcomes_version = self.graph.version
+            hit = self._outcomes.get(memo_key)
+            if hit is not None and hit[0] is linked:
+                return hit[1]
         spec = load_spec(spec_source, search_paths=self.search_paths)
         entry, _ = PipelineBuilder().build(spec)
         selection = evaluate_pipeline(entry, self.graph)
@@ -78,7 +117,12 @@ class Capi:
         if linked is not None:
             compensation = compensate_inlining(ic, self.graph, linked)
             ic = compensation.ic
-        return CapiOutcome(ic=ic, selection=selection, compensation=compensation)
+        outcome = CapiOutcome(ic=ic, selection=selection, compensation=compensation)
+        if memoize:
+            self._outcomes[memo_key] = (linked, outcome)
+            while len(self._outcomes) > _MEMO_CAP:
+                self._outcomes.pop(next(iter(self._outcomes)))
+        return outcome
 
     def select_file(
         self,
@@ -90,6 +134,7 @@ class Capi:
         spec_path = Path(spec_path)
         spec = load_spec_file(spec_path, search_paths=self.search_paths)
         entry, _ = PipelineBuilder().build(spec)
+        # no whole-outcome memo here: the file may change on disk
         selection = evaluate_pipeline(entry, self.graph)
         ic = InstrumentationConfig(
             functions=selection.selected,

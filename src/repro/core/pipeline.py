@@ -13,7 +13,13 @@ import time
 from dataclasses import dataclass, field
 
 from repro.cg.graph import CallGraph
-from repro.core.selectors.base import AllSelector, EvalContext, NamedRef, Selector
+from repro.core.selectors.base import (
+    AllSelector,
+    CrossRunCache,
+    EvalContext,
+    NamedRef,
+    Selector,
+)
 from repro.core.selectors.registry import Factory, lookup
 from repro.core.spec.ast import (
     AllExpr,
@@ -41,12 +47,48 @@ class SelectionResult:
         return len(self.selected)
 
 
+def _canonical_key(expr: Expr, named: dict[str, Selector]) -> str | None:
+    """Structural cache key of one spec expression.
+
+    ``%name`` references expand to the key of their *defining*
+    expression, so structurally identical pipelines share keys across
+    different spec files while same-named but different definitions
+    never collide.  Returns ``None`` when any part is unkeyable.
+    """
+    if isinstance(expr, AllExpr):
+        return "%%"
+    if isinstance(expr, RefExpr):
+        return getattr(named.get(expr.name), "cache_key", None)
+    if isinstance(expr, StrLit):
+        return f"s{expr.value!r}"
+    if isinstance(expr, NumLit):
+        return f"n{expr.value!r}"
+    if isinstance(expr, CallExpr):
+        parts = [_canonical_key(arg, named) for arg in expr.args]
+        if any(p is None for p in parts):
+            return None
+        return f"{expr.selector}({','.join(parts)})"  # type: ignore[arg-type]
+    return None
+
+
+def _attach_cache_key(
+    selector: Selector, expr: Expr, named: dict[str, Selector]
+) -> None:
+    key = _canonical_key(expr, named)
+    if key is not None:
+        try:
+            selector.cache_key = key  # type: ignore[attr-defined]
+        except AttributeError:
+            pass  # slotted third-party selector: simply stays uncached
+
+
 class PipelineBuilder:
     """Resolve a spec AST into a selector DAG."""
 
     def __init__(self, registry: dict[str, Factory] | None = None):
         self._registry = registry
         self._all = AllSelector()
+        self._all.cache_key = "%%"
 
     def build(self, spec: SpecFile) -> tuple[Selector, dict[str, Selector]]:
         """Returns ``(entry selector, named instances)``."""
@@ -59,6 +101,8 @@ class PipelineBuilder:
                         f"selector instance {stmt.name!r} redefined"
                     )
                 selector = NamedRef(stmt.name, self._build_expr(stmt.expr, named))
+                if self._registry is None:
+                    _attach_cache_key(selector, stmt.expr, named)
                 named[stmt.name] = selector
                 entry = selector
             else:
@@ -87,18 +131,36 @@ class PipelineBuilder:
                     args.append(arg.value)
                 else:
                     args.append(self._build_expr(arg, named))
-            return factory(*args)
+            selector = factory(*args)
+            if self._registry is None:
+                # structural keys encode only selector names, which a
+                # custom registry may bind to different implementations
+                # — such pipelines stay out of the cross-run cache
+                _attach_cache_key(selector, expr, named)
+            return selector
         raise SpecSemanticError(
             f"literal {expr!r} cannot be used as a selector"
         )
 
 
 def evaluate_pipeline(
-    entry: Selector, graph: CallGraph
+    entry: Selector,
+    graph: CallGraph,
+    *,
+    cross_run: CrossRunCache | None = None,
 ) -> SelectionResult:
-    """Evaluate a built pipeline, timing the selection process."""
+    """Evaluate a built pipeline, timing the selection process.
+
+    ``cross_run`` opts into result reuse across pipeline runs: selector
+    results land in (and are served from) the cache for as long as the
+    graph version is unchanged.  Benchmarks that want honest timings
+    must leave it off (the default).
+    """
     start = time.perf_counter()
-    ctx = EvalContext(graph)
+    if cross_run is not None:
+        ctx = EvalContext.with_cross_run(graph, cross_run)
+    else:
+        ctx = EvalContext(graph)
     selected = ctx.evaluate(entry)
     duration = time.perf_counter() - start
     return SelectionResult(

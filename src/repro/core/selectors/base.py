@@ -12,6 +12,15 @@ adjacency — and results are converted to function names only at the
 :class:`~repro.core.pipeline.SelectionResult` boundary (or through the
 string-typed :meth:`EvalContext.evaluate` /:meth:`Selector.evaluate`
 compatibility surface).
+
+Per-context memoisation keys on selector *identity* (one pipeline run
+reuses shared sub-pipelines).  On top of that, an opt-in
+:class:`CrossRunCache` persists results **across** evaluation contexts:
+selectors built from a spec carry a structural ``cache_key`` (the
+canonical repr of their defining expression), and the cache is bound to
+one call graph *version* — any graph mutation invalidates it wholesale.
+Repeated ``select_all()`` sweeps over an unchanged graph (rank sweeps,
+the Table I/II harnesses) become near-free.
 """
 
 from __future__ import annotations
@@ -19,6 +28,38 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.cg.graph import CallGraph
+
+
+class CrossRunCache:
+    """Selector results shared across pipeline runs on one graph.
+
+    Soundness: selectors are pure functions of (expression, graph
+    structure+metadata), so a result keyed by the structural expression
+    key is valid for as long as the graph's :attr:`~repro.cg.graph.
+    CallGraph.version` is unchanged.  Binding to a different graph
+    object or observing a version bump drops the whole store.
+    """
+
+    def __init__(self) -> None:
+        #: strong reference: keeps the bound graph alive so a recycled
+        #: ``id()`` of a freed graph can never alias into this store
+        self._graph: CallGraph | None = None
+        self._version: int | None = None
+        self._store: dict[str, frozenset[int]] = {}
+        #: cross-run hits served (diagnostics / tests)
+        self.hits = 0
+
+    def store_for(self, graph: CallGraph) -> dict[str, frozenset[int]]:
+        """The live store for ``graph``, invalidated on version change."""
+        version = graph.version
+        if self._graph is not graph or self._version != version:
+            self._graph = graph
+            self._version = version
+            self._store = {}
+        return self._store
+
+    def __len__(self) -> int:
+        return len(self._store)
 
 
 @dataclass
@@ -29,6 +70,19 @@ class EvalContext:
     _cache: dict[int, frozenset[int]] = field(default_factory=dict)
     #: evaluation statistics: selector description -> result size
     trace: list[tuple[str, int]] = field(default_factory=list)
+    #: optional cross-run store (see :class:`CrossRunCache`); holds the
+    #: structural-key dict already bound to this context's graph version
+    cross_run: dict[str, frozenset[int]] | None = None
+    _cross_cache: "CrossRunCache | None" = None
+
+    @classmethod
+    def with_cross_run(
+        cls, graph: CallGraph, cache: "CrossRunCache"
+    ) -> "EvalContext":
+        ctx = cls(graph)
+        ctx.cross_run = cache.store_for(graph)
+        ctx._cross_cache = cache
+        return ctx
 
     def evaluate_ids(self, selector: "Selector") -> frozenset[int]:
         """Evaluate to the interned-id set (the fast path)."""
@@ -36,6 +90,16 @@ class EvalContext:
         cached = self._cache.get(key)
         if cached is not None:
             return cached
+        cross = self.cross_run
+        struct_key = getattr(selector, "cache_key", None) if cross is not None else None
+        if struct_key is not None:
+            hit = cross.get(struct_key)
+            if hit is not None:
+                self._cache[key] = hit
+                self.trace.append((selector.describe(), len(hit)))
+                if self._cross_cache is not None:
+                    self._cross_cache.hits += 1
+                return hit
         select_ids = getattr(selector, "select_ids", None)
         if select_ids is not None:
             result = frozenset(select_ids(self))
@@ -43,6 +107,8 @@ class EvalContext:
             # duck-typed legacy selector exposing only name-based select()
             result = frozenset(self.graph.names_to_ids(selector.select(self)))
         self._cache[key] = result
+        if struct_key is not None:
+            cross[struct_key] = result
         self.trace.append((selector.describe(), len(result)))
         return result
 

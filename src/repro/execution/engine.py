@@ -26,6 +26,12 @@ charged)`` workload split.  All caches that depend on sled state
 (``_patched_cache``, ``_analytic_memo``) are keyed against the XRay
 patch epoch — the patcher's cumulative patch/unpatch counter — so
 mid-run repatching by the DynCaPI runtime can never serve stale costs.
+
+The walk itself is an explicit work-stack loop (one ``_Frame`` per open
+function invocation) rather than Python recursion, so the dynamic call
+depth is bounded only by :attr:`Workload.max_depth` — deep wrapper
+chains and deep per-rank workloads never hit the interpreter recursion
+limit.
 """
 
 from __future__ import annotations
@@ -91,6 +97,27 @@ class _FnRecord:
     sites: list[_SiteRecord]
 
 
+class _Frame:
+    """One open function invocation on the explicit walk stack."""
+
+    __slots__ = ("rec", "child_depth", "sites", "si", "site", "i", "walked", "charged")
+
+    def __init__(self, rec: _FnRecord, child_depth: int, sites: list[_SiteRecord]):
+        self.rec = rec
+        self.child_depth = child_depth
+        #: sites to process (empty when the frame sits at the depth cap)
+        self.sites = sites
+        self.si = 0
+        #: the site currently being expanded (None: fetch the next one)
+        self.site: _SiteRecord | None = None
+        self.i = 0
+        self.walked = 0
+        self.charged = 0
+
+
+_NO_SITES: list[_SiteRecord] = []
+
+
 class _NeverStore(dict):
     """Cache stand-in that drops every write — used by equivalence tests
     to force per-call recomputation through the exact same code path."""
@@ -131,6 +158,8 @@ class ExecutionEngine:
         self._analytic_memo: dict[str, _AnalyticTotals] = {}
         #: XRay patch epoch the sled-state caches were computed under
         self._cache_epoch = self._patch_epoch()
+        #: once-per-run spine (root_scale scope), computed on demand
+        self._root_region_set: set[str] | None = None
         self._result: RunResult | None = None
 
     # -- public ---------------------------------------------------------------
@@ -202,22 +231,34 @@ class ExecutionEngine:
         sites: list[_SiteRecord] = []
         split = self.workload.split
         effective = self.workload.effective_count
+        # the one-shot root_scale (rank-dependent iteration counts)
+        # applies to sites of the once-per-run spine — but never to
+        # spine-internal links (main -> timeLoop), otherwise the factor
+        # would compound once per spine edge instead of applying once
+        spine: set[str] = (
+            self._root_region()
+            if self.workload.root_scale != 1.0 and name in self._root_region()
+            else set()
+        )
         for site in mf.call_sites:
             targets = self._site_targets(site)
             if not targets:
                 continue
+            root = bool(spine) and not (
+                len(targets) == 1 and targets[0] in spine
+            )
             if targets[0] in _LIFECYCLE:
                 # lifecycle calls are one-shot: never scaled, never charged
                 walked, charged = site.count, 0
             else:
-                walked, charged = split(site.count)
+                walked, charged = split(site.count, root=root)
             sites.append(
                 _SiteRecord(
                     targets=targets,
                     n_targets=len(targets),
                     walked=walked,
                     charged=charged,
-                    effective=effective(site.count),
+                    effective=effective(site.count, root=root),
                 )
             )
         return _FnRecord(
@@ -227,6 +268,75 @@ class ExecutionEngine:
             is_mpi=mf.is_mpi,
             sites=sites,
         )
+
+    def _root_region(self) -> set[str]:
+        """The once-per-run spine: where ``root_scale`` applies.
+
+        The entry function belongs to the spine; so does any function
+        whose *only* invocation is one single-target, declared-once
+        call site of a spine function (e.g. ``main -> timeLoop``).
+        Scaling a spine function's non-spine call-site counts scales
+        the application's total iteration count — and therefore its
+        work — *linearly*, which is the contract of the per-rank
+        imbalance model.  Membership tests the **declared** site count,
+        so it is purely static: independent of ``root_scale`` *and* of
+        the compounding ``scale`` knob.
+        """
+        if self._root_region_set is not None:
+            return self._root_region_set
+        # target -> caller names over every machine call site
+        callers: dict[str, list[str]] = {}
+        for mf in self._functions.values():
+            for site in mf.call_sites:
+                for target in self._site_targets(site):
+                    callers.setdefault(target, []).append(mf.name)
+        region = {self._program.entry}
+        frontier = [self._program.entry]
+        while frontier:
+            mf = self._functions.get(frontier.pop())
+            if mf is None:
+                continue
+            for site in mf.call_sites:
+                targets = self._site_targets(site)
+                if len(targets) != 1 or site.count != 1:
+                    continue
+                target = targets[0]
+                if target in region:
+                    continue
+                names = callers.get(target, ())
+                if len(names) == 1 and names[0] == mf.name:
+                    region.add(target)
+                    frontier.append(target)
+        self._root_region_set = region
+        if self.workload.root_scale != 1.0 and not self._spine_has_scalable_site(
+            region
+        ):
+            import warnings
+
+            warnings.warn(
+                f"Workload.root_scale={self.workload.root_scale} has no "
+                f"effect on {self._program.name!r}: every call site of the "
+                f"once-per-run spine is itself a spine link, so no "
+                f"iteration count can be scaled (per-rank imbalance will "
+                f"report a load balance of 1.0)",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        return region
+
+    def _spine_has_scalable_site(self, region: set[str]) -> bool:
+        """True if any spine call site actually receives ``root_scale``."""
+        for fname in region:
+            mf = self._functions.get(fname)
+            if mf is None:
+                continue
+            for site in mf.call_sites:
+                targets = self._site_targets(site)
+                if not targets or targets[0] in _LIFECYCLE:
+                    continue
+                if len(targets) != 1 or targets[0] not in region:
+                    return True
+        return False
 
     # -- execution -------------------------------------------------------------
 
@@ -239,15 +349,21 @@ class ExecutionEngine:
                     names.append(mf.name)
         return names
 
-    def _execute(self, name: str, depth: int) -> None:
+    def _enter(self, name: str, depth: int) -> _Frame | None:
+        """Process one function entry; returns the frame to descend into.
+
+        MPI stubs and fully-inlined targets are handled in place and
+        yield no frame, exactly like the leaf cases of the former
+        recursive walker.
+        """
         rec = self._record_of(name)
         if rec is None:
-            return
+            return None
         result = self._result
         assert result is not None
         if rec.is_mpi:
             self._mpi_call(rec.mf)
-            return
+            return None
         result.entry_events += 1
         calls = result.per_function_calls
         calls[name] = calls.get(name, 0) + 1
@@ -255,30 +371,58 @@ class ExecutionEngine:
         base_cost = rec.base_cost
         self.clock.advance(base_cost)
         result.useful_cycles += base_cost
-        if depth < self.workload.max_depth:
-            child_depth = depth + 1
-            event_budget = self.workload.event_budget
-            execute = self._execute
-            for site in rec.sites:
-                walked = site.walked
-                charged = site.charged
-                if result.entry_events >= event_budget:
-                    charged += walked
-                    walked = 0
+        sites = rec.sites if depth < self.workload.max_depth else _NO_SITES
+        return _Frame(rec, depth + 1, sites)
+
+    def _execute(self, name: str, depth: int) -> None:
+        """Walk one call tree with an explicit frame stack (no recursion).
+
+        The traversal order, clock charges, event counts and the
+        per-site event-budget check are identical to the recursive
+        formulation: each site's budget split is decided when the walk
+        first reaches the site, its walked repetitions descend in
+        order, and the analytic residual is charged after the last one.
+        """
+        result = self._result
+        assert result is not None
+        event_budget = self.workload.event_budget
+        frame = self._enter(name, depth)
+        if frame is None:
+            return
+        stack = [frame]
+        while stack:
+            frame = stack[-1]
+            site = frame.site
+            if site is None:
+                if frame.si < len(frame.sites):
+                    site = frame.sites[frame.si]
+                    frame.si += 1
+                    walked = site.walked
+                    charged = site.charged
+                    if result.entry_events >= event_budget:
+                        charged += walked
+                        walked = 0
+                    frame.site = site
+                    frame.walked = walked
+                    frame.charged = charged
+                    frame.i = 0
+                    continue
+                result.exit_events += 1
+                self._fire_sled(frame.rec.mf, entry=False)
+                stack.pop()
+                continue
+            if frame.i < frame.walked:
                 targets = site.targets
-                if walked:
-                    n = site.n_targets
-                    if n == 1:
-                        target = targets[0]
-                        for _ in range(walked):
-                            execute(target, child_depth)
-                    else:
-                        for i in range(walked):
-                            execute(targets[i % n], child_depth)
-                if charged > 0:
-                    self._charge(targets[0], charged)
-        result.exit_events += 1
-        self._fire_sled(rec.mf, entry=False)
+                n = site.n_targets
+                target = targets[0] if n == 1 else targets[frame.i % n]
+                frame.i += 1
+                child = self._enter(target, frame.child_depth)
+                if child is not None:
+                    stack.append(child)
+                continue
+            if frame.charged > 0:
+                self._charge(site.targets[0], frame.charged)
+            frame.site = None
 
     def _mpi_call(self, mf: MachineFunction) -> None:
         result = self._result

@@ -25,8 +25,15 @@ class Workload:
     streams bounded while preserving total virtual time first-order.
     """
 
-    #: multiplier applied to every call-site count (problem size knob)
+    #: multiplier applied to every call-site count (problem size knob);
+    #: compounds multiplicatively down the call tree
     scale: float = 1.0
+    #: multiplier applied ONCE, to call sites of the once-per-run spine
+    #: (entry function plus its single-caller, once-called descendants —
+    #: the timestep-loop layer).  Rank-dependent iteration counts: total
+    #: work scales *linearly*, which is how the multi-rank imbalance
+    #: model perturbs one rank.
+    root_scale: float = 1.0
     #: walk at most this many repetitions of one call site
     site_cap: int = 3
     #: maximum dynamic call depth
@@ -37,17 +44,24 @@ class Workload:
     def __post_init__(self) -> None:
         if self.scale <= 0:
             raise ExecutionError("workload scale must be positive")
+        if self.root_scale <= 0:
+            raise ExecutionError("workload root_scale must be positive")
         if self.site_cap < 1:
             raise ExecutionError("site_cap must be >= 1")
         if self.max_depth < 2:
             raise ExecutionError("max_depth must be >= 2")
 
-    def effective_count(self, declared: int) -> int:
-        """Scaled dynamic repetition count of a call site."""
-        return max(0, round(declared * self.scale))
+    def effective_count(self, declared: int, *, root: bool = False) -> int:
+        """Scaled dynamic repetition count of a call site.
 
-    def split(self, declared: int) -> tuple[int, int]:
+        ``root=True`` marks a call site on the once-per-run spine,
+        where the one-shot ``root_scale`` applies on top of ``scale``.
+        """
+        factor = self.scale * self.root_scale if root else self.scale
+        return max(0, round(declared * factor))
+
+    def split(self, declared: int, *, root: bool = False) -> tuple[int, int]:
         """Return ``(walked, charged_only)`` repetitions of a site."""
-        total = self.effective_count(declared)
+        total = self.effective_count(declared, root=root)
         walked = min(total, self.site_cap)
         return walked, total - walked

@@ -33,24 +33,46 @@ class Table2Row:
     t_init: float | None
     t_total: float
     overhead: float  # Ttotal / vanilla Ttotal - 1
+    #: measured POP metrics (multi-rank runs only): (LB, CommEff, PE)
+    pop: tuple[float, float, float] | None = None
+
+
+def _pop_of(outcome) -> tuple[float, float, float] | None:
+    if outcome.pop is None:
+        return None
+    m = outcome.pop.app
+    return (m.load_balance, m.communication_efficiency, m.parallel_efficiency)
 
 
 def compute_table2_app(
-    prepared: PreparedApp, *, ranks: int = 4
+    prepared: PreparedApp,
+    *,
+    ranks: int = 4,
+    imbalance=None,
+    backend: str = "serial",
 ) -> list[Table2Row]:
-    """All Table II rows for one application."""
+    """All Table II rows for one application.
+
+    With ``imbalance`` set, every cell executes across ``ranks`` real
+    simulated ranks (the multi-rank subsystem): ``Ttotal`` becomes the
+    synchronised elapsed time of the world and each row additionally
+    carries measured POP metrics.
+    """
     rows: list[Table2Row] = []
     app = prepared.name
+    mr = dict(ranks=ranks, imbalance=imbalance, backend=backend)
 
-    vanilla = run_configuration(
-        prepared, mode="vanilla", ranks=ranks, config_name="vanilla"
-    ).result
-    rows.append(Table2Row(app, "-", "vanilla", None, vanilla.t_total, 0.0))
+    van_out = run_configuration(prepared, mode="vanilla", config_name="vanilla", **mr)
+    vanilla = van_out.result
+    rows.append(
+        Table2Row(app, "-", "vanilla", None, vanilla.t_total, 0.0, _pop_of(van_out))
+    )
 
     ics = prepared.select_all()
-    inactive = run_configuration(
-        prepared, mode="inactive", ranks=ranks, config_name="xray inactive"
-    ).result
+    inact_out = run_configuration(
+        prepared, mode="inactive", config_name="xray inactive", **mr
+    )
+    inactive = inact_out.result
     for tool in ("talp", "scorep"):
         rows.append(
             Table2Row(
@@ -60,11 +82,13 @@ def compute_table2_app(
                 None,
                 inactive.t_total,
                 inactive.t_total / vanilla.t_total - 1,
+                _pop_of(inact_out),
             )
         )
-        full = run_configuration(
-            prepared, mode="full", tool=tool, ranks=ranks, config_name="xray full"
-        ).result
+        full_out = run_configuration(
+            prepared, mode="full", tool=tool, config_name="xray full", **mr
+        )
+        full = full_out.result
         rows.append(
             Table2Row(
                 app,
@@ -73,17 +97,19 @@ def compute_table2_app(
                 full.t_init,
                 full.t_total,
                 full.t_total / vanilla.t_total - 1,
+                _pop_of(full_out),
             )
         )
         for spec_name in SPEC_ORDER:
-            result = run_configuration(
+            out = run_configuration(
                 prepared,
                 mode="ic",
                 tool=tool,
                 ic=ics[spec_name].ic,
-                ranks=ranks,
                 config_name=spec_name,
-            ).result
+                **mr,
+            )
+            result = out.result
             rows.append(
                 Table2Row(
                     app,
@@ -92,6 +118,7 @@ def compute_table2_app(
                     result.t_init,
                     result.t_total,
                     result.t_total / vanilla.t_total - 1,
+                    _pop_of(out),
                 )
             )
     return rows
@@ -102,17 +129,24 @@ def compute_table2(
     *,
     scales: dict[str, int] | None = None,
     ranks: int = 4,
+    imbalance=None,
+    backend: str = "serial",
 ) -> list[Table2Row]:
     scales = scales or DEFAULT_SCALES
     rows: list[Table2Row] = []
     for app_name in apps:
         prepared = prepare_app(app_name, scales.get(app_name))
-        rows.extend(compute_table2_app(prepared, ranks=ranks))
+        rows.extend(
+            compute_table2_app(
+                prepared, ranks=ranks, imbalance=imbalance, backend=backend
+            )
+        )
     return rows
 
 
 def render_table2(rows: list[Table2Row]) -> str:
     out = []
+    with_pop = any(r.pop is not None for r in rows)
     for app in dict.fromkeys(r.app for r in rows):
         app_rows = [r for r in rows if r.app == app]
         body = []
@@ -120,23 +154,26 @@ def render_table2(rows: list[Table2Row]) -> str:
             for r in app_rows:
                 if r.tool != tool:
                     continue
-                body.append(
-                    (
-                        {"-": "", "talp": "TALP", "scorep": "Score-P"}[tool],
-                        r.config,
-                        "-" if r.t_init is None else f"{r.t_init:.2f}",
-                        f"{r.t_total:.2f}",
-                        f"+{100 * r.overhead:.0f}%",
-                    )
-                )
-        out.append(
-            format_table(
-                ["tool", "config", "Tinit", "Ttotal", "overhead"],
-                body,
-                title=f"TABLE II — INSTRUMENTATION OVERHEAD — {app} "
-                f"(virtual seconds)",
-            )
-        )
+                cells = [
+                    {"-": "", "talp": "TALP", "scorep": "Score-P"}[tool],
+                    r.config,
+                    "-" if r.t_init is None else f"{r.t_init:.2f}",
+                    f"{r.t_total:.2f}",
+                    f"+{100 * r.overhead:.0f}%",
+                ]
+                if with_pop:
+                    if r.pop is None:
+                        cells += ["-", "-", "-"]
+                    else:
+                        cells += [f"{100 * v:.1f}%" for v in r.pop]
+                body.append(tuple(cells))
+        headers = ["tool", "config", "Tinit", "Ttotal", "overhead"]
+        if with_pop:
+            headers += ["LB", "CommEff", "PE"]
+        title = f"TABLE II — INSTRUMENTATION OVERHEAD — {app} (virtual seconds)"
+        if with_pop:
+            title += " — multi-rank, measured POP"
+        out.append(format_table(headers, body, title=title))
     return "\n\n".join(out)
 
 
@@ -147,10 +184,41 @@ def main(argv: list[str] | None = None) -> int:
         "--app", choices=["lulesh", "openfoam", "both"], default="both"
     )
     parser.add_argument("--ranks", type=int, default=4)
+    parser.add_argument(
+        "--imbalance",
+        default=None,
+        help="run every cell across --ranks real simulated ranks under a "
+        "named imbalance scenario (see repro.apps.SCENARIOS, e.g. "
+        "'uniform', 'lulesh-imbalanced', 'straggler')",
+    )
+    parser.add_argument(
+        "--backend",
+        default="serial",
+        choices=["serial", "multiprocessing", "auto"],
+        help="rank execution backend for --imbalance runs",
+    )
     args = parser.parse_args(argv)
+    if args.backend != "serial" and args.imbalance is None:
+        parser.error("--backend only applies to multi-rank runs; add --imbalance "
+                     "(use '--imbalance uniform' for a balanced world)")
     scales = PAPER_SCALES if args.scale == "paper" else DEFAULT_SCALES
     apps = ("lulesh", "openfoam") if args.app == "both" else (args.app,)
-    print(render_table2(compute_table2(apps, scales=scales, ranks=args.ranks)))
+    imbalance = None
+    if args.imbalance is not None:
+        from repro.apps import scenario
+
+        imbalance = scenario(args.imbalance)
+    print(
+        render_table2(
+            compute_table2(
+                apps,
+                scales=scales,
+                ranks=args.ranks,
+                imbalance=imbalance,
+                backend=args.backend,
+            )
+        )
+    )
     return 0
 
 

@@ -1,0 +1,63 @@
+"""Multi-rank scale-out: parallel per-rank execution and cross-rank reduction.
+
+The seed reproduction executed a single simulated rank and synthesised
+the rest analytically.  This subsystem runs one
+:class:`~repro.workflow.BuiltApp` across N simulated MPI ranks for real:
+
+* :mod:`~repro.multirank.imbalance` — rank-heterogeneous workload
+  perturbation (imbalance factor, iteration ramps, straggler injection),
+* :mod:`~repro.multirank.backends` — serial and ``multiprocessing``
+  executors behind one interface (ranks are embarrassingly parallel),
+* :mod:`~repro.multirank.scheduler` — per-rank task construction and
+  collection of picklable rank artefacts,
+* :mod:`~repro.multirank.reduce` — merged Score-P-style profiles
+  (min/max/avg/sum per call path across ranks) and *measured* POP
+  metrics with synchronisation-wait attribution.
+
+Entry points: :func:`run_multirank`, or simply
+``repro.workflow.run_app(..., ranks=N, imbalance=ImbalanceSpec(...))``.
+"""
+
+from repro.multirank.backends import (
+    MultiprocessingBackend,
+    SerialBackend,
+    resolve_backend,
+)
+from repro.multirank.imbalance import ImbalanceSpec
+from repro.multirank.reduce import (
+    MergedProfileNode,
+    PopReport,
+    RankStat,
+    build_pop_report,
+    flatten_merged,
+    merge_profiles,
+)
+from repro.multirank.scheduler import (
+    MultiRankOutcome,
+    RankResult,
+    RankTask,
+    RegionSample,
+    build_tasks,
+    execute_rank,
+    run_multirank,
+)
+
+__all__ = [
+    "ImbalanceSpec",
+    "MergedProfileNode",
+    "MultiRankOutcome",
+    "MultiprocessingBackend",
+    "PopReport",
+    "RankResult",
+    "RankStat",
+    "RankTask",
+    "RegionSample",
+    "SerialBackend",
+    "build_pop_report",
+    "build_tasks",
+    "execute_rank",
+    "flatten_merged",
+    "merge_profiles",
+    "resolve_backend",
+    "run_multirank",
+]

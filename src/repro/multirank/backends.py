@@ -1,0 +1,97 @@
+"""Parallel execution backends for the rank scheduler.
+
+Ranks are embarrassingly parallel — no shared mutable state, no
+cross-rank messages during execution (synchronisation is attributed by
+the reducer afterwards) — so the backend interface is a single
+``map_ranks(built, tasks)``.
+
+Two implementations ship:
+
+* :class:`SerialBackend` — in-process loop, deterministic and
+  dependency-free; the default.
+* :class:`MultiprocessingBackend` — a ``multiprocessing`` pool using
+  the ``fork`` start method where available.  Fork keeps the parent's
+  interpreter state (including the per-process ``str`` hash salt), so
+  worker executions are bit-identical to serial in-process runs; the
+  BuiltApp is shipped once per worker through the pool initializer
+  rather than once per task.
+
+Both backends funnel every rank through the same
+:func:`~repro.multirank.scheduler.execute_rank`, so they can only
+differ in wall-clock time, never in results.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+from repro.errors import CapiError
+from repro.multirank.scheduler import RankResult, RankTask, execute_rank
+
+#: BuiltApp of the current worker process (set by the pool initializer)
+_WORKER_APP = None
+
+
+def _init_worker(built) -> None:
+    global _WORKER_APP
+    _WORKER_APP = built
+
+
+def _run_in_worker(task: RankTask) -> RankResult:
+    assert _WORKER_APP is not None, "pool worker used before initialisation"
+    return execute_rank(_WORKER_APP, task)
+
+
+class SerialBackend:
+    """Run ranks one after another in the calling process."""
+
+    name = "serial"
+
+    def map_ranks(self, built, tasks: list[RankTask]) -> list[RankResult]:
+        return [execute_rank(built, task) for task in tasks]
+
+
+class MultiprocessingBackend:
+    """Run ranks across a process pool (paper-scale sweeps use all cores)."""
+
+    name = "multiprocessing"
+
+    def __init__(self, processes: int | None = None):
+        self.processes = processes
+
+    def map_ranks(self, built, tasks: list[RankTask]) -> list[RankResult]:
+        if not tasks:
+            return []
+        if len(tasks) == 1:
+            # nothing to parallelise; skip the pool entirely
+            return [execute_rank(built, tasks[0])]
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
+        workers = self.processes or min(len(tasks), os.cpu_count() or 1)
+        with ctx.Pool(
+            processes=min(workers, len(tasks)),
+            initializer=_init_worker,
+            initargs=(built,),
+        ) as pool:
+            return pool.map(_run_in_worker, tasks, chunksize=1)
+
+
+def resolve_backend(backend: "str | object"):
+    """Accept a backend instance or one of the spelled-out names."""
+    if not isinstance(backend, str):
+        if not hasattr(backend, "map_ranks"):
+            raise CapiError(f"object {backend!r} is not a rank backend")
+        return backend
+    name = backend.lower()
+    if name == "serial":
+        return SerialBackend()
+    if name in ("multiprocessing", "mp", "parallel"):
+        return MultiprocessingBackend()
+    if name == "auto":
+        cores = os.cpu_count() or 1
+        return MultiprocessingBackend() if cores > 1 else SerialBackend()
+    raise CapiError(
+        f"unknown rank backend {backend!r}; expected 'serial', "
+        f"'multiprocessing' or 'auto'"
+    )

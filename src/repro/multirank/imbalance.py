@@ -1,0 +1,105 @@
+"""Rank-heterogeneous workload perturbation.
+
+An :class:`ImbalanceSpec` describes how the *same* application behaves
+differently across simulated MPI ranks — the load-imbalance scenarios
+(LULESH-style spatial imbalance, stragglers, rank-ramped iteration
+counts) that selective instrumentation plus TALP exists to diagnose.
+
+The spec is a pure function of its fields and a seed: ``factors(size)``
+returns one deterministic per-rank compute multiplier per rank, and
+``workload_for(rank, base)`` folds that multiplier into the rank's
+:class:`~repro.execution.workload.Workload` scale.  Rank 0 is always
+the reference rank (factor exactly 1.0), matching the bottleneck-rank
+convention of :class:`~repro.simmpi.world.MpiWorld`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro._util import rng_for
+from repro.errors import SimMpiError
+from repro.execution.workload import Workload
+
+#: default workload used when the caller supplies none
+_DEFAULT_WORKLOAD = Workload()
+
+
+@dataclass(frozen=True)
+class ImbalanceSpec:
+    """Deterministic per-rank workload perturbation.
+
+    * ``imbalance`` — maximum fractional load reduction on the lightest
+      rank; ranks 1..P-1 draw a jitter from ``[0, imbalance)`` (rank 0
+      stays at 1.0).  ``0.0`` means a perfectly uniform world.
+    * ``ramp`` — linear rank-dependent iteration scaling: rank ``r``
+      additionally runs ``1 + ramp * r / (P - 1)`` times the iterations
+      (domain-decomposition gradients, e.g. boundary-heavy subdomains).
+    * ``stragglers`` / ``straggler_factor`` — this many deterministically
+      chosen ranks multiply their load by ``straggler_factor`` (a slow
+      node or an overloaded NUMA domain).
+    """
+
+    imbalance: float = 0.0
+    seed: int = 7
+    ramp: float = 0.0
+    stragglers: int = 0
+    straggler_factor: float = 1.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.imbalance < 1.0:
+            raise SimMpiError("imbalance must be in [0, 1)")
+        if self.ramp < 0.0:
+            raise SimMpiError("ramp must be non-negative")
+        if self.stragglers < 0:
+            raise SimMpiError("stragglers must be non-negative")
+        if self.straggler_factor <= 0.0:
+            raise SimMpiError("straggler_factor must be positive")
+
+    @property
+    def uniform(self) -> bool:
+        """True when every rank runs the identical workload."""
+        return self.imbalance == 0.0 and self.ramp == 0.0 and self.stragglers == 0
+
+    def factors(self, size: int) -> tuple[float, ...]:
+        """Per-rank compute multipliers, deterministic in ``seed``."""
+        if size < 1:
+            raise SimMpiError(f"world size must be >= 1, got {size}")
+        factors = np.ones(size, dtype=float)
+        if self.imbalance > 0.0 and size > 1:
+            rng = rng_for(self.seed, "multirank-imbalance", size)
+            jitter = rng.uniform(0.0, self.imbalance, size=size)
+            jitter[0] = 0.0
+            factors *= 1.0 - jitter
+        if self.ramp > 0.0 and size > 1:
+            factors *= 1.0 + self.ramp * np.arange(size) / (size - 1)
+        if self.stragglers > 0 and size > 1:
+            rng = rng_for(self.seed, "multirank-stragglers", size)
+            # rank 0 keeps its reference role; stragglers land elsewhere
+            picked = rng.choice(
+                np.arange(1, size), size=min(self.stragglers, size - 1), replace=False
+            )
+            factors[picked] *= self.straggler_factor
+        return tuple(float(f) for f in factors)
+
+    def workloads_for(
+        self, size: int, base: Workload | None = None
+    ) -> list[Workload]:
+        """Per-rank workloads: ``base`` with rank-scaled iteration counts.
+
+        The factor lands in :attr:`Workload.root_scale` — the one-shot
+        multiplier on the entry function's call sites — so a rank at
+        factor 0.7 runs ~30% fewer top-level iterations and its total
+        work shrinks *proportionally*.  (Folding the factor into the
+        compounding ``scale`` knob instead would amplify it
+        exponentially down the call tree.)
+        """
+        base = base or _DEFAULT_WORKLOAD
+        return [
+            base
+            if factor == 1.0
+            else replace(base, root_scale=base.root_scale * factor)
+            for factor in self.factors(size)
+        ]

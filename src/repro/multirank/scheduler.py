@@ -1,0 +1,243 @@
+"""The rank scheduler: one BuiltApp executed across N simulated ranks.
+
+Each rank is an independent, fully deterministic single-rank execution
+(`repro.workflow.run_app`) over the *shared immutable* program, linked
+image and call graph — only the rank's :class:`Workload` differs, as
+perturbed by the :class:`~repro.multirank.imbalance.ImbalanceSpec`.
+Ranks are therefore embarrassingly parallel; the
+:mod:`~repro.multirank.backends` decide whether they run in-process or
+across a process pool.
+
+The scheduler collects one :class:`RankResult` per rank — the engine's
+:class:`~repro.execution.result.RunResult` plus the rank's Score-P
+profile (as a plain dict) and TALP region samples, all picklable so the
+multiprocessing backend can ship them back — and hands the list to the
+cross-rank reducer for the merged profile and the POP report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.ic import InstrumentationConfig
+from repro.errors import CapiError
+from repro.execution.costs import CostModel
+from repro.execution.result import RunResult
+from repro.execution.workload import Workload
+from repro.multirank.imbalance import ImbalanceSpec
+from repro.multirank.reduce import (
+    MergedProfileNode,
+    PopReport,
+    build_pop_report,
+    merge_profiles,
+)
+
+
+@dataclass(frozen=True)
+class RegionSample:
+    """Picklable snapshot of one TALP monitoring region on one rank."""
+
+    name: str
+    visits: int
+    elapsed_cycles: float
+    mpi_cycles: float
+    useful_cycles: float
+
+
+@dataclass(frozen=True)
+class RankTask:
+    """Everything one rank's execution needs beyond the BuiltApp."""
+
+    rank: int
+    ranks: int
+    mode: str
+    tool: str
+    ic: InstrumentationConfig | None
+    workload: Workload
+    cost_model: CostModel | None
+    symbol_injection: bool
+    emulate_talp_bug: bool
+    talp_bug_threshold: int | None
+    talp_bug_modulus: int | None
+    config_name: str
+
+
+@dataclass(frozen=True)
+class RankResult:
+    """One rank's execution artefacts (picklable)."""
+
+    rank: int
+    result: RunResult
+    #: Score-P call-path profile in ``profile_io.to_dict`` form
+    profile: dict | None = None
+    talp_regions: tuple[RegionSample, ...] = ()
+
+
+@dataclass
+class MultiRankOutcome:
+    """Aggregated result of one N-rank execution."""
+
+    ranks: int
+    spec: ImbalanceSpec
+    factors: tuple[float, ...]
+    backend: str
+    per_rank: list[RankResult]
+    merged_profile: MergedProfileNode | None
+    pop: PopReport
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Synchronised wall time: the slowest rank's ``t_total``.
+
+        Includes startup (``t_init``); the POP report's ``application``
+        region deliberately covers only the main phase.
+        """
+        return max(r.result.t_total for r in self.per_rank)
+
+    @property
+    def bottleneck(self) -> RankResult:
+        """The rank setting the elapsed time (ties: lowest rank wins)."""
+        return max(
+            self.per_rank,
+            key=lambda r: (r.result.t_init_cycles + r.result.t_app_cycles, -r.rank),
+        )
+
+
+def build_tasks(
+    *,
+    ranks: int,
+    imbalance: ImbalanceSpec,
+    mode: str,
+    tool: str,
+    ic: InstrumentationConfig | None,
+    workload: Workload | None = None,
+    cost_model: CostModel | None = None,
+    symbol_injection: bool = True,
+    emulate_talp_bug: bool = True,
+    talp_bug_threshold: int | None = None,
+    talp_bug_modulus: int | None = None,
+    config_name: str = "",
+) -> list[RankTask]:
+    """One task per rank, workloads perturbed by the imbalance spec."""
+    workloads = imbalance.workloads_for(ranks, workload)
+    return [
+        RankTask(
+            rank=rank,
+            ranks=ranks,
+            mode=mode,
+            tool=tool,
+            ic=ic,
+            workload=workloads[rank],
+            cost_model=cost_model,
+            symbol_injection=symbol_injection,
+            emulate_talp_bug=emulate_talp_bug,
+            talp_bug_threshold=talp_bug_threshold,
+            talp_bug_modulus=talp_bug_modulus,
+            config_name=config_name,
+        )
+        for rank in range(ranks)
+    ]
+
+
+def execute_rank(built, task: RankTask) -> RankResult:
+    """Run one rank; the unit of work both backends dispatch."""
+    from repro.scorep.profile_io import to_dict
+    from repro.workflow import run_app
+
+    outcome = run_app(
+        built,
+        mode=task.mode,  # type: ignore[arg-type]
+        tool=task.tool,  # type: ignore[arg-type]
+        ic=task.ic,
+        ranks=task.ranks,
+        workload=task.workload,
+        cost_model=task.cost_model,
+        symbol_injection=task.symbol_injection,
+        emulate_talp_bug=task.emulate_talp_bug,
+        talp_bug_threshold=task.talp_bug_threshold,
+        talp_bug_modulus=task.talp_bug_modulus,
+        config_name=task.config_name,
+    )
+    profile = (
+        to_dict(outcome.scorep_profile) if outcome.scorep_profile is not None else None
+    )
+    regions: tuple[RegionSample, ...] = ()
+    if outcome.monitor is not None:
+        regions = tuple(
+            RegionSample(
+                name=region.name,
+                visits=region.visits,
+                elapsed_cycles=region.elapsed_cycles,
+                mpi_cycles=region.mpi_cycles,
+                useful_cycles=region.useful_cycles,
+            )
+            for region in outcome.monitor.regions.values()
+        )
+    return RankResult(
+        rank=task.rank,
+        result=outcome.result,
+        profile=profile,
+        talp_regions=regions,
+    )
+
+
+def run_multirank(
+    built,
+    *,
+    ranks: int,
+    imbalance: ImbalanceSpec,
+    backend: "str | object" = "serial",
+    mode: str = "ic",
+    tool: str = "none",
+    ic: InstrumentationConfig | None = None,
+    workload: Workload | None = None,
+    cost_model: CostModel | None = None,
+    symbol_injection: bool = True,
+    emulate_talp_bug: bool = True,
+    talp_bug_threshold: int | None = None,
+    talp_bug_modulus: int | None = None,
+    config_name: str = "",
+) -> MultiRankOutcome:
+    """Execute ``built`` across ``ranks`` simulated ranks and reduce.
+
+    Validation of the mode/IC combination happens up front so a bad
+    configuration fails in the caller, not inside a worker process.
+    """
+    from repro.multirank.backends import resolve_backend
+
+    if mode == "ic" and ic is None:
+        raise CapiError("mode='ic' requires an instrumentation configuration")
+    if mode != "ic" and ic is not None:
+        raise CapiError(f"mode={mode!r} does not take an IC")
+    if ranks < 1:
+        raise CapiError(f"ranks must be >= 1, got {ranks}")
+    tasks = build_tasks(
+        ranks=ranks,
+        imbalance=imbalance,
+        mode=mode,
+        tool=tool,
+        ic=ic,
+        workload=workload,
+        cost_model=cost_model,
+        symbol_injection=symbol_injection,
+        emulate_talp_bug=emulate_talp_bug,
+        talp_bug_threshold=talp_bug_threshold,
+        talp_bug_modulus=talp_bug_modulus,
+        config_name=config_name,
+    )
+    resolved = resolve_backend(backend)
+    per_rank = resolved.map_ranks(built, tasks)
+    per_rank.sort(key=lambda r: r.rank)
+    merged = merge_profiles([r.profile for r in per_rank])
+    pop = build_pop_report(
+        per_rank, frequency=per_rank[0].result.frequency
+    )
+    return MultiRankOutcome(
+        ranks=ranks,
+        spec=imbalance,
+        factors=imbalance.factors(ranks),
+        backend=getattr(resolved, "name", type(resolved).__name__),
+        per_rank=per_rank,
+        merged_profile=merged,
+        pop=pop,
+    )

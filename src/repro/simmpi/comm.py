@@ -29,6 +29,12 @@ COLLECTIVES = {
 }
 LIFECYCLE = {"MPI_Init", "MPI_Finalize"}
 
+#: collectives with all-to-all completion semantics: no rank leaves the
+#: operation before every rank has entered it.  The cross-rank profile
+#: reducer uses this classification to attribute inter-rank wait time
+#: (fast ranks blocking for the bottleneck) to MPI rather than compute.
+SYNCHRONIZING = {"MPI_Barrier", "MPI_Allreduce", "MPI_Allgather", "MPI_Alltoall"}
+
 KNOWN_OPS = POINT_TO_POINT | COLLECTIVES | LIFECYCLE | {"MPI_Comm_rank", "MPI_Comm_size"}
 
 
@@ -58,6 +64,10 @@ class SimComm:
             return c.lifecycle_cost
         if op in ("MPI_Comm_rank", "MPI_Comm_size"):
             return c.query_cost
+        if op == "MPI_Barrier":
+            # a barrier carries no payload: it pays the tree of
+            # latencies only, never the bandwidth term
+            message_bytes = 0
         transfer = c.latency + message_bytes * c.cycles_per_byte
         if op in COLLECTIVES:
             hops = max(1.0, math.log2(max(self.world.size, 2)))
@@ -68,3 +78,7 @@ class SimComm:
 
     def is_mpi_op(self, name: str) -> bool:
         return name in KNOWN_OPS or name.startswith("MPI_")
+
+    def is_synchronizing(self, name: str) -> bool:
+        """True for operations no rank can exit before all ranks enter."""
+        return name in SYNCHRONIZING

@@ -13,6 +13,7 @@ keeping the engine single-pass and deterministic.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 import numpy as np
 
@@ -84,3 +85,22 @@ class MpiWorld:
     def record_mpi(self, cycles: float) -> None:
         self.mpi_calls += 1
         self.mpi_cycles += cycles
+
+
+def finalize_wait(per_rank_total_cycles: "Iterable[float]") -> np.ndarray:
+    """Synchronisation wait each rank spends at the closing barrier.
+
+    ``MPI_Finalize`` (and any trailing synchronizing collective) holds
+    every rank until the slowest one arrives, so a rank that finishes
+    its local work early blocks for ``max_r(total_r) - total_r`` extra
+    cycles.  The cross-rank reducer attributes that wait to MPI time —
+    the same attribution TALP makes when a PMPI-intercepted collective
+    stalls — so per-rank accounting closes: ``elapsed = local_total +
+    wait`` for every rank.
+    """
+    totals = np.asarray(list(per_rank_total_cycles), dtype=float)
+    if totals.size == 0:
+        return totals
+    if (totals < 0).any():
+        raise SimMpiError("per-rank totals must be non-negative")
+    return totals.max() - totals

@@ -9,10 +9,16 @@ TALP reports the POP hierarchy for each monitoring region:
   ``max_r(useful_r) / elapsed``.
 * **Parallel Efficiency (PE)** — ``LB × CommEff``.
 
-The reproduction executes the bottleneck rank (factor 1.0) and scales
-useful time for the remaining ranks by the world's deterministic
-imbalance factors; all ranks share the region's elapsed time because
-collectives synchronise them.
+Two code paths feed these formulas:
+
+* :func:`compute_pop` — the single-run shortcut: the bottleneck rank is
+  executed and the other ranks' useful times are *synthesised* from the
+  world's deterministic imbalance factors (the seed behaviour).
+* :func:`compute_pop_from_ranks` — the multi-rank path: every rank was
+  actually executed (see :mod:`repro.multirank`) and the per-rank
+  useful/elapsed/MPI times are real measurements; the region's elapsed
+  time is the slowest rank's, because the trailing synchronizing
+  collective holds everyone until it arrives.
 """
 
 from __future__ import annotations
@@ -21,6 +27,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro._util import pinned_mean
 from repro.simmpi.world import MpiWorld
 from repro.talp.monitor import MonitoringRegion
 
@@ -51,6 +58,42 @@ class PopMetrics:
     @property
     def parallel_efficiency(self) -> float:
         return self.load_balance * self.communication_efficiency
+
+
+def compute_pop_from_ranks(
+    region: str,
+    *,
+    visits: int,
+    useful_cycles: "np.ndarray | list[float]",
+    elapsed_cycles: "np.ndarray | list[float]",
+    mpi_cycles: "np.ndarray | list[float]",
+    frequency: float,
+) -> PopMetrics:
+    """POP metrics from *measured* per-rank timings (multi-rank path).
+
+    ``elapsed`` is the maximum over ranks — ranks synchronise at the
+    region's trailing collective, so the slowest rank sets the region's
+    wall time for everyone.  ``mpi_seconds`` reports the cross-rank
+    mean, including each rank's share of synchronisation wait if the
+    caller folded it in (see :func:`repro.simmpi.world.finalize_wait`).
+
+    When every rank reports the same useful time the average is pinned
+    to the maximum exactly, so a uniform workload yields a load balance
+    of exactly 1.0 instead of accumulating float summation error.
+    """
+    useful = np.asarray(useful_cycles, dtype=float)
+    elapsed = np.asarray(elapsed_cycles, dtype=float)
+    mpi = np.asarray(mpi_cycles, dtype=float)
+    if not (useful.size == elapsed.size == mpi.size) or useful.size == 0:
+        raise ValueError("per-rank arrays must be non-empty and equal length")
+    return PopMetrics(
+        region=region,
+        visits=visits,
+        elapsed_seconds=float(elapsed.max()) / frequency,
+        avg_useful_seconds=pinned_mean(useful) / frequency,
+        max_useful_seconds=float(useful.max()) / frequency,
+        mpi_seconds=pinned_mean(mpi) / frequency,
+    )
 
 
 def compute_pop(

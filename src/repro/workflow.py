@@ -114,6 +114,12 @@ class RunOutcome:
     world: MpiWorld | None = None
     #: present when ``tracing=True`` was requested with the scorep tool
     tracer: ScorePTracer | None = None
+    #: multi-rank artefacts — set only when ``imbalance=`` was passed;
+    #: ``result`` then carries the bottleneck rank's RunResult, so
+    #: ``result.t_total`` is the synchronised elapsed time of the world
+    multirank: "object | None" = None
+    merged_profile: "object | None" = None
+    pop: "object | None" = None
 
 
 def run_app(
@@ -131,13 +137,46 @@ def run_app(
     talp_bug_modulus: int | None = None,
     tracing: bool = False,
     config_name: str = "",
+    imbalance: "object | None" = None,
+    backend: "str | object" = "serial",
 ) -> RunOutcome:
     """Execute one instrumentation/measurement configuration.
 
     ``tracing=True`` (scorep tool only) attaches an event tracer next to
     the profile: every region enter/leave and MPI operation lands in
     ``outcome.tracer`` with timestamps, at extra per-event cost.
+
+    Passing ``imbalance=ImbalanceSpec(...)`` switches to the multi-rank
+    path (``ImbalanceSpec()`` is a uniform world): the app executes once
+    per rank (workloads perturbed by the spec, dispatched through
+    ``backend`` — ``"serial"``, ``"multiprocessing"`` or a backend
+    instance; without ``imbalance`` the ``backend`` argument has no
+    effect) and the outcome carries
+    the cross-rank artefacts: ``outcome.merged_profile`` (Score-P-style
+    min/max/avg/sum aggregation), ``outcome.pop`` (measured POP metrics)
+    and ``outcome.multirank`` (per-rank results).  ``outcome.result`` is
+    the bottleneck rank's result, so ``t_total`` reads as the
+    synchronised elapsed time.
     """
+    if imbalance is not None:
+        if tracing:
+            raise CapiError("tracing is not supported on the multi-rank path")
+        return _run_app_multirank(
+            built,
+            mode=mode,
+            tool=tool,
+            ic=ic,
+            ranks=ranks,
+            imbalance=imbalance,
+            backend=backend,
+            workload=workload,
+            cost_model=cost_model,
+            symbol_injection=symbol_injection,
+            emulate_talp_bug=emulate_talp_bug,
+            talp_bug_threshold=talp_bug_threshold,
+            talp_bug_modulus=talp_bug_modulus,
+            config_name=config_name,
+        )
     if mode == "ic" and ic is None:
         raise CapiError("mode='ic' requires an instrumentation configuration")
     if mode != "ic" and ic is not None:
@@ -223,6 +262,50 @@ def run_app(
             failed_registrations=failed_reg,
         )
     return outcome
+
+
+def _run_app_multirank(
+    built: BuiltApp,
+    *,
+    mode: Mode,
+    tool: Tool,
+    ic: InstrumentationConfig | None,
+    ranks: int,
+    imbalance,
+    backend,
+    workload: Workload | None,
+    cost_model: CostModel | None,
+    symbol_injection: bool,
+    emulate_talp_bug: bool,
+    talp_bug_threshold: int | None,
+    talp_bug_modulus: int | None,
+    config_name: str,
+) -> RunOutcome:
+    """Dispatch to the multirank subsystem and fold into a RunOutcome."""
+    from repro.multirank import run_multirank
+
+    mr = run_multirank(
+        built,
+        ranks=ranks,
+        imbalance=imbalance,
+        backend=backend,
+        mode=mode,
+        tool=tool,
+        ic=ic,
+        workload=workload,
+        cost_model=cost_model,
+        symbol_injection=symbol_injection,
+        emulate_talp_bug=emulate_talp_bug,
+        talp_bug_threshold=talp_bug_threshold,
+        talp_bug_modulus=talp_bug_modulus,
+        config_name=config_name,
+    )
+    return RunOutcome(
+        result=mr.bottleneck.result,
+        multirank=mr,
+        merged_profile=mr.merged_profile,
+        pop=mr.pop,
+    )
 
 
 def _install_tool(

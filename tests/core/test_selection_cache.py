@@ -1,0 +1,265 @@
+"""Cross-run selection caching keyed by the call-graph version."""
+
+import pytest
+
+from repro.apps import PAPER_SPECS
+from repro.cg.graph import CallGraph, NodeMeta
+from repro.core.capi import Capi
+from repro.core.pipeline import PipelineBuilder, evaluate_pipeline
+from repro.core.selectors.base import CrossRunCache
+from repro.core.spec.modules import load_spec
+
+
+def small_graph() -> CallGraph:
+    g = CallGraph()
+    g.add_node("main", NodeMeta(statements=10, has_body=True))
+    g.add_node("kernel", NodeMeta(statements=20, flops=100, loop_depth=2, has_body=True))
+    g.add_node("MPI_Allreduce", NodeMeta(is_mpi=True, in_system_header=True))
+    g.add_edge("main", "kernel")
+    g.add_edge("kernel", "MPI_Allreduce")
+    return g
+
+
+SPEC = 'onCallPathTo(byName("MPI_.*", %%))'
+
+
+class TestCrossRunCache:
+    def test_second_evaluation_served_from_cache(self):
+        graph = small_graph()
+        cache = CrossRunCache()
+        entry_a = PipelineBuilder().build(load_spec(SPEC))[0]
+        first = evaluate_pipeline(entry_a, graph, cross_run=cache)
+        assert len(cache) > 0
+        assert cache.hits == 0
+        # a *fresh* pipeline build of the same source: different selector
+        # instances, same structural keys
+        entry_b = PipelineBuilder().build(load_spec(SPEC))[0]
+        second = evaluate_pipeline(entry_b, graph, cross_run=cache)
+        assert cache.hits > 0
+        assert second.selected == first.selected
+
+    def test_graph_mutation_invalidates(self):
+        graph = small_graph()
+        cache = CrossRunCache()
+        entry = PipelineBuilder().build(load_spec(SPEC))[0]
+        first = evaluate_pipeline(entry, graph, cross_run=cache)
+        graph.add_node("helper", NodeMeta(statements=2, has_body=True))
+        graph.add_edge("helper", "MPI_Allreduce")
+        entry2 = PipelineBuilder().build(load_spec(SPEC))[0]
+        second = evaluate_pipeline(entry2, graph, cross_run=cache)
+        assert "helper" in second.selected
+        assert "helper" not in first.selected
+
+    def test_different_graphs_never_share(self):
+        cache = CrossRunCache()
+        a, b = small_graph(), CallGraph()
+        b.add_node("main", NodeMeta(statements=1, has_body=True))
+        entry = PipelineBuilder().build(load_spec(SPEC))[0]
+        res_a = evaluate_pipeline(entry, a, cross_run=cache)
+        res_b = evaluate_pipeline(entry, b, cross_run=cache)
+        assert res_a.selected != res_b.selected or res_b.selected == frozenset()
+
+    def test_off_by_default(self):
+        graph = small_graph()
+        entry = PipelineBuilder().build(load_spec(SPEC))[0]
+        evaluate_pipeline(entry, graph)  # no cache argument: no sharing
+        cache = CrossRunCache()
+        assert len(cache) == 0
+
+    def test_same_name_different_definitions_do_not_collide(self):
+        graph = small_graph()
+        cache = CrossRunCache()
+        spec_a = 'x = byName("kernel", %%)\n%x'
+        spec_b = 'x = byName("main", %%)\n%x'
+        res_a = evaluate_pipeline(
+            PipelineBuilder().build(load_spec(spec_a))[0], graph, cross_run=cache
+        )
+        res_b = evaluate_pipeline(
+            PipelineBuilder().build(load_spec(spec_b))[0], graph, cross_run=cache
+        )
+        assert res_a.selected == frozenset({"kernel"})
+        assert res_b.selected == frozenset({"main"})
+
+    def test_shared_subexpressions_hit_across_specs(self):
+        graph = small_graph()
+        cache = CrossRunCache()
+        spec_a = 'join(byName("kernel", %%), byName("main", %%))'
+        spec_b = 'intersect(byName("kernel", %%), %%)'
+        evaluate_pipeline(
+            PipelineBuilder().build(load_spec(spec_a))[0], graph, cross_run=cache
+        )
+        before = cache.hits
+        evaluate_pipeline(
+            PipelineBuilder().build(load_spec(spec_b))[0], graph, cross_run=cache
+        )
+        # byName("kernel", %%) is structurally shared between the specs
+        assert cache.hits > before
+
+
+class TestCapiMemo:
+    def test_repeated_select_returns_memoised_outcome(self):
+        graph = small_graph()
+        capi = Capi(graph=graph, app_name="t")
+        first = capi.select(SPEC, spec_name="mpi")
+        second = capi.select(SPEC, spec_name="mpi")
+        assert second is first
+
+    def test_memo_respects_graph_version(self):
+        graph = small_graph()
+        capi = Capi(graph=graph, app_name="t")
+        first = capi.select(SPEC, spec_name="mpi")
+        graph.add_node("late", NodeMeta(statements=1, has_body=True))
+        graph.add_edge("late", "MPI_Allreduce")
+        second = capi.select(SPEC, spec_name="mpi")
+        assert second is not first
+        assert "late" in second.ic.functions
+
+    def test_select_all_consistency_on_paper_app(self):
+        """Cached and uncached sweeps agree on the real paper specs."""
+        from repro.experiments.runner import prepare_app
+
+        prepared = prepare_app("lulesh", 300)
+        cached = {k: v.ic.functions for k, v in prepared.select_all().items()}
+        again = {k: v.ic.functions for k, v in prepared.select_all().items()}
+        assert cached == again
+        # independent, cache-free evaluation gives the same selections
+        for name, source in PAPER_SPECS.items():
+            entry = PipelineBuilder().build(load_spec(source))[0]
+            res = evaluate_pipeline(entry, prepared.app.graph)
+            assert res.selected == frozenset(
+                prepared.select(name).selection.selected
+            ), name
+
+
+class TestEdgeMutationInvalidation:
+    def test_profile_validated_edge_invalidates_cache(self):
+        """add_edge between *existing* nodes must bump the version —
+        the callgraph_tools example's validate-then-reselect flow."""
+        graph = small_graph()
+        graph.add_node("callback", NodeMeta(statements=5, flops=100, has_body=True))
+        capi = Capi(graph=graph, app_name="t")
+        spec = 'onCallPathFrom(byName("main", %%))'
+        before = capi.select(spec, spec_name="s")
+        assert "callback" not in before.ic.functions
+        v = graph.version
+        graph.add_edge("main", "callback")  # both nodes already exist
+        assert graph.version > v
+        after = capi.select(spec, spec_name="s")
+        assert "callback" in after.ic.functions
+
+    def test_readding_existing_edge_keeps_version(self):
+        graph = small_graph()
+        v = graph.version
+        graph.add_edge("main", "kernel")  # already present
+        assert graph.version == v
+
+
+class TestMemoSafety:
+    def test_linked_identity_checked_not_id(self):
+        """A different linked program object must miss the memo even if
+        a previous entry exists for the same spec."""
+        from repro.program.compiler import Compiler, CompilerConfig
+        from repro.program.linker import Linker
+        from tests.conftest import make_demo_builder
+
+        program = make_demo_builder().build()
+        linked_a = Linker().link(Compiler(CompilerConfig()).compile(program))
+        linked_b = Linker().link(Compiler(CompilerConfig()).compile(program))
+        from repro.cg.merge import build_whole_program_cg
+
+        capi = Capi(graph=build_whole_program_cg(program), app_name="demo")
+        out_a = capi.select(SPEC, spec_name="s", linked=linked_a)
+        out_b = capi.select(SPEC, spec_name="s", linked=linked_b)
+        assert out_a is not out_b
+        # same linked objects hit their own entries, even alternating
+        assert capi.select(SPEC, spec_name="s", linked=linked_a) is out_a
+        assert capi.select(SPEC, spec_name="s", linked=linked_b) is out_b
+        # the memo pins linked objects: ids cannot be recycled
+        assert any(e[0] is linked_a for e in capi._outcomes.values())
+
+    def test_search_paths_disable_outcome_memo(self, tmp_path):
+        mod = tmp_path / "custom.capi"
+        mod.write_text('byName("kernel", %%)')
+        graph = small_graph()
+        capi = Capi(graph=graph, search_paths=[tmp_path])
+        src = '!import("custom.capi")\nbyName("kernel", %%)'
+        first = capi.select(src, spec_name="s")
+        second = capi.select(src, spec_name="s")
+        assert first is not second  # on-disk module may change: no memo
+
+    def test_memo_evicts_on_version_change(self):
+        graph = small_graph()
+        capi = Capi(graph=graph)
+        for i in range(5):
+            capi.select(SPEC, spec_name="s")
+            graph.add_node(NodeMeta.__name__ + str(i), NodeMeta(statements=1))
+        capi.select(SPEC, spec_name="s")
+        assert len(capi._outcomes) == 1  # old versions evicted wholesale
+
+    def test_cross_run_cache_pins_graph(self):
+        cache = CrossRunCache()
+        g = small_graph()
+        entry = PipelineBuilder().build(load_spec(SPEC))[0]
+        evaluate_pipeline(entry, g, cross_run=cache)
+        assert cache._graph is g  # strong ref: id reuse cannot alias
+
+
+class TestCachePurity:
+    def test_capi_timings_measure_full_evaluations(self):
+        """Table I's time column must not be contaminated by cross-spec
+        sub-expression sharing: every evaluated selection runs fresh."""
+        graph = small_graph()
+        capi = Capi(graph=graph)
+        a = capi.select('onCallPathTo(byName("MPI_.*", %%))', spec_name="a")
+        # a structurally overlapping spec evaluated on the same Capi:
+        # its trace must show real (non-cache-hit) sub-evaluations
+        b = capi.select(
+            'subtract(onCallPathTo(byName("MPI_.*", %%)), byName("main", %%))',
+            spec_name="b",
+        )
+        assert a.selection.trace and b.selection.trace
+        # the shared subtree was re-evaluated, not served from a store:
+        # both selections carry their own full traces
+        assert len(b.selection.trace) >= len(a.selection.trace)
+
+    def test_custom_registry_pipelines_stay_uncached(self):
+        from repro.core.selectors.registry import DEFAULT_REGISTRY
+
+        registry = dict(DEFAULT_REGISTRY)
+        graph = small_graph()
+        cache = CrossRunCache()
+        entry = PipelineBuilder(registry).build(load_spec(SPEC))[0]
+        evaluate_pipeline(entry, graph, cross_run=cache)
+        # selector names may mean anything under a custom registry, so
+        # no registry-resolved selector was keyed into the shared store
+        # (%% is builder-internal, never registry-resolved: it may stay)
+        assert set(cache._store) <= {"%%"}
+
+
+class TestMemoBounds:
+    def test_outcome_memo_is_fifo_capped(self):
+        from repro.core.capi import _MEMO_CAP
+
+        graph = small_graph()
+        capi = Capi(graph=graph)
+        for i in range(_MEMO_CAP + 10):
+            capi.select(f'byName("kernel", %%) # {i}'.replace(" # ", " #"),
+                        spec_name=str(i))
+        assert len(capi._outcomes) <= _MEMO_CAP
+
+
+class TestEdgeReasonVersioning:
+    def test_reason_upgrade_bumps_version(self):
+        from repro.cg.graph import EdgeReason
+
+        graph = small_graph()
+        graph.add_edge("main", "MPI_Allreduce", EdgeReason.PROFILE)
+        v = graph.version
+        # upgrading the same edge to a stronger (static) reason is an
+        # observable metadata change
+        graph.add_edge("main", "MPI_Allreduce", EdgeReason.DIRECT)
+        assert graph.version > v
+        # re-adding at equal strength changes nothing
+        v2 = graph.version
+        graph.add_edge("main", "MPI_Allreduce", EdgeReason.DIRECT)
+        assert graph.version == v2

@@ -204,3 +204,41 @@ class TestVirtualDispatch:
             if result.per_function_calls.get(n)
         }
         assert len(executed) == 3  # rotation touches every override
+
+
+class TestDeepCallChains:
+    """The explicit work-stack walker lifts the interpreter recursion limit."""
+
+    def _chain_builder(self, length: int) -> ProgramBuilder:
+        b = ProgramBuilder("deep")
+        b.tu("deep.cpp")
+        names = ["main"] + [f"link_{i:05d}" for i in range(length)]
+        for name in names:
+            # big enough to dodge the compiler's auto-inlining
+            b.function(name, statements=12)
+        b.chain(names)
+        return b
+
+    def test_chain_deeper_than_recursion_limit(self):
+        import sys
+
+        length = sys.getrecursionlimit() + 500
+        engine, _ = make_engine(
+            self._chain_builder(length),
+            workload=Workload(max_depth=length + 10),
+        )
+        result = engine.run()
+        # every link is entered exactly once, far beyond the former
+        # recursive walker's ceiling
+        assert result.entry_events == length + 1
+        assert result.exit_events == length + 1
+        assert result.per_function_calls[f"link_{length - 1:05d}"] == 1
+
+    def test_depth_cap_still_applies(self):
+        engine, _ = make_engine(
+            self._chain_builder(50), workload=Workload(max_depth=10)
+        )
+        result = engine.run()
+        # main at depth 0 plus links at depths 1..10; deeper links are
+        # neither walked nor charged (sites beyond the cap are skipped)
+        assert result.entry_events == 11

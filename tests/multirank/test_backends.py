@@ -1,0 +1,117 @@
+"""Backend equivalence: serial and multiprocessing must agree bit-for-bit."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.ic import InstrumentationConfig
+from repro.errors import CapiError
+from repro.execution.workload import Workload
+from repro.multirank import (
+    ImbalanceSpec,
+    MultiprocessingBackend,
+    SerialBackend,
+    flatten_merged,
+    resolve_backend,
+    run_multirank,
+)
+from repro.scorep.profile_io import to_dict  # noqa: F401  (import sanity)
+from repro.workflow import build_app
+from tests.conftest import make_demo_builder
+
+WL = Workload(site_cap=3)
+
+
+@pytest.fixture(scope="module")
+def demo_app():
+    return build_app(make_demo_builder().build())
+
+
+@pytest.fixture(scope="module")
+def demo_ic():
+    return InstrumentationConfig(functions=frozenset({"kernel", "solve"}))
+
+
+def _merged_as_dicts(outcome):
+    """Fully materialised comparison view of one multi-rank outcome."""
+    flat = None
+    if outcome.merged_profile is not None:
+        flat = {
+            name: (visits, cycles)
+            for name, (visits, cycles) in flatten_merged(
+                outcome.merged_profile
+            ).items()
+        }
+    return {
+        "profiles": [r.profile for r in outcome.per_rank],
+        "flat": flat,
+        "pop_app": outcome.pop.app,
+        "pop_regions": list(outcome.pop.regions),
+        "waits": outcome.pop.rank_wait_cycles,
+        "totals": [r.result.t_total for r in outcome.per_rank],
+    }
+
+
+class TestBackendResolution:
+    def test_names(self):
+        assert isinstance(resolve_backend("serial"), SerialBackend)
+        assert isinstance(resolve_backend("multiprocessing"), MultiprocessingBackend)
+        assert isinstance(resolve_backend("mp"), MultiprocessingBackend)
+        assert resolve_backend("auto").name in ("serial", "multiprocessing")
+
+    def test_instance_passthrough(self):
+        backend = SerialBackend()
+        assert resolve_backend(backend) is backend
+
+    def test_bogus_rejected(self):
+        with pytest.raises(CapiError):
+            resolve_backend("threads")
+        with pytest.raises(CapiError):
+            resolve_backend(object())
+
+
+class TestBackendEquivalence:
+    @settings(
+        max_examples=6,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        ranks=st.integers(min_value=1, max_value=4),
+        imbalance=st.floats(min_value=0.0, max_value=0.6, allow_nan=False),
+        seed=st.integers(min_value=0, max_value=2**16),
+        stragglers=st.integers(min_value=0, max_value=1),
+        tool=st.sampled_from(["scorep", "talp"]),
+    )
+    def test_serial_and_multiprocessing_bit_identical(
+        self, demo_app, demo_ic, ranks, imbalance, seed, stragglers, tool
+    ):
+        """Property: for any imbalance spec and tool, both backends
+        produce bit-identical merged profiles and POP metrics."""
+        spec = ImbalanceSpec(
+            imbalance=imbalance, seed=seed, stragglers=stragglers
+        )
+        kwargs = dict(
+            ranks=ranks, imbalance=spec, mode="ic", tool=tool,
+            ic=demo_ic, workload=WL,
+        )
+        serial = run_multirank(demo_app, backend="serial", **kwargs)
+        parallel = run_multirank(demo_app, backend="multiprocessing", **kwargs)
+        assert _merged_as_dicts(serial) == _merged_as_dicts(parallel)
+
+    def test_empty_task_list_handled(self, demo_app):
+        assert MultiprocessingBackend().map_ranks(demo_app, []) == []
+
+    def test_explicit_process_count(self, demo_app, demo_ic):
+        out = run_multirank(
+            demo_app,
+            ranks=3,
+            imbalance=ImbalanceSpec(imbalance=0.2, seed=4),
+            backend=MultiprocessingBackend(processes=2),
+            mode="ic",
+            tool="scorep",
+            ic=demo_ic,
+            workload=WL,
+        )
+        assert out.backend == "multiprocessing"
+        assert len(out.per_rank) == 3

@@ -1,0 +1,177 @@
+"""End-to-end multi-rank acceptance tests through ``run_app``."""
+
+import pytest
+
+from repro.core.ic import InstrumentationConfig
+from repro.errors import CapiError
+from repro.execution.workload import Workload
+from repro.multirank import ImbalanceSpec, flatten_merged
+from repro.workflow import build_app, run_app
+from tests.conftest import make_demo_builder
+
+WL = Workload(site_cap=4)
+IMBALANCED = ImbalanceSpec(imbalance=0.4, seed=11)
+
+
+@pytest.fixture(scope="module")
+def demo_app():
+    return build_app(make_demo_builder().build())
+
+
+@pytest.fixture(scope="module")
+def demo_ic():
+    return InstrumentationConfig(functions=frozenset({"kernel", "solve"}))
+
+
+class TestRunAppMultiRank:
+    def test_returns_merged_profile_and_pop(self, demo_app, demo_ic):
+        out = run_app(
+            demo_app, mode="ic", tool="scorep", ic=demo_ic, ranks=8,
+            workload=WL, imbalance=IMBALANCED,
+        )
+        assert out.multirank is not None
+        assert out.multirank.ranks == 8
+        assert len(out.multirank.per_rank) == 8
+        assert out.merged_profile is not None
+        assert out.pop is not None
+        # the merged profile spans real per-rank measurements
+        flat = flatten_merged(out.merged_profile)
+        assert "kernel" in flat
+        visits, cycles = flat["kernel"]
+        assert visits.sum > 0
+        assert cycles.max >= cycles.min >= 0.0
+
+    def test_uniform_world_perfectly_balanced(self, demo_app, demo_ic):
+        out = run_app(
+            demo_app, mode="ic", tool="scorep", ic=demo_ic, ranks=8,
+            workload=WL, imbalance=ImbalanceSpec(),
+        )
+        assert out.pop.app.load_balance == pytest.approx(1.0, abs=1e-12)
+        # uniform ranks: nobody waits at the closing barrier
+        assert all(w == 0.0 for w in out.pop.rank_wait_cycles)
+
+    def test_imbalanced_world_lb_below_one(self, demo_app, demo_ic):
+        out = run_app(
+            demo_app, mode="ic", tool="scorep", ic=demo_ic, ranks=8,
+            workload=WL, imbalance=IMBALANCED,
+        )
+        assert out.pop.app.load_balance < 1.0
+        assert 0.0 < out.pop.app.parallel_efficiency < 1.0
+        # some rank finished early and waited for the bottleneck
+        assert max(out.pop.rank_wait_cycles) > 0.0
+
+    def test_bottleneck_result_carries_elapsed(self, demo_app, demo_ic):
+        out = run_app(
+            demo_app, mode="ic", tool="scorep", ic=demo_ic, ranks=4,
+            workload=WL, imbalance=IMBALANCED,
+        )
+        per_rank_totals = [r.result.t_total for r in out.multirank.per_rank]
+        assert out.result.t_total == max(per_rank_totals)
+        assert out.multirank.elapsed_seconds == max(per_rank_totals)
+
+    def test_talp_tool_yields_per_region_pop(self, demo_app, demo_ic):
+        out = run_app(
+            demo_app, mode="ic", tool="talp", ic=demo_ic, ranks=4,
+            workload=WL, imbalance=IMBALANCED,
+        )
+        names = {m.region for m in out.pop.regions}
+        assert {"kernel", "solve"} <= names
+        kernel = out.pop.region("kernel")
+        assert kernel.load_balance < 1.0
+        rendered = out.pop.render()
+        assert "Load balance" in rendered and "kernel" in rendered
+
+    def test_vanilla_mode_runs_multirank(self, demo_app):
+        out = run_app(
+            demo_app, mode="vanilla", ranks=4, workload=WL, imbalance=IMBALANCED
+        )
+        assert out.merged_profile is None  # no measurement tool attached
+        assert out.pop.app.load_balance < 1.0
+
+    def test_deterministic_across_calls(self, demo_app, demo_ic):
+        kwargs = dict(
+            mode="ic", tool="scorep", ic=demo_ic, ranks=4,
+            workload=WL, imbalance=IMBALANCED,
+        )
+        a = run_app(demo_app, **kwargs)
+        b = run_app(demo_app, **kwargs)
+        assert a.pop.app == b.pop.app
+        assert [r.result.t_total for r in a.multirank.per_rank] == [
+            r.result.t_total for r in b.multirank.per_rank
+        ]
+
+    def test_tracing_rejected(self, demo_app, demo_ic):
+        with pytest.raises(CapiError):
+            run_app(
+                demo_app, mode="ic", tool="scorep", ic=demo_ic,
+                tracing=True, imbalance=IMBALANCED,
+            )
+
+    def test_ic_validation_happens_up_front(self, demo_app, demo_ic):
+        with pytest.raises(CapiError):
+            run_app(demo_app, mode="ic", ic=None, imbalance=IMBALANCED)
+        with pytest.raises(CapiError):
+            run_app(demo_app, mode="full", ic=demo_ic, imbalance=IMBALANCED)
+        with pytest.raises(CapiError):
+            run_app(demo_app, mode="full", ranks=0, imbalance=IMBALANCED)
+
+    def test_single_rank_world_degenerates_gracefully(self, demo_app, demo_ic):
+        out = run_app(
+            demo_app, mode="ic", tool="scorep", ic=demo_ic, ranks=1,
+            workload=WL, imbalance=IMBALANCED,
+        )
+        assert out.pop.app.load_balance == 1.0
+        assert out.multirank.factors == (1.0,)
+
+
+class TestTable2MultiRank:
+    def test_table2_rows_carry_pop(self):
+        from repro.experiments.runner import prepare_app
+        from repro.experiments.table2 import compute_table2_app, render_table2
+
+        prepared = prepare_app("lulesh", 300)
+        rows = compute_table2_app(
+            prepared, ranks=4, imbalance=ImbalanceSpec(imbalance=0.3, seed=7)
+        )
+        assert all(r.pop is not None for r in rows)
+        lb_values = {round(r.pop[0], 6) for r in rows}
+        assert all(lb < 1.0 for lb in lb_values)
+        rendered = render_table2(rows)
+        assert "LB" in rendered and "PE" in rendered
+
+    def test_table2_without_imbalance_unchanged(self):
+        from repro.experiments.runner import prepare_app
+        from repro.experiments.table2 import compute_table2_app, render_table2
+
+        prepared = prepare_app("lulesh", 300)
+        rows = compute_table2_app(prepared, ranks=4)
+        assert all(r.pop is None for r in rows)
+        assert "LB" not in render_table2(rows)
+
+
+class TestReviewRegressions:
+    def test_talp_bug_knobs_reach_every_rank(self, demo_app, demo_ic):
+        """talp_bug_threshold/modulus must survive the multi-rank path."""
+        out = run_app(
+            demo_app, mode="ic", tool="talp", ic=demo_ic, ranks=2,
+            workload=WL, imbalance=IMBALANCED,
+            talp_bug_threshold=1, talp_bug_modulus=1,
+        )
+        # threshold 1 + modulus 1: every region start past the first
+        # registration fails on every rank
+        for rank in out.multirank.per_rank:
+            names = {s.name for s in rank.talp_regions}
+            assert len(names) >= 1
+
+    def test_nameless_custom_backend_accepted(self, demo_app, demo_ic):
+        from repro.multirank.scheduler import execute_rank
+
+        class Minimal:  # only map_ranks, no .name — the documented contract
+            def map_ranks(self, built, tasks):
+                return [execute_rank(built, t) for t in tasks]
+
+        out = run_app(
+            demo_app, mode="ic", tool="scorep", ic=demo_ic, ranks=2,
+            workload=WL, imbalance=IMBALANCED, backend=Minimal(),
+        )
+        assert out.multirank.backend == "Minimal"

@@ -117,3 +117,61 @@ class TestPmpi:
         pmpi.call("MPI_Init")
         pmpi.call("MPI_Finalize")
         assert seen == ["init", "fin"]
+
+
+class TestCollectiveSemantics:
+    """Barrier/allreduce timing attribution used by the cross-rank reducer."""
+
+    def test_barrier_carries_no_payload(self):
+        comm = SimComm(MpiWorld(size=8))
+        assert comm.cost_of("MPI_Barrier", message_bytes=8) == comm.cost_of(
+            "MPI_Barrier", message_bytes=1 << 20
+        )
+
+    def test_barrier_cheaper_than_payload_collectives(self):
+        comm = SimComm(MpiWorld(size=8))
+        assert comm.cost_of("MPI_Barrier") < comm.cost_of("MPI_Allreduce")
+
+    def test_barrier_cost_grows_with_world(self):
+        small = SimComm(MpiWorld(size=2)).cost_of("MPI_Barrier")
+        big = SimComm(MpiWorld(size=64)).cost_of("MPI_Barrier")
+        assert big > small
+
+    def test_synchronizing_classification(self):
+        comm = SimComm(MpiWorld(size=4))
+        for op in ("MPI_Barrier", "MPI_Allreduce", "MPI_Allgather", "MPI_Alltoall"):
+            assert comm.is_synchronizing(op)
+        for op in ("MPI_Bcast", "MPI_Reduce", "MPI_Send", "MPI_Wait", "MPI_Init"):
+            assert not comm.is_synchronizing(op)
+
+
+class TestFinalizeWait:
+    def test_bottleneck_rank_never_waits(self):
+        from repro.simmpi.world import finalize_wait
+
+        waits = finalize_wait([100.0, 80.0, 60.0, 100.0])
+        assert waits[0] == 0.0
+        assert waits[3] == 0.0
+        assert waits[1] == 20.0
+        assert waits[2] == 40.0
+
+    def test_uniform_ranks_have_zero_wait(self):
+        from repro.simmpi.world import finalize_wait
+
+        assert (finalize_wait([50.0] * 8) == 0.0).all()
+
+    def test_accounting_closes(self):
+        from repro.simmpi.world import finalize_wait
+
+        totals = [120.0, 90.0, 75.0]
+        waits = finalize_wait(totals)
+        elapsed = max(totals)
+        for t, w in zip(totals, waits):
+            assert t + w == elapsed
+
+    def test_empty_and_negative(self):
+        from repro.simmpi.world import finalize_wait
+
+        assert finalize_wait([]).size == 0
+        with pytest.raises(SimMpiError):
+            finalize_wait([-1.0])
