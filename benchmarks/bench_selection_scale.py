@@ -413,11 +413,66 @@ def measure_multirank(prepared, ranks: int = MULTIRANK_RANKS) -> dict:
     }
 
 
+def measure_dlb_rebalance(prepared, ranks: int = MULTIRANK_RANKS) -> dict:
+    """DLB feedback-loop benchmark: convergence speed and POP gain.
+
+    Runs the ``straggler-rescue`` scenario (one rank at 2× load) through
+    ``run_rebalanced`` and records the iterations the LeWI loop took to
+    converge plus the before/after POP metrics.  Improvement is the
+    hard requirement; iteration count and wall time are the trajectory.
+    """
+    from repro.apps import scenario
+    from repro.multirank.dlb import DlbPolicy
+    from repro.multirank.scheduler import run_rebalanced
+
+    ic = prepared.select_all()["mpi"].ic
+    t0 = time.perf_counter()
+    rebalanced = run_rebalanced(
+        prepared.app,
+        ranks=ranks,
+        imbalance=scenario("straggler-rescue"),
+        dlb=DlbPolicy(),
+        max_iterations=6,
+        mode="ic",
+        tool="talp",
+        ic=ic,
+        config_name="bench-dlb",
+    )
+    seconds = time.perf_counter() - t0
+    before = rebalanced.baseline.pop.app
+    after = rebalanced.final.pop.app
+    if after.parallel_efficiency <= before.parallel_efficiency:
+        raise AssertionError(
+            "DLB rebalancing failed to improve parallel efficiency: "
+            f"{before.parallel_efficiency} -> {after.parallel_efficiency}"
+        )
+    if not rebalanced.converged:
+        raise AssertionError("DLB rebalancing did not converge in 6 iterations")
+    return {
+        "ranks": ranks,
+        "scenario": "straggler-rescue",
+        "iterations": rebalanced.iterations,
+        "converged": rebalanced.converged,
+        "seconds": seconds,
+        "pop_before": {
+            "load_balance": before.load_balance,
+            "communication_efficiency": before.communication_efficiency,
+            "parallel_efficiency": before.parallel_efficiency,
+        },
+        "pop_after": {
+            "load_balance": after.load_balance,
+            "communication_efficiency": after.communication_efficiency,
+            "parallel_efficiency": after.parallel_efficiency,
+        },
+    }
+
+
 def collect_record(scale: int = BENCH_SCALE, ranks: int = MULTIRANK_RANKS) -> dict:
     prepared = prepare_app("openfoam", scale)
     selection = measure_selection(prepared)
     engine = measure_engine(prepared)
     multirank = measure_multirank(prepared, ranks)
+    dlb_rebalance = measure_dlb_rebalance(prepared, ranks)
     return {
         "benchmark": "bench_selection_scale",
         "app": "openfoam",
@@ -425,6 +480,7 @@ def collect_record(scale: int = BENCH_SCALE, ranks: int = MULTIRANK_RANKS) -> di
         "selection": selection,
         "engine": engine,
         "multirank": multirank,
+        "dlb_rebalance": dlb_rebalance,
         "floors": {"selection": SELECTION_FLOOR, "engine": ENGINE_FLOOR},
     }
 
@@ -447,6 +503,12 @@ def test_selection_scale_speedup_and_record(benchmark, openfoam_prepared):
     assert record["engine"]["speedup"] >= ENGINE_FLOOR, record["engine"]
     assert record["multirank"]["backends_identical"], record["multirank"]
     assert record["multirank"]["pop"]["load_balance"] < 1.0
+    dlb = record["dlb_rebalance"]
+    assert dlb["converged"], dlb
+    assert (
+        dlb["pop_after"]["parallel_efficiency"]
+        > dlb["pop_before"]["parallel_efficiency"]
+    ), dlb
     graph = openfoam_prepared.app.graph
     entry = PipelineBuilder().build(load_spec(PAPER_SPECS["mpi"]))[0]
     result = benchmark(lambda: evaluate_pipeline(entry, graph))
@@ -481,6 +543,11 @@ def main() -> int:
     print(f"multirank: {mr['ranks']} ranks, serial {mr['serial_seconds']:.3f}s, "
           f"mp {mr['multiprocessing_seconds']:.3f}s ({mr['speedup']:.2f}x), "
           f"LB {mr['pop']['load_balance']:.3f}, backends identical")
+    dlb = record["dlb_rebalance"]
+    print(f"dlb:       {dlb['scenario']}, PE "
+          f"{dlb['pop_before']['parallel_efficiency']:.3f} -> "
+          f"{dlb['pop_after']['parallel_efficiency']:.3f} in "
+          f"{dlb['iterations']} iteration(s) ({dlb['seconds']:.3f}s)")
     print(f"record written to {path}")
     ok = sel["speedup"] >= SELECTION_FLOOR and eng["speedup"] >= ENGINE_FLOOR
     return 0 if ok else 1

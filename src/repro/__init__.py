@@ -30,13 +30,15 @@ Quickstart::
     print(run.result.t_total)
 """
 
+from repro.multirank.dlb import DlbPolicy
 from repro.multirank.imbalance import ImbalanceSpec
 from repro.workflow import BuiltApp, RunOutcome, build_app, run_app
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BuiltApp",
+    "DlbPolicy",
     "ImbalanceSpec",
     "RunOutcome",
     "__version__",

@@ -14,6 +14,16 @@ them expressible in one argument to ``run_app(..., imbalance=...)``:
   as a moderate jitter plus a linear ramp.
 * ``straggler`` — one slow rank (failing node, overloaded NUMA domain)
   running ~60% more iterations than the rest; the classic DLB target.
+
+Two presets exist specifically as DLB rebalancing targets
+(``run_app(..., dlb=DlbPolicy(...))``, paper §VI):
+
+* ``straggler-rescue`` — one rank at 2× load: LeWI lends CPU capacity
+  from the seven waiting ranks to the straggler until completion times
+  equalise (the acceptance scenario for the rebalancing loop).
+* ``ramp-flatten`` — a steep linear iteration ramp across ranks, the
+  decomposition-gradient shape DLB flattens by shifting capacity from
+  the light low ranks toward the heavy tail.
 """
 
 from __future__ import annotations
@@ -25,6 +35,8 @@ SCENARIOS: dict[str, ImbalanceSpec] = {
     "lulesh-imbalanced": ImbalanceSpec(imbalance=0.35, seed=23),
     "openfoam-decomp": ImbalanceSpec(imbalance=0.15, ramp=0.25, seed=29),
     "straggler": ImbalanceSpec(stragglers=1, straggler_factor=1.6, seed=31),
+    "straggler-rescue": ImbalanceSpec(stragglers=1, straggler_factor=2.0, seed=31),
+    "ramp-flatten": ImbalanceSpec(ramp=0.75, seed=37),
 }
 
 

@@ -12,17 +12,26 @@ from repro.experiments.runner import (
 from repro.experiments.table1 import Table1Row, compute_table1, render_table1
 from repro.experiments.table2 import Table2Row, compute_table2, render_table2
 from repro.experiments.anomalies import AnomalyReport, compute_anomalies
+from repro.experiments.dlb import (
+    DlbRow,
+    compute_dlb_row,
+    compute_dlb_table,
+    render_dlb_table,
+)
 
 __all__ = [
     "AnomalyReport",
     "DEFAULT_SCALES",
     "DEFAULT_WORKLOAD",
+    "DlbRow",
     "PAPER_SCALES",
     "PreparedApp",
     "SPEC_ORDER",
     "Table1Row",
     "Table2Row",
     "compute_anomalies",
+    "compute_dlb_row",
+    "compute_dlb_table",
     "compute_table1",
     "compute_table2",
     "prepare_app",

@@ -1,0 +1,219 @@
+"""DLB rebalancing comparison — the paper's §VI loop, closed.
+
+For each application and imbalance scenario the harness runs the
+multi-rank world unbalanced, then lets the LeWI policy lend CPU
+capacity from waiting ranks to the bottleneck
+(:func:`repro.multirank.scheduler.run_rebalanced`) and reports the POP
+efficiency metrics before vs. after, plus how many iterations the loop
+took to converge.  TALP is the measurement half of that deployment, so
+the cells run under the ``talp`` tool with the paper's ``mpi``
+instrumentation configuration.
+
+Run with ``python -m repro.experiments.dlb``; ``--check`` turns the run
+into a convergence smoke test (non-zero exit unless every scenario
+improves parallel efficiency and converges), which CI uses.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+
+from repro._util import format_table
+from repro.experiments.runner import (
+    DEFAULT_SCALES,
+    DEFAULT_WORKLOAD,
+    PreparedApp,
+    prepare_app,
+)
+from repro.multirank.dlb import DlbPolicy
+from repro.multirank.scheduler import RebalanceOutcome, run_rebalanced
+
+#: scenarios the table compares by default (see ``repro.apps.SCENARIOS``)
+DLB_SCENARIOS = ("straggler-rescue", "ramp-flatten")
+
+
+@dataclass(frozen=True)
+class DlbRow:
+    app: str
+    scenario: str
+    ranks: int
+    #: (LB, CommEff, PE) of the unbalanced world
+    before: tuple[float, float, float]
+    #: (LB, CommEff, PE) of the final rebalanced world
+    after: tuple[float, float, float]
+    iterations: int
+    converged: bool
+
+    @property
+    def pe_gain(self) -> float:
+        return self.after[2] - self.before[2]
+
+
+def _pop_triple(metrics) -> tuple[float, float, float]:
+    return (
+        metrics.load_balance,
+        metrics.communication_efficiency,
+        metrics.parallel_efficiency,
+    )
+
+
+def compute_dlb_row(
+    prepared: PreparedApp,
+    scenario_name: str,
+    *,
+    ranks: int = 8,
+    policy: DlbPolicy | None = None,
+    max_iterations: int = 8,
+    backend: str = "serial",
+) -> tuple[DlbRow, RebalanceOutcome]:
+    """One before/after cell: unbalanced vs. LeWI-rebalanced."""
+    from repro.apps import scenario
+
+    rebalanced = run_rebalanced(
+        prepared.app,
+        ranks=ranks,
+        imbalance=scenario(scenario_name),
+        dlb=policy or DlbPolicy(),
+        max_iterations=max_iterations,
+        backend=backend,
+        mode="ic",
+        tool="talp",
+        ic=prepared.select("mpi").ic,
+        workload=DEFAULT_WORKLOAD,
+        config_name=f"dlb-{scenario_name}",
+    )
+    row = DlbRow(
+        app=prepared.name,
+        scenario=scenario_name,
+        ranks=ranks,
+        before=_pop_triple(rebalanced.baseline.pop.app),
+        after=_pop_triple(rebalanced.final.pop.app),
+        iterations=rebalanced.iterations,
+        converged=rebalanced.converged,
+    )
+    return row, rebalanced
+
+
+def compute_dlb_table(
+    apps: tuple[str, ...] = ("lulesh", "openfoam"),
+    *,
+    scenarios: tuple[str, ...] = DLB_SCENARIOS,
+    scales: dict[str, int] | None = None,
+    ranks: int = 8,
+    policy: DlbPolicy | None = None,
+    max_iterations: int = 8,
+    backend: str = "serial",
+) -> list[DlbRow]:
+    scales = scales or DEFAULT_SCALES
+    rows: list[DlbRow] = []
+    for app_name in apps:
+        prepared = prepare_app(app_name, scales.get(app_name))
+        for scenario_name in scenarios:
+            row, _ = compute_dlb_row(
+                prepared,
+                scenario_name,
+                ranks=ranks,
+                policy=policy,
+                max_iterations=max_iterations,
+                backend=backend,
+            )
+            rows.append(row)
+    return rows
+
+
+def render_dlb_table(rows: list[DlbRow]) -> str:
+    headers = [
+        "app", "scenario", "ranks",
+        "LB", "CommEff", "PE",
+        "LB'", "CommEff'", "PE'",
+        "ΔPE", "iters", "converged",
+    ]
+    body = [
+        (
+            r.app,
+            r.scenario,
+            str(r.ranks),
+            *(f"{100 * v:.1f}%" for v in r.before),
+            *(f"{100 * v:.1f}%" for v in r.after),
+            f"{100 * r.pe_gain:+.1f}%",
+            str(r.iterations),
+            "yes" if r.converged else "NO",
+        )
+        for r in rows
+    ]
+    title = (
+        "DLB LeWI REBALANCING — measured POP before (LB/CommEff/PE) vs. "
+        "after (primed)"
+    )
+    return format_table(headers, body, title=title)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--app", choices=["lulesh", "openfoam", "both"], default="both"
+    )
+    parser.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        help="imbalance scenario to rebalance (repeatable; default "
+        f"{', '.join(DLB_SCENARIOS)})",
+    )
+    parser.add_argument("--ranks", type=int, default=8)
+    parser.add_argument(
+        "--nodes",
+        type=int,
+        default=None,
+        help="override the per-app call-graph size (smoke runs use a "
+        "few hundred nodes)",
+    )
+    parser.add_argument("--max-iterations", type=int, default=8)
+    parser.add_argument(
+        "--lend-limit", type=float, default=DlbPolicy().lend_limit
+    )
+    parser.add_argument(
+        "--backend",
+        default="serial",
+        choices=["serial", "multiprocessing", "auto"],
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero unless every scenario improves PE and converges",
+    )
+    args = parser.parse_args(argv)
+    apps = ("lulesh", "openfoam") if args.app == "both" else (args.app,)
+    scales = None
+    if args.nodes is not None:
+        scales = {name: args.nodes for name in apps}
+    rows = compute_dlb_table(
+        apps,
+        scenarios=tuple(args.scenario) if args.scenario else DLB_SCENARIOS,
+        scales=scales,
+        ranks=args.ranks,
+        policy=DlbPolicy(lend_limit=args.lend_limit),
+        max_iterations=args.max_iterations,
+        backend=args.backend,
+    )
+    print(render_dlb_table(rows))
+    if args.check:
+        bad = [r for r in rows if r.pe_gain <= 0.0 or not r.converged]
+        if bad:
+            for r in bad:
+                print(
+                    f"CHECK FAILED: {r.app}/{r.scenario}: "
+                    f"ΔPE {100 * r.pe_gain:+.2f}%, "
+                    f"converged={r.converged}"
+                )
+            return 1
+        print(
+            f"CHECK OK: {len(rows)} scenario(s) improved parallel "
+            f"efficiency and converged"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,10 +12,16 @@ the rest analytically.  This subsystem runs one
   collection of picklable rank artefacts,
 * :mod:`~repro.multirank.reduce` — merged Score-P-style profiles
   (min/max/avg/sum per call path across ranks) and *measured* POP
-  metrics with synchronisation-wait attribution.
+  metrics with synchronisation-wait attribution,
+* :mod:`~repro.multirank.dlb` — the LeWI lend/borrow policy closing the
+  paper's §VI DLB loop: waiting ranks lend fractional CPU capacity to
+  the bottleneck through the DLB C-API, and
+  :func:`run_rebalanced` iterates run → measure → rebalance until the
+  POP efficiency converges.
 
-Entry points: :func:`run_multirank`, or simply
-``repro.workflow.run_app(..., ranks=N, imbalance=ImbalanceSpec(...))``.
+Entry points: :func:`run_multirank` / :func:`run_rebalanced`, or simply
+``repro.workflow.run_app(..., ranks=N, imbalance=ImbalanceSpec(...),
+dlb=DlbPolicy(...))``.
 """
 
 from repro.multirank.backends import (
@@ -23,7 +29,13 @@ from repro.multirank.backends import (
     SerialBackend,
     resolve_backend,
 )
-from repro.multirank.imbalance import ImbalanceSpec
+from repro.multirank.dlb import (
+    DlbPolicy,
+    LewiStep,
+    apply_step,
+    make_lewi_agents,
+)
+from repro.multirank.imbalance import ExplicitFactors, ImbalanceSpec
 from repro.multirank.reduce import (
     MergedProfileNode,
     PopReport,
@@ -36,14 +48,20 @@ from repro.multirank.scheduler import (
     MultiRankOutcome,
     RankResult,
     RankTask,
+    RebalanceIteration,
+    RebalanceOutcome,
     RegionSample,
     build_tasks,
     execute_rank,
     run_multirank,
+    run_rebalanced,
 )
 
 __all__ = [
+    "DlbPolicy",
+    "ExplicitFactors",
     "ImbalanceSpec",
+    "LewiStep",
     "MergedProfileNode",
     "MultiRankOutcome",
     "MultiprocessingBackend",
@@ -51,13 +69,18 @@ __all__ = [
     "RankResult",
     "RankStat",
     "RankTask",
+    "RebalanceIteration",
+    "RebalanceOutcome",
     "RegionSample",
     "SerialBackend",
+    "apply_step",
     "build_pop_report",
     "build_tasks",
     "execute_rank",
     "flatten_merged",
+    "make_lewi_agents",
     "merge_profiles",
     "resolve_backend",
     "run_multirank",
+    "run_rebalanced",
 ]

@@ -1,0 +1,225 @@
+"""LeWI lend/borrow rebalancing policy (paper §VI: TALP + DLB).
+
+The source paper positions DynCaPI + TALP as the *measurement* half of
+a DLB deployment: TALP quantifies the load imbalance so DLB's LeWI
+module can lend idle CPUs from waiting ranks to the bottleneck.  The
+multi-rank reducer measures each rank's useful time and its
+synchronisation wait at the closing barrier; this module turns those
+measurements into a CPU reallocation:
+
+* :class:`DlbPolicy` computes target per-rank capacities proportional
+  to each rank's *work* (measured useful time × current capacity — the
+  quantity invariant under reallocation), clamped so no rank lends more
+  than ``lend_limit`` of its own CPU, and emits a :class:`LewiStep`
+  listing who lends and who borrows how much.
+* :func:`make_lewi_agents` / :func:`apply_step` execute a step through
+  the DLB C-API surface (``DLB_Lend`` → ``DLB_Borrow`` → ``DLB_Reclaim``
+  → ``DLB_PollDROM`` on :class:`~repro.talp.dlb.DlbLibrary` instances
+  sharing one :class:`~repro.talp.dlb.CpuPool`), so the protocol the
+  paper names is what actually moves the capacity.
+
+The policy is pure arithmetic over measured values — deterministic, and
+a no-op on a uniform world.  Total capacity is conserved (one CPU per
+rank overall), and a rank never lends and borrows in the same step.
+
+The iterative driver lives in
+:func:`repro.multirank.scheduler.run_rebalanced`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TalpError
+from repro.execution.clock import VirtualClock
+from repro.simmpi.world import MpiWorld
+from repro.talp.dlb import DLB_NOUPDT, DLB_SUCCESS, CpuPool, DlbLibrary
+from repro.talp.monitor import TalpMonitor
+
+#: capacity shifts below this are dropped from a step outright
+_SHIFT_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class LewiStep:
+    """One round of LeWI transfers: who lends / borrows how much."""
+
+    capacities_before: tuple[float, ...]
+    capacities_after: tuple[float, ...]
+    #: ``(rank, amount)`` pairs, ascending rank — waiting ranks lending
+    lends: tuple[tuple[int, float], ...]
+    #: ``(rank, amount)`` pairs, ascending rank — bottleneck ranks borrowing
+    borrows: tuple[tuple[int, float], ...]
+
+    @property
+    def is_noop(self) -> bool:
+        return not self.lends and not self.borrows
+
+    @property
+    def max_shift(self) -> float:
+        """Largest per-rank capacity change this step performs."""
+        return max(
+            (
+                abs(after - before)
+                for before, after in zip(
+                    self.capacities_before, self.capacities_after
+                )
+            ),
+            default=0.0,
+        )
+
+
+@dataclass(frozen=True)
+class DlbPolicy:
+    """LeWI rebalancing knobs.
+
+    ``lend_limit`` is the largest fraction of its own CPU a rank may
+    lend (so every rank keeps at least ``1 - lend_limit`` capacity and
+    keeps making progress); ``tolerance`` is the convergence threshold —
+    a step whose largest capacity shift falls below it is not worth
+    re-running the world for.
+    """
+
+    lend_limit: float = 0.5
+    tolerance: float = 1e-3
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.lend_limit < 1.0:
+            raise TalpError("lend_limit must be in [0, 1)")
+        if self.tolerance <= 0.0:
+            raise TalpError("tolerance must be positive")
+
+    def rebalance(
+        self,
+        useful_cycles: "np.ndarray | list[float]",
+        capacities: "np.ndarray | list[float]",
+    ) -> LewiStep:
+        """One policy step from measured per-rank useful times.
+
+        ``useful_cycles[r]`` is rank r's measured useful (wall) time in
+        the last run and ``capacities[r]`` the CPU share it ran on, so
+        ``useful × capacity`` recovers the rank's *work* — invariant
+        under reallocation.  Targets are work-proportional capacities
+        (equalising completion times), floored at ``1 - lend_limit``.
+        """
+        useful = np.asarray(useful_cycles, dtype=float)
+        caps = np.asarray(capacities, dtype=float)
+        if useful.size == 0 or useful.size != caps.size:
+            raise TalpError("need matching non-empty useful/capacity arrays")
+        if (useful < 0.0).any() or (caps <= 0.0).any():
+            raise TalpError("useful times must be >= 0 and capacities > 0")
+        total = float(caps.sum())
+        floor = 1.0 - self.lend_limit
+        if total < floor * caps.size:
+            # unreachable from run_rebalanced (the pool conserves one CPU
+            # per rank), but a direct caller could hand in less capacity
+            # than the lend-limit floor reserves
+            raise TalpError(
+                f"total capacity {total} cannot keep {caps.size} ranks at "
+                f"the lend-limit floor {floor}"
+            )
+        work = useful * caps
+        target = _waterfill(work, total, floor)
+        lends = []
+        borrows = []
+        for rank in range(caps.size):
+            shift = float(target[rank] - caps[rank])
+            if shift < -_SHIFT_EPS:
+                lends.append((rank, -shift))
+            elif shift > _SHIFT_EPS:
+                borrows.append((rank, shift))
+        return LewiStep(
+            capacities_before=tuple(float(c) for c in caps),
+            capacities_after=tuple(float(t) for t in target),
+            lends=tuple(lends),
+            borrows=tuple(borrows),
+        )
+
+
+def _waterfill(work: np.ndarray, total: float, floor: float) -> np.ndarray:
+    """Work-proportional capacities with a per-rank floor.
+
+    Distributes ``total`` capacity proportionally to ``work``; ranks
+    whose proportional share falls below ``floor`` are pinned there
+    (they lend only up to the limit) and the remainder is redistributed
+    among the rest.  Terminates because each round pins at least one
+    rank, and the average free share never drops below the floor
+    (``total >= floor × size``).  A uniform world short-circuits to
+    exactly equal shares, mirroring ``pinned_mean``.
+    """
+    size = work.size
+    if float(work.min()) == float(work.max()):
+        return np.full(size, total / size)
+    target = np.zeros(size)
+    pinned = np.zeros(size, dtype=bool)
+    remaining = total
+    while True:
+        free = np.flatnonzero(~pinned)
+        free_work = work[free]
+        work_sum = float(free_work.sum())
+        if work_sum <= 0.0:
+            target[free] = remaining / free.size
+            break
+        share = remaining * free_work / work_sum
+        below = share < floor
+        if not below.any():
+            target[free] = share
+            break
+        target[free[below]] = floor
+        pinned[free[below]] = True
+        remaining -= floor * int(below.sum())
+    return target
+
+
+def make_lewi_agents(
+    world: MpiWorld, clock: VirtualClock | None = None
+) -> list[DlbLibrary]:
+    """One ``DLB_Init``-ed library per rank over a shared CPU pool."""
+    clock = clock or VirtualClock()
+    pool = CpuPool.of_world(world.size)
+    agents = []
+    for rank in range(world.size):
+        library = DlbLibrary(
+            talp=TalpMonitor(clock=clock, world=world), pool=pool, rank=rank
+        )
+        code = library.Init()
+        if code != DLB_SUCCESS:
+            raise TalpError(f"DLB_Init failed on rank {rank} (code {code})")
+        agents.append(library)
+    return agents
+
+
+def apply_step(step: LewiStep, agents: list[DlbLibrary]) -> tuple[float, ...]:
+    """Execute a LeWI step through the DLB C-API; returns new capacities.
+
+    Lends run first (ascending rank), then borrows drain the pool, then
+    every rank reclaims any float-residue of its own lent capacity that
+    was never borrowed, so the pool is empty between steps.  The final
+    capacities are read back via ``DLB_PollDROM`` and verified against
+    the step's analytic targets.
+    """
+    for rank, amount in step.lends:
+        code = agents[rank].Lend(amount)
+        if code != DLB_SUCCESS:
+            raise TalpError(f"DLB_Lend({amount}) failed on rank {rank}: {code}")
+    for rank, amount in step.borrows:
+        code = agents[rank].Borrow(amount)
+        if code not in (DLB_SUCCESS, DLB_NOUPDT):
+            raise TalpError(
+                f"DLB_Borrow({amount}) failed on rank {rank}: {code}"
+            )
+    capacities = []
+    for rank, agent in enumerate(agents):
+        agent.Reclaim()
+        code, capacity = agent.PollDROM()
+        if code != DLB_SUCCESS:
+            raise TalpError(f"DLB_PollDROM failed on rank {rank}: {code}")
+        capacities.append(capacity)
+    if not np.allclose(capacities, step.capacities_after, atol=1e-9):
+        raise TalpError(
+            f"LeWI protocol diverged from policy targets: {capacities} != "
+            f"{step.capacities_after}"
+        )
+    return tuple(capacities)

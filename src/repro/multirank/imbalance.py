@@ -27,6 +27,19 @@ from repro.execution.workload import Workload
 _DEFAULT_WORKLOAD = Workload()
 
 
+def _scaled_workloads(
+    base: Workload | None, factors: "tuple[float, ...]"
+) -> list[Workload]:
+    """Fold per-rank factors into ``Workload.root_scale`` (see below)."""
+    base = base or _DEFAULT_WORKLOAD
+    return [
+        base
+        if factor == 1.0
+        else replace(base, root_scale=base.root_scale * factor)
+        for factor in factors
+    ]
+
+
 @dataclass(frozen=True)
 class ImbalanceSpec:
     """Deterministic per-rank workload perturbation.
@@ -96,10 +109,42 @@ class ImbalanceSpec:
         compounding ``scale`` knob instead would amplify it
         exponentially down the call tree.)
         """
-        base = base or _DEFAULT_WORKLOAD
-        return [
-            base
-            if factor == 1.0
-            else replace(base, root_scale=base.root_scale * factor)
-            for factor in self.factors(size)
-        ]
+        return _scaled_workloads(base, self.factors(size))
+
+
+@dataclass(frozen=True)
+class ExplicitFactors:
+    """Pre-computed per-rank compute multipliers (spec-compatible).
+
+    Implements the same ``factors``/``workloads_for``/``uniform``
+    surface as :class:`ImbalanceSpec` but from an explicit per-rank
+    tuple.  The DLB rebalancing driver uses this to re-run a world
+    whose rank ``r`` was handed ``c_r`` CPUs: the effective factor is
+    the rank's imbalance factor divided by its capacity, so lending
+    ranks slow down and the borrowing bottleneck speeds up.
+    """
+
+    rank_factors: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.rank_factors:
+            raise SimMpiError("need at least one rank factor")
+        if any(f <= 0.0 for f in self.rank_factors):
+            raise SimMpiError("rank factors must be positive")
+
+    @property
+    def uniform(self) -> bool:
+        return all(f == 1.0 for f in self.rank_factors)
+
+    def factors(self, size: int) -> tuple[float, ...]:
+        if size != len(self.rank_factors):
+            raise SimMpiError(
+                f"spec holds {len(self.rank_factors)} rank factors, "
+                f"world size is {size}"
+            )
+        return self.rank_factors
+
+    def workloads_for(
+        self, size: int, base: Workload | None = None
+    ) -> list[Workload]:
+        return _scaled_workloads(base, self.factors(size))

@@ -46,6 +46,8 @@ class RankStat:
     @classmethod
     def of(cls, values: "np.ndarray | list[float]") -> "RankStat":
         arr = np.asarray(values, dtype=float)
+        if arr.size == 0:
+            raise ValueError("need at least one rank")
         return cls(
             sum=float(arr.sum()),
             min=float(arr.min()),
@@ -62,6 +64,10 @@ class MergedProfileNode:
     visits: RankStat
     inclusive_cycles: RankStat
     children: dict[str, "MergedProfileNode"] = field(default_factory=dict)
+    #: the per-rank values behind the stats (rank order); kept so flat
+    #: views can re-aggregate per rank before taking min/max
+    visits_by_rank: tuple[float, ...] = ()
+    cycles_by_rank: tuple[float, ...] = ()
 
     def walk(self) -> Iterator["MergedProfileNode"]:
         """Depth-first iteration over this subtree (self included)."""
@@ -75,15 +81,15 @@ class MergedProfileNode:
         return self.children[name]
 
 
-def _stat_of_children(
+def _values_of_children(
     per_rank: list[dict], name: str, ranks: int, key: str, default: float
-) -> RankStat:
+) -> np.ndarray:
     values = np.full(ranks, default, dtype=float)
     for i, children in enumerate(per_rank):
         node = children.get(name)
         if node is not None:
             values[i] = node.get(key, default)
-    return RankStat.of(values)
+    return values
 
 
 def merge_profiles(per_rank_profiles: list[dict | None]) -> MergedProfileNode | None:
@@ -102,9 +108,13 @@ def merge_profiles(per_rank_profiles: list[dict | None]) -> MergedProfileNode | 
     if len(profiles) != len(per_rank_profiles):
         raise ValueError("either every rank or no rank produces a profile")
     ranks = len(profiles)
-    zero = RankStat.of(np.zeros(ranks))
+    zeros = np.zeros(ranks)
     root = MergedProfileNode(
-        name=profiles[0]["name"], visits=zero, inclusive_cycles=zero
+        name=profiles[0]["name"],
+        visits=RankStat.of(zeros),
+        inclusive_cycles=RankStat.of(zeros),
+        visits_by_rank=tuple(zeros),
+        cycles_by_rank=tuple(zeros),
     )
     # (merged node, per-rank child-name -> child-dict maps)
     stack: list[tuple[MergedProfileNode, list[dict]]] = [
@@ -114,12 +124,16 @@ def merge_profiles(per_rank_profiles: list[dict | None]) -> MergedProfileNode | 
         merged, child_maps = stack.pop()
         names = sorted(set().union(*(m.keys() for m in child_maps)))
         for name in names:
+            visits = _values_of_children(child_maps, name, ranks, "visits", 0.0)
+            cycles = _values_of_children(
+                child_maps, name, ranks, "inclusive_cycles", 0.0
+            )
             node = MergedProfileNode(
                 name=name,
-                visits=_stat_of_children(child_maps, name, ranks, "visits", 0.0),
-                inclusive_cycles=_stat_of_children(
-                    child_maps, name, ranks, "inclusive_cycles", 0.0
-                ),
+                visits=RankStat.of(visits),
+                inclusive_cycles=RankStat.of(cycles),
+                visits_by_rank=tuple(float(v) for v in visits),
+                cycles_by_rank=tuple(float(c) for c in cycles),
             )
             merged.children[name] = node
             stack.append(
@@ -142,33 +156,36 @@ def merge_profiles(per_rank_profiles: list[dict | None]) -> MergedProfileNode | 
 def flatten_merged(
     root: MergedProfileNode,
 ) -> dict[str, tuple[RankStat, RankStat]]:
-    """Per-region ``(visits, inclusive_cycles)`` sums over call paths.
+    """Per-region ``(visits, inclusive_cycles)`` stats over call-path sums.
 
-    Statistics are summed component-wise over every call path a region
-    appears in.  Unlike :func:`repro.scorep.regions.flatten` no
-    recursion de-duplication is attempted: merged statistics of nested
-    self-appearances cannot be disentangled per rank after aggregation,
-    so the flat view is documented as a plain per-path sum.
+    Each *rank's* profile is flattened first — a region's totals summed
+    over every call path it appears in on that rank — and the cross-rank
+    statistics are then computed from those per-rank totals.  (Summing
+    the merged per-path statistics component-wise instead would be wrong
+    for ``min``/``max``: the sum of per-path minima is not the minimum
+    of per-rank sums when the rank skew differs between paths.)  Unlike
+    :func:`repro.scorep.regions.flatten` no recursion de-duplication is
+    attempted.  Only trees produced by :func:`merge_profiles` (which
+    populates the per-rank value columns) can be flattened.
     """
-    flat: dict[str, tuple[RankStat, RankStat]] = {}
+    sums: dict[str, tuple[np.ndarray, np.ndarray]] = {}
     for node in root.walk():
         if node is root:
             continue
-        prev = flat.get(node.name)
-        if prev is None:
-            flat[node.name] = (node.visits, node.inclusive_cycles)
-        else:
-            flat[node.name] = (
-                _add_stats(prev[0], node.visits),
-                _add_stats(prev[1], node.inclusive_cycles),
+        acc = sums.get(node.name)
+        if acc is None:
+            sums[node.name] = (
+                np.asarray(node.visits_by_rank, dtype=float).copy(),
+                np.asarray(node.cycles_by_rank, dtype=float).copy(),
             )
-    return flat
-
-
-def _add_stats(a: RankStat, b: RankStat) -> RankStat:
-    return RankStat(
-        sum=a.sum + b.sum, min=a.min + b.min, max=a.max + b.max, avg=a.avg + b.avg
-    )
+        else:
+            visits_acc, cycles_acc = acc
+            visits_acc += np.asarray(node.visits_by_rank, dtype=float)
+            cycles_acc += np.asarray(node.cycles_by_rank, dtype=float)
+    return {
+        name: (RankStat.of(visits), RankStat.of(cycles))
+        for name, (visits, cycles) in sums.items()
+    }
 
 
 @dataclass

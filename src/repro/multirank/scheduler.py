@@ -78,7 +78,8 @@ class MultiRankOutcome:
     """Aggregated result of one N-rank execution."""
 
     ranks: int
-    spec: ImbalanceSpec
+    #: ImbalanceSpec or ExplicitFactors — whatever perturbed the ranks
+    spec: "ImbalanceSpec | object"
     factors: tuple[float, ...]
     backend: str
     per_rank: list[RankResult]
@@ -90,9 +91,11 @@ class MultiRankOutcome:
         """Synchronised wall time: the slowest rank's ``t_total``.
 
         Includes startup (``t_init``); the POP report's ``application``
-        region deliberately covers only the main phase.
+        region deliberately covers only the main phase.  Derived from
+        :attr:`bottleneck` so the two can never disagree — both pick the
+        slowest rank by exact cycle counts, before any division rounds.
         """
-        return max(r.result.t_total for r in self.per_rank)
+        return self.bottleneck.result.t_total
 
     @property
     def bottleneck(self) -> RankResult:
@@ -240,4 +243,205 @@ def run_multirank(
         per_rank=per_rank,
         merged_profile=merged,
         pop=pop,
+    )
+
+
+# -- DLB rebalancing driver ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RebalanceIteration:
+    """One point of the DLB feedback loop's trajectory.
+
+    ``index`` 0 is the unbalanced baseline (all capacities 1.0, no
+    step); iteration k > 0 ran the world after applying ``step``.
+    """
+
+    index: int
+    #: per-rank CPU capacity the iteration ran on
+    capacities: tuple[float, ...]
+    #: the LeWI transfers that produced these capacities (None at index 0)
+    step: "object | None"
+    outcome: MultiRankOutcome
+
+    @property
+    def pop(self):
+        return self.outcome.pop
+
+    @property
+    def parallel_efficiency(self) -> float:
+        return self.outcome.pop.app.parallel_efficiency
+
+
+@dataclass
+class RebalanceOutcome:
+    """Full before/after history of one DLB rebalancing loop."""
+
+    policy: "object"
+    ranks: int
+    #: the imbalance spec of the original, unbalanced world
+    spec: ImbalanceSpec
+    history: list[RebalanceIteration]
+    converged: bool
+
+    @property
+    def baseline(self) -> RebalanceIteration:
+        """The unbalanced run the loop started from."""
+        return self.history[0]
+
+    @property
+    def final(self) -> RebalanceIteration:
+        """The best iteration by parallel efficiency (ties: earliest).
+
+        Picking the best rather than the last guarantees rebalancing
+        never *worsens* the measured POP efficiency: the baseline is in
+        the history, so the final PE is at least the unbalanced PE.
+        """
+        return max(self.history, key=lambda it: (it.parallel_efficiency, -it.index))
+
+    @property
+    def iterations(self) -> int:
+        """Number of rebalanced re-runs performed (baseline excluded)."""
+        return len(self.history) - 1
+
+    @property
+    def pop_history(self) -> list[PopReport]:
+        return [it.pop for it in self.history]
+
+    @property
+    def improvement(self) -> float:
+        """Parallel-efficiency gain of the final state over the baseline."""
+        return self.final.parallel_efficiency - self.baseline.parallel_efficiency
+
+    def render(self) -> str:
+        lines = [
+            "=" * 64,
+            f"DLB LeWI rebalancing — {self.ranks} MPI ranks, "
+            f"{self.iterations} iteration(s), "
+            f"{'converged' if self.converged else 'iteration cap hit'}",
+            "=" * 64,
+        ]
+        for it in self.history:
+            m = it.pop.app
+            caps = ", ".join(f"{c:.3f}" for c in it.capacities)
+            lines.append(
+                f"  iter {it.index}: LB {m.load_balance:6.2%}  "
+                f"CommEff {m.communication_efficiency:6.2%}  "
+                f"PE {m.parallel_efficiency:6.2%}  cpus [{caps}]"
+            )
+        lines.append(
+            f"  final (iter {self.final.index}): "
+            f"PE {self.final.parallel_efficiency:6.2%} "
+            f"({self.improvement:+.2%} vs unbalanced)"
+        )
+        return "\n".join(lines)
+
+
+def run_rebalanced(
+    built,
+    *,
+    ranks: int,
+    imbalance: ImbalanceSpec,
+    dlb,
+    max_iterations: int = 8,
+    backend: "str | object" = "serial",
+    mode: str = "ic",
+    tool: str = "none",
+    ic: InstrumentationConfig | None = None,
+    workload: Workload | None = None,
+    cost_model: CostModel | None = None,
+    symbol_injection: bool = True,
+    emulate_talp_bug: bool = True,
+    talp_bug_threshold: int | None = None,
+    talp_bug_modulus: int | None = None,
+    config_name: str = "",
+) -> RebalanceOutcome:
+    """Close the DLB loop: measure, lend/borrow, re-run until balanced.
+
+    Runs the unbalanced world once, then iterates: the LeWI policy
+    (``dlb``, a :class:`~repro.multirank.dlb.DlbPolicy`) turns the
+    measured per-rank useful times into a lend/borrow step, the step is
+    executed through the DLB C-API (one ``DLB_Init``-ed agent per rank
+    over a shared CPU pool), and the world re-runs with each rank's
+    imbalance factor divided by its new capacity — lending ranks slow
+    down, the borrowing bottleneck speeds up, folded into the next
+    iteration's ``Workload.root_scale`` exactly like the imbalance
+    itself.  Stops when the policy has nothing left to move (capacity
+    shift below ``dlb.tolerance``), when parallel efficiency stops
+    improving, or after ``max_iterations`` re-runs.
+
+    Everything is deterministic: the same seed reproduces the same
+    iteration history, and serial/multiprocessing backends produce
+    bit-identical trajectories (the policy only ever sees reducer
+    outputs, which are backend-invariant).
+    """
+    import numpy as np
+
+    from repro.multirank.dlb import apply_step, make_lewi_agents
+    from repro.multirank.imbalance import ExplicitFactors
+    from repro.simmpi.world import MpiWorld
+
+    if max_iterations < 1:
+        raise CapiError(f"max_iterations must be >= 1, got {max_iterations}")
+    common = dict(
+        ranks=ranks,
+        backend=backend,
+        mode=mode,
+        tool=tool,
+        ic=ic,
+        workload=workload,
+        cost_model=cost_model,
+        symbol_injection=symbol_injection,
+        emulate_talp_bug=emulate_talp_bug,
+        talp_bug_threshold=talp_bug_threshold,
+        talp_bug_modulus=talp_bug_modulus,
+        config_name=config_name,
+    )
+    base_factors = imbalance.factors(ranks)
+    current = run_multirank(built, imbalance=imbalance, **common)
+
+    dlb_world = MpiWorld(size=ranks)
+    dlb_world.init()
+    agents = make_lewi_agents(dlb_world)
+    capacities = tuple(agent.PollDROM()[1] for agent in agents)
+    history = [
+        RebalanceIteration(
+            index=0, capacities=capacities, step=None, outcome=current
+        )
+    ]
+    converged = False
+    for index in range(1, max_iterations + 1):
+        useful = np.array(
+            [r.result.useful_cycles for r in current.per_rank], dtype=float
+        )
+        step = dlb.rebalance(useful, capacities)
+        if step.is_noop or step.max_shift < dlb.tolerance:
+            converged = True
+            break
+        capacities = apply_step(step, agents)
+        spec = ExplicitFactors(
+            tuple(
+                float(factor / capacity)
+                for factor, capacity in zip(base_factors, capacities)
+            )
+        )
+        current = run_multirank(built, imbalance=spec, **common)
+        previous_pe = history[-1].parallel_efficiency
+        history.append(
+            RebalanceIteration(
+                index=index, capacities=capacities, step=step, outcome=current
+            )
+        )
+        if current.pop.app.parallel_efficiency <= previous_pe + dlb.tolerance:
+            # no further measurable gain — the loop has converged (the
+            # final state is the best iteration, so a last overshooting
+            # step can never make the reported result worse)
+            converged = True
+            break
+    return RebalanceOutcome(
+        policy=dlb,
+        ranks=ranks,
+        spec=imbalance,
+        history=history,
+        converged=converged,
     )

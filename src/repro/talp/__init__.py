@@ -1,10 +1,14 @@
 """TALP/DLB substrate: monitoring regions, POP metrics, text report."""
 
 from repro.talp.dlb import (
+    DLB_ERR_INIT,
     DLB_ERR_NOINIT,
+    DLB_ERR_PERM,
     DLB_ERR_UNKNOWN,
     DLB_INVALID_HANDLE,
+    DLB_NOUPDT,
     DLB_SUCCESS,
+    CpuPool,
     DlbLibrary,
 )
 from repro.talp.monitor import MonitoringRegion, TalpMonitor
@@ -15,9 +19,13 @@ from repro.talp.api import RegionSnapshot, TalpRuntimeApi
 __all__ = [
     "RegionSnapshot",
     "TalpRuntimeApi",
+    "CpuPool",
+    "DLB_ERR_INIT",
     "DLB_ERR_NOINIT",
+    "DLB_ERR_PERM",
     "DLB_ERR_UNKNOWN",
     "DLB_INVALID_HANDLE",
+    "DLB_NOUPDT",
     "DLB_SUCCESS",
     "DlbLibrary",
     "MonitoringRegion",

@@ -1,4 +1,4 @@
-"""The DLB library facade (paper Listing 2).
+"""The DLB library facade (paper Listing 2 and §VI).
 
 DLB bundles LeWI, DROM and TALP; this reproduction implements the TALP
 module behind the exact C API names the paper shows::
@@ -8,30 +8,128 @@ module behind the exact C API names the paper shows::
     ...
     DLB_MonitoringRegionStop(handle);
 
-Return codes mirror DLB: ``DLB_SUCCESS`` (0) or ``DLB_ERR_NOINIT`` when
-MPI (and hence DLB's PMPI hooks) is not initialised yet.
+plus the LeWI/DROM entry points the paper's §VI deployment closes the
+loop with: ``DLB_Init``/``DLB_Finalize``, ``DLB_Lend``/``DLB_Borrow``/
+``DLB_Reclaim`` moving fractional CPU capacity through a shared
+:class:`CpuPool`, and ``DLB_PollDROM`` reading back the process's
+current capacity.
+
+Return codes mirror DLB's ``dlb_errors.h``: ``DLB_SUCCESS`` (0),
+``DLB_NOUPDT`` (2) when a request changed nothing, ``DLB_ERR_NOINIT``
+(-2) when MPI (and hence DLB's PMPI hooks) or DLB itself is not
+initialised yet, ``DLB_ERR_INIT`` (-3) on double initialisation and
+``DLB_ERR_PERM`` (-8) for lending capacity the process does not own.
+Pre-``MPI_Init`` monitoring-region calls report ``DLB_ERR_NOINIT``,
+never the generic ``DLB_ERR_UNKNOWN``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.errors import MpiNotInitializedError, TalpError
 from repro.talp.monitor import TalpMonitor
 
 DLB_SUCCESS = 0
-DLB_ERR_NOINIT = -2
+#: the call was valid but changed nothing (e.g. borrow from an empty pool)
+DLB_NOUPDT = 2
 DLB_ERR_UNKNOWN = -1
+DLB_ERR_NOINIT = -2
+#: ``DLB_Init`` called twice
+DLB_ERR_INIT = -3
+#: lending/borrowing capacity the process does not own
+DLB_ERR_PERM = -8
 
 #: sentinel returned instead of a handle when registration fails
 DLB_INVALID_HANDLE = -1
 
 
 @dataclass
+class CpuPool:
+    """Shared LeWI lending pool of fractional CPU capacity.
+
+    One pool spans the whole world: ``capacities[rank]`` is the CPU
+    share rank currently runs on (1.0 each initially), lent capacity
+    sits in the pool until borrowed, and the invariant
+    ``sum(capacities) + available == total`` holds through any sequence
+    of operations.  Borrowing drains lenders in ascending rank order so
+    the pool state is deterministic regardless of caller timing.
+    """
+
+    total: float
+    capacities: dict[int, float] = field(default_factory=dict)
+    #: lent but not yet borrowed capacity, per lending rank
+    outstanding: dict[int, float] = field(default_factory=dict)
+
+    @classmethod
+    def of_world(cls, size: int) -> "CpuPool":
+        """One full CPU per rank."""
+        if size < 1:
+            raise TalpError(f"CPU pool needs at least one rank, got {size}")
+        return cls(total=float(size), capacities={r: 1.0 for r in range(size)})
+
+    @property
+    def available(self) -> float:
+        """Capacity currently lent and waiting to be borrowed."""
+        return sum(self.outstanding.values())
+
+    def capacity_of(self, rank: int) -> float:
+        try:
+            return self.capacities[rank]
+        except KeyError:
+            raise TalpError(f"rank {rank} is not in the CPU pool") from None
+
+    def lend(self, rank: int, amount: float) -> None:
+        """Move ``amount`` of ``rank``'s capacity into the pool."""
+        capacity = self.capacity_of(rank)
+        if not 0.0 < amount <= capacity:
+            raise TalpError(
+                f"rank {rank} cannot lend {amount} of its {capacity} CPUs"
+            )
+        self.capacities[rank] = capacity - amount
+        self.outstanding[rank] = self.outstanding.get(rank, 0.0) + amount
+
+    def borrow(self, rank: int, amount: float) -> float:
+        """Grant up to ``amount`` from the pool; returns what was granted."""
+        self.capacity_of(rank)
+        if amount <= 0.0:
+            raise TalpError(f"rank {rank} cannot borrow {amount} CPUs")
+        granted = 0.0
+        for lender in sorted(self.outstanding):
+            if granted >= amount:
+                break
+            take = min(self.outstanding[lender], amount - granted)
+            self.outstanding[lender] -= take
+            if self.outstanding[lender] <= 0.0:
+                del self.outstanding[lender]
+            granted += take
+        self.capacities[rank] += granted
+        return granted
+
+    def reclaim(self, rank: int) -> float:
+        """Take back ``rank``'s lent capacity that nobody borrowed."""
+        self.capacity_of(rank)
+        returned = self.outstanding.pop(rank, 0.0)
+        self.capacities[rank] += returned
+        return returned
+
+
+@dataclass
 class DlbLibrary:
-    """Process-wide DLB entry points backed by a TALP monitor."""
+    """Process-wide DLB entry points backed by a TALP monitor.
+
+    The LeWI calls operate on a :class:`CpuPool` shared across the
+    world's :class:`DlbLibrary` instances; without an explicit pool,
+    ``Init`` creates a private single-rank pool so the API stays usable
+    in single-process deployments.
+    """
 
     talp: TalpMonitor
+    pool: CpuPool | None = None
+    rank: int = 0
+    _dlb_initialized: bool = False
+
+    # -- TALP module -----------------------------------------------------------
 
     def MonitoringRegionRegister(self, name: str) -> int:
         """Returns a region handle, or ``DLB_INVALID_HANDLE`` on error."""
@@ -44,6 +142,8 @@ class DlbLibrary:
         try:
             self.talp.start(handle)
             return DLB_SUCCESS
+        except MpiNotInitializedError:
+            return DLB_ERR_NOINIT
         except TalpError:
             return DLB_ERR_UNKNOWN
 
@@ -51,5 +151,69 @@ class DlbLibrary:
         try:
             self.talp.stop(handle)
             return DLB_SUCCESS
+        except MpiNotInitializedError:
+            return DLB_ERR_NOINIT
         except TalpError:
             return DLB_ERR_UNKNOWN
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def Init(self) -> int:
+        """``DLB_Init``: attach to the shared pool; needs MPI up first."""
+        if not self.talp.world.initialized:
+            return DLB_ERR_NOINIT
+        if self._dlb_initialized:
+            return DLB_ERR_INIT
+        if self.pool is None:
+            self.pool = CpuPool.of_world(1)
+            self.rank = 0
+        if self.rank not in self.pool.capacities:
+            return DLB_ERR_PERM
+        self._dlb_initialized = True
+        return DLB_SUCCESS
+
+    def Finalize(self) -> int:
+        """``DLB_Finalize``: detach; lent-but-unborrowed capacity returns."""
+        if not self._dlb_initialized:
+            return DLB_ERR_NOINIT
+        self.pool.reclaim(self.rank)
+        self._dlb_initialized = False
+        return DLB_SUCCESS
+
+    # -- LeWI ------------------------------------------------------------------
+
+    def Lend(self, cpus: float) -> int:
+        """``DLB_LendCpus``-style: put ``cpus`` of own capacity in the pool."""
+        if not self._dlb_initialized:
+            return DLB_ERR_NOINIT
+        if not 0.0 < cpus <= self.pool.capacity_of(self.rank):
+            return DLB_ERR_PERM
+        self.pool.lend(self.rank, cpus)
+        return DLB_SUCCESS
+
+    def Borrow(self, cpus: float) -> int:
+        """``DLB_BorrowCpus``-style: take up to ``cpus`` from the pool.
+
+        Returns ``DLB_NOUPDT`` when the pool had nothing to give; the
+        granted capacity shows up in :meth:`PollDROM`, exactly like the
+        real API surfaces it through the DROM mask.
+        """
+        if not self._dlb_initialized:
+            return DLB_ERR_NOINIT
+        if cpus <= 0.0:
+            return DLB_ERR_PERM
+        granted = self.pool.borrow(self.rank, cpus)
+        return DLB_SUCCESS if granted > 0.0 else DLB_NOUPDT
+
+    def Reclaim(self) -> int:
+        """``DLB_Reclaim``-style: take back own lent, unborrowed capacity."""
+        if not self._dlb_initialized:
+            return DLB_ERR_NOINIT
+        returned = self.pool.reclaim(self.rank)
+        return DLB_SUCCESS if returned > 0.0 else DLB_NOUPDT
+
+    def PollDROM(self) -> tuple[int, float]:
+        """``DLB_PollDROM``-style: ``(return code, current capacity)``."""
+        if not self._dlb_initialized:
+            return DLB_ERR_NOINIT, 0.0
+        return DLB_SUCCESS, self.pool.capacity_of(self.rank)

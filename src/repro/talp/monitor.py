@@ -96,6 +96,10 @@ class TalpMonitor:
 
     def start(self, handle: int) -> None:
         """``DLB_MonitoringRegionStart``."""
+        if not self.world.initialized:
+            raise MpiNotInitializedError(
+                f"cannot start region handle {handle} before MPI_Init"
+            )
         region = self._region(handle)
         if (
             self.emulate_region_bug
@@ -116,6 +120,10 @@ class TalpMonitor:
 
     def stop(self, handle: int) -> None:
         """``DLB_MonitoringRegionStop``."""
+        if not self.world.initialized:
+            raise MpiNotInitializedError(
+                f"cannot stop region handle {handle} before MPI_Init"
+            )
         region = self._region(handle)
         if region.open_depth == 0:
             raise TalpError(f"region {region.name!r} stopped but not started")

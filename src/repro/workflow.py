@@ -120,6 +120,10 @@ class RunOutcome:
     multirank: "object | None" = None
     merged_profile: "object | None" = None
     pop: "object | None" = None
+    #: DLB rebalancing history (RebalanceOutcome) — set when ``dlb=`` was
+    #: passed; ``multirank``/``pop``/``result`` then describe the *final*
+    #: (best) rebalanced iteration
+    rebalance: "object | None" = None
 
 
 def run_app(
@@ -139,6 +143,8 @@ def run_app(
     config_name: str = "",
     imbalance: "object | None" = None,
     backend: "str | object" = "serial",
+    dlb: "object | None" = None,
+    dlb_max_iterations: int = 8,
 ) -> RunOutcome:
     """Execute one instrumentation/measurement configuration.
 
@@ -157,7 +163,20 @@ def run_app(
     and ``outcome.multirank`` (per-rank results).  ``outcome.result`` is
     the bottleneck rank's result, so ``t_total`` reads as the
     synchronised elapsed time.
+
+    Passing additionally ``dlb=DlbPolicy(...)`` closes the paper's §VI
+    DLB loop: the world runs, the LeWI policy lends CPU capacity from
+    waiting ranks to the bottleneck, and the world re-runs (at most
+    ``dlb_max_iterations`` times) until the POP efficiency converges.
+    ``outcome.rebalance`` then carries the full iteration history and
+    ``outcome.multirank``/``outcome.pop``/``outcome.result`` describe
+    the final (best) rebalanced state.
     """
+    if dlb is not None and imbalance is None:
+        raise CapiError(
+            "dlb rebalancing needs the multi-rank path; pass imbalance= "
+            "(ImbalanceSpec() for a uniform world)"
+        )
     if imbalance is not None:
         if tracing:
             raise CapiError("tracing is not supported on the multi-rank path")
@@ -176,6 +195,8 @@ def run_app(
             talp_bug_threshold=talp_bug_threshold,
             talp_bug_modulus=talp_bug_modulus,
             config_name=config_name,
+            dlb=dlb,
+            dlb_max_iterations=dlb_max_iterations,
         )
     if mode == "ic" and ic is None:
         raise CapiError("mode='ic' requires an instrumentation configuration")
@@ -280,14 +301,14 @@ def _run_app_multirank(
     talp_bug_threshold: int | None,
     talp_bug_modulus: int | None,
     config_name: str,
+    dlb: "object | None" = None,
+    dlb_max_iterations: int = 8,
 ) -> RunOutcome:
     """Dispatch to the multirank subsystem and fold into a RunOutcome."""
-    from repro.multirank import run_multirank
+    from repro.multirank import run_multirank, run_rebalanced
 
-    mr = run_multirank(
-        built,
+    common = dict(
         ranks=ranks,
-        imbalance=imbalance,
         backend=backend,
         mode=mode,
         tool=tool,
@@ -300,11 +321,24 @@ def _run_app_multirank(
         talp_bug_modulus=talp_bug_modulus,
         config_name=config_name,
     )
+    rebalance = None
+    if dlb is not None:
+        rebalance = run_rebalanced(
+            built,
+            imbalance=imbalance,
+            dlb=dlb,
+            max_iterations=dlb_max_iterations,
+            **common,
+        )
+        mr = rebalance.final.outcome
+    else:
+        mr = run_multirank(built, imbalance=imbalance, **common)
     return RunOutcome(
         result=mr.bottleneck.result,
         multirank=mr,
         merged_profile=mr.merged_profile,
         pop=mr.pop,
+        rebalance=rebalance,
     )
 
 

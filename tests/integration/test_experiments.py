@@ -72,6 +72,37 @@ class TestRunConfiguration:
         assert outcome.talp_report is not None
 
 
+class TestDlbTable:
+    def test_rows_improve_and_render(self):
+        from repro.experiments.dlb import compute_dlb_table, render_dlb_table
+
+        rows = compute_dlb_table(
+            ("lulesh",), scales=SMALL, ranks=4, max_iterations=6
+        )
+        assert {r.scenario for r in rows} == {"straggler-rescue", "ramp-flatten"}
+        for row in rows:
+            assert row.converged
+            assert row.pe_gain > 0.0
+            assert row.after[0] > row.before[0]  # load balance improved
+        text = render_dlb_table(rows)
+        assert "DLB LeWI REBALANCING" in text
+        assert "straggler-rescue" in text
+
+    def test_check_mode_exit_codes(self):
+        from repro.experiments.dlb import main
+
+        assert (
+            main(
+                [
+                    "--app", "lulesh", "--nodes", str(SMALL["lulesh"]),
+                    "--ranks", "4", "--scenario", "straggler-rescue",
+                    "--max-iterations", "6", "--check",
+                ]
+            )
+            == 0
+        )
+
+
 class TestAnomalies:
     def test_report_and_rendering(self):
         report = compute_anomalies(

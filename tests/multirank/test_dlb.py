@@ -1,0 +1,320 @@
+"""LeWI policy units and the iterative DLB rebalancing loop."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.ic import InstrumentationConfig
+from repro.errors import CapiError, TalpError
+from repro.execution.workload import Workload
+from repro.multirank import (
+    DlbPolicy,
+    ExplicitFactors,
+    ImbalanceSpec,
+    apply_step,
+    make_lewi_agents,
+    run_rebalanced,
+)
+from repro.simmpi.world import MpiWorld
+from repro.workflow import build_app, run_app
+from tests.conftest import make_demo_builder
+
+WL = Workload(site_cap=4)
+
+
+@pytest.fixture(scope="module")
+def demo_app():
+    return build_app(make_demo_builder().build())
+
+
+@pytest.fixture(scope="module")
+def demo_ic():
+    return InstrumentationConfig(functions=frozenset({"kernel", "solve"}))
+
+
+def rescue_spec():
+    """The acceptance preset: one rank at 2x load on 8 ranks."""
+    from repro.apps import scenario
+
+    spec = scenario("straggler-rescue")
+    assert spec.stragglers == 1 and spec.straggler_factor == 2.0
+    return spec
+
+
+class TestDlbPolicy:
+    def test_knob_validation(self):
+        with pytest.raises(TalpError):
+            DlbPolicy(lend_limit=1.0)
+        with pytest.raises(TalpError):
+            DlbPolicy(lend_limit=-0.1)
+        with pytest.raises(TalpError):
+            DlbPolicy(tolerance=0.0)
+
+    def test_input_validation(self):
+        policy = DlbPolicy()
+        with pytest.raises(TalpError):
+            policy.rebalance([], [])
+        with pytest.raises(TalpError):
+            policy.rebalance([1.0, 2.0], [1.0])
+        with pytest.raises(TalpError):
+            policy.rebalance([1.0, -2.0], [1.0, 1.0])
+        with pytest.raises(TalpError):
+            policy.rebalance([1.0, 2.0], [1.0, 0.0])
+        # capacities too small to hold every rank at the lend-limit
+        # floor: a clear error, not a ZeroDivisionError in water-filling
+        with pytest.raises(TalpError, match="lend-limit floor"):
+            DlbPolicy(lend_limit=0.2).rebalance([1.0, 2.0], [0.5, 0.5])
+
+    def test_uniform_world_is_exact_noop(self):
+        step = DlbPolicy().rebalance([100.0] * 8, [1.0] * 8)
+        assert step.is_noop
+        assert step.max_shift == 0.0
+        assert step.capacities_after == (1.0,) * 8
+
+    def test_straggler_borrows_from_everyone(self):
+        useful = [100.0] * 7 + [200.0]
+        step = DlbPolicy().rebalance(useful, [1.0] * 8)
+        # work-proportional: straggler target 16/9, the rest 8/9 each
+        assert step.capacities_after[7] == pytest.approx(16.0 / 9.0)
+        for capacity in step.capacities_after[:7]:
+            assert capacity == pytest.approx(8.0 / 9.0)
+        assert [rank for rank, _ in step.borrows] == [7]
+        assert [rank for rank, _ in step.lends] == list(range(7))
+
+    def test_lend_cap_floors_capacity(self):
+        # one extreme bottleneck: without the cap, the others would drop
+        # to ~0.03 CPUs; with lend_limit=0.25 they keep at least 0.75
+        useful = [1.0, 1.0, 1.0, 100.0]
+        step = DlbPolicy(lend_limit=0.25).rebalance(useful, [1.0] * 4)
+        for rank, _ in step.lends:
+            assert step.capacities_after[rank] == pytest.approx(0.75)
+        assert step.capacities_after[3] == pytest.approx(4.0 - 3 * 0.75)
+
+    def test_no_rank_both_lends_and_borrows(self):
+        step = DlbPolicy().rebalance([3.0, 1.0, 2.0, 9.0], [1.0] * 4)
+        lenders = {rank for rank, _ in step.lends}
+        borrowers = {rank for rank, _ in step.borrows}
+        assert lenders.isdisjoint(borrowers)
+
+    def test_conservation_of_total_capacity(self):
+        step = DlbPolicy(lend_limit=0.4).rebalance(
+            [5.0, 0.0, 3.0, 11.0, 2.0], [1.0] * 5
+        )
+        assert sum(step.capacities_after) == pytest.approx(5.0, abs=1e-12)
+        lent = sum(amount for _, amount in step.lends)
+        borrowed = sum(amount for _, amount in step.borrows)
+        assert lent == pytest.approx(borrowed, abs=1e-12)
+
+    def test_zero_work_ranks_pinned_at_floor(self):
+        step = DlbPolicy(lend_limit=0.5).rebalance([0.0, 0.0, 10.0], [1.0] * 3)
+        assert step.capacities_after[0] == pytest.approx(0.5)
+        assert step.capacities_after[1] == pytest.approx(0.5)
+        assert step.capacities_after[2] == pytest.approx(2.0)
+
+    def test_rebalance_from_uneven_capacities(self):
+        """Mid-loop: work is useful x capacity, not useful alone."""
+        # rank 1 runs on 2 CPUs and reports the same useful time as rank
+        # 0 on 0.5 CPUs: rank 1 holds 4x the work, so it keeps more CPUs
+        step = DlbPolicy().rebalance([10.0, 10.0], [0.5, 2.0])
+        assert step.capacities_after[0] == pytest.approx(0.5)
+        assert step.capacities_after[1] == pytest.approx(2.0)
+        assert step.is_noop
+
+
+class TestApplyStepViaApi:
+    def test_protocol_matches_policy_targets(self):
+        world = MpiWorld(size=4)
+        world.init()
+        agents = make_lewi_agents(world)
+        step = DlbPolicy().rebalance([1.0, 2.0, 3.0, 10.0], [1.0] * 4)
+        capacities = apply_step(step, agents)
+        assert capacities == pytest.approx(step.capacities_after, abs=1e-9)
+        assert sum(capacities) == pytest.approx(4.0, abs=1e-9)
+        # the shared pool is drained between steps
+        assert agents[0].pool.available == pytest.approx(0.0, abs=1e-12)
+
+    def test_agents_require_initialized_mpi(self):
+        with pytest.raises(TalpError):
+            make_lewi_agents(MpiWorld(size=2))
+
+
+class TestRunRebalanced:
+    def test_acceptance_straggler_rescue_improves_pe(self, demo_app, demo_ic):
+        """ISSUE 3 acceptance: stragglers=1, straggler_factor=2.0 at 8
+        ranks — rebalancing improves measured POP parallel efficiency."""
+        rb = run_rebalanced(
+            demo_app, ranks=8, imbalance=rescue_spec(), dlb=DlbPolicy(),
+            max_iterations=6, mode="ic", tool="scorep", ic=demo_ic,
+            workload=WL,
+        )
+        assert rb.converged
+        assert rb.iterations >= 1
+        assert rb.final.parallel_efficiency > rb.baseline.parallel_efficiency
+        assert rb.final.pop.app.load_balance > rb.baseline.pop.app.load_balance
+        assert rb.improvement > 0.0
+        # baseline ran on one full CPU per rank
+        assert rb.baseline.capacities == (1.0,) * 8
+        assert rb.baseline.step is None
+        # every rebalanced iteration conserves total capacity
+        for it in rb.history[1:]:
+            assert sum(it.capacities) == pytest.approx(8.0, abs=1e-9)
+        assert "DLB LeWI rebalancing" in rb.render()
+
+    def test_deterministic_iteration_history(self, demo_app, demo_ic):
+        kwargs = dict(
+            ranks=8, imbalance=rescue_spec(), dlb=DlbPolicy(),
+            max_iterations=6, mode="ic", tool="scorep", ic=demo_ic,
+            workload=WL,
+        )
+        a = run_rebalanced(demo_app, **kwargs)
+        b = run_rebalanced(demo_app, **kwargs)
+        assert len(a.history) == len(b.history)
+        for it_a, it_b in zip(a.history, b.history):
+            assert it_a.capacities == it_b.capacities
+            assert it_a.pop.app == it_b.pop.app
+
+    def test_serial_and_multiprocessing_bit_identical(self, demo_app, demo_ic):
+        kwargs = dict(
+            ranks=8, imbalance=rescue_spec(), dlb=DlbPolicy(),
+            max_iterations=6, mode="ic", tool="scorep", ic=demo_ic,
+            workload=WL,
+        )
+        serial = run_rebalanced(demo_app, backend="serial", **kwargs)
+        parallel = run_rebalanced(demo_app, backend="multiprocessing", **kwargs)
+        assert len(serial.history) == len(parallel.history)
+        for it_s, it_p in zip(serial.history, parallel.history):
+            assert it_s.capacities == it_p.capacities
+            assert it_s.pop.app == it_p.pop.app
+            assert [r.result.t_total for r in it_s.outcome.per_rank] == [
+                r.result.t_total for r in it_p.outcome.per_rank
+            ]
+
+    def test_uniform_world_is_noop(self, demo_app, demo_ic):
+        rb = run_rebalanced(
+            demo_app, ranks=4, imbalance=ImbalanceSpec(), dlb=DlbPolicy(),
+            max_iterations=4, mode="ic", tool="scorep", ic=demo_ic,
+            workload=WL,
+        )
+        assert rb.converged
+        assert rb.iterations == 0
+        assert rb.final is rb.baseline
+        assert rb.improvement == 0.0
+
+    def test_talp_tool_keeps_region_reports_through_loop(self, demo_app, demo_ic):
+        rb = run_rebalanced(
+            demo_app, ranks=4, imbalance=rescue_spec(), dlb=DlbPolicy(),
+            max_iterations=4, mode="ic", tool="talp", ic=demo_ic,
+            workload=WL,
+        )
+        for it in rb.history:
+            assert {m.region for m in it.pop.regions} >= {"kernel", "solve"}
+
+    def test_max_iterations_validation(self, demo_app, demo_ic):
+        with pytest.raises(CapiError):
+            run_rebalanced(
+                demo_app, ranks=2, imbalance=rescue_spec(), dlb=DlbPolicy(),
+                max_iterations=0, mode="ic", tool="scorep", ic=demo_ic,
+            )
+
+
+class TestRunAppWiring:
+    def test_run_app_dlb_carries_rebalance_history(self, demo_app, demo_ic):
+        out = run_app(
+            demo_app, mode="ic", tool="scorep", ic=demo_ic, ranks=8,
+            workload=WL, imbalance=rescue_spec(), dlb=DlbPolicy(),
+        )
+        assert out.rebalance is not None
+        final = out.rebalance.final
+        assert out.pop is final.pop
+        assert out.multirank is final.outcome
+        assert out.result.t_total == final.outcome.elapsed_seconds
+        assert out.pop.app.parallel_efficiency > (
+            out.rebalance.baseline.pop.app.parallel_efficiency
+        )
+
+    def test_dlb_without_imbalance_rejected(self, demo_app, demo_ic):
+        with pytest.raises(CapiError):
+            run_app(demo_app, mode="ic", ic=demo_ic, dlb=DlbPolicy())
+
+    def test_plain_multirank_has_no_rebalance(self, demo_app, demo_ic):
+        out = run_app(
+            demo_app, mode="ic", tool="scorep", ic=demo_ic, ranks=2,
+            workload=WL, imbalance=ImbalanceSpec(),
+        )
+        assert out.rebalance is None
+
+
+class TestExplicitFactors:
+    def test_spec_surface(self):
+        spec = ExplicitFactors((1.0, 0.5, 2.0))
+        assert spec.factors(3) == (1.0, 0.5, 2.0)
+        assert not spec.uniform
+        assert ExplicitFactors((1.0, 1.0)).uniform
+        workloads = spec.workloads_for(3, WL)
+        assert [w.root_scale for w in workloads] == [1.0, 0.5, 2.0]
+
+    def test_validation(self):
+        from repro.errors import SimMpiError
+
+        with pytest.raises(SimMpiError):
+            ExplicitFactors(())
+        with pytest.raises(SimMpiError):
+            ExplicitFactors((1.0, 0.0))
+        with pytest.raises(SimMpiError):
+            ExplicitFactors((1.0, 2.0)).factors(3)
+
+
+class TestRebalanceProperties:
+    @settings(
+        max_examples=6,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        straggler_factor=st.floats(min_value=1.1, max_value=3.0, allow_nan=False),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_never_worsens_pe_on_straggler_presets(
+        self, demo_app, demo_ic, straggler_factor, seed
+    ):
+        """Property: the reported final state never has worse measured
+        parallel efficiency than the unbalanced baseline."""
+        rb = run_rebalanced(
+            demo_app, ranks=4,
+            imbalance=ImbalanceSpec(
+                stragglers=1, straggler_factor=straggler_factor, seed=seed
+            ),
+            dlb=DlbPolicy(), max_iterations=3,
+            mode="ic", tool="scorep", ic=demo_ic, workload=WL,
+        )
+        assert (
+            rb.final.parallel_efficiency
+            >= rb.baseline.parallel_efficiency - 1e-12
+        )
+
+    @settings(
+        max_examples=4,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        useful=st.lists(
+            st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
+            min_size=1, max_size=16,
+        ),
+        lend_limit=st.floats(min_value=0.0, max_value=0.9, allow_nan=False),
+    )
+    def test_policy_invariants(self, useful, lend_limit):
+        """Conservation, the lend cap, and lender/borrower disjointness
+        hold for arbitrary measured inputs."""
+        size = len(useful)
+        step = DlbPolicy(lend_limit=lend_limit).rebalance(useful, [1.0] * size)
+        assert sum(step.capacities_after) == pytest.approx(
+            float(size), rel=1e-9
+        )
+        floor = 1.0 - lend_limit
+        assert all(c >= floor - 1e-9 for c in step.capacities_after)
+        lenders = {rank for rank, _ in step.lends}
+        borrowers = {rank for rank, _ in step.borrows}
+        assert lenders.isdisjoint(borrowers)

@@ -93,6 +93,80 @@ class TestMergeProfiles:
         assert "main" in flat and "init" in flat
 
 
+class TestFlattenPerRankFirst:
+    def test_opposite_skew_across_call_paths(self):
+        """Regression (ISSUE 3): a region on two call paths with opposite
+        rank skew.  Per-path stats summed component-wise reported
+        min=2/max=20; flattening each rank first gives the true per-rank
+        sums (11 on both ranks)."""
+        ranks = [
+            _profile(children=[
+                _profile("a", visits=1, cycles=1.0,
+                         children=[_profile("util", visits=10, cycles=10.0)]),
+                _profile("b", visits=1, cycles=1.0,
+                         children=[_profile("util", visits=1, cycles=1.0)]),
+            ]),
+            _profile(children=[
+                _profile("a", visits=1, cycles=1.0,
+                         children=[_profile("util", visits=1, cycles=1.0)]),
+                _profile("b", visits=1, cycles=1.0,
+                         children=[_profile("util", visits=10, cycles=10.0)]),
+            ]),
+        ]
+        flat = flatten_merged(merge_profiles(ranks))
+        visits, cycles = flat["util"]
+        assert visits.min == 11.0
+        assert visits.max == 11.0
+        assert visits.sum == 22.0
+        assert visits.avg == 11.0
+        assert cycles.min == 11.0
+        assert cycles.max == 11.0
+
+    def test_single_path_unchanged(self):
+        ranks = [
+            _profile(children=[_profile("main", visits=2, cycles=10.0)]),
+            _profile(children=[_profile("main", visits=4, cycles=30.0)]),
+        ]
+        flat = flatten_merged(merge_profiles(ranks))
+        visits, cycles = flat["main"]
+        assert (visits.min, visits.max, visits.sum) == (2.0, 4.0, 6.0)
+        assert (cycles.min, cycles.max, cycles.sum) == (10.0, 30.0, 40.0)
+
+
+class TestRankStatGuard:
+    def test_empty_input_raises_clear_error(self):
+        with pytest.raises(ValueError, match="need at least one rank"):
+            RankStat.of([])
+
+
+class TestElapsedBottleneckAgreement:
+    def test_same_cycle_based_key(self):
+        """``elapsed_seconds`` must be derived from ``bottleneck`` so the
+        two can never disagree through per-rank division rounding."""
+        from repro.execution.result import RunResult
+        from repro.multirank.imbalance import ImbalanceSpec
+        from repro.multirank.reduce import build_pop_report
+        from repro.multirank.scheduler import MultiRankOutcome, RankResult
+
+        def rank(i, t_init, t_app):
+            r = RunResult("app", "none", "c")
+            r.t_init_cycles = t_init
+            r.t_app_cycles = t_app
+            r.useful_cycles = t_app
+            return RankResult(rank=i, result=r)
+
+        # identical totals split differently: the tie goes to rank 0 and
+        # elapsed_seconds reports exactly that rank's t_total
+        per_rank = [rank(0, 100.0, 50.0), rank(1, 50.0, 100.0)]
+        outcome = MultiRankOutcome(
+            ranks=2, spec=ImbalanceSpec(), factors=(1.0, 1.0),
+            backend="serial", per_rank=per_rank, merged_profile=None,
+            pop=build_pop_report(per_rank),
+        )
+        assert outcome.bottleneck.rank == 0
+        assert outcome.elapsed_seconds == outcome.bottleneck.result.t_total
+
+
 class TestPopFromRanks:
     def test_uniform_is_exactly_balanced(self):
         m = compute_pop_from_ranks(

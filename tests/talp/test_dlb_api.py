@@ -1,0 +1,161 @@
+"""DLB C-API surface: return-code matrix and the LeWI CPU pool."""
+
+import pytest
+
+from repro.errors import MpiNotInitializedError, TalpError
+from repro.execution.clock import VirtualClock
+from repro.simmpi.world import MpiWorld
+from repro.talp.dlb import (
+    DLB_ERR_INIT,
+    DLB_ERR_NOINIT,
+    DLB_ERR_PERM,
+    DLB_ERR_UNKNOWN,
+    DLB_INVALID_HANDLE,
+    DLB_NOUPDT,
+    DLB_SUCCESS,
+    CpuPool,
+    DlbLibrary,
+)
+from repro.talp.monitor import TalpMonitor
+
+
+def make_library(*, mpi_initialized: bool, pool: CpuPool | None = None, rank: int = 0):
+    world = MpiWorld(size=4)
+    if mpi_initialized:
+        world.init()
+    monitor = TalpMonitor(clock=VirtualClock(), world=world)
+    return DlbLibrary(talp=monitor, pool=pool, rank=rank)
+
+
+class TestReturnCodeMatrix:
+    """NOINIT vs UNKNOWN vs SUCCESS, per entry point (ISSUE 3 satellite)."""
+
+    def test_pre_mpi_init_register_returns_invalid_handle(self):
+        lib = make_library(mpi_initialized=False)
+        assert lib.MonitoringRegionRegister("solver") == DLB_INVALID_HANDLE
+
+    def test_pre_mpi_init_start_stop_return_noinit_not_unknown(self):
+        """Regression: MpiNotInitializedError subclasses TalpError, so the
+        generic handler used to eat it and report DLB_ERR_UNKNOWN."""
+        lib = make_library(mpi_initialized=False)
+        assert lib.MonitoringRegionStart(1) == DLB_ERR_NOINIT
+        assert lib.MonitoringRegionStop(1) == DLB_ERR_NOINIT
+
+    def test_pre_mpi_init_lewi_calls_return_noinit(self):
+        lib = make_library(mpi_initialized=False)
+        assert lib.Init() == DLB_ERR_NOINIT
+        assert lib.Lend(0.5) == DLB_ERR_NOINIT
+        assert lib.Borrow(0.5) == DLB_ERR_NOINIT
+        assert lib.Reclaim() == DLB_ERR_NOINIT
+        assert lib.Finalize() == DLB_ERR_NOINIT
+        assert lib.PollDROM() == (DLB_ERR_NOINIT, 0.0)
+
+    def test_post_init_success_path(self):
+        lib = make_library(mpi_initialized=True)
+        handle = lib.MonitoringRegionRegister("solver")
+        assert handle != DLB_INVALID_HANDLE
+        assert lib.MonitoringRegionStart(handle) == DLB_SUCCESS
+        assert lib.MonitoringRegionStop(handle) == DLB_SUCCESS
+
+    def test_invalid_handle_is_unknown_not_noinit(self):
+        lib = make_library(mpi_initialized=True)
+        assert lib.MonitoringRegionStart(999) == DLB_ERR_UNKNOWN
+        assert lib.MonitoringRegionStop(999) == DLB_ERR_UNKNOWN
+
+    def test_stop_before_start_is_unknown(self):
+        lib = make_library(mpi_initialized=True)
+        handle = lib.MonitoringRegionRegister("solver")
+        assert lib.MonitoringRegionStop(handle) == DLB_ERR_UNKNOWN
+
+    def test_monitor_raises_distinct_exception_types(self):
+        lib = make_library(mpi_initialized=False)
+        with pytest.raises(MpiNotInitializedError):
+            lib.talp.start(1)
+        with pytest.raises(MpiNotInitializedError):
+            lib.talp.stop(1)
+
+    def test_double_init_is_err_init(self):
+        lib = make_library(mpi_initialized=True)
+        assert lib.Init() == DLB_SUCCESS
+        assert lib.Init() == DLB_ERR_INIT
+
+    def test_finalize_reclaims_and_allows_reinit(self):
+        lib = make_library(mpi_initialized=True)
+        assert lib.Init() == DLB_SUCCESS
+        assert lib.Lend(0.25) == DLB_SUCCESS
+        assert lib.Finalize() == DLB_SUCCESS
+        assert lib.Init() == DLB_SUCCESS
+        # the lent capacity came back on Finalize (nobody had borrowed)
+        assert lib.PollDROM() == (DLB_SUCCESS, 1.0)
+
+    def test_lend_overdraw_and_nonpositive_are_perm(self):
+        lib = make_library(mpi_initialized=True)
+        lib.Init()
+        assert lib.Lend(1.5) == DLB_ERR_PERM
+        assert lib.Lend(0.0) == DLB_ERR_PERM
+        assert lib.Lend(-0.1) == DLB_ERR_PERM
+        assert lib.Borrow(0.0) == DLB_ERR_PERM
+
+    def test_borrow_from_empty_pool_is_noupdt(self):
+        lib = make_library(mpi_initialized=True)
+        lib.Init()
+        assert lib.Borrow(0.5) == DLB_NOUPDT
+
+    def test_rank_outside_pool_cannot_init(self):
+        pool = CpuPool.of_world(2)
+        lib = make_library(mpi_initialized=True, pool=pool, rank=7)
+        assert lib.Init() == DLB_ERR_PERM
+
+
+class TestCpuPool:
+    def test_lend_borrow_roundtrip(self):
+        pool = CpuPool.of_world(4)
+        pool.lend(1, 0.25)
+        pool.lend(2, 0.5)
+        assert pool.available == pytest.approx(0.75)
+        assert pool.capacity_of(1) == 0.75
+        granted = pool.borrow(0, 0.6)
+        assert granted == pytest.approx(0.6)
+        assert pool.capacity_of(0) == pytest.approx(1.6)
+
+    def test_borrow_drains_lenders_in_rank_order(self):
+        pool = CpuPool.of_world(3)
+        pool.lend(2, 0.4)
+        pool.lend(1, 0.4)
+        pool.borrow(0, 0.5)
+        # lender 1 drained fully first, lender 2 keeps the remainder
+        assert pool.outstanding == pytest.approx({2: 0.3})
+
+    def test_partial_grant_when_pool_short(self):
+        pool = CpuPool.of_world(2)
+        pool.lend(1, 0.3)
+        assert pool.borrow(0, 1.0) == pytest.approx(0.3)
+
+    def test_reclaim_returns_only_own_unborrowed_capacity(self):
+        pool = CpuPool.of_world(2)
+        pool.lend(1, 0.4)
+        assert pool.reclaim(0) == 0.0
+        assert pool.reclaim(1) == pytest.approx(0.4)
+        assert pool.capacity_of(1) == pytest.approx(1.0)
+
+    def test_conservation_through_arbitrary_ops(self):
+        pool = CpuPool.of_world(5)
+        pool.lend(1, 0.5)
+        pool.lend(3, 0.2)
+        pool.borrow(0, 0.3)
+        pool.lend(4, 0.45)
+        pool.borrow(2, 10.0)
+        pool.reclaim(3)
+        total = sum(pool.capacities.values()) + pool.available
+        assert total == pytest.approx(5.0, abs=1e-12)
+
+    def test_misuse_raises(self):
+        pool = CpuPool.of_world(2)
+        with pytest.raises(TalpError):
+            pool.lend(0, 2.0)
+        with pytest.raises(TalpError):
+            pool.lend(9, 0.1)
+        with pytest.raises(TalpError):
+            pool.borrow(9, 0.1)
+        with pytest.raises(TalpError):
+            CpuPool.of_world(0)
