@@ -24,6 +24,16 @@ Two presets exist specifically as DLB rebalancing targets
 * ``ramp-flatten`` — a steep linear iteration ramp across ranks, the
   decomposition-gradient shape DLB flattens by shifting capacity from
   the light low ranks toward the heavy tail.
+
+One preset exists specifically for trace-based analysis
+(``run_app(..., tracing=True)`` → merged rank-tagged timeline):
+
+* ``trace-straggler`` — one moderately slow rank (1.3×) with no other
+  jitter: the clean shape for reading wait states and the critical path
+  off a merged timeline — every fast rank shows one crisp wait interval
+  at each collective while the straggler owns the critical path, and
+  the mild factor keeps per-rank event streams close in length so the
+  collective matching is exercised without drowning the report.
 """
 
 from __future__ import annotations
@@ -37,6 +47,7 @@ SCENARIOS: dict[str, ImbalanceSpec] = {
     "straggler": ImbalanceSpec(stragglers=1, straggler_factor=1.6, seed=31),
     "straggler-rescue": ImbalanceSpec(stragglers=1, straggler_factor=2.0, seed=31),
     "ramp-flatten": ImbalanceSpec(ramp=0.75, seed=37),
+    "trace-straggler": ImbalanceSpec(stragglers=1, straggler_factor=1.3, seed=41),
 }
 
 

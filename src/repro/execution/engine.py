@@ -138,6 +138,11 @@ class ExecutionEngine:
     cost_model: CostModel = field(default_factory=CostModel)
     workload: Workload = field(default_factory=Workload)
     clock: VirtualClock = field(default_factory=VirtualClock)
+    #: extra per-patched-sled-fire handler cycles the analytic path must
+    #: mirror beyond ``cost_model.handler_cost(tool)`` — the walked path
+    #: charges these inside the installed handler itself (e.g. the event
+    #: tracer's per-event buffer write when tracing is attached)
+    handler_extra: float = 0.0
 
     def __post_init__(self) -> None:
         self._functions: dict[str, MachineFunction] = {}
@@ -568,6 +573,7 @@ class ExecutionEngine:
                 per_sled = (
                     self.cost_model.patched_dispatch
                     + self.cost_model.handler_cost(self.tool)
+                    + self.handler_extra
                 )
             else:
                 per_sled = self.cost_model.nop_sled

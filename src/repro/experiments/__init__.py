@@ -18,6 +18,12 @@ from repro.experiments.dlb import (
     compute_dlb_table,
     render_dlb_table,
 )
+from repro.experiments.traces import (
+    TraceRow,
+    compute_trace_row,
+    compute_trace_table,
+    render_trace_table,
+)
 
 __all__ = [
     "AnomalyReport",
@@ -29,13 +35,17 @@ __all__ = [
     "SPEC_ORDER",
     "Table1Row",
     "Table2Row",
+    "TraceRow",
     "compute_anomalies",
     "compute_dlb_row",
     "compute_dlb_table",
     "compute_table1",
     "compute_table2",
+    "compute_trace_row",
+    "compute_trace_table",
     "prepare_app",
     "render_table1",
     "render_table2",
+    "render_trace_table",
     "run_configuration",
 ]

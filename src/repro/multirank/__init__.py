@@ -13,6 +13,9 @@ the rest analytically.  This subsystem runs one
 * :mod:`~repro.multirank.reduce` — merged Score-P-style profiles
   (min/max/avg/sum per call path across ranks) and *measured* POP
   metrics with synchronisation-wait attribution,
+* :mod:`~repro.multirank.tracing` — per-rank event traces merged into
+  one rank-tagged timeline with logical clocks aligned at MPI
+  collectives, plus trace-based wait-state and critical-path analyses,
 * :mod:`~repro.multirank.dlb` — the LeWI lend/borrow policy closing the
   paper's §VI DLB loop: waiting ranks lend fractional CPU capacity to
   the bottleneck through the DLB C-API, and
@@ -56,13 +59,24 @@ from repro.multirank.scheduler import (
     run_multirank,
     run_rebalanced,
 )
+from repro.multirank.tracing import (
+    SYNC_OPS,
+    CriticalSegment,
+    MergedTrace,
+    SyncPoint,
+    WaitInterval,
+    merge_rank_traces,
+    validate_tracing,
+)
 
 __all__ = [
+    "CriticalSegment",
     "DlbPolicy",
     "ExplicitFactors",
     "ImbalanceSpec",
     "LewiStep",
     "MergedProfileNode",
+    "MergedTrace",
     "MultiRankOutcome",
     "MultiprocessingBackend",
     "PopReport",
@@ -72,7 +86,10 @@ __all__ = [
     "RebalanceIteration",
     "RebalanceOutcome",
     "RegionSample",
+    "SYNC_OPS",
     "SerialBackend",
+    "SyncPoint",
+    "WaitInterval",
     "apply_step",
     "build_pop_report",
     "build_tasks",
@@ -80,7 +97,9 @@ __all__ = [
     "flatten_merged",
     "make_lewi_agents",
     "merge_profiles",
+    "merge_rank_traces",
     "resolve_backend",
     "run_multirank",
     "run_rebalanced",
+    "validate_tracing",
 ]

@@ -14,7 +14,10 @@ Two implementations ship:
   interpreter state (including the per-process ``str`` hash salt), so
   worker executions are bit-identical to serial in-process runs; the
   BuiltApp is shipped once per worker through the pool initializer
-  rather than once per task.
+  rather than once per task.  On platforms without ``fork`` the pool
+  falls back to the default start method and *warns* that the
+  bit-identical guarantee no longer holds (spawned workers draw a fresh
+  hash salt).
 
 Both backends funnel every rank through the same
 :func:`~repro.multirank.scheduler.execute_rank`, so they can only
@@ -25,6 +28,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import warnings
 
 from repro.errors import CapiError
 from repro.multirank.scheduler import RankResult, RankTask, execute_rank
@@ -66,8 +70,7 @@ class MultiprocessingBackend:
         if len(tasks) == 1:
             # nothing to parallelise; skip the pool entirely
             return [execute_rank(built, tasks[0])]
-        methods = multiprocessing.get_all_start_methods()
-        ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
+        ctx = self._context()
         workers = self.processes or min(len(tasks), os.cpu_count() or 1)
         with ctx.Pool(
             processes=min(workers, len(tasks)),
@@ -75,6 +78,34 @@ class MultiprocessingBackend:
             initargs=(built,),
         ) as pool:
             return pool.map(_run_in_worker, tasks, chunksize=1)
+
+    @staticmethod
+    def _context():
+        """The pool context: ``fork`` where available, else an explicit,
+        *warned-about* fallback.
+
+        The module contract promises bit-identical-to-serial results,
+        which relies on forked workers inheriting the parent's
+        interpreter state (notably the per-process ``str`` hash salt).
+        A spawn/forkserver fallback starts fresh interpreters, so the
+        guarantee would silently degrade — make the degradation loud
+        instead of quiet.
+        """
+        methods = multiprocessing.get_all_start_methods()
+        if "fork" in methods:
+            return multiprocessing.get_context("fork")
+        fallback = multiprocessing.get_start_method(allow_none=False)
+        warnings.warn(
+            f"the 'fork' start method is unavailable on this platform; "
+            f"falling back to {fallback!r}.  Spawned workers start fresh "
+            f"interpreters (fresh str hash salt), so the "
+            f"bit-identical-to-serial guarantee of MultiprocessingBackend "
+            f"no longer holds — set PYTHONHASHSEED or use the serial "
+            f"backend for reproducible reductions",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return multiprocessing.get_context()
 
 
 def resolve_backend(backend: "str | object"):

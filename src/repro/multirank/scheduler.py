@@ -10,9 +10,11 @@ across a process pool.
 
 The scheduler collects one :class:`RankResult` per rank — the engine's
 :class:`~repro.execution.result.RunResult` plus the rank's Score-P
-profile (as a plain dict) and TALP region samples, all picklable so the
-multiprocessing backend can ship them back — and hands the list to the
-cross-rank reducer for the merged profile and the POP report.
+profile (as a plain dict), TALP region samples and (``tracing=True``)
+the rank's event-trace stream, all picklable so the multiprocessing
+backend can ship them back — and hands the list to the cross-rank
+reducers for the merged profile, the POP report and the merged
+rank-tagged timeline (:mod:`repro.multirank.tracing`).
 """
 
 from __future__ import annotations
@@ -31,6 +33,12 @@ from repro.multirank.reduce import (
     build_pop_report,
     merge_profiles,
 )
+from repro.multirank.tracing import (
+    MergedTrace,
+    merge_rank_traces,
+    validate_tracing,
+)
+from repro.scorep.tracing import TraceEvent
 
 
 @dataclass(frozen=True)
@@ -60,6 +68,7 @@ class RankTask:
     talp_bug_threshold: int | None
     talp_bug_modulus: int | None
     config_name: str
+    tracing: bool = False
 
 
 @dataclass(frozen=True)
@@ -71,6 +80,8 @@ class RankResult:
     #: Score-P call-path profile in ``profile_io.to_dict`` form
     profile: dict | None = None
     talp_regions: tuple[RegionSample, ...] = ()
+    #: the rank's event-trace stream (``tracing=True`` + scorep tool)
+    trace: tuple[TraceEvent, ...] | None = None
 
 
 @dataclass
@@ -85,6 +96,8 @@ class MultiRankOutcome:
     per_rank: list[RankResult]
     merged_profile: MergedProfileNode | None
     pop: PopReport
+    #: rank-tagged, collective-aligned timeline (``tracing=True`` runs)
+    merged_trace: MergedTrace | None = None
 
     @property
     def elapsed_seconds(self) -> float:
@@ -120,6 +133,7 @@ def build_tasks(
     talp_bug_threshold: int | None = None,
     talp_bug_modulus: int | None = None,
     config_name: str = "",
+    tracing: bool = False,
 ) -> list[RankTask]:
     """One task per rank, workloads perturbed by the imbalance spec."""
     workloads = imbalance.workloads_for(ranks, workload)
@@ -137,6 +151,7 @@ def build_tasks(
             talp_bug_threshold=talp_bug_threshold,
             talp_bug_modulus=talp_bug_modulus,
             config_name=config_name,
+            tracing=tracing,
         )
         for rank in range(ranks)
     ]
@@ -160,6 +175,7 @@ def execute_rank(built, task: RankTask) -> RankResult:
         talp_bug_threshold=task.talp_bug_threshold,
         talp_bug_modulus=task.talp_bug_modulus,
         config_name=task.config_name,
+        tracing=task.tracing,
     )
     profile = (
         to_dict(outcome.scorep_profile) if outcome.scorep_profile is not None else None
@@ -176,11 +192,15 @@ def execute_rank(built, task: RankTask) -> RankResult:
             )
             for region in outcome.monitor.regions.values()
         )
+    trace: tuple[TraceEvent, ...] | None = None
+    if outcome.tracer is not None:
+        trace = tuple(outcome.tracer.all_events())
     return RankResult(
         rank=task.rank,
         result=outcome.result,
         profile=profile,
         talp_regions=regions,
+        trace=trace,
     )
 
 
@@ -200,8 +220,13 @@ def run_multirank(
     talp_bug_threshold: int | None = None,
     talp_bug_modulus: int | None = None,
     config_name: str = "",
+    tracing: bool = False,
 ) -> MultiRankOutcome:
     """Execute ``built`` across ``ranks`` simulated ranks and reduce.
+
+    ``tracing=True`` (scorep tool only) additionally records one event
+    trace per rank and merges them into a rank-tagged,
+    collective-aligned timeline (``outcome.merged_trace``).
 
     Validation of the mode/IC combination happens up front so a bad
     configuration fails in the caller, not inside a worker process.
@@ -214,6 +239,8 @@ def run_multirank(
         raise CapiError(f"mode={mode!r} does not take an IC")
     if ranks < 1:
         raise CapiError(f"ranks must be >= 1, got {ranks}")
+    if tracing:
+        validate_tracing(tool, mode)
     tasks = build_tasks(
         ranks=ranks,
         imbalance=imbalance,
@@ -227,6 +254,7 @@ def run_multirank(
         talp_bug_threshold=talp_bug_threshold,
         talp_bug_modulus=talp_bug_modulus,
         config_name=config_name,
+        tracing=tracing,
     )
     resolved = resolve_backend(backend)
     per_rank = resolved.map_ranks(built, tasks)
@@ -235,6 +263,17 @@ def run_multirank(
     pop = build_pop_report(
         per_rank, frequency=per_rank[0].result.frequency
     )
+    merged_trace = None
+    if tracing:
+        missing = [r.rank for r in per_rank if r.trace is None]
+        if missing:
+            # unreachable today (validate_tracing guarantees a tracer on
+            # every rank) — but a silent merged_trace=None would be the
+            # exact degradation this PR exists to remove, so fail loudly
+            raise CapiError(
+                f"tracing=True but rank(s) {missing} produced no trace"
+            )
+        merged_trace = merge_rank_traces([r.trace for r in per_rank])
     return MultiRankOutcome(
         ranks=ranks,
         spec=imbalance,
@@ -243,6 +282,7 @@ def run_multirank(
         per_rank=per_rank,
         merged_profile=merged,
         pop=pop,
+        merged_trace=merged_trace,
     )
 
 
@@ -355,6 +395,7 @@ def run_rebalanced(
     talp_bug_threshold: int | None = None,
     talp_bug_modulus: int | None = None,
     config_name: str = "",
+    tracing: bool = False,
 ) -> RebalanceOutcome:
     """Close the DLB loop: measure, lend/borrow, re-run until balanced.
 
@@ -396,6 +437,7 @@ def run_rebalanced(
         talp_bug_threshold=talp_bug_threshold,
         talp_bug_modulus=talp_bug_modulus,
         config_name=config_name,
+        tracing=tracing,
     )
     base_factors = imbalance.factors(ranks)
     current = run_multirank(built, imbalance=imbalance, **common)

@@ -1,0 +1,509 @@
+"""Multi-rank trace merge: rank-tagged timelines with logical clocks.
+
+Score-P is "a widely used profiling **and tracing** infrastructure"
+(paper §I); downstream tools (Vampir, Scalasca) consume per-process
+OTF2 event streams as *one* experiment.  This module is the reduction
+that makes that view exist in the reproduction: it takes the N per-rank
+:class:`~repro.scorep.tracing.TraceEvent` streams collected by the rank
+scheduler and merges them into a single rank-tagged timeline.
+
+Each rank runs on its own virtual clock, so the raw per-rank timestamps
+are *local* times — directly interleaving them would put a fast rank's
+tenth iteration next to a slow rank's third.  Real trace unification has
+the same problem (unsynchronised node clocks) and solves it with logical
+clocks anchored at synchronisation points.  We do exactly that: every
+MPI collective with all-to-all completion semantics
+(:data:`repro.simmpi.comm.SYNCHRONIZING`, plus ``MPI_Init`` /
+``MPI_Finalize``) is a synchronisation point — no rank leaves it before
+every rank has arrived — so the merge offsets each rank's clock such
+that matching collective events coincide at the latest arriver.  The
+per-rank offset accumulated by the final ``MPI_Finalize`` anchor is the
+rank's total synchronisation wait, which is exactly the quantity the
+profile reducer attributes via
+:func:`repro.simmpi.world.finalize_wait`: the two views agree by
+construction (acceptance-tested to within one collective latency).
+
+On top of the merged timeline ship the first two trace-based analyses,
+Scalasca-style:
+
+* :meth:`MergedTrace.wait_states` — per-rank wait intervals at each
+  collective ("Wait at Barrier/NxN"): who blocked, where, for how long;
+* :meth:`MergedTrace.critical_path` — a simple critical-path walk over
+  the segments between synchronisation points: per segment, the rank
+  whose local (wait-free) time is largest is on the critical path, and
+  the region with the largest exclusive share of that segment names the
+  code to fix.
+
+Entry point: ``run_app(..., ranks=N, imbalance=..., tracing=True)`` →
+``RunOutcome.merged_trace``, or :func:`merge_rank_traces` directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import CapiError
+from repro.scorep.tracing import (
+    RankedTraceEvent,
+    TraceEvent,
+    TraceEventKind,
+    merge_streams,
+    tag_events,
+    validate_trace,
+)
+from repro.simmpi.comm import SYNCHRONIZING
+
+#: MPI operations that act as logical-clock synchronisation points: the
+#: synchronizing collectives (all-to-all completion semantics) plus the
+#: lifecycle pair — ``MPI_Init`` starts all ranks together and
+#: ``MPI_Finalize`` is the closing barrier the profile reducer already
+#: models via ``finalize_wait``.
+SYNC_OPS = frozenset(SYNCHRONIZING | {"MPI_Init", "MPI_Finalize"})
+
+
+def validate_tracing(tool: str, mode: str) -> None:
+    """Reject tracing configurations that could never record events.
+
+    Shared by ``workflow.run_app`` and ``run_multirank`` so both entry
+    points fail the same way: only the scorep tool attaches a tracer,
+    and the vanilla/inactive modes never install a measurement tool at
+    all — a requested trace could only ever come back empty.
+    """
+    if tool != "scorep":
+        raise CapiError(
+            f"tracing=True needs the scorep measurement tool, got tool={tool!r}"
+        )
+    if mode in ("vanilla", "inactive"):
+        raise CapiError(
+            f"tracing=True needs an installed measurement tool; "
+            f"mode={mode!r} never installs one"
+        )
+
+
+@dataclass(frozen=True)
+class SyncPoint:
+    """One matched collective across all ranks, after alignment.
+
+    ``local_cycles[r]`` is rank r's raw clock at its own collective
+    event; ``wait_cycles[r]`` is how long rank r blocked there for the
+    latest arriver (zero for the arriving bottleneck).  The aligned
+    timestamp is the same for every rank — that is the alignment rule:
+    collective exits coincide.
+    """
+
+    index: int
+    op: str
+    aligned_cycles: float
+    local_cycles: tuple[float, ...]
+    wait_cycles: tuple[float, ...]
+
+    @property
+    def bottleneck_rank(self) -> int:
+        """The last rank to arrive (ties: lowest rank)."""
+        return min(
+            range(len(self.wait_cycles)), key=lambda r: (self.wait_cycles[r], r)
+        )
+
+
+@dataclass(frozen=True)
+class WaitInterval:
+    """One rank blocking at one collective (Scalasca's wait-state view)."""
+
+    rank: int
+    sync_index: int
+    op: str
+    #: aligned time the rank arrived at the collective
+    begin_cycles: float
+    #: aligned time the collective completed (same for all ranks)
+    end_cycles: float
+
+    @property
+    def wait_cycles(self) -> float:
+        return self.end_cycles - self.begin_cycles
+
+
+@dataclass(frozen=True)
+class CriticalSegment:
+    """One segment of the critical path between synchronisation points."""
+
+    index: int
+    #: the sync op (or "start"/"end") bounding the segment
+    begin_op: str
+    end_op: str
+    #: the rank on the critical path here: largest wait-free local time
+    rank: int
+    duration_cycles: float
+    #: region with the largest exclusive time share on the critical rank
+    top_region: str | None
+
+
+@dataclass
+class MergedTrace:
+    """One rank-tagged, logically-clocked timeline of an N-rank run."""
+
+    ranks: int
+    #: the merged stream: aligned timestamps, ordered by (time, rank)
+    events: list[RankedTraceEvent]
+    sync_points: list[SyncPoint]
+    #: final per-rank logical-clock offset == total synchronisation wait
+    rank_offsets: tuple[float, ...]
+    #: per-rank event counts (all kinds)
+    events_per_rank: tuple[int, ...]
+    #: per-rank aligned event streams (rank order), kept for analyses
+    per_rank: list[list[RankedTraceEvent]] = field(default_factory=list)
+
+    @property
+    def rank_wait_cycles(self) -> tuple[float, ...]:
+        """Total collective wait per rank, as derived from the trace.
+
+        This is the trace-side counterpart of the profile reducer's
+        ``PopReport.rank_wait_cycles`` (``finalize_wait`` attribution):
+        both measure how long each rank trailed the bottleneck.
+        """
+        return self.rank_offsets
+
+    @property
+    def elapsed_cycles(self) -> float:
+        """Aligned end of the timeline (0.0 for an empty trace)."""
+        return self.events[-1].timestamp_cycles if self.events else 0.0
+
+    # -- consistency -----------------------------------------------------------
+
+    def validate(self) -> list[str]:
+        """Merged-stream consistency checks.
+
+        The global stream must be ``(timestamp, rank)``-ordered, every
+        rank's projected substream must stay timestamp-monotone after
+        alignment, and each projection must pass the single-stream
+        :func:`~repro.scorep.tracing.validate_trace` nesting checks
+        (enter/leave balance is a per-rank property; ranks interleave
+        freely in the global order).
+        """
+        problems: list[str] = []
+        last_key = (-1.0, -1)
+        for ev in self.events:
+            key = (ev.timestamp_cycles, ev.rank)
+            if key < last_key:
+                problems.append(
+                    f"merged stream out of order at rank {ev.rank} {ev.region}"
+                )
+            last_key = key
+        for rank, stream in enumerate(self.per_rank):
+            for problem in validate_trace([ev.untagged() for ev in stream]):
+                problems.append(f"rank {rank}: {problem}")
+        return problems
+
+    # -- analyses --------------------------------------------------------------
+
+    def wait_states(self, *, min_wait_cycles: float = 0.0) -> list[WaitInterval]:
+        """Per-rank wait intervals at collectives, largest first.
+
+        A rank arriving at a synchronisation point before the bottleneck
+        blocks until the collective completes; the interval spans from
+        its (aligned) arrival to the aligned completion.  Intervals not
+        exceeding ``min_wait_cycles`` are dropped — the bottleneck rank
+        itself never appears.
+        """
+        intervals = [
+            WaitInterval(
+                rank=rank,
+                sync_index=sp.index,
+                op=sp.op,
+                begin_cycles=sp.aligned_cycles - wait,
+                end_cycles=sp.aligned_cycles,
+            )
+            for sp in self.sync_points
+            for rank, wait in enumerate(sp.wait_cycles)
+            if wait > min_wait_cycles
+        ]
+        intervals.sort(key=lambda w: (-w.wait_cycles, w.sync_index, w.rank))
+        return intervals
+
+    def critical_path(self) -> list[CriticalSegment]:
+        """Walk the critical path through the segments between collectives.
+
+        Between two synchronisation points no rank can overtake the
+        others' progress, so the segment's contribution to the total
+        runtime is the *largest* per-rank wait-free duration; the rank
+        holding it is on the critical path there.  The sum of segment
+        durations is the aligned makespan — shortening any critical
+        segment shortens the run, shortening a non-critical one only
+        grows someone's wait state (the Scalasca argument).
+
+        Segment windows live in aligned time: rank r works segment k
+        from the previous collective's completion (``aligned_{k-1}``)
+        until its own arrival at the next one (``aligned_k − wait_{r,k}``)
+        — the trailing wait interval is excluded, so durations measure
+        work, not blocking.
+        """
+        if not self.per_rank or not any(self.per_rank):
+            return []
+        segments: list[CriticalSegment] = []
+        ops = ["start", *[sp.op for sp in self.sync_points], "end"]
+        windows = self._segment_windows()
+        # one forward pass per rank computes every segment's top region
+        # (windows are disjoint and ascending), keeping the whole walk
+        # linear in the trace length instead of per-segment re-walks
+        tops = [
+            _top_regions_by_segment(
+                self.per_rank[rank],
+                [windows[seg][rank] for seg in range(len(windows))],
+            )
+            for rank in range(self.ranks)
+        ]
+        for seg in range(len(ops) - 1):
+            durations = [end - begin for begin, end in windows[seg]]
+            rank = max(range(self.ranks), key=lambda r: (durations[r], -r))
+            segments.append(
+                CriticalSegment(
+                    index=seg,
+                    begin_op=ops[seg],
+                    end_op=ops[seg + 1],
+                    rank=rank,
+                    duration_cycles=durations[rank],
+                    top_region=tops[rank][seg],
+                )
+            )
+        return segments
+
+    def _segment_windows(self) -> list[list[tuple[float, float]]]:
+        """Aligned ``(begin, end)`` work window per segment per rank.
+
+        Within one segment a rank's clock offset is constant, so the
+        aligned window bounds are exact shifts of the local ones and
+        window durations equal wait-free local durations.
+        """
+        windows: list[list[tuple[float, float]]] = []
+        begin_all = [0.0] * self.ranks
+        for sp in self.sync_points:
+            windows.append(
+                [
+                    (begin_all[r], sp.aligned_cycles - sp.wait_cycles[r])
+                    for r in range(self.ranks)
+                ]
+            )
+            begin_all = [sp.aligned_cycles] * self.ranks
+        windows.append(
+            [
+                (
+                    begin_all[r],
+                    max(
+                        self.per_rank[r][-1].timestamp_cycles
+                        if self.per_rank[r]
+                        else 0.0,
+                        begin_all[r],
+                    ),
+                )
+                for r in range(self.ranks)
+            ]
+        )
+        return windows
+
+    # -- rendering -------------------------------------------------------------
+
+    def render(self, *, max_wait_states: int = 8) -> str:
+        lines = [
+            "=" * 64,
+            f"Merged trace — {self.ranks} ranks, {len(self.events)} events, "
+            f"{len(self.sync_points)} sync point(s)",
+            "=" * 64,
+        ]
+        for rank in range(self.ranks):
+            lines.append(
+                f"  rank {rank}: {self.events_per_rank[rank]} events, "
+                f"collective wait {self.rank_offsets[rank]:.0f} cycles"
+            )
+        waits = self.wait_states(min_wait_cycles=0.0)[:max_wait_states]
+        if waits:
+            lines.append("  top wait states:")
+            lines.extend(
+                f"    rank {w.rank} at {w.op} (sync {w.sync_index}): "
+                f"{w.wait_cycles:.0f} cycles"
+                for w in waits
+            )
+        path = self.critical_path()
+        if path:
+            lines.append("  critical path:")
+            lines.extend(
+                f"    [{seg.begin_op} -> {seg.end_op}] rank {seg.rank}, "
+                f"{seg.duration_cycles:.0f} cycles"
+                + (f", top region {seg.top_region}" if seg.top_region else "")
+                for seg in path
+            )
+        return "\n".join(lines)
+
+
+def _sync_sequence(events: Sequence[TraceEvent]) -> list[tuple[str, float]]:
+    """The (op, local timestamp) sequence of a rank's sync-point events."""
+    return [
+        (ev.region, ev.timestamp_cycles)
+        for ev in events
+        if ev.kind is TraceEventKind.MPI and ev.region in SYNC_OPS
+    ]
+
+
+def _alignment_anchors(
+    seqs: list[list[tuple[str, float]]],
+) -> list[tuple[str, list[float]]]:
+    """Match sync events across ranks into alignment anchors.
+
+    Ranks run rank-scaled iteration counts, so their collective
+    sequences may be *ragged* (a light rank walks fewer loop
+    collectives).  Matching is therefore: the common prefix while every
+    rank agrees on the op, plus — always — the final ``MPI_Finalize``,
+    which every rank issues exactly once as its last sync op and which
+    anchors the total wait to the profile reducer's ``finalize_wait``
+    attribution.  Unmatched interior collectives simply ride on the
+    offset of the preceding anchor.
+    """
+    if not seqs or all(not s for s in seqs):
+        # no rank synchronises (MPI-free app): nothing to align
+        return []
+    if any(not s for s in seqs):
+        # mirrors merge_profiles' contract: an SPMD world where only
+        # *some* ranks reach the collectives is malformed input, and
+        # silently skipping alignment would present an unaligned
+        # timeline as an aligned one with zero wait everywhere
+        raise ValueError(
+            "either every rank or no rank records synchronisation events"
+        )
+    finale: tuple[str, list[float]] | None = None
+    if all(s[-1][0] == "MPI_Finalize" for s in seqs):
+        finale = ("MPI_Finalize", [s[-1][1] for s in seqs])
+        seqs = [s[:-1] for s in seqs]
+    anchors: list[tuple[str, list[float]]] = []
+    for k in range(min(len(s) for s in seqs)):
+        ops = {s[k][0] for s in seqs}
+        if len(ops) != 1:
+            break
+        anchors.append((ops.pop(), [s[k][1] for s in seqs]))
+    if finale is not None:
+        anchors.append(finale)
+    return anchors
+
+
+def merge_rank_traces(
+    per_rank_events: Sequence[Sequence[TraceEvent]],
+) -> MergedTrace:
+    """Merge N per-rank event streams into one aligned, rank-tagged timeline.
+
+    Implements the logical-clock rule described in the module docstring:
+    walk the matched synchronisation points in order, and at each one
+    shift every rank's clock forward so its collective event coincides
+    with the latest arriver's (offsets only ever grow, so per-rank
+    timestamp order is preserved).  Events between two sync points carry
+    the offset of the preceding one — the wait materialises *at* the
+    collective, exactly where a real rank blocks.
+
+    The result is deterministic and bit-identical for any backend that
+    produced the same per-rank streams (the merge never looks at
+    anything but the streams themselves).
+    """
+    ranks = len(per_rank_events)
+    streams = [list(s) for s in per_rank_events]
+    anchors = _alignment_anchors([_sync_sequence(s) for s in streams])
+
+    offsets = [0.0] * ranks
+    sync_points: list[SyncPoint] = []
+    #: per rank: (local time of anchor, offset valid from that time on)
+    schedule: list[list[tuple[float, float]]] = [[] for _ in range(ranks)]
+    for index, (op, locals_) in enumerate(anchors):
+        aligned = max(t + offsets[r] for r, t in enumerate(locals_))
+        waits = tuple(aligned - (t + offsets[r]) for r, t in enumerate(locals_))
+        for r, t in enumerate(locals_):
+            offsets[r] = aligned - t
+            schedule[r].append((t, offsets[r]))
+        sync_points.append(
+            SyncPoint(
+                index=index,
+                op=op,
+                aligned_cycles=aligned,
+                local_cycles=tuple(locals_),
+                wait_cycles=waits,
+            )
+        )
+
+    aligned_streams: list[list[RankedTraceEvent]] = []
+    for rank, stream in enumerate(streams):
+        plan = schedule[rank]
+        tagged = tag_events(rank, stream)
+        if plan:
+            shifted: list[RankedTraceEvent] = []
+            step = 0
+            offset = 0.0
+            for ev in tagged:
+                while step < len(plan) and ev.timestamp_cycles >= plan[step][0]:
+                    offset = plan[step][1]
+                    step += 1
+                shifted.append(
+                    ev
+                    if offset == 0.0
+                    else RankedTraceEvent(
+                        rank, ev.kind, ev.region, ev.timestamp_cycles + offset
+                    )
+                )
+            tagged = shifted
+        aligned_streams.append(tagged)
+
+    return MergedTrace(
+        ranks=ranks,
+        events=merge_streams(aligned_streams),
+        sync_points=sync_points,
+        rank_offsets=tuple(offsets),
+        events_per_rank=tuple(len(s) for s in streams),
+        per_rank=aligned_streams,
+    )
+
+
+def _top_regions_by_segment(
+    events: Sequence[RankedTraceEvent],
+    windows: Sequence[tuple[float, float]],
+) -> list["str | None"]:
+    """Per window, the region with the largest exclusive time inside it.
+
+    Walks the rank's aligned stream once, attributing each inter-event
+    interval to the innermost open region, clipped against the disjoint
+    ascending ``(begin, end)`` windows (the per-rank segment work
+    windows).  MPI markers are instants: the interval they open (the
+    operation's cost) stays attributed to the enclosing region, which
+    is the region a flat profile would blame too.  Inter-event
+    intervals that straddle an alignment jump contain the rank's wait —
+    but work windows end at the rank's arrival (wait excluded), so the
+    clip removes it.
+    """
+    exclusive: list[dict[str, float]] = [{} for _ in windows]
+    stack: list[str] = []
+    prev_t: float | None = None
+    w = 0
+    for ev in events:
+        t = ev.timestamp_cycles
+        if prev_t is not None and stack and w < len(windows):
+            top = stack[-1]
+            # attribute [prev_t, t] across every window it overlaps;
+            # windows fully behind the interval are skipped for good
+            while w < len(windows) and windows[w][1] <= prev_t:
+                w += 1
+            i = w
+            while i < len(windows) and windows[i][0] < t:
+                lo = max(prev_t, windows[i][0])
+                hi = min(t, windows[i][1])
+                if hi > lo:
+                    acc = exclusive[i]
+                    acc[top] = acc.get(top, 0.0) + (hi - lo)
+                i += 1
+        prev_t = t
+        if ev.kind is TraceEventKind.ENTER:
+            stack.append(ev.region)
+        elif ev.kind is TraceEventKind.LEAVE:
+            if stack and stack[-1] == ev.region:
+                stack.pop()
+            elif ev.region in stack:
+                while stack and stack[-1] != ev.region:
+                    stack.pop()
+                if stack:
+                    stack.pop()
+    return [
+        max(acc.items(), key=lambda kv: (kv[1], kv[0]))[0] if acc else None
+        for acc in exclusive
+    ]

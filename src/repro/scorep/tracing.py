@@ -14,9 +14,11 @@ normal handler cost, which is why production measurements filter first.
 from __future__ import annotations
 
 import enum
+import heapq
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Iterable, Sequence
 
 from repro.execution.clock import VirtualClock
 
@@ -35,6 +37,50 @@ class TraceEvent:
     kind: TraceEventKind
     region: str
     timestamp_cycles: float
+
+
+@dataclass(frozen=True)
+class RankedTraceEvent:
+    """One trace event tagged with its origin rank (OTF2 location).
+
+    The multi-rank merge works on these: the rank tag is what lets a
+    Vampir-style timeline keep per-rank lanes after the per-rank streams
+    are interleaved into one global event order.
+    """
+
+    rank: int
+    kind: TraceEventKind
+    region: str
+    timestamp_cycles: float
+
+    def untagged(self) -> TraceEvent:
+        return TraceEvent(self.kind, self.region, self.timestamp_cycles)
+
+
+def tag_events(
+    rank: int, events: Iterable[TraceEvent]
+) -> list[RankedTraceEvent]:
+    """Tag one rank's event stream with its rank (OTF2 location id)."""
+    return [
+        RankedTraceEvent(rank, ev.kind, ev.region, ev.timestamp_cycles)
+        for ev in events
+    ]
+
+
+def merge_streams(
+    streams: Sequence[Sequence[RankedTraceEvent]],
+) -> list[RankedTraceEvent]:
+    """Interleave per-rank streams into one globally ordered timeline.
+
+    Each input stream must be timestamp-monotone (which per-rank tracer
+    output always is); the merge is a k-way heap merge ordered by
+    ``(timestamp, rank)``, so cross-rank timestamp ties deterministically
+    break toward the lower rank and the result is bit-stable regardless
+    of which backend produced the inputs.
+    """
+    return list(
+        heapq.merge(*streams, key=lambda ev: (ev.timestamp_cycles, ev.rank))
+    )
 
 
 @dataclass
@@ -99,7 +145,13 @@ def validate_trace(events: list[TraceEvent]) -> list[str]:
     """Consistency checks a trace analyser would run.
 
     Returns a list of violation descriptions: non-monotonic timestamps
-    and unbalanced enter/leave nesting per region stream.
+    and unbalanced enter/leave nesting per region stream.  Each defect
+    is reported exactly once: a LEAVE whose region sits deeper in the
+    stack resynchronises by popping through it (the skipped inner
+    regions are implicitly closed, like stack unwinding), so one
+    out-of-order LEAVE no longer leaves the mismatched region on the
+    stack forever and floods the report with spurious ``unclosed
+    region`` entries for every frame above it.
     """
     problems: list[str] = []
     last_t = -1.0
@@ -111,9 +163,21 @@ def validate_trace(events: list[TraceEvent]) -> list[str]:
         if ev.kind is TraceEventKind.ENTER:
             stack.append(ev.region)
         elif ev.kind is TraceEventKind.LEAVE:
-            if not stack or stack[-1] != ev.region:
-                problems.append(f"unbalanced LEAVE {ev.region}")
-            else:
+            if stack and stack[-1] == ev.region:
                 stack.pop()
+            elif ev.region in stack:
+                # out-of-order LEAVE of an outer region: resync by
+                # unwinding to it so later events validate normally
+                skipped = 0
+                while stack[-1] != ev.region:
+                    stack.pop()
+                    skipped += 1
+                stack.pop()
+                problems.append(
+                    f"unbalanced LEAVE {ev.region} "
+                    f"(implicitly closed {skipped} inner region(s))"
+                )
+            else:
+                problems.append(f"unbalanced LEAVE {ev.region}")
     problems.extend(f"unclosed region {r}" for r in stack)
     return problems

@@ -39,7 +39,7 @@ from repro.program.linker import LinkedProgram, Linker
 from repro.program.loader import DynamicLoader
 from repro.scorep.measurement import ScorePMeasurement
 from repro.scorep.regions import CallTreeNode
-from repro.scorep.tracing import ScorePTracer
+from repro.scorep.tracing import TRACE_EVENT_EXTRA, ScorePTracer
 from repro.simmpi.comm import SimComm
 from repro.simmpi.pmpi import PmpiLayer
 from repro.simmpi.world import MpiWorld
@@ -59,11 +59,21 @@ class _MpiTraceMarker:
     tracer: ScorePTracer
 
     def on_mpi_call(self, op: str, cost_cycles: float) -> float:
+        # tracer.mpi() advances the clock by TRACE_EVENT_EXTRA itself,
+        # so no additional cycles are reported here (no double charge)
         self.tracer.mpi(op)
         return 0.0
 
     def estimate_extra(self) -> float:
-        return 0.0
+        """Per-MPI-call overhead estimate for analytic charging.
+
+        Must mirror what the walked path actually costs: every traced
+        MPI event advances the clock by ``TRACE_EVENT_EXTRA`` inside
+        ``tracer.mpi()``.  Returning 0.0 here (the old behaviour) made
+        every overhead prediction built on interceptor estimates
+        undercount tracing cost on the analytically charged residual.
+        """
+        return TRACE_EVENT_EXTRA
 
 
 @dataclass
@@ -114,6 +124,9 @@ class RunOutcome:
     world: MpiWorld | None = None
     #: present when ``tracing=True`` was requested with the scorep tool
     tracer: ScorePTracer | None = None
+    #: rank-tagged, collective-aligned timeline (MergedTrace) — set when
+    #: ``tracing=True`` was requested on the multi-rank path
+    merged_trace: "object | None" = None
     #: multi-rank artefacts — set only when ``imbalance=`` was passed;
     #: ``result`` then carries the bottleneck rank's RunResult, so
     #: ``result.t_total`` is the synchronised elapsed time of the world
@@ -162,7 +175,12 @@ def run_app(
     min/max/avg/sum aggregation), ``outcome.pop`` (measured POP metrics)
     and ``outcome.multirank`` (per-rank results).  ``outcome.result`` is
     the bottleneck rank's result, so ``t_total`` reads as the
-    synchronised elapsed time.
+    synchronised elapsed time.  With ``tracing=True`` each rank records
+    its own event trace and the streams are merged into one rank-tagged
+    timeline with logical clocks aligned at MPI collectives
+    (``outcome.merged_trace``, a
+    :class:`~repro.multirank.tracing.MergedTrace`) carrying wait-state
+    and critical-path analyses.
 
     Passing additionally ``dlb=DlbPolicy(...)`` closes the paper's §VI
     DLB loop: the world runs, the LeWI policy lends CPU capacity from
@@ -177,9 +195,11 @@ def run_app(
             "dlb rebalancing needs the multi-rank path; pass imbalance= "
             "(ImbalanceSpec() for a uniform world)"
         )
+    if tracing:
+        from repro.multirank.tracing import validate_tracing
+
+        validate_tracing(tool, mode)
     if imbalance is not None:
-        if tracing:
-            raise CapiError("tracing is not supported on the multi-rank path")
         return _run_app_multirank(
             built,
             mode=mode,
@@ -195,6 +215,7 @@ def run_app(
             talp_bug_threshold=talp_bug_threshold,
             talp_bug_modulus=talp_bug_modulus,
             config_name=config_name,
+            tracing=tracing,
             dlb=dlb,
             dlb_max_iterations=dlb_max_iterations,
         )
@@ -260,6 +281,13 @@ def run_app(
         cost_model=cm,
         workload=workload,
         clock=clock,
+        # the tracer charges TRACE_EVENT_EXTRA inside the handler on
+        # every patched enter/leave; the analytic residual must match
+        handler_extra=(
+            TRACE_EVENT_EXTRA
+            if tracing and engine_tool == "scorep" and outcome.tracer is not None
+            else 0.0
+        ),
     )
     result = engine.run(config_name=config_name)
     result.t_init_cycles = startup.init_cycles if startup else 0.0
@@ -301,6 +329,7 @@ def _run_app_multirank(
     talp_bug_threshold: int | None,
     talp_bug_modulus: int | None,
     config_name: str,
+    tracing: bool = False,
     dlb: "object | None" = None,
     dlb_max_iterations: int = 8,
 ) -> RunOutcome:
@@ -320,6 +349,7 @@ def _run_app_multirank(
         talp_bug_threshold=talp_bug_threshold,
         talp_bug_modulus=talp_bug_modulus,
         config_name=config_name,
+        tracing=tracing,
     )
     rebalance = None
     if dlb is not None:
@@ -338,6 +368,7 @@ def _run_app_multirank(
         multirank=mr,
         merged_profile=mr.merged_profile,
         pop=mr.pop,
+        merged_trace=mr.merged_trace,
         rebalance=rebalance,
     )
 

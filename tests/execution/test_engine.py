@@ -176,6 +176,40 @@ class TestSledCacheInvalidation:
         assert memoised == recomputed
 
 
+class TestHandlerExtra:
+    """Regression: analytic charging must mirror handler-internal costs
+    (the event tracer advances the clock inside the handler)."""
+
+    def test_analytic_includes_handler_extra_per_sled_fire(self):
+        from repro.program.builder import ProgramBuilder
+
+        def leaf_builder():
+            b = ProgramBuilder("leafapp")
+            b.tu("t.cpp")
+            b.function("main", statements=5)
+            b.function("leaf", flops=50, statements=12)
+            b.call("main", "leaf", count=10)
+            return b
+
+        plain, _ = make_engine(
+            leaf_builder(), with_xray=True, patch_all=True, tool="scorep"
+        )
+        traced, _ = make_engine(
+            leaf_builder(), with_xray=True, patch_all=True, tool="scorep",
+            handler_extra=110.0,
+        )
+        delta = traced._analytic("leaf").cycles - plain._analytic("leaf").cycles
+        # one entry + one exit sled fire per invocation
+        assert delta == pytest.approx(2 * 110.0)
+
+    def test_unpatched_sleds_unaffected(self):
+        plain, _ = make_engine(with_xray=True, patch_all=False)
+        extra, _ = make_engine(
+            with_xray=True, patch_all=False, handler_extra=110.0
+        )
+        assert extra._analytic("solve").cycles == plain._analytic("solve").cycles
+
+
 class TestStaticInitializers:
     def test_initializers_run_before_main(self):
         b = make_demo_builder()

@@ -1,5 +1,7 @@
 """Backend equivalence: serial and multiprocessing must agree bit-for-bit."""
 
+import multiprocessing
+
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
@@ -101,6 +103,29 @@ class TestBackendEquivalence:
 
     def test_empty_task_list_handled(self, demo_app):
         assert MultiprocessingBackend().map_ranks(demo_app, []) == []
+
+    def test_spawn_fallback_warns(self, monkeypatch):
+        """No silent degradation: when 'fork' is unavailable the backend
+        must warn that bit-identical-to-serial no longer holds."""
+        monkeypatch.setattr(
+            "repro.multirank.backends.multiprocessing.get_all_start_methods",
+            lambda: ["spawn"],
+        )
+        with pytest.warns(RuntimeWarning, match="bit-identical"):
+            MultiprocessingBackend._context()
+
+    @pytest.mark.skipif(
+        "fork" not in multiprocessing.get_all_start_methods(),
+        reason="platform has no fork start method",
+    )
+    def test_fork_context_silent(self):
+        """Where fork exists (the CI platform), no warning is raised."""
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            ctx = MultiprocessingBackend._context()
+        assert ctx.get_start_method() == "fork"
 
     def test_explicit_process_count(self, demo_app, demo_ic):
         out = run_multirank(

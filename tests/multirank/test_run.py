@@ -100,12 +100,16 @@ class TestRunAppMultiRank:
             r.result.t_total for r in b.multirank.per_rank
         ]
 
-    def test_tracing_rejected(self, demo_app, demo_ic):
-        with pytest.raises(CapiError):
-            run_app(
-                demo_app, mode="ic", tool="scorep", ic=demo_ic,
-                tracing=True, imbalance=IMBALANCED,
-            )
+    def test_tracing_supported_on_multirank_path(self, demo_app, demo_ic):
+        """Regression: tracing=True used to raise CapiError here; it now
+        yields the merged rank-tagged timeline (full coverage lives in
+        tests/multirank/test_trace_merge.py)."""
+        out = run_app(
+            demo_app, mode="ic", tool="scorep", ic=demo_ic, ranks=4,
+            workload=WL, tracing=True, imbalance=IMBALANCED,
+        )
+        assert out.merged_trace is not None
+        assert out.merged_trace.validate() == []
 
     def test_ic_validation_happens_up_front(self, demo_app, demo_ic):
         with pytest.raises(CapiError):

@@ -4,8 +4,12 @@ import pytest
 
 from repro.execution.clock import VirtualClock
 from repro.scorep.tracing import (
+    RankedTraceEvent,
     ScorePTracer,
+    TraceEvent,
     TraceEventKind,
+    merge_streams,
+    tag_events,
     validate_trace,
 )
 
@@ -62,6 +66,46 @@ class TestPersistence:
         loaded = ScorePTracer.load(path)
         assert loaded == tracer.all_events()
 
+    def test_roundtrip_preserves_kinds_and_timestamps_exactly(
+        self, tracer, tmp_path
+    ):
+        tracer.enter("main")
+        tracer.clock.advance(123.456)
+        tracer.enter("solve")
+        tracer.mpi("MPI_Allreduce")
+        tracer.leave("solve")
+        tracer.clock.advance(0.25)
+        tracer.leave("main")
+        path = tmp_path / "trace.jsonl"
+        tracer.save(path)
+        loaded = ScorePTracer.load(path)
+        original = tracer.all_events()
+        assert len(loaded) == len(original)
+        assert [e.kind for e in loaded] == [e.kind for e in original]
+        assert [e.region for e in loaded] == [e.region for e in original]
+        # timestamps must survive bit-exactly (JSON floats round-trip)
+        assert [e.timestamp_cycles for e in loaded] == [
+            e.timestamp_cycles for e in original
+        ]
+
+    def test_roundtrip_across_buffer_flush_threshold(self, tmp_path):
+        """A trace that flushed mid-run serialises flushed + live events
+        in recording order, and the count survives exactly."""
+        tracer = ScorePTracer(clock=VirtualClock(), buffer_size=8)
+        for i in range(10):
+            tracer.enter(f"r{i}")
+            tracer.mpi("MPI_Barrier")
+            tracer.leave(f"r{i}")
+        assert tracer.flush_count >= 3
+        assert tracer.events  # live tail not yet flushed
+        path = tmp_path / "trace.jsonl"
+        count = tracer.save(path)
+        assert count == 30
+        loaded = ScorePTracer.load(path)
+        assert loaded == tracer.all_events()
+        stamps = [e.timestamp_cycles for e in loaded]
+        assert stamps == sorted(stamps)
+
 
 class TestValidation:
     def test_clean_trace(self, tracer):
@@ -77,3 +121,68 @@ class TestValidation:
         problems = validate_trace(tracer.all_events())
         assert any("unbalanced" in p for p in problems)
         assert any("unclosed" in p for p in problems)
+
+    def test_out_of_order_leave_resyncs_no_cascade(self, tracer):
+        """Regression: one LEAVE of an outer region used to leave the
+        mismatched frame on the stack forever, flooding the report with
+        one spurious 'unclosed region' per open ancestor."""
+        tracer.enter("main")
+        tracer.enter("solve")
+        tracer.enter("kernel")
+        tracer.leave("main")  # the single defect: closes over 2 frames
+        for i in range(5):  # clean traffic after the defect
+            tracer.enter(f"r{i}")
+            tracer.leave(f"r{i}")
+        problems = validate_trace(tracer.all_events())
+        assert len(problems) == 1
+        assert "unbalanced LEAVE main" in problems[0]
+
+    def test_stray_leave_still_single_report(self, tracer):
+        """A LEAVE of a never-entered region reports once and does not
+        disturb the surrounding balanced nesting."""
+        tracer.enter("main")
+        tracer.leave("ghost")
+        tracer.enter("kernel")
+        tracer.leave("kernel")
+        tracer.leave("main")
+        problems = validate_trace(tracer.all_events())
+        assert problems == ["unbalanced LEAVE ghost"]
+
+    def test_each_unclosed_region_reported_once(self, tracer):
+        tracer.enter("a")
+        tracer.enter("b")
+        problems = validate_trace(tracer.all_events())
+        assert sorted(problems) == ["unclosed region a", "unclosed region b"]
+
+
+class TestRankTaggedStreams:
+    def test_tag_events_preserves_payload(self):
+        events = [
+            TraceEvent(TraceEventKind.ENTER, "main", 1.0),
+            TraceEvent(TraceEventKind.LEAVE, "main", 2.0),
+        ]
+        tagged = tag_events(3, events)
+        assert all(ev.rank == 3 for ev in tagged)
+        assert [ev.untagged() for ev in tagged] == events
+
+    def test_merge_streams_orders_by_time_then_rank(self):
+        a = tag_events(0, [TraceEvent(TraceEventKind.ENTER, "x", 1.0),
+                           TraceEvent(TraceEventKind.LEAVE, "x", 5.0)])
+        b = tag_events(1, [TraceEvent(TraceEventKind.ENTER, "y", 1.0),
+                           TraceEvent(TraceEventKind.LEAVE, "y", 3.0)])
+        merged = merge_streams([a, b])
+        assert [(ev.timestamp_cycles, ev.rank) for ev in merged] == [
+            (1.0, 0), (1.0, 1), (3.0, 1), (5.0, 0),
+        ]
+
+    def test_merge_streams_is_input_order_invariant(self):
+        a = tag_events(0, [TraceEvent(TraceEventKind.ENTER, "x", 2.0)])
+        b = tag_events(1, [TraceEvent(TraceEventKind.ENTER, "y", 1.0)])
+        assert merge_streams([a, b]) == merge_streams([b, a])
+
+    def test_ranked_event_is_hashable_value_object(self):
+        ev = RankedTraceEvent(0, TraceEventKind.MPI, "MPI_Barrier", 7.0)
+        assert ev == RankedTraceEvent(0, TraceEventKind.MPI, "MPI_Barrier", 7.0)
+        assert hash(ev) == hash(
+            RankedTraceEvent(0, TraceEventKind.MPI, "MPI_Barrier", 7.0)
+        )

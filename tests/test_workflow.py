@@ -114,6 +114,44 @@ class TestRunAppModes:
         out.tracer.save(path)
         assert path.exists()
 
+    def test_tracing_needs_scorep_on_every_path(self, demo_app, demo_ic):
+        """tracing with a non-scorep tool fails loudly on the single-rank
+        path, matching the multi-rank path (it used to be silently
+        ignored here but rejected there)."""
+        with pytest.raises(CapiError, match="scorep"):
+            run_app(
+                demo_app, mode="ic", tool="talp", ic=demo_ic, workload=WL,
+                tracing=True,
+            )
+
+    def test_tracing_rejected_in_toolless_modes(self, demo_app):
+        """vanilla/inactive never install a measurement tool, so a
+        requested trace could only ever come back empty — reject it
+        instead of silently returning tracer=None."""
+        for mode in ("vanilla", "inactive"):
+            with pytest.raises(CapiError, match="never installs one"):
+                run_app(
+                    demo_app, mode=mode, tool="scorep", workload=WL,
+                    tracing=True,
+                )
+
+    def test_mpi_trace_marker_estimate_matches_walked_cost(self):
+        """Regression: estimate_extra() returned 0.0 while tracer.mpi()
+        really advances the clock by TRACE_EVENT_EXTRA per MPI event, so
+        analytic charging undercounted tracing cost."""
+        from repro.execution.clock import VirtualClock
+        from repro.scorep.tracing import TRACE_EVENT_EXTRA, ScorePTracer
+        from repro.workflow import _MpiTraceMarker
+
+        marker = _MpiTraceMarker(ScorePTracer(clock=VirtualClock()))
+        before = marker.tracer.clock.now()
+        # the walked path: clock advanced in-line, nothing extra reported
+        assert marker.on_mpi_call("MPI_Barrier", 100.0) == 0.0
+        walked_cost = marker.tracer.clock.now() - before
+        assert walked_cost == TRACE_EVENT_EXTRA
+        # the analytic estimate must mirror exactly that cost
+        assert marker.estimate_extra() == walked_cost
+
     def test_config_name_recorded(self, demo_app, demo_ic):
         out = run_app(
             demo_app, mode="ic", ic=demo_ic, config_name="my-config", workload=WL
