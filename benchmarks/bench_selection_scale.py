@@ -10,7 +10,10 @@ code paths:
 * **engine baseline** — the current engine with every pure-structure
   cache replaced by a write-discarding stand-in (per-invocation target
   resolution, exactly the seed behaviour) plus the seed's linear-scan
-  address/sled resolution restored via monkeypatching.
+  address/sled resolution restored via monkeypatching;
+* **analysis baseline** — the pre-CSR dict/set graph kernels kept in
+  ``repro.cg.analysis`` (dict-based Tarjan condensation, dict DP,
+  bytearray sweep), timed against the CSR flat-array kernels.
 
 Both baselines must produce *identical* results (selected sets,
 ``t_total``/``t_init`` per Table II cell) — the speedup is asserted on
@@ -47,6 +50,10 @@ BENCH_SCALE = 8000
 #: acceptance floors (ISSUE 1): selection >=3x, engine walk >=2x
 SELECTION_FLOOR = 3.0
 ENGINE_FLOOR = 2.0
+
+#: acceptance floor (ISSUE 5): CSR condensation + statement aggregation
+#: >=5x over the dict-based kernels at the 8k-node bench graph
+ANALYSIS_FLOOR = 5.0
 
 #: multi-rank engine benchmark shape (serial vs multiprocessing backend)
 MULTIRANK_RANKS = 8
@@ -111,26 +118,36 @@ class SeedGraph:
         return seen
 
     def coarse(self, selected: set[str], critical: set[str]) -> set[str]:
+        # the seed's top-down BFS, plus the root-seeding fix the CSR
+        # selector ships: components without a zero-in-degree node
+        # (top-level cycles) get one representative seeded so their
+        # single-caller pass-throughs collapse too
         from collections import deque
 
         result = set(selected)
-        roots = [n for n in sorted(self.meta) if not self.pred[n]]
+        order = sorted(self.meta)
         visited: set[str] = set()
-        queue = deque(roots)
-        while queue:
-            name = queue.popleft()
-            if name in visited:
-                continue
-            visited.add(name)
-            for callee in sorted(self.callees_of(name)):
-                if (
-                    callee in result
-                    and callee not in critical
-                    and self.callers_of(callee) == {name}
-                ):
-                    result.discard(callee)
-                queue.append(callee)
-        return result
+        queue = deque(n for n in order if not self.pred[n])
+        cursor = 0
+        while True:
+            while queue:
+                name = queue.popleft()
+                if name in visited:
+                    continue
+                visited.add(name)
+                for callee in sorted(self.callees_of(name)):
+                    if (
+                        callee in result
+                        and callee not in critical
+                        and self.callers_of(callee) == {name}
+                    ):
+                        result.discard(callee)
+                    queue.append(callee)
+            while cursor < len(order) and order[cursor] in visited:
+                cursor += 1
+            if cursor == len(order):
+                return result
+            queue.append(order[cursor])
 
 
 _META_FLAGS = {
@@ -312,6 +329,108 @@ def measure_selection(prepared) -> dict:
     }
 
 
+def measure_analysis(prepared) -> dict:
+    """Graph-kernel timing: CSR flat-array kernels vs the dict baseline.
+
+    Times condensation (SCC partition of the subgraph reachable from
+    ``main``), the statement-aggregation DP, the reachability sweep and
+    BFS call depths, each against the pre-CSR dict/set implementations
+    kept in :mod:`repro.cg.analysis` — after asserting the results are
+    bit-for-bit identical.  The acceptance floor applies to the combined
+    condensation + aggregation speedup (``ANALYSIS_FLOOR``).
+    """
+    from collections import deque
+
+    from repro.cg import analysis
+    from repro.cg import csr as csr_kernels
+
+    graph = prepared.app.graph
+    root_id = graph.id_of("main")
+    snapshot = graph.csr()
+    snapshot.topological_waves()  # structural caches warm, like meta columns
+
+    # equality gates: aggregation totals, partition, depths, sweep
+    dict_agg = analysis._aggregate_statement_ids_dicts(graph, root_id)
+    csr_agg = analysis.aggregate_statement_ids(graph, root_id)
+    if dict_agg != csr_agg:
+        raise AssertionError(
+            "CSR aggregation differs from the dict baseline on "
+            f"{len(set(dict_agg.items()) ^ set(csr_agg.items()))} entries"
+        )
+    dict_comp, dict_members = analysis._condense(graph, root_id)
+    _, csr_members = csr_kernels.condense(snapshot, root_id)
+    if sorted(tuple(sorted(m)) for m in dict_members) != sorted(
+        tuple(sorted(m)) for m in csr_members
+    ):
+        raise AssertionError("CSR condensation partition differs from baseline")
+
+    def dict_depths() -> dict[int, int]:
+        depths = {root_id: 0}
+        queue = deque([root_id])
+        succ = graph.succ_ids
+        while queue:
+            nid = queue.popleft()
+            base = depths[nid] + 1
+            for callee in succ(nid):
+                if callee not in depths:
+                    depths[callee] = base
+                    queue.append(callee)
+        return depths
+
+    if dict_depths() != analysis.call_depth_ids_from(graph, root_id):
+        raise AssertionError("CSR call depths differ from baseline")
+    if analysis._dict_reachable_ids(graph, [root_id]) != graph.reachable_ids(
+        [root_id]
+    ):
+        raise AssertionError("CSR reachability sweep differs from baseline")
+
+    def dict_condensation():
+        comp_of, members = analysis._condense(graph, root_id)
+        comp_succ = analysis._condensation_edges(graph, comp_of, members)
+        analysis._topo_order(comp_succ)
+
+    entries = {
+        "condensation": (
+            lambda: csr_kernels.condense(snapshot, root_id),
+            dict_condensation,
+        ),
+        "aggregate_statement_ids": (
+            lambda: analysis.aggregate_statement_ids(graph, root_id),
+            lambda: analysis._aggregate_statement_ids_dicts(graph, root_id),
+        ),
+        "reachability_sweep": (
+            lambda: graph.reachable_ids([root_id]),
+            lambda: analysis._dict_reachable_ids(graph, [root_id]),
+        ),
+        "call_depths": (
+            lambda: analysis.call_depth_ids_from(graph, root_id),
+            dict_depths,
+        ),
+    }
+    kernels = {}
+    for name, (csr_fn, dict_fn) in entries.items():
+        t_csr = _best_of(csr_fn)
+        t_dict = _best_of(dict_fn)
+        kernels[name] = {
+            "seconds": t_csr,
+            "seed_seconds": t_dict,
+            "speedup": t_dict / t_csr,
+        }
+    floored = ("condensation", "aggregate_statement_ids")
+    total_csr = sum(kernels[name]["seconds"] for name in floored)
+    total_dict = sum(kernels[name]["seed_seconds"] for name in floored)
+    return {
+        "graph_nodes": len(graph),
+        "graph_edges": graph.edge_count(),
+        "reachable_from_main": len(graph.reachable_ids([root_id])),
+        "kernels": kernels,
+        "seconds": total_csr,
+        "seed_seconds": total_dict,
+        "speedup": total_dict / total_csr,
+        "results_identical": True,
+    }
+
+
 def measure_engine(prepared) -> dict:
     """Table II cell timing: memoised engine vs seed-mode engine."""
     ics = {k: v.ic for k, v in prepared.select_all().items()}
@@ -470,6 +589,7 @@ def measure_dlb_rebalance(prepared, ranks: int = MULTIRANK_RANKS) -> dict:
 def collect_record(scale: int = BENCH_SCALE, ranks: int = MULTIRANK_RANKS) -> dict:
     prepared = prepare_app("openfoam", scale)
     selection = measure_selection(prepared)
+    analysis = measure_analysis(prepared)
     engine = measure_engine(prepared)
     multirank = measure_multirank(prepared, ranks)
     dlb_rebalance = measure_dlb_rebalance(prepared, ranks)
@@ -478,10 +598,15 @@ def collect_record(scale: int = BENCH_SCALE, ranks: int = MULTIRANK_RANKS) -> di
         "app": "openfoam",
         "scale": scale,
         "selection": selection,
+        "analysis": analysis,
         "engine": engine,
         "multirank": multirank,
         "dlb_rebalance": dlb_rebalance,
-        "floors": {"selection": SELECTION_FLOOR, "engine": ENGINE_FLOOR},
+        "floors": {
+            "selection": SELECTION_FLOOR,
+            "engine": ENGINE_FLOOR,
+            "analysis": ANALYSIS_FLOOR,
+        },
     }
 
 
@@ -501,6 +626,8 @@ def test_selection_scale_speedup_and_record(benchmark, openfoam_prepared):
     write_record(record)
     assert record["selection"]["speedup"] >= SELECTION_FLOOR, record["selection"]
     assert record["engine"]["speedup"] >= ENGINE_FLOOR, record["engine"]
+    assert record["analysis"]["speedup"] >= ANALYSIS_FLOOR, record["analysis"]
+    assert record["analysis"]["results_identical"], record["analysis"]
     assert record["multirank"]["backends_identical"], record["multirank"]
     assert record["multirank"]["pop"]["load_balance"] < 1.0
     dlb = record["dlb_rebalance"]
@@ -536,8 +663,12 @@ def main() -> int:
     record = collect_record(args.scale, args.ranks)
     path = write_record(record, args.output)
     sel, eng, mr = record["selection"], record["engine"], record["multirank"]
+    ana = record["analysis"]
     print(f"selection: {sel['seed_seconds']:.3f}s -> {sel['seconds']:.3f}s "
           f"({sel['speedup']:.1f}x, floor {SELECTION_FLOOR}x)")
+    print(f"analysis:  {ana['seed_seconds']:.3f}s -> {ana['seconds']:.3f}s "
+          f"({ana['speedup']:.1f}x, floor {ANALYSIS_FLOOR}x; "
+          f"{ana['reachable_from_main']} nodes reachable from main)")
     print(f"engine:    {eng['seed_seconds']:.3f}s -> {eng['seconds']:.3f}s "
           f"({eng['speedup']:.1f}x, floor {ENGINE_FLOOR}x)")
     print(f"multirank: {mr['ranks']} ranks, serial {mr['serial_seconds']:.3f}s, "
@@ -549,7 +680,11 @@ def main() -> int:
           f"{dlb['pop_after']['parallel_efficiency']:.3f} in "
           f"{dlb['iterations']} iteration(s) ({dlb['seconds']:.3f}s)")
     print(f"record written to {path}")
-    ok = sel["speedup"] >= SELECTION_FLOOR and eng["speedup"] >= ENGINE_FLOOR
+    ok = (
+        sel["speedup"] >= SELECTION_FLOOR
+        and eng["speedup"] >= ENGINE_FLOOR
+        and ana["speedup"] >= ANALYSIS_FLOOR
+    )
     return 0 if ok else 1
 
 

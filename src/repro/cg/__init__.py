@@ -7,6 +7,7 @@ statically resolves function pointers (:mod:`fpointers`) and can be
 patched up from a measurement profile (:mod:`validation`).
 """
 
+from repro.cg.csr import CsrSnapshot
 from repro.cg.graph import CallGraph, CGNode, Edge, EdgeReason, NodeMeta
 from repro.cg.local import LocalCallGraph, build_local_cg
 from repro.cg.merge import build_whole_program_cg, merge_local_graphs
@@ -22,6 +23,7 @@ from repro.cg.analysis import (
 __all__ = [
     "CGNode",
     "CallGraph",
+    "CsrSnapshot",
     "Edge",
     "EdgeReason",
     "LocalCallGraph",

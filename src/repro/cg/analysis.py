@@ -2,9 +2,18 @@
 
 All traversals are iterative (no recursion) and linear in nodes+edges so
 they stay usable at the paper's 410k-node OpenFOAM scale.  The heavy
-lifting runs over the graph's interned integer ids (``*_ids`` variants);
-the string-keyed wrappers remain for callers that live at the name
-boundary.
+lifting runs over the graph's frozen CSR snapshot
+(:meth:`~repro.cg.graph.CallGraph.csr`) with the flat-array kernels of
+:mod:`repro.cg.csr` — array-frontier reachability, an iterative Tarjan
+over flat state arrays, vectorised condensation edges and the
+longest-path DP over flat best/indegree arrays.  The string-keyed
+wrappers remain for callers that live at the name boundary.
+
+The pre-CSR dict/set implementations are kept at the bottom of this
+module (``_condense``, ``_condensation_edges``, ``_topo_order``,
+``_aggregate_statement_ids_dicts``): the scale benchmark times the CSR
+kernels against them, and the property tests use them as the reference
+the kernels must agree with bit-for-bit.
 """
 
 from __future__ import annotations
@@ -12,6 +21,9 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Iterable
 
+import numpy as np
+
+from repro.cg import csr as _csr
 from repro.cg.graph import CallGraph
 
 
@@ -50,19 +62,40 @@ def call_path_between(
     return set(graph.ids_to_names(ids))
 
 
+def call_depth_dense(graph: CallGraph, root_id: int) -> np.ndarray:
+    """Shortest call depth from ``root_id`` as a dense per-id array.
+
+    ``-1`` marks unreachable ids; selectors filter with vectorised
+    comparisons instead of per-node dict lookups.
+    """
+    snapshot = graph.csr()
+    return _csr.bfs_depths(
+        snapshot.succ_indptr, snapshot.succ_indices, root_id, snapshot.n
+    )
+
+
 def call_depth_ids_from(graph: CallGraph, root_id: int) -> dict[int, int]:
-    """Shortest call depth from a root id (BFS; unreachable ids absent)."""
-    depths = {root_id: 0}
-    queue = deque([root_id])
-    succ = graph.succ_ids
-    while queue:
-        nid = queue.popleft()
-        base = depths[nid] + 1
-        for callee in succ(nid):
-            if callee not in depths:
-                depths[callee] = base
-                queue.append(callee)
-    return depths
+    """Shortest call depth from a root id (BFS; unreachable ids absent).
+
+    Small graphs run the plain deque BFS (numpy per-wave dispatch costs
+    more than it vectorises there); larger ones build the dense CSR
+    depth array and convert.  Results are identical either way.
+    """
+    if graph.id_bound + graph.edge_count() < _csr.VECTOR_MIN_SIZE:
+        depths = {root_id: 0}
+        queue = deque([root_id])
+        succ = graph.succ_ids
+        while queue:
+            nid = queue.popleft()
+            base = depths[nid] + 1
+            for callee in succ(nid):
+                if callee not in depths:
+                    depths[callee] = base
+                    queue.append(callee)
+        return depths
+    dense = call_depth_dense(graph, root_id)
+    reached = np.flatnonzero(dense >= 0)
+    return dict(zip(reached.tolist(), dense[reached].tolist()))
 
 
 def call_depths_from(graph: CallGraph, root: str) -> dict[str, int]:
@@ -76,6 +109,78 @@ def call_depths_from(graph: CallGraph, root: str) -> dict[str, int]:
     }
 
 
+def _aggregate_arrays(
+    graph: CallGraph, root_id: int, metric: Callable[[int], int] | None
+) -> tuple[np.ndarray, "np.ndarray | list"]:
+    """Aggregation core: ``(node_ids, totals)`` over the CSR kernels.
+
+    ``totals`` parallels ``node_ids``: a numpy array on the vectorised
+    fast path, a list of exact Python numbers on the fallback.
+
+    Fast path (the overwhelmingly common call-graph case): the
+    snapshot's cached wave order proves the graph acyclic, so the
+    condensation is the identity and the longest-path DP pulls over
+    predecessor adjacency wave-by-wave, fully vectorised.  The fast
+    path is taken only for the default ``statements`` metric — its
+    nonnegative bounded values keep the ``int64`` wave DP exact;
+    custom metric callables (arbitrary Python numbers) always go
+    through the Python-int DP below.  Cyclic graphs also fall back:
+    Tarjan over flat arrays, vectorised condensation-edge extraction,
+    and the flat-list DP in Kahn topological order.
+    """
+    snapshot = graph.csr()
+    indptr, indices = snapshot.succ_indptr, snapshot.succ_indices
+    if metric is None:
+        waves = snapshot.topological_waves()
+        if waves is not None:
+            best, reached = _csr.dag_longest_path(
+                snapshot.pred_indptr,
+                snapshot.pred_indices,
+                waves,
+                snapshot.meta_column("statements"),
+                root_id,
+            )
+            node_ids = np.flatnonzero(reached)
+            return node_ids, best[node_ids]
+    comp_of, comp_members = _csr.tarjan_scc(indptr, indices, (root_id,), snapshot.n)
+    ncomp = len(comp_members)
+    if metric is None:
+        statements = snapshot.meta_column("statements")
+        in_comp = comp_of >= 0
+        comp_metric = np.zeros(ncomp, dtype=np.int64)
+        np.add.at(comp_metric, comp_of[in_comp], statements[in_comp])
+    else:
+        # plain Python sums: custom metrics keep exact arbitrary-
+        # magnitude arithmetic through the flat-list DP
+        comp_metric = [
+            sum(metric(member) for member in members) for members in comp_members
+        ]
+    cindptr, cindices = _csr.condensation_edges(comp_of, indptr, indices, ncomp)
+    order = _csr.topo_order(cindptr, cindices, ncomp)
+    best, reached = _csr.longest_path_dp(
+        cindptr, cindices, order, comp_metric, int(comp_of[root_id])
+    )
+    visited_nodes = np.flatnonzero(comp_of >= 0)
+    node_comps = comp_of[visited_nodes]
+    keep = np.frombuffer(reached, dtype=np.uint8)[node_comps].astype(bool)
+    node_ids = visited_nodes[keep]
+    totals = [best[comp] for comp in node_comps[keep].tolist()]
+    return node_ids, totals
+
+
+def aggregate_statement_dense(graph: CallGraph, root_id: int) -> np.ndarray:
+    """Aggregated statement totals as a dense per-id array (0 default).
+
+    The array equivalent of ``aggregate_statement_ids(...).get(nid, 0)``
+    — what the ``statementAggregation`` selector consumes for its
+    vectorised threshold filter.
+    """
+    node_ids, totals = _aggregate_arrays(graph, root_id, None)
+    dense = np.zeros(graph.id_bound, dtype=np.int64)
+    dense[node_ids] = totals
+    return dense
+
+
 def aggregate_statement_ids(
     graph: CallGraph, root_id: int, *, metric: Callable[[int], int] | None = None
 ) -> dict[int, int]:
@@ -86,30 +191,10 @@ def aggregate_statement_ids(
     member once (the aggregation is computed over the DAG of strongly
     connected components).
     """
-    metric = metric or (lambda nid: graph.meta_of(nid).statements)
-    comp_of, comp_members = _condense(graph, root_id)
-    comp_metric = [sum(metric(m) for m in members) for members in comp_members]
-    comp_succ = _condensation_edges(graph, comp_of, comp_members)
-    order = _topo_order(comp_succ)
-    best: dict[int, int] = {}
-    root_comp = comp_of[root_id]
-    best[root_comp] = comp_metric[root_comp]
-    # longest-path DP over the condensation in topological order
-    # (callers relaxed before their callees)
-    for cid in order:
-        if cid not in best:
-            continue
-        base = best[cid]
-        for tgt in comp_succ[cid]:
-            cand = base + comp_metric[tgt]
-            if cand > best.get(tgt, -1):
-                best[tgt] = cand
-    return {
-        member: best[cid]
-        for cid, members in enumerate(comp_members)
-        if cid in best
-        for member in members
-    }
+    node_ids, totals = _aggregate_arrays(graph, root_id, metric)
+    if isinstance(totals, np.ndarray):
+        totals = totals.tolist()
+    return dict(zip(node_ids.tolist(), totals))
 
 
 def aggregate_statements(
@@ -158,7 +243,32 @@ def single_caller_nodes(graph: CallGraph, within: set[str]) -> set[str]:
     return set(graph.ids_to_names(ids))
 
 
-# -- internals -------------------------------------------------------------------
+# -- dict-based reference implementations ------------------------------------------
+#
+# The pre-CSR kernels, kept verbatim: the scale benchmark's ``analysis``
+# section times the CSR kernels against them (with asserted bit-for-bit
+# equal results), and the kernel property tests use them as the
+# reference implementation.
+
+
+def _dict_reachable_ids(graph: CallGraph, seeds: Iterable[int]) -> set[int]:
+    """The pre-CSR sweep: bytearray visited array over id-set adjacency."""
+    visited = bytearray(graph.id_bound)
+    stack: list[int] = []
+    for nid in seeds:
+        if not visited[nid]:
+            visited[nid] = 1
+            stack.append(nid)
+    out = list(stack)
+    succ = graph.succ_ids
+    while stack:
+        nid = stack.pop()
+        for nxt in succ(nid):
+            if not visited[nxt]:
+                visited[nxt] = 1
+                stack.append(nxt)
+                out.append(nxt)
+    return set(out)
 
 
 def _condense(
@@ -169,7 +279,7 @@ def _condense(
     Returns ``(comp_of, comp_members)`` where ``comp_of`` maps a node id
     to its component id and ``comp_members[cid]`` lists member node ids.
     """
-    reachable = graph.reachable_ids([root_id])
+    reachable = _dict_reachable_ids(graph, [root_id])
     index: dict[int, int] = {}
     low: dict[int, int] = {}
     on_stack: set[int] = set()
@@ -267,3 +377,33 @@ def _topo_order(comp_succ: list[set[int]]) -> list[int]:
             if indegree[tgt] == 0:
                 ready.append(tgt)
     return order
+
+
+def _aggregate_statement_ids_dicts(
+    graph: CallGraph, root_id: int, *, metric: Callable[[int], int] | None = None
+) -> dict[int, int]:
+    """The pre-CSR dict-based statement aggregation (reference/baseline)."""
+    metric = metric or (lambda nid: graph.meta_of(nid).statements)
+    comp_of, comp_members = _condense(graph, root_id)
+    comp_metric = [sum(metric(m) for m in members) for members in comp_members]
+    comp_succ = _condensation_edges(graph, comp_of, comp_members)
+    order = _topo_order(comp_succ)
+    best: dict[int, int] = {}
+    root_comp = comp_of[root_id]
+    best[root_comp] = comp_metric[root_comp]
+    # longest-path DP over the condensation in topological order
+    # (callers relaxed before their callees)
+    for cid in order:
+        if cid not in best:
+            continue
+        base = best[cid]
+        for tgt in comp_succ[cid]:
+            cand = base + comp_metric[tgt]
+            if cand > best.get(tgt, -1):
+                best[tgt] = cand
+    return {
+        member: best[cid]
+        for cid, members in enumerate(comp_members)
+        if cid in best
+        for member in members
+    }

@@ -9,11 +9,14 @@ over-approximation and profile-validated function-pointer edges.
 Function names are interned to dense integer ids on first mention; all
 adjacency is id-keyed (``list[set[int]]`` indexed by id) so traversals
 and selector set-algebra run over small ints instead of strings.  At the
-paper's OpenFOAM scale (410k nodes) this keeps construction linear and
-lets :meth:`reachable_ids` / :meth:`reaching_ids` sweep the graph with a
-preallocated visited byte-array instead of per-node set churn.  The
-string-keyed query API is preserved on top of the id core;
-``callees_of``/``callers_of`` return non-copying read-only views.
+paper's OpenFOAM scale (410k nodes) this keeps construction linear; the
+read-side hot paths go further through :meth:`csr` — a version-keyed
+cached :class:`~repro.cg.csr.CsrSnapshot` with numpy ``int32`` CSR
+arrays for both adjacency directions — so :meth:`reachable_ids` /
+:meth:`reaching_ids` run as frontier-vectorised array sweeps instead of
+per-node set churn.  The string-keyed query API is preserved on top of
+the id core; ``callees_of``/``callers_of`` return non-copying read-only
+views.
 """
 
 from __future__ import annotations
@@ -23,6 +26,9 @@ from collections.abc import Set as AbstractSet
 from dataclasses import dataclass, field, replace
 from typing import Iterable, Iterator
 
+import numpy as np
+
+from repro.cg.csr import VECTOR_MIN_SIZE, CsrSnapshot, sweep
 from repro.errors import CallGraphError
 
 
@@ -132,6 +138,8 @@ class CallGraph:
         self._version = 0
         #: NodeMeta attr -> (version, id-indexed value column)
         self._columns: dict[str, tuple[int, list]] = {}
+        #: cached CSR snapshot; valid while its version matches
+        self._csr: CsrSnapshot | None = None
 
     # -- construction -----------------------------------------------------------
 
@@ -326,33 +334,53 @@ class CallGraph:
 
     # -- traversal -----------------------------------------------------------------
 
+    def csr(self) -> CsrSnapshot:
+        """Frozen CSR snapshot of the current graph version.
+
+        Cached until the graph mutates (any ``version`` bump rebuilds on
+        next access), so repeated sweeps, condensations and selector
+        evaluations over a settled graph share one set of arrays.
+        """
+        snapshot = self._csr
+        if snapshot is None or snapshot.version != self._version:
+            snapshot = CsrSnapshot(self)
+            self._csr = snapshot
+        return snapshot
+
     def reachable_ids(self, roots: Iterable[int]) -> set[int]:
         """Forward-reachable id set (roots included)."""
-        return self._sweep(roots, self._succ)
+        return self._sweep(roots, reverse=False)
 
     def reaching_ids(self, targets: Iterable[int]) -> set[int]:
         """Reverse-reachable id set: ids from which a target is reachable."""
-        return self._sweep(targets, self._pred)
+        return self._sweep(targets, reverse=True)
 
-    def _sweep(self, seeds: Iterable[int], adj: list[set[int]]) -> set[int]:
-        """Graph sweep over int ids with a preallocated visited array."""
-        visited = bytearray(len(self._names))
-        stack: list[int] = []
-        for nid in seeds:
-            if not visited[nid]:
-                visited[nid] = 1
-                stack.append(nid)
-        out = list(stack)
-        pop = stack.pop
-        push = stack.append
-        while stack:
-            nid = pop()
-            for nxt in adj[nid]:
-                if not visited[nxt]:
-                    visited[nxt] = 1
-                    push(nxt)
-                    out.append(nxt)
-        return set(out)
+    def _sweep(self, seeds: Iterable[int], *, reverse: bool) -> set[int]:
+        """Reachability sweep; the visited set is built exactly once.
+
+        Small graphs traverse the id-set adjacency directly (per-wave
+        numpy dispatch costs more than it vectorises there); past
+        ``VECTOR_MIN_SIZE`` the frontier-vectorised CSR sweep takes
+        over.  Results are identical either way.
+        """
+        if len(self._names) + len(self._edge_reasons) < VECTOR_MIN_SIZE:
+            adj = self._pred if reverse else self._succ
+            out = set(seeds)
+            stack = list(out)
+            while stack:
+                nid = stack.pop()
+                for nxt in adj[nid]:
+                    if nxt not in out:
+                        out.add(nxt)
+                        stack.append(nxt)
+            return out
+        snapshot = self.csr()
+        if reverse:
+            indptr, indices = snapshot.pred_indptr, snapshot.pred_indices
+        else:
+            indptr, indices = snapshot.succ_indptr, snapshot.succ_indices
+        visited = sweep(indptr, indices, seeds, snapshot.n)
+        return set(np.flatnonzero(visited).tolist())
 
     def reachable_from(self, roots: Iterable[str]) -> set[str]:
         """Forward-reachable node set (roots included when present)."""

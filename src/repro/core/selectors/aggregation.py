@@ -8,7 +8,9 @@ also the basis of PIRA's initial selection.
 
 from __future__ import annotations
 
-from repro.cg.analysis import aggregate_statement_ids
+import numpy as np
+
+from repro.cg.analysis import aggregate_statement_dense
 from repro.core.selectors.base import EvalContext, Selector
 
 
@@ -22,15 +24,17 @@ class StatementAggregation(Selector):
 
     def select_ids(self, ctx: EvalContext) -> set[int]:
         root_id = ctx.graph.id_of(self.root)
-        aggregated = (
-            aggregate_statement_ids(ctx.graph, root_id) if root_id is not None else {}
-        )
-        threshold = self.threshold
-        return {
-            nid
-            for nid in ctx.evaluate_ids(self.inner)
-            if aggregated.get(nid, 0) >= threshold
-        }
+        inner = ctx.evaluate_ids(self.inner)
+        if root_id is None:
+            # no root: every total is 0, same as the dict path's default
+            return set(inner) if 0 >= self.threshold else set()
+        if not inner:
+            return set()
+        # dense per-id totals (0 where unreached) + one vectorised filter
+        aggregated = aggregate_statement_dense(ctx.graph, root_id)
+        candidates = np.fromiter(inner, dtype=np.int64, count=len(inner))
+        kept = candidates[aggregated[candidates] >= self.threshold]
+        return set(kept.tolist())
 
     def describe(self) -> str:
         return f"statementAggregation(>={self.threshold:g})"

@@ -6,8 +6,10 @@ visited-array sweeps — no per-node string hashing on the hot path.
 
 from __future__ import annotations
 
-from repro._util import compare
-from repro.cg.analysis import call_depth_ids_from, call_path_between_ids
+import numpy as np
+
+from repro._util import COMPARE_OPS, compare
+from repro.cg.analysis import call_depth_dense, call_path_between_ids
 from repro.core.selectors.base import EvalContext, Selector
 from repro.errors import SpecSemanticError
 
@@ -76,11 +78,13 @@ class CallDepth(Selector):
         root_id = ctx.graph.id_of(self.root)
         if root_id is None:
             return set()
-        depths = call_depth_ids_from(ctx.graph, root_id)
-        op, limit = self.op, self.depth
-        out = set()
-        for nid in ctx.evaluate_ids(self.inner):
-            d = depths.get(nid)
-            if d is not None and compare(op, d, limit):
-                out.add(nid)
-        return out
+        inner = ctx.evaluate_ids(self.inner)
+        if not inner:
+            return set()
+        # dense BFS depths (-1 unreachable) + one vectorised comparison
+        # (the operator.* functions in COMPARE_OPS work elementwise)
+        depths = call_depth_dense(ctx.graph, root_id)
+        candidates = np.fromiter(inner, dtype=np.int64, count=len(inner))
+        reached = depths[candidates]
+        keep = (reached >= 0) & COMPARE_OPS[self.op](reached, self.depth)
+        return set(candidates[keep].tolist())

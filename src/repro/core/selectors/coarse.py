@@ -11,11 +11,20 @@ The effect on chains like the paper's Listing 3 OpenFOAM excerpt
 (``solve → solveSegregated → … → Amul``): pass-through wrappers with a
 single caller collapse into the topmost function, leaving a sparse
 region set suited to TALP's coarse reports.
+
+The top-down sweep starts from the graph roots (functions without
+callers) and — unlike the original BFS, which silently skipped them —
+also seeds one representative per component that has no zero-in-degree
+node (top-level call cycles, e.g. mutually recursive entry-less
+helpers), so every live node is visited exactly once.  Whether a callee
+collapses does not depend on visit order (its in-degree and the critical
+set are fixed), so with full coverage the sweep reduces to a vectorised
+in-degree filter over the graph's CSR snapshot.
 """
 
 from __future__ import annotations
 
-from collections import deque
+import numpy as np
 
 from repro.core.selectors.base import EvalContext, Selector
 
@@ -28,37 +37,22 @@ class Coarse(Selector):
         self.critical = critical
 
     def select_ids(self, ctx: EvalContext) -> set[int]:
-        graph = ctx.graph
         result = set(ctx.evaluate_ids(self.inner))
         critical = (
             ctx.evaluate_ids(self.critical)
             if self.critical is not None
             else frozenset()
         )
-
-        # top-down traversal: start from graph roots (functions without
-        # callers, e.g. main and static initialisers), BFS order
-        pred = graph.pred_ids
-        succ = graph.succ_ids
-        visited = bytearray(graph.id_bound)
-        queue = deque()
-        for nid in graph.node_ids():
-            if not pred(nid):
-                visited[nid] = 1
-                queue.append(nid)
-        while queue:
-            nid = queue.popleft()
-            for callee in succ(nid):
-                if (
-                    callee in result
-                    and callee not in critical
-                    and len(pred(callee)) == 1
-                ):
-                    result.discard(callee)
-                if not visited[callee]:
-                    visited[callee] = 1
-                    queue.append(callee)
-        return result
+        # the full sweep (roots + one seed per rootless component) visits
+        # every live node, so a callee collapses iff its single caller
+        # exists at all: in-degree exactly 1 in the CSR snapshot
+        if not result:
+            return result
+        in_degrees = ctx.graph.csr().in_degrees()
+        candidates = np.fromiter(result, dtype=np.int64, count=len(result))
+        single_caller = candidates[in_degrees[candidates] == 1]
+        collapsed = set(single_caller.tolist()) - critical
+        return result - collapsed
 
     def describe(self) -> str:
         return "coarse" + ("+critical" if self.critical else "")

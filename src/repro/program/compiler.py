@@ -20,7 +20,10 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro._util import stable_hash
+from repro.cg.csr import edges_to_csr, tarjan_scc
 from repro.errors import CompilationError
 from repro.program.ir import CallKind, FunctionDef, SourceProgram
 from repro.program.machine import MachineCallSite, MachineFunction
@@ -243,58 +246,45 @@ def _absorbed_names(
 def _functions_in_cycles(program: SourceProgram) -> set[str]:
     """Names of functions on a direct-call cycle (never inlined).
 
-    Iterative DFS over direct edges only; virtual/pointer dispatch is
-    conservatively treated as non-inlinable anyway.
+    Interns function/callee names to dense indices and runs the shared
+    CSR Tarjan kernel (:func:`repro.cg.csr.tarjan_scc`) over the direct
+    call edges — the one SCC implementation in the repo.  A function
+    recurses when its SCC has more than one member or it calls itself
+    directly; virtual/pointer dispatch is conservatively treated as
+    non-inlinable anyway.
     """
-    graph: dict[str, list[str]] = {}
-    for fn in program.functions():
-        graph[fn.name] = [
-            cs.callee
-            for cs in fn.call_sites
-            if cs.kind is CallKind.DIRECT and cs.callee is not None
-        ]
-    index: dict[str, int] = {}
-    low: dict[str, int] = {}
-    on_stack: set[str] = set()
-    stack: list[str] = []
-    result: set[str] = set()
-    counter = 0
+    names: list[str] = []
+    ids: dict[str, int] = {}
 
-    for root in graph:
-        if root in index:
-            continue
-        # iterative Tarjan SCC
-        call_stack: list[tuple[str, int]] = [(root, 0)]
-        while call_stack:
-            node, child_i = call_stack[-1]
-            if child_i == 0:
-                index[node] = low[node] = counter
-                counter += 1
-                stack.append(node)
-                on_stack.add(node)
-            children = graph.get(node, [])
-            if child_i < len(children):
-                call_stack[-1] = (node, child_i + 1)
-                child = children[child_i]
-                if child == node:
-                    result.add(node)  # direct self-recursion
-                elif child not in index:
-                    call_stack.append((child, 0))
-                elif child in on_stack:
-                    low[node] = min(low[node], index[child])
-            else:
-                call_stack.pop()
-                if call_stack:
-                    parent = call_stack[-1][0]
-                    low[parent] = min(low[parent], low[node])
-                if low[node] == index[node]:
-                    scc = []
-                    while True:
-                        member = stack.pop()
-                        on_stack.discard(member)
-                        scc.append(member)
-                        if member == node:
-                            break
-                    if len(scc) > 1:
-                        result.update(scc)
+    def intern(name: str) -> int:
+        nid = ids.get(name)
+        if nid is None:
+            nid = len(names)
+            ids[name] = nid
+            names.append(name)
+        return nid
+
+    sources: list[int] = []
+    targets: list[int] = []
+    result: set[str] = set()
+    for fn in program.functions():
+        caller = intern(fn.name)
+        for cs in fn.call_sites:
+            if cs.kind is CallKind.DIRECT and cs.callee is not None:
+                callee = intern(cs.callee)
+                if callee == caller:
+                    result.add(fn.name)  # direct self-recursion
+                sources.append(caller)
+                targets.append(callee)
+    if not sources:
+        return result
+    indptr, indices = edges_to_csr(
+        len(names),
+        np.asarray(sources, dtype=np.int64),
+        np.asarray(targets, dtype=np.int64),
+    )
+    _, comp_members = tarjan_scc(indptr, indices, range(len(names)), len(names))
+    for members in comp_members:
+        if len(members) > 1:
+            result.update(names[member] for member in members)
     return result

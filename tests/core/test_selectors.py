@@ -106,6 +106,41 @@ class TestCoarse:
         base = AllSelector()
         assert Coarse(base).evaluate(g) <= base.evaluate(g)
 
+    def test_rootless_cycle_components_are_swept(self):
+        # regression: the old top-down BFS started only from
+        # zero-in-degree roots, so components with no such node
+        # (top-level call cycles) were never visited and their
+        # single-caller pass-throughs never collapsed
+        g = CallGraph()
+        for name in ("main", "solve", "a", "b", "c", "helper", "leaf"):
+            g.add_node(name, NodeMeta(statements=1, has_body=True))
+        g.add_edge("main", "solve")
+        # 3-cycle with no entry from the rooted part: a -> b -> c -> a,
+        # plus a -> c so c keeps two callers inside the cycle
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        g.add_edge("c", "a")
+        g.add_edge("a", "c")
+        g.add_edge("c", "helper")
+        g.add_edge("helper", "leaf")
+        result = Coarse(AllSelector()).evaluate(g)
+        # pass-throughs below and inside the cycle collapse now
+        assert "helper" not in result and "leaf" not in result
+        assert "a" not in result and "b" not in result
+        # multi-caller cycle member and the rooted part behave as before
+        assert "c" in result and "main" in result
+        assert "solve" not in result  # single caller under main, as before
+
+    def test_rootless_cycle_critical_functions_retained(self):
+        g = CallGraph()
+        for name in ("x", "y", "helper"):
+            g.add_node(name, NodeMeta(statements=1, has_body=True))
+        g.add_edge("x", "y")
+        g.add_edge("y", "x")
+        g.add_edge("y", "helper")
+        sel = Coarse(AllSelector(), critical=ByName("helper", AllSelector()))
+        assert "helper" in sel.evaluate(g)
+
 
 class TestPipeline:
     def test_paper_listing_semantics(self):

@@ -25,6 +25,12 @@ from benchmarks.bench_selection_scale import (
     seed_reference_select,
 )
 from repro.apps import PAPER_SPECS, build_lulesh, build_openfoam
+from repro.cg.analysis import (
+    _aggregate_statement_ids_dicts,
+    _dict_reachable_ids,
+    aggregate_statement_ids,
+    call_depth_ids_from,
+)
 from repro.cg.merge import build_whole_program_cg
 from repro.core.pipeline import run_spec
 from repro.core.spec.modules import load_spec
@@ -81,6 +87,46 @@ class TestSelectionEquivalence:
         for source in (*PAPER_SPECS.values(), *EXTRA_SPECS.values()):
             selected = run_spec(load_spec(source), graph).selected
             assert selected == seed_reference_select(graph, source)
+
+
+class TestAnalysisEquivalence:
+    """The CSR graph kernels must match the dict-based kernels
+    bit-for-bit: same aggregation totals, same reachable sets, same call
+    depths — on the app graphs and on random synth programs (which
+    exercise both the vectorised DAG fast path and the Tarjan
+    fallback)."""
+
+    def test_aggregation_totals_identical_on_app_graphs(self):
+        for app, graph in _graphs():
+            root_id = graph.id_of("main")
+            csr_result = aggregate_statement_ids(graph, root_id)
+            dict_result = _aggregate_statement_ids_dicts(graph, root_id)
+            assert csr_result == dict_result, app
+            assert all(type(v) is int for v in csr_result.values()), app
+
+    def test_sweeps_and_depths_identical_on_app_graphs(self):
+        for app, graph in _graphs():
+            root_id = graph.id_of("main")
+            assert graph.reachable_ids([root_id]) == _dict_reachable_ids(
+                graph, [root_id]
+            ), app
+            depths = call_depth_ids_from(graph, root_id)
+            assert depths[root_id] == 0, app
+            assert set(depths) == graph.reachable_ids([root_id]), app
+
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(program=random_programs())
+    def test_random_synth_programs_aggregate_identically(self, program):
+        graph = build_whole_program_cg(program)
+        for root in sorted(graph.node_names()):
+            root_id = graph.id_of(root)
+            assert aggregate_statement_ids(
+                graph, root_id
+            ) == _aggregate_statement_ids_dicts(graph, root_id)
 
 
 class TestExecutionEquivalence:
