@@ -58,6 +58,11 @@ ANALYSIS_FLOOR = 5.0
 #: multi-rank engine benchmark shape (serial vs multiprocessing backend)
 MULTIRANK_RANKS = 8
 
+#: acceptance ceiling: supervision (deadlines, integrity checks, health
+#: accounting) must cost < 10% wall time over the raw multiprocessing
+#: backend when no fault fires
+SUPERVISED_OVERHEAD_CEILING = 0.10
+
 #: Table II cells exercised for the engine comparison (config kwargs)
 ENGINE_CELLS = (
     ("vanilla/-", dict(mode="vanilla")),
@@ -532,6 +537,68 @@ def measure_multirank(prepared, ranks: int = MULTIRANK_RANKS) -> dict:
     }
 
 
+def measure_supervised_overhead(prepared, ranks: int = MULTIRANK_RANKS) -> dict:
+    """Healthy-path cost of supervision over the raw mp backend.
+
+    Runs the multi-rank bench cell with the plain multiprocessing
+    backend and with ``SupervisedBackend`` wrapping it (same pool shape,
+    no fault injected), asserts the POP metrics and merged profiles are
+    bit-identical and that every rank reports a clean single-attempt
+    health record, then records the wall-time overhead.  Best-of-2 per
+    backend to keep scheduler noise out of the ratio; the acceptance
+    ceiling is ``SUPERVISED_OVERHEAD_CEILING``.
+    """
+    from repro.multirank import ImbalanceSpec, flatten_merged
+    from repro.workflow import run_app
+
+    ic = prepared.select_all()["mpi"].ic
+    spec = ImbalanceSpec(imbalance=0.3, seed=17)
+
+    def run_cell(backend: str):
+        return run_app(
+            prepared.app,
+            mode="ic",
+            tool="scorep",
+            ic=ic,
+            ranks=ranks,
+            imbalance=spec,
+            backend=backend,
+            config_name="bench-supervised",
+        )
+
+    t_raw = float("inf")
+    t_sup = float("inf")
+    for _ in range(2):
+        t0 = time.perf_counter()
+        raw = run_cell("multiprocessing")
+        t_raw = min(t_raw, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        supervised = run_cell("supervised:multiprocessing")
+        t_sup = min(t_sup, time.perf_counter() - t0)
+    if raw.pop.app != supervised.pop.app:
+        raise AssertionError("supervised and raw mp POP metrics differ")
+    if flatten_merged(raw.merged_profile) != flatten_merged(
+        supervised.merged_profile
+    ):
+        raise AssertionError("supervised and raw mp merged profiles differ")
+    health = supervised.health
+    if health.per_rank is None or any(
+        h.lost or h.retried for h in health.per_rank
+    ):
+        raise AssertionError(
+            f"healthy supervised run reported failures: {health.render()}"
+        )
+    return {
+        "ranks": ranks,
+        "raw_mp_seconds": t_raw,
+        "supervised_seconds": t_sup,
+        "overhead": t_sup / t_raw - 1,
+        "ceiling": SUPERVISED_OVERHEAD_CEILING,
+        "results_identical": True,
+        "all_ranks_healthy": True,
+    }
+
+
 def measure_dlb_rebalance(prepared, ranks: int = MULTIRANK_RANKS) -> dict:
     """DLB feedback-loop benchmark: convergence speed and POP gain.
 
@@ -592,6 +659,7 @@ def collect_record(scale: int = BENCH_SCALE, ranks: int = MULTIRANK_RANKS) -> di
     analysis = measure_analysis(prepared)
     engine = measure_engine(prepared)
     multirank = measure_multirank(prepared, ranks)
+    supervised = measure_supervised_overhead(prepared, ranks)
     dlb_rebalance = measure_dlb_rebalance(prepared, ranks)
     return {
         "benchmark": "bench_selection_scale",
@@ -601,11 +669,13 @@ def collect_record(scale: int = BENCH_SCALE, ranks: int = MULTIRANK_RANKS) -> di
         "analysis": analysis,
         "engine": engine,
         "multirank": multirank,
+        "supervised_overhead": supervised,
         "dlb_rebalance": dlb_rebalance,
         "floors": {
             "selection": SELECTION_FLOOR,
             "engine": ENGINE_FLOOR,
             "analysis": ANALYSIS_FLOOR,
+            "supervised_overhead_ceiling": SUPERVISED_OVERHEAD_CEILING,
         },
     }
 
@@ -630,6 +700,9 @@ def test_selection_scale_speedup_and_record(benchmark, openfoam_prepared):
     assert record["analysis"]["results_identical"], record["analysis"]
     assert record["multirank"]["backends_identical"], record["multirank"]
     assert record["multirank"]["pop"]["load_balance"] < 1.0
+    sup = record["supervised_overhead"]
+    assert sup["results_identical"] and sup["all_ranks_healthy"], sup
+    assert sup["overhead"] < SUPERVISED_OVERHEAD_CEILING, sup
     dlb = record["dlb_rebalance"]
     assert dlb["converged"], dlb
     assert (
@@ -674,6 +747,11 @@ def main() -> int:
     print(f"multirank: {mr['ranks']} ranks, serial {mr['serial_seconds']:.3f}s, "
           f"mp {mr['multiprocessing_seconds']:.3f}s ({mr['speedup']:.2f}x), "
           f"LB {mr['pop']['load_balance']:.3f}, backends identical")
+    sup = record["supervised_overhead"]
+    print(f"supervised: raw mp {sup['raw_mp_seconds']:.3f}s, supervised "
+          f"{sup['supervised_seconds']:.3f}s ({100 * sup['overhead']:+.1f}%, "
+          f"ceiling +{100 * SUPERVISED_OVERHEAD_CEILING:.0f}%), "
+          f"results identical, all ranks healthy")
     dlb = record["dlb_rebalance"]
     print(f"dlb:       {dlb['scenario']}, PE "
           f"{dlb['pop_before']['parallel_efficiency']:.3f} -> "
@@ -684,6 +762,7 @@ def main() -> int:
         sel["speedup"] >= SELECTION_FLOOR
         and eng["speedup"] >= ENGINE_FLOOR
         and ana["speedup"] >= ANALYSIS_FLOOR
+        and sup["overhead"] < SUPERVISED_OVERHEAD_CEILING
     )
     return 0 if ok else 1
 

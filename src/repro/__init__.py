@@ -30,17 +30,21 @@ Quickstart::
     print(run.result.t_total)
 """
 
+from repro.multirank.backends import SupervisedBackend
 from repro.multirank.dlb import DlbPolicy
+from repro.multirank.faults import FaultSpec
 from repro.multirank.imbalance import ImbalanceSpec
 from repro.workflow import BuiltApp, RunOutcome, build_app, run_app
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "BuiltApp",
     "DlbPolicy",
+    "FaultSpec",
     "ImbalanceSpec",
     "RunOutcome",
+    "SupervisedBackend",
     "__version__",
     "build_app",
     "run_app",

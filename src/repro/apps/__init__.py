@@ -7,7 +7,12 @@ from repro.apps.openfoam import (
 )
 from repro.apps.openfoam import PAPER_NODE_COUNT as OPENFOAM_PAPER_NODES
 from repro.apps.openfoam import build_openfoam
-from repro.apps.scenarios import SCENARIOS, scenario
+from repro.apps.scenarios import (
+    FAULT_SCENARIOS,
+    SCENARIOS,
+    fault_scenario,
+    scenario,
+)
 from repro.apps.specs import (
     KERNELS_COARSE_SPEC,
     KERNELS_SPEC,
@@ -17,6 +22,7 @@ from repro.apps.specs import (
 )
 
 __all__ = [
+    "FAULT_SCENARIOS",
     "KERNELS_COARSE_SPEC",
     "KERNELS_SPEC",
     "LULESH_PAPER_NODES",
@@ -28,5 +34,6 @@ __all__ = [
     "SCENARIOS",
     "build_lulesh",
     "build_openfoam",
+    "fault_scenario",
     "scenario",
 ]

@@ -152,3 +152,58 @@ class SimMpiError(ReproError):
 
 class ExecutionError(ReproError):
     """The virtual-clock execution engine hit an inconsistent state."""
+
+
+# ---------------------------------------------------------------------------
+# Multi-rank fault tolerance
+# ---------------------------------------------------------------------------
+
+
+class RankExecutionError(ReproError):
+    """One rank's execution attempt failed under supervision.
+
+    Carries the failing rank id so supervisors and health reports can
+    attribute the failure without parsing the message.  Subclasses
+    discriminate the failure mode (crash vs. deadline overrun).  The
+    exception survives the multiprocessing pickle boundary with the
+    rank attribute intact (``__reduce__``).
+    """
+
+    def __init__(self, message: str, rank: "int | None" = None):
+        super().__init__(message)
+        self.rank = rank
+
+    def __reduce__(self):
+        return (type(self), (self.args[0] if self.args else "", self.rank))
+
+
+class RankFailedError(RankExecutionError):
+    """A rank attempt raised, died, or returned a corrupt payload."""
+
+
+class RankTimeoutError(RankExecutionError):
+    """A rank attempt overran its per-rank deadline (hung worker)."""
+
+
+class InjectedFaultError(RankFailedError):
+    """A deterministic chaos-injection fault fired (see multirank.faults)."""
+
+
+class DegradedResultError(ReproError):
+    """Ranks were lost and the degradation policy forbids partial results.
+
+    Raised by the multi-rank reducer path when supervision exhausted its
+    retries on one or more ranks and the caller ran with
+    ``degraded="forbid"`` (the default).  ``missing_ranks`` names the
+    ranks that produced no result.
+    """
+
+    def __init__(self, message: str, missing_ranks: "tuple[int, ...]" = ()):
+        super().__init__(message)
+        self.missing_ranks = tuple(missing_ranks)
+
+    def __reduce__(self):
+        return (
+            type(self),
+            (self.args[0] if self.args else "", self.missing_ranks),
+        )

@@ -11,6 +11,16 @@
   outright (24 unique in the paper).
 
 Run with ``python -m repro.experiments.anomalies``.
+
+The module doubles as the fault-injection smoke
+(``python -m repro.experiments.anomalies --check-faults``): it pushes
+the recoverable chaos presets (crash, hang, corrupt payload) through the
+:class:`~repro.multirank.backends.SupervisedBackend`, asserts each run
+heals bit-identically to a fault-free reference, then exercises the
+rank-loss preset under both degradation policies.  Per-rank supervision
+records surface as structured ``ALERT`` lines, and the exit code turns 1
+when any rank is lost on a preset that must recover (tunable with
+``--max-lost-fraction``).
 """
 
 from __future__ import annotations
@@ -19,7 +29,10 @@ import argparse
 from dataclasses import dataclass
 
 from repro.dyncapi.talp_bridge import TalpBridge
+from repro.errors import DegradedResultError
 from repro.experiments.runner import DEFAULT_SCALES, PAPER_SCALES, prepare_app, run_configuration
+from repro.multirank import ImbalanceSpec, SupervisedBackend
+from repro.multirank.faults import HealthReport
 
 
 @dataclass(frozen=True)
@@ -101,10 +114,194 @@ def render(report: AnomalyReport) -> str:
     )
 
 
+def render_health_alerts(health: HealthReport | None) -> list[str]:
+    """Structured alert lines for a run's supervision records.
+
+    One ``ALERT`` line per retried rank (recovered, but only after
+    failures), per lost rank (retries exhausted), and one for degraded
+    POP coverage.  An empty list means the run was perfectly healthy.
+    """
+    if health is None:
+        return []
+    alerts: list[str] = []
+    by_rank = {h.rank: h for h in health.per_rank or ()}
+    for rank in health.retried_ranks:
+        h = by_rank[rank]
+        alerts.append(
+            f"ALERT retried rank={rank} attempts={h.attempts} "
+            f"last_failure={h.failures[-1]!r}"
+        )
+    for rank in health.lost_ranks:
+        h = by_rank.get(rank)
+        detail = (
+            f"attempts={h.attempts} last_failure={h.failures[-1]!r}"
+            if h is not None and h.failures
+            else "no supervision record"
+        )
+        alerts.append(f"ALERT lost rank={rank} {detail}")
+    if health.degraded:
+        alerts.append(
+            f"ALERT degraded coverage={health.coverage:.1%} "
+            f"missing_ranks={list(health.missing_ranks)}"
+        )
+    return alerts
+
+
+#: presets whose faults a supervisor must absorb completely: every rank
+#: recovers within the retry budget and the merged result is
+#: bit-identical to a fault-free run
+RECOVERABLE_PRESETS = ("crash-once", "one-hang", "corrupt-profile")
+
+
+def _fingerprint(outcome) -> list[tuple]:
+    """Exact per-rank artefacts for bit-identity comparison."""
+    return [
+        (r.rank, r.result.t_total, r.result.useful_cycles, r.profile)
+        for r in outcome.multirank.per_rank
+    ]
+
+
+def check_faults(
+    *,
+    target_nodes: int = 120,
+    ranks: int = 4,
+    deadline_seconds: float = 6.0,
+    max_lost_fraction: float = 0.0,
+) -> int:
+    """Run the fault-injection smoke; return the process exit code.
+
+    Sized for CI: a small lulesh case (~1.5 s/rank) so that the whole
+    sweep — reference, three recoverable presets, rank-loss under both
+    degradation policies — stays under about a minute.  The supervisor
+    wraps the serial backend so results stay bit-comparable on any
+    machine; the pooled path is covered by the test suite.
+    """
+    failures: list[str] = []
+    lost_total = 0
+    rank_runs = 0
+
+    def run(faults=None, degraded="forbid"):
+        backend = SupervisedBackend("serial", deadline_seconds=deadline_seconds)
+        return run_configuration(
+            prepared,
+            mode="ic",
+            tool="scorep",
+            ic=ic,
+            ranks=ranks,
+            imbalance=ImbalanceSpec(imbalance=0.3, seed=7),
+            backend=backend,
+            faults=faults,
+            degraded=degraded,
+        )
+
+    print(f"FAULT SMOKE — lulesh nodes={target_nodes} ranks={ranks}")
+    print("=" * 52)
+    prepared = prepare_app("lulesh", target_nodes)
+    ic = prepared.select("kernels").ic
+
+    reference = run()
+    ref_print = _fingerprint(reference)
+    print(f"reference: fault-free, {reference.health.render().splitlines()[0]}")
+
+    for preset in RECOVERABLE_PRESETS:
+        outcome = run(faults=preset)
+        alerts = render_health_alerts(outcome.health)
+        for line in alerts:
+            print(f"[{preset}] {line}")
+        health = outcome.health
+        rank_runs += health.ranks
+        lost_total += len(health.lost_ranks)
+        if health.lost_ranks:
+            failures.append(f"{preset}: lost ranks {list(health.lost_ranks)}")
+        elif not health.retried_ranks:
+            failures.append(f"{preset}: no rank retried — fault not injected?")
+        if _fingerprint(outcome) != ref_print:
+            failures.append(f"{preset}: recovered result differs from reference")
+        else:
+            print(f"[{preset}] recovered bit-identical to reference")
+
+    # rank-loss: retries must exhaust; forbid raises, allow degrades
+    try:
+        run(faults="rank-loss")
+    except DegradedResultError as exc:
+        print(f"[rank-loss/forbid] raised as required: {exc}")
+    else:
+        failures.append("rank-loss: degraded='forbid' did not raise")
+
+    outcome = run(faults="rank-loss", degraded="allow")
+    for line in render_health_alerts(outcome.health):
+        print(f"[rank-loss/allow] {line}")
+    if len(outcome.health.missing_ranks) != 1:
+        failures.append(
+            f"rank-loss: expected 1 missing rank, got "
+            f"{list(outcome.health.missing_ranks)}"
+        )
+    if "DEGRADED" not in outcome.pop.render():
+        failures.append("rank-loss: POP report lacks the DEGRADED annotation")
+    else:
+        print(
+            f"[rank-loss/allow] degraded POP coverage "
+            f"{outcome.pop.coverage:.1%} annotated"
+        )
+
+    lost_fraction = lost_total / rank_runs if rank_runs else 0.0
+    print("-" * 52)
+    print(
+        f"recoverable presets: {lost_total}/{rank_runs} ranks lost "
+        f"(threshold {max_lost_fraction:.1%})"
+    )
+    if lost_fraction > max_lost_fraction:
+        failures.append(
+            f"lost fraction {lost_fraction:.1%} exceeds "
+            f"threshold {max_lost_fraction:.1%}"
+        )
+    for failure in failures:
+        print(f"FAIL {failure}")
+    print("fault smoke:", "FAIL" if failures else "PASS")
+    return 1 if failures else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", choices=["default", "paper"], default="default")
+    parser.add_argument(
+        "--check-faults",
+        action="store_true",
+        help="run the fault-injection smoke instead of the anomaly tables",
+    )
+    parser.add_argument(
+        "--nodes",
+        type=int,
+        default=120,
+        help="lulesh scale for --check-faults (default: 120)",
+    )
+    parser.add_argument(
+        "--ranks",
+        type=int,
+        default=4,
+        help="world size for --check-faults (default: 4)",
+    )
+    parser.add_argument(
+        "--deadline-seconds",
+        type=float,
+        default=6.0,
+        help="per-rank supervision deadline for --check-faults",
+    )
+    parser.add_argument(
+        "--max-lost-fraction",
+        type=float,
+        default=0.0,
+        help="tolerated fraction of lost ranks across the recoverable "
+        "presets before the smoke exits 1 (default: 0.0)",
+    )
     args = parser.parse_args(argv)
+    if args.check_faults:
+        return check_faults(
+            target_nodes=args.nodes,
+            ranks=args.ranks,
+            deadline_seconds=args.deadline_seconds,
+            max_lost_fraction=args.max_lost_fraction,
+        )
     nodes = (PAPER_SCALES if args.scale == "paper" else DEFAULT_SCALES)["openfoam"]
     print(render(compute_anomalies(target_nodes=nodes)))
     return 0

@@ -66,8 +66,15 @@ def compute_dlb_row(
     policy: DlbPolicy | None = None,
     max_iterations: int = 8,
     backend: str = "serial",
+    **extra,
 ) -> tuple[DlbRow, RebalanceOutcome]:
-    """One before/after cell: unbalanced vs. LeWI-rebalanced."""
+    """One before/after cell: unbalanced vs. LeWI-rebalanced.
+
+    ``extra`` kwargs (``faults=``, ``degraded=``, ``processes=``) flow
+    into :func:`run_rebalanced` — with a fault preset and
+    ``backend="supervised"`` the loop runs under chaos and stops early
+    if an iteration comes back degraded.
+    """
     from repro.apps import scenario
 
     rebalanced = run_rebalanced(
@@ -82,6 +89,7 @@ def compute_dlb_row(
         ic=prepared.select("mpi").ic,
         workload=DEFAULT_WORKLOAD,
         config_name=f"dlb-{scenario_name}",
+        **extra,
     )
     row = DlbRow(
         app=prepared.name,
@@ -104,6 +112,7 @@ def compute_dlb_table(
     policy: DlbPolicy | None = None,
     max_iterations: int = 8,
     backend: str = "serial",
+    **extra,
 ) -> list[DlbRow]:
     scales = scales or DEFAULT_SCALES
     rows: list[DlbRow] = []
@@ -117,6 +126,7 @@ def compute_dlb_table(
                 policy=policy,
                 max_iterations=max_iterations,
                 backend=backend,
+                **extra,
             )
             rows.append(row)
     return rows
@@ -176,7 +186,26 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--backend",
         default="serial",
-        choices=["serial", "multiprocessing", "auto"],
+        help="rank execution backend: 'serial', 'multiprocessing' (or "
+        "'mp:4'), 'auto', or 'supervised[:inner]' for fault-tolerant runs",
+    )
+    parser.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        help="worker count for multiprocessing-based backends",
+    )
+    parser.add_argument(
+        "--faults",
+        default=None,
+        help="named fault-injection preset (see repro.apps.FAULT_SCENARIOS); "
+        "best paired with --backend supervised",
+    )
+    parser.add_argument(
+        "--degraded",
+        choices=["forbid", "allow"],
+        default="forbid",
+        help="policy when ranks are lost under --faults (default: forbid)",
     )
     parser.add_argument(
         "--check",
@@ -188,6 +217,14 @@ def main(argv: list[str] | None = None) -> int:
     scales = None
     if args.nodes is not None:
         scales = {name: args.nodes for name in apps}
+    extra: dict = {}
+    if args.processes is not None:
+        extra["processes"] = args.processes
+    if args.faults is not None:
+        from repro.apps import fault_scenario
+
+        extra["faults"] = fault_scenario(args.faults)
+        extra["degraded"] = args.degraded
     rows = compute_dlb_table(
         apps,
         scenarios=tuple(args.scenario) if args.scenario else DLB_SCENARIOS,
@@ -196,6 +233,7 @@ def main(argv: list[str] | None = None) -> int:
         policy=DlbPolicy(lend_limit=args.lend_limit),
         max_iterations=args.max_iterations,
         backend=args.backend,
+        **extra,
     )
     print(render_dlb_table(rows))
     if args.check:

@@ -50,17 +50,21 @@ def compute_table2_app(
     ranks: int = 4,
     imbalance=None,
     backend: str = "serial",
+    **extra,
 ) -> list[Table2Row]:
     """All Table II rows for one application.
 
     With ``imbalance`` set, every cell executes across ``ranks`` real
     simulated ranks (the multi-rank subsystem): ``Ttotal`` becomes the
     synchronised elapsed time of the world and each row additionally
-    carries measured POP metrics.
+    carries measured POP metrics.  ``extra`` kwargs (``faults=``,
+    ``degraded=``, ``processes=``) pass straight through to
+    :func:`repro.workflow.run_app` for chaos runs under the supervised
+    backend.
     """
     rows: list[Table2Row] = []
     app = prepared.name
-    mr = dict(ranks=ranks, imbalance=imbalance, backend=backend)
+    mr = dict(ranks=ranks, imbalance=imbalance, backend=backend, **extra)
 
     van_out = run_configuration(prepared, mode="vanilla", config_name="vanilla", **mr)
     vanilla = van_out.result
@@ -131,6 +135,7 @@ def compute_table2(
     ranks: int = 4,
     imbalance=None,
     backend: str = "serial",
+    **extra,
 ) -> list[Table2Row]:
     scales = scales or DEFAULT_SCALES
     rows: list[Table2Row] = []
@@ -138,7 +143,8 @@ def compute_table2(
         prepared = prepare_app(app_name, scales.get(app_name))
         rows.extend(
             compute_table2_app(
-                prepared, ranks=ranks, imbalance=imbalance, backend=backend
+                prepared, ranks=ranks, imbalance=imbalance, backend=backend,
+                **extra,
             )
         )
     return rows
@@ -194,12 +200,35 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--backend",
         default="serial",
-        choices=["serial", "multiprocessing", "auto"],
-        help="rank execution backend for --imbalance runs",
+        help="rank execution backend for --imbalance runs: 'serial', "
+        "'multiprocessing' (or 'mp:4' to pin workers), 'auto', or "
+        "'supervised[:inner]' for fault-tolerant execution",
+    )
+    parser.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        help="worker count for multiprocessing-based backends",
+    )
+    parser.add_argument(
+        "--faults",
+        default=None,
+        help="named fault-injection preset (see repro.apps.FAULT_SCENARIOS, "
+        "e.g. 'crash-once'); requires --imbalance and is best paired with "
+        "--backend supervised",
+    )
+    parser.add_argument(
+        "--degraded",
+        choices=["forbid", "allow"],
+        default="forbid",
+        help="policy when ranks are lost under --faults (default: forbid)",
     )
     args = parser.parse_args(argv)
     if args.backend != "serial" and args.imbalance is None:
         parser.error("--backend only applies to multi-rank runs; add --imbalance "
+                     "(use '--imbalance uniform' for a balanced world)")
+    if args.faults is not None and args.imbalance is None:
+        parser.error("--faults needs the multi-rank path; add --imbalance "
                      "(use '--imbalance uniform' for a balanced world)")
     scales = PAPER_SCALES if args.scale == "paper" else DEFAULT_SCALES
     apps = ("lulesh", "openfoam") if args.app == "both" else (args.app,)
@@ -208,6 +237,12 @@ def main(argv: list[str] | None = None) -> int:
         from repro.apps import scenario
 
         imbalance = scenario(args.imbalance)
+    extra: dict = {}
+    if args.processes is not None:
+        extra["processes"] = args.processes
+    if args.faults is not None:
+        extra["faults"] = args.faults
+        extra["degraded"] = args.degraded
     print(
         render_table2(
             compute_table2(
@@ -216,6 +251,7 @@ def main(argv: list[str] | None = None) -> int:
                 ranks=args.ranks,
                 imbalance=imbalance,
                 backend=args.backend,
+                **extra,
             )
         )
     )

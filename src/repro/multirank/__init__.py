@@ -20,7 +20,13 @@ the rest analytically.  This subsystem runs one
   paper's §VI DLB loop: waiting ranks lend fractional CPU capacity to
   the bottleneck through the DLB C-API, and
   :func:`run_rebalanced` iterates run → measure → rebalance until the
-  POP efficiency converges.
+  POP efficiency converges,
+* :mod:`~repro.multirank.faults` — deterministic chaos injection
+  (:class:`FaultSpec`: crashes, hangs, corrupt payloads, worker death)
+  and the per-rank health records the
+  :class:`~repro.multirank.backends.SupervisedBackend` produces while
+  surviving them (deadlines, integrity checks, retries with backoff,
+  pool respawn, graceful degradation via ``degraded="allow"``).
 
 Entry points: :func:`run_multirank` / :func:`run_rebalanced`, or simply
 ``repro.workflow.run_app(..., ranks=N, imbalance=ImbalanceSpec(...),
@@ -30,7 +36,15 @@ dlb=DlbPolicy(...))``.
 from repro.multirank.backends import (
     MultiprocessingBackend,
     SerialBackend,
+    SupervisedBackend,
     resolve_backend,
+)
+from repro.multirank.faults import (
+    FaultSpec,
+    HealthReport,
+    RankFaultPlan,
+    RankHealth,
+    check_rank_result,
 )
 from repro.multirank.dlb import (
     DlbPolicy,
@@ -73,6 +87,8 @@ __all__ = [
     "CriticalSegment",
     "DlbPolicy",
     "ExplicitFactors",
+    "FaultSpec",
+    "HealthReport",
     "ImbalanceSpec",
     "LewiStep",
     "MergedProfileNode",
@@ -80,6 +96,8 @@ __all__ = [
     "MultiRankOutcome",
     "MultiprocessingBackend",
     "PopReport",
+    "RankFaultPlan",
+    "RankHealth",
     "RankResult",
     "RankStat",
     "RankTask",
@@ -88,11 +106,13 @@ __all__ = [
     "RegionSample",
     "SYNC_OPS",
     "SerialBackend",
+    "SupervisedBackend",
     "SyncPoint",
     "WaitInterval",
     "apply_step",
     "build_pop_report",
     "build_tasks",
+    "check_rank_result",
     "execute_rank",
     "flatten_merged",
     "make_lewi_agents",

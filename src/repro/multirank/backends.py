@@ -5,7 +5,7 @@ cross-rank messages during execution (synchronisation is attributed by
 the reducer afterwards) — so the backend interface is a single
 ``map_ranks(built, tasks)``.
 
-Two implementations ship:
+Three implementations ship:
 
 * :class:`SerialBackend` — in-process loop, deterministic and
   dependency-free; the default.
@@ -18,19 +18,35 @@ Two implementations ship:
   falls back to the default start method and *warns* that the
   bit-identical guarantee no longer holds (spawned workers draw a fresh
   hash salt).
+* :class:`SupervisedBackend` — a fault-tolerant wrapper around either
+  of the above: per-rank deadlines, async result collection (submitted
+  futures instead of ``pool.map``, so one failure cannot sink the
+  batch), payload integrity checks, bounded retry with exponential
+  backoff + deterministic jitter, worker respawn after pool death, and
+  a per-rank :class:`~repro.multirank.faults.RankHealth` record.
 
-Both backends funnel every rank through the same
+All backends funnel every rank through the same
 :func:`~repro.multirank.scheduler.execute_rank`, so they can only
-differ in wall-clock time, never in results.
+differ in wall-clock time and fault handling, never in healthy-path
+results.
 """
 
 from __future__ import annotations
 
+import heapq
+import math
 import multiprocessing
 import os
+import time
 import warnings
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
+from concurrent.futures import wait as futures_wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import replace
 
-from repro.errors import CapiError
+from repro._util import rng_for
+from repro.errors import CapiError, RankFailedError, RankTimeoutError
+from repro.multirank.faults import RankHealth, check_rank_result
 from repro.multirank.scheduler import RankResult, RankTask, execute_rank
 
 #: BuiltApp of the current worker process (set by the pool initializer)
@@ -43,7 +59,15 @@ def _init_worker(built) -> None:
 
 
 def _run_in_worker(task: RankTask) -> RankResult:
-    assert _WORKER_APP is not None, "pool worker used before initialisation"
+    if _WORKER_APP is None:
+        # explicit error (not an assert: must survive ``python -O``) so
+        # an uninitialised-worker bug surfaces identically in optimized
+        # runs, and carries the rank id for supervision/attribution
+        raise CapiError(
+            f"pool worker executed rank {task.rank} before the BuiltApp "
+            f"initializer ran; the pool must be created with "
+            f"initializer=_init_worker"
+        )
     return execute_rank(_WORKER_APP, task)
 
 
@@ -62,6 +86,8 @@ class MultiprocessingBackend:
     name = "multiprocessing"
 
     def __init__(self, processes: int | None = None):
+        if processes is not None and processes < 1:
+            raise CapiError(f"processes must be >= 1, got {processes}")
         self.processes = processes
 
     def map_ranks(self, built, tasks: list[RankTask]) -> list[RankResult]:
@@ -108,21 +134,419 @@ class MultiprocessingBackend:
         return multiprocessing.get_context()
 
 
-def resolve_backend(backend: "str | object"):
-    """Accept a backend instance or one of the spelled-out names."""
+class _RankState:
+    """Mutable per-rank supervision bookkeeping (internal)."""
+
+    __slots__ = ("task", "attempts", "failures", "first_start", "latency")
+
+    def __init__(self, task: RankTask):
+        self.task = task
+        self.attempts = 0
+        self.failures: list[str] = []
+        self.first_start: float | None = None
+        self.latency = 0.0
+
+
+class SupervisedBackend:
+    """Fault-tolerant supervisor around the serial or mp backend.
+
+    Every rank attempt runs under a per-rank ``deadline_seconds`` and
+    its payload passes the :func:`~repro.multirank.faults.check_rank_result`
+    integrity gate before being accepted.  A failed attempt (crash,
+    deadline overrun, corrupt payload, worker death) is retried up to
+    ``max_attempts`` times with exponential backoff and deterministic
+    jitter (seeded per rank and attempt, so retry schedules reproduce).
+    On the pooled path, a hard worker death (``BrokenProcessPool``) is
+    survived by respawning the executor; only the culprit rank — the
+    one whose injected fault plan scheduled the death — is charged a
+    failed attempt, collateral ranks are resubmitted at their *same*
+    attempt number so the fault schedule stays deterministic.
+
+    ``map_ranks`` returns results for every rank whose retries
+    succeeded (possibly a partial set) and records one
+    :class:`~repro.multirank.faults.RankHealth` per rank in
+    :attr:`last_health`; the degradation *policy* (accept or forbid a
+    partial world) belongs to the scheduler, not the backend.
+    """
+
+    name = "supervised"
+
+    def __init__(
+        self,
+        inner: str = "serial",
+        *,
+        processes: int | None = None,
+        deadline_seconds: float | None = 30.0,
+        max_attempts: int = 3,
+        backoff_base_seconds: float = 0.05,
+        backoff_factor: float = 2.0,
+        backoff_jitter: float = 0.25,
+        seed: int = 7,
+    ):
+        inner_name = inner.lower() if isinstance(inner, str) else None
+        if inner_name in ("mp", "multiprocessing", "parallel"):
+            self.inner = "multiprocessing"
+        elif inner_name == "auto":
+            cores = os.cpu_count() or 1
+            self.inner = "multiprocessing" if cores > 1 else "serial"
+        elif inner_name == "serial":
+            self.inner = "serial"
+        else:
+            raise CapiError(
+                f"SupervisedBackend inner must be 'serial', 'mp' or "
+                f"'auto', got {inner!r}"
+            )
+        if processes is not None and processes < 1:
+            raise CapiError(f"processes must be >= 1, got {processes}")
+        if max_attempts < 1:
+            raise CapiError(f"max_attempts must be >= 1, got {max_attempts}")
+        if deadline_seconds is not None and deadline_seconds <= 0.0:
+            raise CapiError("deadline_seconds must be positive (or None)")
+        self.processes = processes
+        self.deadline_seconds = deadline_seconds
+        self.max_attempts = max_attempts
+        self.backoff_base_seconds = backoff_base_seconds
+        self.backoff_factor = backoff_factor
+        self.backoff_jitter = backoff_jitter
+        self.seed = seed
+        #: RankHealth per rank (rank order) of the most recent map_ranks
+        self.last_health: tuple[RankHealth, ...] = ()
+
+    # -- shared machinery -------------------------------------------------------
+
+    def _backoff_delay(self, rank: int, attempt: int) -> float:
+        """Backoff before (re)submitting ``attempt`` (1-based retries).
+
+        Exponential in the retry count, with deterministic jitter drawn
+        from a (seed, rank, attempt)-keyed stream: two runs of the same
+        chaos scenario back off identically, but concurrent retries of
+        different ranks still decorrelate (no thundering herd).
+        """
+        jitter = float(
+            rng_for(self.seed, "supervised-backoff", rank, attempt).random()
+        )
+        return (
+            self.backoff_base_seconds
+            * self.backoff_factor ** (attempt - 1)
+            * (1.0 + self.backoff_jitter * jitter)
+        )
+
+    def _record_failure(self, state: _RankState, attempt: int, exc: Exception):
+        state.failures.append(
+            f"attempt {attempt + 1}: {type(exc).__name__}: {exc}"
+        )
+
+    def _finish(self, state: _RankState, *, ok: bool) -> RankHealth:
+        return RankHealth(
+            rank=state.task.rank,
+            outcome="ok" if ok else "lost",
+            attempts=state.attempts,
+            latency_seconds=state.latency,
+            failures=tuple(state.failures),
+        )
+
+    def map_ranks(self, built, tasks: list[RankTask]) -> list[RankResult]:
+        if not tasks:
+            self.last_health = ()
+            return []
+        if self.inner == "multiprocessing" and len(tasks) > 1:
+            results, health = self._map_pooled(built, tasks)
+        else:
+            results, health = self._map_serial(built, tasks)
+        self.last_health = tuple(sorted(health, key=lambda h: h.rank))
+        return results
+
+    # -- in-process path --------------------------------------------------------
+
+    def _map_serial(self, built, tasks):
+        results: list[RankResult] = []
+        health: list[RankHealth] = []
+        for task in tasks:
+            state = _RankState(
+                replace(task, deadline_seconds=self.deadline_seconds)
+            )
+            start = time.monotonic()
+            ok = False
+            for attempt in range(self.max_attempts):
+                if attempt > 0:
+                    time.sleep(self._backoff_delay(task.rank, attempt))
+                state.attempts = attempt + 1
+                t0 = time.monotonic()
+                try:
+                    rank_result = execute_rank(
+                        built, replace(state.task, attempt=attempt)
+                    )
+                    elapsed = time.monotonic() - t0
+                    if (
+                        self.deadline_seconds is not None
+                        and elapsed > self.deadline_seconds
+                    ):
+                        raise RankTimeoutError(
+                            f"rank {task.rank} attempt {attempt + 1} took "
+                            f"{elapsed:.3f}s, past the "
+                            f"{self.deadline_seconds:.3f}s deadline",
+                            rank=task.rank,
+                        )
+                    check_rank_result(rank_result, tracing=task.tracing)
+                except Exception as exc:  # noqa: BLE001 — supervision boundary
+                    self._record_failure(state, attempt, exc)
+                    continue
+                results.append(rank_result)
+                ok = True
+                break
+            state.latency = time.monotonic() - start
+            health.append(self._finish(state, ok=ok))
+        return results, health
+
+    # -- pooled path ------------------------------------------------------------
+
+    def _spawn_executor(self, built, task_count: int) -> ProcessPoolExecutor:
+        workers = self.processes or min(task_count, os.cpu_count() or 1)
+        return ProcessPoolExecutor(
+            max_workers=min(workers, task_count),
+            mp_context=MultiprocessingBackend._context(),
+            initializer=_init_worker,
+            initargs=(built,),
+        )
+
+    def _map_pooled(self, built, tasks):
+        deadline = self.deadline_seconds
+        states = {
+            task.rank: _RankState(
+                replace(task, in_child=True, deadline_seconds=deadline)
+            )
+            for task in tasks
+        }
+        workers = min(
+            self.processes or min(len(tasks), os.cpu_count() or 1), len(tasks)
+        )
+        executor = self._spawn_executor(built, len(tasks))
+
+        # Submission is throttled to the true worker count: a future is
+        # only handed to the executor when a slot is genuinely free, so
+        # its submit time IS its start time and the per-rank deadline
+        # clocks execution, never queue wait (an executor's own queue
+        # would mark one extra buffered future as running and a rank
+        # stuck behind a hung sibling would falsely time out).  A timed
+        # out future is abandoned but its worker stays busy until the
+        # (bounded) overrun ends — it occupies a slot as a *zombie*
+        # until then.
+        pending: dict = {}  # our live futures -> (rank, attempt, start)
+        zombies: set = set()  # abandoned futures still holding a worker
+        ready: list[tuple[int, int]] = []  # (rank, attempt) awaiting a slot
+        retry_heap: list[tuple[float, int, int]] = []  # (due, rank, attempt)
+        results: dict[int, RankResult] = {}
+        lost: set[int] = set()
+
+        def submit(rank: int, attempt: int) -> None:
+            state = states[rank]
+            now = time.monotonic()
+            if state.first_start is None:
+                state.first_start = now
+            state.attempts = max(state.attempts, attempt + 1)
+            fut = executor.submit(
+                _run_in_worker, replace(state.task, attempt=attempt)
+            )
+            pending[fut] = (rank, attempt, now)
+
+        def fail(rank: int, attempt: int, exc: Exception) -> None:
+            """Charge a failed attempt; queue a retry or declare loss."""
+            state = states[rank]
+            self._record_failure(state, attempt, exc)
+            if attempt + 1 < self.max_attempts:
+                due = time.monotonic() + self._backoff_delay(rank, attempt + 1)
+                heapq.heappush(retry_heap, (due, rank, attempt + 1))
+            else:
+                lost.add(rank)
+                state.latency = time.monotonic() - (state.first_start or 0.0)
+
+        try:
+            ready = [(task.rank, 0) for task in tasks]
+            while pending or zombies or retry_heap or ready:
+                now = time.monotonic()
+                while retry_heap and retry_heap[0][0] <= now:
+                    _, rank, attempt = heapq.heappop(retry_heap)
+                    ready.append((rank, attempt))
+                while ready and len(pending) + len(zombies) < workers:
+                    rank, attempt = ready.pop(0)
+                    submit(rank, attempt)
+                if not pending and not zombies:
+                    # nothing in flight: only a future retry remains
+                    if retry_heap:
+                        time.sleep(
+                            max(0.0, retry_heap[0][0] - time.monotonic())
+                        )
+                    continue
+
+                next_event = math.inf
+                if deadline is not None and pending:
+                    next_event = min(
+                        start + deadline for (_, _, start) in pending.values()
+                    )
+                if retry_heap:
+                    next_event = min(next_event, retry_heap[0][0])
+                timeout = (
+                    None
+                    if math.isinf(next_event)
+                    else max(0.0, next_event - time.monotonic())
+                )
+                done, _ = futures_wait(
+                    set(pending) | zombies,
+                    timeout=timeout,
+                    return_when=FIRST_COMPLETED,
+                )
+
+                broken: list[tuple[int, int]] = []
+                pool_broke = False
+                for fut in done:
+                    if fut in zombies:
+                        # a hung worker came back: its stale result (or
+                        # error) is discarded, the slot is free again
+                        zombies.discard(fut)
+                        if isinstance(fut.exception(), BrokenProcessPool):
+                            pool_broke = True
+                        continue
+                    rank, attempt, _start = pending.pop(fut)
+                    try:
+                        rank_result = fut.result()
+                        check_rank_result(
+                            rank_result, tracing=states[rank].task.tracing
+                        )
+                    except BrokenProcessPool:
+                        pool_broke = True
+                        broken.append((rank, attempt))
+                    except Exception as exc:  # noqa: BLE001
+                        fail(rank, attempt, exc)
+                    else:
+                        results[rank] = rank_result
+                        state = states[rank]
+                        state.latency = time.monotonic() - (
+                            state.first_start or 0.0
+                        )
+
+                if pool_broke:
+                    # the whole pool is gone: every in-flight future is
+                    # doomed — respawn and resubmit the survivors
+                    for rank, attempt, _start in pending.values():
+                        broken.append((rank, attempt))
+                    pending.clear()
+                    zombies.clear()
+                    executor.shutdown(wait=False, cancel_futures=True)
+                    executor = self._spawn_executor(built, len(tasks))
+                    culprits = {
+                        rank
+                        for rank, attempt in broken
+                        if states[rank].task.fault is not None
+                        and states[rank].task.fault.active_kind(attempt)
+                        == "die"
+                    }
+                    if not culprits:
+                        # a real (uninjected) death: no way to attribute,
+                        # charge everyone a failed attempt (still safe —
+                        # at worst innocents burn one retry)
+                        culprits = {rank for rank, _ in broken}
+                    for rank, attempt in broken:
+                        if rank in culprits:
+                            fail(
+                                rank,
+                                attempt,
+                                RankFailedError(
+                                    f"worker process executing rank {rank} "
+                                    f"died (attempt {attempt + 1})",
+                                    rank=rank,
+                                ),
+                            )
+                        else:
+                            # collateral damage: resubmitted at the SAME
+                            # attempt number so the deterministic fault
+                            # schedule is unaffected by pool timing
+                            ready.append((rank, attempt))
+
+                if deadline is not None:
+                    now = time.monotonic()
+                    for fut in list(pending):
+                        rank, attempt, start = pending[fut]
+                        if now - start > deadline and not fut.done():
+                            del pending[fut]
+                            if not fut.cancel():
+                                zombies.add(fut)
+                            fail(
+                                rank,
+                                attempt,
+                                RankTimeoutError(
+                                    f"rank {rank} attempt {attempt + 1} "
+                                    f"exceeded the {deadline:.3f}s deadline",
+                                    rank=rank,
+                                ),
+                            )
+        finally:
+            executor.shutdown(wait=False)
+
+        health = [
+            self._finish(states[task.rank], ok=task.rank in results)
+            for task in tasks
+        ]
+        ordered = [results[t.rank] for t in tasks if t.rank in results]
+        return ordered, health
+
+
+def resolve_backend(
+    backend: "str | object", processes: int | None = None
+):
+    """Accept a backend instance or a spelled-out name.
+
+    Names take an optional ``:N`` worker-count suffix (``"mp:4"``), and
+    ``"supervised"`` an optional inner backend (``"supervised:mp"``,
+    ``"supervised:mp:4"``).  The ``processes`` kwarg is the programmatic
+    spelling of the same knob; passing both (or either with an already
+    constructed instance) is a conflict and raises.
+    """
     if not isinstance(backend, str):
         if not hasattr(backend, "map_ranks"):
             raise CapiError(f"object {backend!r} is not a rank backend")
+        if processes is not None:
+            raise CapiError(
+                "processes= cannot override an already constructed backend "
+                "instance; construct it with the desired worker count"
+            )
         return backend
-    name = backend.lower()
+
+    name, _, suffix = backend.lower().partition(":")
+    inner: str | None = None
+    suffix_processes: int | None = None
+    for part in filter(None, suffix.split(":")):
+        if part.isdigit():
+            if suffix_processes is not None:
+                raise CapiError(f"duplicate worker count in {backend!r}")
+            suffix_processes = int(part)
+        elif inner is None and name == "supervised":
+            inner = part
+        else:
+            raise CapiError(f"unrecognised backend suffix in {backend!r}")
+    if suffix_processes is not None and processes is not None:
+        if suffix_processes != processes:
+            raise CapiError(
+                f"conflicting worker counts: backend={backend!r} but "
+                f"processes={processes}"
+            )
+    processes = processes if processes is not None else suffix_processes
+
     if name == "serial":
+        if processes is not None:
+            raise CapiError("the serial backend takes no worker count")
         return SerialBackend()
     if name in ("multiprocessing", "mp", "parallel"):
-        return MultiprocessingBackend()
+        return MultiprocessingBackend(processes=processes)
+    if name == "supervised":
+        return SupervisedBackend(inner or "serial", processes=processes)
     if name == "auto":
         cores = os.cpu_count() or 1
-        return MultiprocessingBackend() if cores > 1 else SerialBackend()
+        if cores > 1:
+            return MultiprocessingBackend(processes=processes)
+        if processes is not None and processes > 1:
+            return MultiprocessingBackend(processes=processes)
+        return SerialBackend()
     raise CapiError(
         f"unknown rank backend {backend!r}; expected 'serial', "
-        f"'multiprocessing' or 'auto'"
+        f"'multiprocessing', 'supervised' or 'auto'"
     )

@@ -202,6 +202,20 @@ class PopReport:
     regions: list[PopMetrics] = field(default_factory=list)
     #: per-rank synchronisation wait at the closing barrier (cycles)
     rank_wait_cycles: tuple[float, ...] = ()
+    #: ranks of the intended world that produced no measurement; all
+    #: metrics describe only the surviving ranks when non-empty
+    missing_ranks: tuple[int, ...] = ()
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.missing_ranks)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of the intended world the metrics actually cover."""
+        if self.world_size == 0:
+            return 0.0
+        return (self.world_size - len(self.missing_ranks)) / self.world_size
 
     def region(self, name: str) -> PopMetrics | None:
         for m in self.regions:
@@ -215,6 +229,12 @@ class PopReport:
             f"POP efficiency — {self.world_size} MPI ranks (measured per rank)",
             "=" * 64,
         ]
+        if self.degraded:
+            lines.append(
+                f"!!! DEGRADED: coverage {self.coverage:.1%} — rank(s) "
+                f"{list(self.missing_ranks)} produced no measurement; "
+                f"metrics describe the surviving ranks only"
+            )
         for m in [self.app, *sorted(self.regions, key=lambda m: -m.elapsed_seconds)]:
             lines += [
                 f"### Region: {m.region}",
@@ -230,7 +250,10 @@ class PopReport:
 
 
 def build_pop_report(
-    per_rank: "list[RankResult]", *, frequency: float = CYCLES_PER_SECOND
+    per_rank: "list[RankResult]",
+    *,
+    frequency: float = CYCLES_PER_SECOND,
+    missing_ranks: "tuple[int, ...]" = (),
 ) -> PopReport:
     """Compute the POP hierarchy from measured per-rank executions.
 
@@ -240,6 +263,13 @@ def build_pop_report(
     drown communication efficiency.  Instrumentation overhead *inside*
     the run still counts as non-useful time, exactly as it does on real
     hardware.
+
+    ``missing_ranks`` names ranks of the intended world that produced
+    no measurement (lost under a ``degraded="allow"`` policy): the
+    metrics are then computed from the survivors only, the report's
+    ``world_size`` still counts the full world, and the report renders
+    with an explicit coverage annotation — a degraded POP table can
+    never masquerade as a full one.
     """
     if not per_rank:
         raise ValueError("need at least one rank result")
@@ -257,9 +287,10 @@ def build_pop_report(
         frequency=frequency,
     )
     report = PopReport(
-        world_size=len(per_rank),
+        world_size=len(per_rank) + len(missing_ranks),
         app=app,
         rank_wait_cycles=tuple(float(w) for w in waits),
+        missing_ranks=tuple(missing_ranks),
     )
     # per-region metrics (talp tool): union of region names over ranks,
     # a rank that never entered a region contributing zeros

@@ -22,10 +22,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.ic import InstrumentationConfig
-from repro.errors import CapiError
+from repro.errors import CapiError, DegradedResultError
 from repro.execution.costs import CostModel
 from repro.execution.result import RunResult
 from repro.execution.workload import Workload
+from repro.multirank.faults import (
+    FaultSpec,
+    HealthReport,
+    RankFaultPlan,
+    corrupt_result,
+    inject_pre_execution,
+)
 from repro.multirank.imbalance import ImbalanceSpec
 from repro.multirank.reduce import (
     MergedProfileNode,
@@ -69,6 +76,17 @@ class RankTask:
     talp_bug_modulus: int | None
     config_name: str
     tracing: bool = False
+    #: chaos-injection schedule for this rank (None: run clean)
+    fault: RankFaultPlan | None = None
+    #: which execution attempt this is (0 = first try); only the
+    #: supervised backend ever re-dispatches with attempt > 0
+    attempt: int = 0
+    #: True when the task runs in a sacrificial worker process — an
+    #: injected "die" fault may really ``os._exit``; in-process backends
+    #: leave this False and the death degrades to a raised crash
+    in_child: bool = False
+    #: the supervisor's per-rank deadline (None: unsupervised)
+    deadline_seconds: float | None = None
 
 
 @dataclass(frozen=True)
@@ -98,6 +116,21 @@ class MultiRankOutcome:
     pop: PopReport
     #: rank-tagged, collective-aligned timeline (``tracing=True`` runs)
     merged_trace: MergedTrace | None = None
+    #: ranks that produced no result (retries exhausted under
+    #: supervision); non-empty only when ``degraded="allow"``
+    missing_ranks: tuple[int, ...] = ()
+    #: per-rank supervision records + world coverage
+    health: HealthReport | None = None
+
+    @property
+    def degraded(self) -> bool:
+        """True when the outcome covers only part of the world."""
+        return bool(self.missing_ranks)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of the world's ranks that produced a result."""
+        return (self.ranks - len(self.missing_ranks)) / self.ranks
 
     @property
     def elapsed_seconds(self) -> float:
@@ -134,9 +167,11 @@ def build_tasks(
     talp_bug_modulus: int | None = None,
     config_name: str = "",
     tracing: bool = False,
+    faults: FaultSpec | None = None,
 ) -> list[RankTask]:
     """One task per rank, workloads perturbed by the imbalance spec."""
     workloads = imbalance.workloads_for(ranks, workload)
+    fault_plan = faults.plan(ranks) if faults is not None else {}
     return [
         RankTask(
             rank=rank,
@@ -152,16 +187,24 @@ def build_tasks(
             talp_bug_modulus=talp_bug_modulus,
             config_name=config_name,
             tracing=tracing,
+            fault=fault_plan.get(rank),
         )
         for rank in range(ranks)
     ]
 
 
 def execute_rank(built, task: RankTask) -> RankResult:
-    """Run one rank; the unit of work both backends dispatch."""
+    """Run one rank; the unit of work every backend dispatches.
+
+    Chaos injection hooks in here — *inside* the unit of work, exactly
+    where a real crash or hang would strike — so crashes/hangs/deaths
+    fire before the engine runs and payload corruption afterwards,
+    identically on every backend (see :mod:`repro.multirank.faults`).
+    """
     from repro.scorep.profile_io import to_dict
     from repro.workflow import run_app
 
+    inject_pre_execution(task)
     outcome = run_app(
         built,
         mode=task.mode,  # type: ignore[arg-type]
@@ -195,12 +238,15 @@ def execute_rank(built, task: RankTask) -> RankResult:
     trace: tuple[TraceEvent, ...] | None = None
     if outcome.tracer is not None:
         trace = tuple(outcome.tracer.all_events())
-    return RankResult(
-        rank=task.rank,
-        result=outcome.result,
-        profile=profile,
-        talp_regions=regions,
-        trace=trace,
+    return corrupt_result(
+        task,
+        RankResult(
+            rank=task.rank,
+            result=outcome.result,
+            profile=profile,
+            talp_regions=regions,
+            trace=trace,
+        ),
     )
 
 
@@ -221,12 +267,28 @@ def run_multirank(
     talp_bug_modulus: int | None = None,
     config_name: str = "",
     tracing: bool = False,
+    faults: FaultSpec | None = None,
+    degraded: str = "forbid",
+    processes: int | None = None,
 ) -> MultiRankOutcome:
     """Execute ``built`` across ``ranks`` simulated ranks and reduce.
 
     ``tracing=True`` (scorep tool only) additionally records one event
     trace per rank and merges them into a rank-tagged,
     collective-aligned timeline (``outcome.merged_trace``).
+
+    ``faults`` injects a deterministic chaos scenario
+    (:class:`~repro.multirank.faults.FaultSpec`); surviving it needs a
+    :class:`~repro.multirank.backends.SupervisedBackend` — on a raw
+    backend an injected crash propagates out of ``map_ranks`` unhandled,
+    which is exactly the pre-supervision failure mode, made loud.
+
+    ``degraded`` is the partial-result policy when supervision exhausts
+    its retries on some ranks: ``"forbid"`` (default) raises
+    :class:`~repro.errors.DegradedResultError`; ``"allow"`` reduces the
+    surviving ranks, marks the missing ones in
+    ``outcome.missing_ranks``/``outcome.health`` and coverage-annotates
+    the POP report.
 
     Validation of the mode/IC combination happens up front so a bad
     configuration fails in the caller, not inside a worker process.
@@ -239,6 +301,10 @@ def run_multirank(
         raise CapiError(f"mode={mode!r} does not take an IC")
     if ranks < 1:
         raise CapiError(f"ranks must be >= 1, got {ranks}")
+    if degraded not in ("forbid", "allow"):
+        raise CapiError(
+            f"degraded must be 'forbid' or 'allow', got {degraded!r}"
+        )
     if tracing:
         validate_tracing(tool, mode)
     tasks = build_tasks(
@@ -255,25 +321,55 @@ def run_multirank(
         talp_bug_modulus=talp_bug_modulus,
         config_name=config_name,
         tracing=tracing,
+        faults=faults,
     )
-    resolved = resolve_backend(backend)
+    resolved = resolve_backend(backend, processes=processes)
     per_rank = resolved.map_ranks(built, tasks)
     per_rank.sort(key=lambda r: r.rank)
+
+    missing_ranks = tuple(
+        sorted(set(range(ranks)) - {r.rank for r in per_rank})
+    )
+    if missing_ranks:
+        if not per_rank:
+            raise DegradedResultError(
+                f"every rank of the {ranks}-rank world was lost; nothing "
+                f"to reduce",
+                missing_ranks=missing_ranks,
+            )
+        if degraded != "allow":
+            raise DegradedResultError(
+                f"rank(s) {list(missing_ranks)} of the {ranks}-rank world "
+                f"produced no result and degraded='forbid'; pass "
+                f"degraded='allow' to accept a partial reduction",
+                missing_ranks=missing_ranks,
+            )
+    health = HealthReport(
+        ranks=ranks,
+        per_rank=getattr(resolved, "last_health", None),
+        missing_ranks=missing_ranks,
+    )
+
     merged = merge_profiles([r.profile for r in per_rank])
     pop = build_pop_report(
-        per_rank, frequency=per_rank[0].result.frequency
+        per_rank,
+        frequency=per_rank[0].result.frequency,
+        missing_ranks=missing_ranks,
     )
     merged_trace = None
     if tracing:
-        missing = [r.rank for r in per_rank if r.trace is None]
-        if missing:
+        traceless = [r.rank for r in per_rank if r.trace is None]
+        if traceless:
             # unreachable today (validate_tracing guarantees a tracer on
             # every rank) — but a silent merged_trace=None would be the
             # exact degradation this PR exists to remove, so fail loudly
             raise CapiError(
-                f"tracing=True but rank(s) {missing} produced no trace"
+                f"tracing=True but rank(s) {traceless} produced no trace"
             )
-        merged_trace = merge_rank_traces([r.trace for r in per_rank])
+        merged_trace = merge_rank_traces(
+            [r.trace for r in per_rank],
+            rank_ids=[r.rank for r in per_rank],
+        )
     return MultiRankOutcome(
         ranks=ranks,
         spec=imbalance,
@@ -283,6 +379,8 @@ def run_multirank(
         merged_profile=merged,
         pop=pop,
         merged_trace=merged_trace,
+        missing_ranks=missing_ranks,
+        health=health,
     )
 
 
@@ -312,6 +410,16 @@ class RebalanceIteration:
     def parallel_efficiency(self) -> float:
         return self.outcome.pop.app.parallel_efficiency
 
+    @property
+    def degraded(self) -> bool:
+        """True when this iteration measured only part of the world.
+
+        A degraded measurement is unusable for rebalancing decisions —
+        its POP metrics describe the survivors, not the world — so the
+        loop neither steps from it nor reports it as an improvement.
+        """
+        return bool(self.outcome.missing_ranks)
+
 
 @dataclass
 class RebalanceOutcome:
@@ -336,8 +444,14 @@ class RebalanceOutcome:
         Picking the best rather than the last guarantees rebalancing
         never *worsens* the measured POP efficiency: the baseline is in
         the history, so the final PE is at least the unbalanced PE.
+        Degraded iterations are never candidates — a PE computed from a
+        partial world is not comparable to a full measurement, so a
+        rebalance "improvement" is never reported from partial data.
         """
-        return max(self.history, key=lambda it: (it.parallel_efficiency, -it.index))
+        candidates = [it for it in self.history if not it.degraded]
+        if not candidates:
+            return self.history[0]
+        return max(candidates, key=lambda it: (it.parallel_efficiency, -it.index))
 
     @property
     def iterations(self) -> int:
@@ -396,6 +510,9 @@ def run_rebalanced(
     talp_bug_modulus: int | None = None,
     config_name: str = "",
     tracing: bool = False,
+    faults: FaultSpec | None = None,
+    degraded: str = "forbid",
+    processes: int | None = None,
 ) -> RebalanceOutcome:
     """Close the DLB loop: measure, lend/borrow, re-run until balanced.
 
@@ -415,6 +532,13 @@ def run_rebalanced(
     iteration history, and serial/multiprocessing backends produce
     bit-identical trajectories (the policy only ever sees reducer
     outputs, which are backend-invariant).
+
+    Under ``degraded="allow"`` with lost ranks the loop degrades
+    gracefully instead of crashing: a degraded *baseline* yields no
+    rebalancing at all (there is no full measurement to step from), and
+    a degraded *iteration* ends the loop — its partial measurement is
+    recorded in the history but never used to compute the next DLB step
+    and never reported as the final/improved state.
     """
     import numpy as np
 
@@ -438,6 +562,9 @@ def run_rebalanced(
         talp_bug_modulus=talp_bug_modulus,
         config_name=config_name,
         tracing=tracing,
+        faults=faults,
+        degraded=degraded,
+        processes=processes,
     )
     base_factors = imbalance.factors(ranks)
     current = run_multirank(built, imbalance=imbalance, **common)
@@ -451,6 +578,17 @@ def run_rebalanced(
             index=0, capacities=capacities, step=None, outcome=current
         )
     ]
+    if current.missing_ranks:
+        # degraded baseline: a partial measurement cannot seed a
+        # lend/borrow step — skip rebalancing entirely rather than
+        # redistributing CPUs based on whoever happened to survive
+        return RebalanceOutcome(
+            policy=dlb,
+            ranks=ranks,
+            spec=imbalance,
+            history=history,
+            converged=False,
+        )
     converged = False
     for index in range(1, max_iterations + 1):
         useful = np.array(
@@ -474,6 +612,11 @@ def run_rebalanced(
                 index=index, capacities=capacities, step=step, outcome=current
             )
         )
+        if current.missing_ranks:
+            # degraded re-run: record it for the post-mortem but stop —
+            # the next DLB step must not be computed from partial data
+            # (and `final` never reports a degraded iteration)
+            break
         if current.pop.app.parallel_efficiency <= previous_pe + dlb.tolerance:
             # no further measurable gain — the loop has converged (the
             # final state is the best iteration, so a last overshooting

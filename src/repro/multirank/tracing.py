@@ -152,6 +152,15 @@ class MergedTrace:
     events_per_rank: tuple[int, ...]
     #: per-rank aligned event streams (rank order), kept for analyses
     per_rank: list[list[RankedTraceEvent]] = field(default_factory=list)
+    #: true rank ids of the streams (position -> rank id); set when the
+    #: merge covers a partial world (degraded run) so lanes keep their
+    #: original identity — empty means positional (rank i at index i)
+    rank_ids: tuple[int, ...] = ()
+
+    @property
+    def rank_labels(self) -> tuple[int, ...]:
+        """Rank id of each stream position (identity when not degraded)."""
+        return self.rank_ids if self.rank_ids else tuple(range(self.ranks))
 
     @property
     def rank_wait_cycles(self) -> tuple[float, ...]:
@@ -189,7 +198,7 @@ class MergedTrace:
                     f"merged stream out of order at rank {ev.rank} {ev.region}"
                 )
             last_key = key
-        for rank, stream in enumerate(self.per_rank):
+        for rank, stream in zip(self.rank_labels, self.per_rank):
             for problem in validate_trace([ev.untagged() for ev in stream]):
                 problems.append(f"rank {rank}: {problem}")
         return problems
@@ -205,16 +214,17 @@ class MergedTrace:
         exceeding ``min_wait_cycles`` are dropped — the bottleneck rank
         itself never appears.
         """
+        labels = self.rank_labels
         intervals = [
             WaitInterval(
-                rank=rank,
+                rank=labels[pos],
                 sync_index=sp.index,
                 op=sp.op,
                 begin_cycles=sp.aligned_cycles - wait,
                 end_cycles=sp.aligned_cycles,
             )
             for sp in self.sync_points
-            for rank, wait in enumerate(sp.wait_cycles)
+            for pos, wait in enumerate(sp.wait_cycles)
             if wait > min_wait_cycles
         ]
         intervals.sort(key=lambda w: (-w.wait_cycles, w.sync_index, w.rank))
@@ -252,17 +262,18 @@ class MergedTrace:
             )
             for rank in range(self.ranks)
         ]
+        labels = self.rank_labels
         for seg in range(len(ops) - 1):
             durations = [end - begin for begin, end in windows[seg]]
-            rank = max(range(self.ranks), key=lambda r: (durations[r], -r))
+            pos = max(range(self.ranks), key=lambda r: (durations[r], -r))
             segments.append(
                 CriticalSegment(
                     index=seg,
                     begin_op=ops[seg],
                     end_op=ops[seg + 1],
-                    rank=rank,
-                    duration_cycles=durations[rank],
-                    top_region=tops[rank][seg],
+                    rank=labels[pos],
+                    duration_cycles=durations[pos],
+                    top_region=tops[pos][seg],
                 )
             )
         return segments
@@ -309,10 +320,10 @@ class MergedTrace:
             f"{len(self.sync_points)} sync point(s)",
             "=" * 64,
         ]
-        for rank in range(self.ranks):
+        for pos, rank in enumerate(self.rank_labels):
             lines.append(
-                f"  rank {rank}: {self.events_per_rank[rank]} events, "
-                f"collective wait {self.rank_offsets[rank]:.0f} cycles"
+                f"  rank {rank}: {self.events_per_rank[pos]} events, "
+                f"collective wait {self.rank_offsets[pos]:.0f} cycles"
             )
         waits = self.wait_states(min_wait_cycles=0.0)[:max_wait_states]
         if waits:
@@ -385,6 +396,8 @@ def _alignment_anchors(
 
 def merge_rank_traces(
     per_rank_events: Sequence[Sequence[TraceEvent]],
+    *,
+    rank_ids: "Sequence[int] | None" = None,
 ) -> MergedTrace:
     """Merge N per-rank event streams into one aligned, rank-tagged timeline.
 
@@ -396,11 +409,26 @@ def merge_rank_traces(
     the offset of the preceding one — the wait materialises *at* the
     collective, exactly where a real rank blocks.
 
+    ``rank_ids`` names the true rank of each input stream (ascending) —
+    a degraded run merges only the surviving ranks, and their timeline
+    lanes must keep their original identity instead of being renumbered
+    by list position.  Defaults to positional (stream i is rank i).
+
     The result is deterministic and bit-identical for any backend that
     produced the same per-rank streams (the merge never looks at
     anything but the streams themselves).
     """
     ranks = len(per_rank_events)
+    if rank_ids is not None:
+        ids = tuple(int(r) for r in rank_ids)
+        if len(ids) != ranks:
+            raise ValueError(
+                f"rank_ids names {len(ids)} ranks but {ranks} streams given"
+            )
+        if list(ids) != sorted(set(ids)):
+            raise ValueError("rank_ids must be strictly ascending")
+    else:
+        ids = tuple(range(ranks))
     streams = [list(s) for s in per_rank_events]
     anchors = _alignment_anchors([_sync_sequence(s) for s in streams])
 
@@ -425,8 +453,9 @@ def merge_rank_traces(
         )
 
     aligned_streams: list[list[RankedTraceEvent]] = []
-    for rank, stream in enumerate(streams):
-        plan = schedule[rank]
+    for pos, stream in enumerate(streams):
+        plan = schedule[pos]
+        rank = ids[pos]
         tagged = tag_events(rank, stream)
         if plan:
             shifted: list[RankedTraceEvent] = []
@@ -453,6 +482,7 @@ def merge_rank_traces(
         rank_offsets=tuple(offsets),
         events_per_rank=tuple(len(s) for s in streams),
         per_rank=aligned_streams,
+        rank_ids=ids,
     )
 
 

@@ -137,6 +137,10 @@ class RunOutcome:
     #: passed; ``multirank``/``pop``/``result`` then describe the *final*
     #: (best) rebalanced iteration
     rebalance: "object | None" = None
+    #: per-rank supervision records + world coverage (HealthReport) —
+    #: set on the multi-rank path; carries missing-rank information when
+    #: the run completed degraded (``degraded="allow"``)
+    health: "object | None" = None
 
 
 def run_app(
@@ -156,8 +160,11 @@ def run_app(
     config_name: str = "",
     imbalance: "object | None" = None,
     backend: "str | object" = "serial",
+    processes: int | None = None,
     dlb: "object | None" = None,
     dlb_max_iterations: int = 8,
+    faults: "object | None" = None,
+    degraded: str = "forbid",
 ) -> RunOutcome:
     """Execute one instrumentation/measurement configuration.
 
@@ -189,12 +196,31 @@ def run_app(
     ``outcome.rebalance`` then carries the full iteration history and
     ``outcome.multirank``/``outcome.pop``/``outcome.result`` describe
     the final (best) rebalanced state.
+
+    Fault tolerance (multi-rank path only): ``faults=`` injects a
+    deterministic chaos scenario (a
+    :class:`~repro.multirank.faults.FaultSpec` or the name of a preset
+    in :data:`repro.apps.FAULT_SCENARIOS`), ``backend="supervised"``
+    (or ``"supervised:mp"``) survives it via per-rank deadlines and
+    retries, ``degraded=`` ("forbid"/"allow") decides whether lost
+    ranks abort the run or yield a coverage-annotated partial result,
+    ``processes=`` pins the worker count, and ``outcome.health``
+    reports per-rank attempts/outcomes/latencies.
     """
     if dlb is not None and imbalance is None:
         raise CapiError(
             "dlb rebalancing needs the multi-rank path; pass imbalance= "
             "(ImbalanceSpec() for a uniform world)"
         )
+    if faults is not None and imbalance is None:
+        raise CapiError(
+            "fault injection needs the multi-rank path; pass imbalance= "
+            "(ImbalanceSpec() for a uniform world)"
+        )
+    if isinstance(faults, str):
+        from repro.apps import fault_scenario
+
+        faults = fault_scenario(faults)
     if tracing:
         from repro.multirank.tracing import validate_tracing
 
@@ -218,6 +244,9 @@ def run_app(
             tracing=tracing,
             dlb=dlb,
             dlb_max_iterations=dlb_max_iterations,
+            faults=faults,
+            degraded=degraded,
+            processes=processes,
         )
     if mode == "ic" and ic is None:
         raise CapiError("mode='ic' requires an instrumentation configuration")
@@ -332,6 +361,9 @@ def _run_app_multirank(
     tracing: bool = False,
     dlb: "object | None" = None,
     dlb_max_iterations: int = 8,
+    faults: "object | None" = None,
+    degraded: str = "forbid",
+    processes: int | None = None,
 ) -> RunOutcome:
     """Dispatch to the multirank subsystem and fold into a RunOutcome."""
     from repro.multirank import run_multirank, run_rebalanced
@@ -350,6 +382,9 @@ def _run_app_multirank(
         talp_bug_modulus=talp_bug_modulus,
         config_name=config_name,
         tracing=tracing,
+        faults=faults,
+        degraded=degraded,
+        processes=processes,
     )
     rebalance = None
     if dlb is not None:
@@ -370,6 +405,7 @@ def _run_app_multirank(
         pop=mr.pop,
         merged_trace=mr.merged_trace,
         rebalance=rebalance,
+        health=mr.health,
     )
 
 

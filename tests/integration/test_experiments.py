@@ -103,6 +103,81 @@ class TestDlbTable:
         )
 
 
+class TestHealthAlerts:
+    def test_no_alerts_for_healthy_or_unsupervised_runs(self):
+        from repro.experiments.anomalies import render_health_alerts
+        from repro.multirank.faults import HealthReport, RankHealth
+
+        assert render_health_alerts(None) == []
+        healthy = HealthReport(
+            ranks=2,
+            per_rank=(
+                RankHealth(rank=0, outcome="ok", attempts=1, latency_seconds=0.1),
+                RankHealth(rank=1, outcome="ok", attempts=1, latency_seconds=0.1),
+            ),
+        )
+        assert render_health_alerts(healthy) == []
+        unsupervised = HealthReport(ranks=4, per_rank=None)
+        assert render_health_alerts(unsupervised) == []
+
+    def test_retried_lost_and_degraded_alerts(self):
+        from repro.experiments.anomalies import render_health_alerts
+        from repro.multirank.faults import HealthReport, RankHealth
+
+        health = HealthReport(
+            ranks=3,
+            per_rank=(
+                RankHealth(
+                    rank=0, outcome="ok", attempts=2, latency_seconds=0.2,
+                    failures=("attempt 1: InjectedFaultError: boom",),
+                ),
+                RankHealth(rank=1, outcome="ok", attempts=1, latency_seconds=0.1),
+                RankHealth(
+                    rank=2, outcome="lost", attempts=3, latency_seconds=0.4,
+                    failures=(
+                        "attempt 1: InjectedFaultError: boom",
+                        "attempt 2: InjectedFaultError: boom",
+                        "attempt 3: InjectedFaultError: boom",
+                    ),
+                ),
+            ),
+            missing_ranks=(2,),
+        )
+        alerts = render_health_alerts(health)
+        assert len(alerts) == 3
+        assert alerts[0].startswith("ALERT retried rank=0 attempts=2")
+        assert alerts[1].startswith("ALERT lost rank=2 attempts=3")
+        assert "coverage=66.7%" in alerts[2]
+        assert "missing_ranks=[2]" in alerts[2]
+
+    def test_check_faults_cli_flags_parse(self):
+        from repro.experiments import anomalies
+
+        parser_probe = [
+            "--check-faults", "--nodes", "120", "--ranks", "4",
+            "--deadline-seconds", "5.0", "--max-lost-fraction", "0.25",
+        ]
+        # parse-only probe: swap the smoke out so main() stays fast
+        recorded = {}
+
+        def fake_check_faults(**kwargs):
+            recorded.update(kwargs)
+            return 0
+
+        original = anomalies.check_faults
+        anomalies.check_faults = fake_check_faults
+        try:
+            assert anomalies.main(parser_probe) == 0
+        finally:
+            anomalies.check_faults = original
+        assert recorded == {
+            "target_nodes": 120,
+            "ranks": 4,
+            "deadline_seconds": 5.0,
+            "max_lost_fraction": 0.25,
+        }
+
+
 class TestAnomalies:
     def test_report_and_rendering(self):
         report = compute_anomalies(

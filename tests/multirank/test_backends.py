@@ -13,6 +13,7 @@ from repro.multirank import (
     ImbalanceSpec,
     MultiprocessingBackend,
     SerialBackend,
+    SupervisedBackend,
     flatten_merged,
     resolve_backend,
     run_multirank,
@@ -71,6 +72,36 @@ class TestBackendResolution:
         with pytest.raises(CapiError):
             resolve_backend(object())
 
+    def test_worker_count_suffix(self):
+        assert resolve_backend("mp:4").processes == 4
+        assert resolve_backend("multiprocessing:2").processes == 2
+
+    def test_processes_kwarg(self):
+        assert resolve_backend("mp", processes=3).processes == 3
+        # agreeing suffix and kwarg are fine; disagreeing ones are not
+        assert resolve_backend("mp:4", processes=4).processes == 4
+        with pytest.raises(CapiError):
+            resolve_backend("mp:4", processes=2)
+
+    def test_worker_count_misuse_rejected(self):
+        with pytest.raises(CapiError):
+            resolve_backend("serial", processes=2)
+        with pytest.raises(CapiError):
+            resolve_backend("mp:2:3")
+        with pytest.raises(CapiError):
+            resolve_backend(SerialBackend(), processes=2)
+        with pytest.raises(CapiError):
+            MultiprocessingBackend(processes=0)
+
+    def test_supervised_names(self):
+        sup = resolve_backend("supervised")
+        assert isinstance(sup, SupervisedBackend) and sup.inner == "serial"
+        assert resolve_backend("supervised:mp").inner == "multiprocessing"
+        sized = resolve_backend("supervised:mp:4")
+        assert sized.inner == "multiprocessing" and sized.processes == 4
+        with pytest.raises(CapiError):
+            resolve_backend("mp:fast")  # inner suffix is supervised-only
+
 
 class TestBackendEquivalence:
     @settings(
@@ -104,15 +135,42 @@ class TestBackendEquivalence:
     def test_empty_task_list_handled(self, demo_app):
         assert MultiprocessingBackend().map_ranks(demo_app, []) == []
 
-    def test_spawn_fallback_warns(self, monkeypatch):
-        """No silent degradation: when 'fork' is unavailable the backend
-        must warn that bit-identical-to-serial no longer holds."""
+    @pytest.mark.parametrize(
+        "methods, fallback",
+        [
+            (["spawn"], "spawn"),
+            (["forkserver"], "forkserver"),
+            (["spawn", "forkserver"], "spawn"),
+        ],
+    )
+    def test_spawn_fallback_warns(self, monkeypatch, methods, fallback):
+        """No silent degradation: whenever 'fork' is unavailable —
+        spawn-only, forkserver-only or both — the backend must warn that
+        bit-identical-to-serial no longer holds and name the fallback."""
         monkeypatch.setattr(
             "repro.multirank.backends.multiprocessing.get_all_start_methods",
-            lambda: ["spawn"],
+            lambda: methods,
         )
-        with pytest.warns(RuntimeWarning, match="bit-identical"):
+        monkeypatch.setattr(
+            "repro.multirank.backends.multiprocessing.get_start_method",
+            lambda allow_none=False: fallback,
+        )
+        with pytest.warns(RuntimeWarning, match="bit-identical") as caught:
             MultiprocessingBackend._context()
+        assert any(fallback in str(w.message) for w in caught)
+
+    def test_uninitialised_worker_is_explicit_error(self, demo_app, demo_ic):
+        """The worker guard is a real exception (assert would vanish
+        under ``python -O``) and names the rank it caught."""
+        from repro.multirank.backends import _run_in_worker
+        from repro.multirank.scheduler import build_tasks
+
+        task = build_tasks(
+            ranks=2, imbalance=ImbalanceSpec(), mode="ic", tool="scorep",
+            ic=demo_ic, workload=WL,
+        )[1]
+        with pytest.raises(CapiError, match="rank 1"):
+            _run_in_worker(task)
 
     @pytest.mark.skipif(
         "fork" not in multiprocessing.get_all_start_methods(),
@@ -140,3 +198,20 @@ class TestBackendEquivalence:
         )
         assert out.backend == "multiprocessing"
         assert len(out.per_rank) == 3
+
+    def test_processes_kwarg_end_to_end(self, demo_app, demo_ic):
+        """run_multirank(processes=N) pins the pool width via
+        resolve_backend, equivalent to backend='mp:N'."""
+        kwargs = dict(
+            ranks=3,
+            imbalance=ImbalanceSpec(imbalance=0.2, seed=4),
+            mode="ic",
+            tool="scorep",
+            ic=demo_ic,
+            workload=WL,
+        )
+        by_kwarg = run_multirank(
+            demo_app, backend="mp", processes=2, **kwargs
+        )
+        by_suffix = run_multirank(demo_app, backend="mp:2", **kwargs)
+        assert _merged_as_dicts(by_kwarg) == _merged_as_dicts(by_suffix)
