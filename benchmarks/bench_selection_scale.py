@@ -63,6 +63,10 @@ MULTIRANK_RANKS = 8
 #: backend when no fault fires
 SUPERVISED_OVERHEAD_CEILING = 0.10
 
+#: acceptance ceiling: consuming the streaming merge must peak below
+#: half the traced memory of loading every rank and merging in memory
+TRACE_MEMORY_RATIO_CEILING = 0.5
+
 #: Table II cells exercised for the engine comparison (config kwargs)
 ENGINE_CELLS = (
     ("vanilla/-", dict(mode="vanilla")),
@@ -653,6 +657,105 @@ def measure_dlb_rebalance(prepared, ranks: int = MULTIRANK_RANKS) -> dict:
     }
 
 
+def measure_trace_pipeline(prepared, ranks: int = MULTIRANK_RANKS) -> dict:
+    """Durable trace pipeline: write throughput, streaming-merge memory.
+
+    Runs one traced multi-rank cell with ``trace_dir=`` persistence,
+    asserts the streamed-from-disk timeline is bit-identical to the
+    in-memory merge and that the watchdog stays silent on the healthy
+    archive, then measures (a) location-write throughput (events/s
+    through :class:`TraceWriter`) and (b) peak traced memory of
+    consuming the streaming merge vs. loading + merging in memory —
+    the bounded-memory claim, asserted as a ratio ceiling.  The
+    archive's collective-wait fraction is recorded as
+    ``healthy_wait_fraction``: the watchdog's regression baseline.
+    """
+    import tempfile
+    import tracemalloc
+
+    from repro.multirank import ImbalanceSpec, merge_rank_traces
+    from repro.trace import load_location, open_merged_trace, scan_run
+    from repro.trace.store import TraceWriter
+    from repro.workflow import run_app
+
+    ic = prepared.select_all()["mpi"].ic
+    spec = ImbalanceSpec(imbalance=0.3, seed=17)
+    with tempfile.TemporaryDirectory() as td:
+        t0 = time.perf_counter()
+        out = run_app(
+            prepared.app,
+            mode="ic",
+            tool="scorep",
+            ic=ic,
+            ranks=ranks,
+            imbalance=spec,
+            backend="serial",
+            tracing=True,
+            trace_dir=td,
+            config_name="bench-trace",
+        )
+        run_seconds = time.perf_counter() - t0
+        streamed = open_merged_trace(td)
+        if list(streamed.events()) != list(out.merged_trace.events):
+            raise AssertionError(
+                "streamed-from-disk merge differs from the in-memory timeline"
+            )
+        if scan_run(td):
+            raise AssertionError("watchdog alerted on a healthy bench archive")
+        total_events = sum(streamed.events_per_rank)
+        wait_fraction = (
+            sum(streamed.rank_offsets)
+            / (streamed.ranks * streamed.elapsed_cycles)
+            if streamed.elapsed_cycles > 0
+            else 0.0
+        )
+
+        # write throughput: stream rank 0's events through a fresh writer
+        events = load_location(td, 0)
+        with tempfile.TemporaryDirectory() as wtd:
+            def rewrite():
+                writer = TraceWriter(wtd, 0)
+                writer.write_events(events)
+                writer.close()
+
+            write_seconds = _best_of(rewrite)
+        write_throughput = len(events) / write_seconds
+
+        # peak traced memory: load-everything-and-merge vs streaming
+        rank_ids = streamed.rank_ids
+        del out, streamed, events
+        tracemalloc.start()
+        streams = [load_location(td, rank) for rank in rank_ids]
+        merged = merge_rank_traces(streams, rank_ids=rank_ids)
+        _, in_memory_peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        del merged, streams
+        tracemalloc.start()
+        consumed = 0
+        for _ in open_merged_trace(td).events():
+            consumed += 1
+        _, streaming_peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        if consumed != total_events:
+            raise AssertionError(
+                f"streaming merge yielded {consumed} of {total_events} events"
+            )
+    memory_ratio = streaming_peak / in_memory_peak
+    return {
+        "ranks": ranks,
+        "events": total_events,
+        "run_seconds": run_seconds,
+        "write_events_per_second": write_throughput,
+        "in_memory_peak_bytes": in_memory_peak,
+        "streaming_peak_bytes": streaming_peak,
+        "memory_ratio": memory_ratio,
+        "memory_ratio_ceiling": TRACE_MEMORY_RATIO_CEILING,
+        "healthy_wait_fraction": wait_fraction,
+        "bit_identical": True,
+        "watchdog_silent": True,
+    }
+
+
 def collect_record(scale: int = BENCH_SCALE, ranks: int = MULTIRANK_RANKS) -> dict:
     prepared = prepare_app("openfoam", scale)
     selection = measure_selection(prepared)
@@ -661,6 +764,7 @@ def collect_record(scale: int = BENCH_SCALE, ranks: int = MULTIRANK_RANKS) -> di
     multirank = measure_multirank(prepared, ranks)
     supervised = measure_supervised_overhead(prepared, ranks)
     dlb_rebalance = measure_dlb_rebalance(prepared, ranks)
+    trace_pipeline = measure_trace_pipeline(prepared, ranks)
     return {
         "benchmark": "bench_selection_scale",
         "app": "openfoam",
@@ -671,11 +775,13 @@ def collect_record(scale: int = BENCH_SCALE, ranks: int = MULTIRANK_RANKS) -> di
         "multirank": multirank,
         "supervised_overhead": supervised,
         "dlb_rebalance": dlb_rebalance,
+        "trace_pipeline": trace_pipeline,
         "floors": {
             "selection": SELECTION_FLOOR,
             "engine": ENGINE_FLOOR,
             "analysis": ANALYSIS_FLOOR,
             "supervised_overhead_ceiling": SUPERVISED_OVERHEAD_CEILING,
+            "trace_memory_ratio_ceiling": TRACE_MEMORY_RATIO_CEILING,
         },
     }
 
@@ -709,6 +815,9 @@ def test_selection_scale_speedup_and_record(benchmark, openfoam_prepared):
         dlb["pop_after"]["parallel_efficiency"]
         > dlb["pop_before"]["parallel_efficiency"]
     ), dlb
+    tp = record["trace_pipeline"]
+    assert tp["bit_identical"] and tp["watchdog_silent"], tp
+    assert tp["memory_ratio"] < TRACE_MEMORY_RATIO_CEILING, tp
     graph = openfoam_prepared.app.graph
     entry = PipelineBuilder().build(load_spec(PAPER_SPECS["mpi"]))[0]
     result = benchmark(lambda: evaluate_pipeline(entry, graph))
@@ -757,12 +866,21 @@ def main() -> int:
           f"{dlb['pop_before']['parallel_efficiency']:.3f} -> "
           f"{dlb['pop_after']['parallel_efficiency']:.3f} in "
           f"{dlb['iterations']} iteration(s) ({dlb['seconds']:.3f}s)")
+    tp = record["trace_pipeline"]
+    print(f"trace:     {tp['events']} events, write "
+          f"{tp['write_events_per_second']:,.0f} ev/s, streaming peak "
+          f"{tp['streaming_peak_bytes'] / 1e6:.1f}MB vs in-memory "
+          f"{tp['in_memory_peak_bytes'] / 1e6:.1f}MB "
+          f"(ratio {tp['memory_ratio']:.2f}, ceiling "
+          f"{TRACE_MEMORY_RATIO_CEILING}), wait fraction "
+          f"{tp['healthy_wait_fraction']:.4f}, bit-identical")
     print(f"record written to {path}")
     ok = (
         sel["speedup"] >= SELECTION_FLOOR
         and eng["speedup"] >= ENGINE_FLOOR
         and ana["speedup"] >= ANALYSIS_FLOOR
         and sup["overhead"] < SUPERVISED_OVERHEAD_CEILING
+        and tp["memory_ratio"] < TRACE_MEMORY_RATIO_CEILING
     )
     return 0 if ok else 1
 

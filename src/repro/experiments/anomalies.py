@@ -120,31 +120,14 @@ def render_health_alerts(health: HealthReport | None) -> list[str]:
     One ``ALERT`` line per retried rank (recovered, but only after
     failures), per lost rank (retries exhausted), and one for degraded
     POP coverage.  An empty list means the run was perfectly healthy.
+
+    This is a text *view* over the shared structured records: the same
+    :func:`repro.trace.alerts.health_alerts` list the watchdog
+    serialises as JSONL, rendered line by line.
     """
-    if health is None:
-        return []
-    alerts: list[str] = []
-    by_rank = {h.rank: h for h in health.per_rank or ()}
-    for rank in health.retried_ranks:
-        h = by_rank[rank]
-        alerts.append(
-            f"ALERT retried rank={rank} attempts={h.attempts} "
-            f"last_failure={h.failures[-1]!r}"
-        )
-    for rank in health.lost_ranks:
-        h = by_rank.get(rank)
-        detail = (
-            f"attempts={h.attempts} last_failure={h.failures[-1]!r}"
-            if h is not None and h.failures
-            else "no supervision record"
-        )
-        alerts.append(f"ALERT lost rank={rank} {detail}")
-    if health.degraded:
-        alerts.append(
-            f"ALERT degraded coverage={health.coverage:.1%} "
-            f"missing_ranks={list(health.missing_ranks)}"
-        )
-    return alerts
+    from repro.trace.alerts import health_alerts
+
+    return [alert.render() for alert in health_alerts(health)]
 
 
 #: presets whose faults a supervisor must absorb completely: every rank
@@ -294,7 +277,61 @@ def main(argv: list[str] | None = None) -> int:
         help="tolerated fraction of lost ranks across the recoverable "
         "presets before the smoke exits 1 (default: 0.0)",
     )
+    parser.add_argument(
+        "--watch",
+        metavar="DIR",
+        default=None,
+        help="watchdog mode: tail DIR for trace archives, emit JSONL "
+        "alerts on stdout (human summary on stderr)",
+    )
+    parser.add_argument(
+        "--once",
+        action="store_true",
+        help="with --watch: scan once and exit instead of looping",
+    )
+    parser.add_argument(
+        "--interval",
+        type=float,
+        default=5.0,
+        help="with --watch: seconds between scans (default: 5)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="with --watch: BENCH_selection.json supplying the "
+        "trace_pipeline.healthy_wait_fraction baseline",
+    )
+    parser.add_argument(
+        "--wait-slack",
+        type=float,
+        default=2.0,
+        help="with --watch: multiplier on the baseline wait fraction "
+        "before a wait-regression alert fires (default: 2.0)",
+    )
+    parser.add_argument(
+        "--alerts-file",
+        default=None,
+        help="with --watch: also append the JSONL alerts to this file",
+    )
+    parser.add_argument(
+        "--fail-on-alert",
+        action="store_true",
+        help="with --watch: exit 1 if any alert fired (for CI smokes)",
+    )
     args = parser.parse_args(argv)
+    if args.watch is not None:
+        from repro.trace.watchdog import WatchConfig, watch
+
+        total = watch(
+            args.watch,
+            once=args.once,
+            interval=args.interval,
+            config=WatchConfig(
+                baseline_path=args.baseline, wait_slack=args.wait_slack
+            ),
+            alerts_file=args.alerts_file,
+        )
+        return 1 if (args.fail_on_alert and total > 0) else 0
     if args.check_faults:
         return check_faults(
             target_nodes=args.nodes,

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro._util import format_table
 from repro.experiments.runner import (
@@ -69,7 +70,8 @@ class TraceRow:
     flagged_ranks: tuple[int, ...]
     #: the same flag set derived from the reducer's attribution
     reducer_flagged_ranks: tuple[int, ...]
-    validation_problems: tuple[str, ...]
+    #: TraceIssue records from MergedTrace.validate() (str() for text)
+    validation_problems: tuple
     #: the agreement tolerance the flags were derived under (cycles)
     tolerance_cycles: float
 
@@ -97,8 +99,13 @@ def compute_trace_row(
     ranks: int = 4,
     backend: str = "serial",
     workload=None,
+    trace_dir: str | None = None,
 ) -> tuple[TraceRow, RunOutcome]:
-    """Run one traced multi-rank cell and derive its consistency row."""
+    """Run one traced multi-rank cell and derive its consistency row.
+
+    ``trace_dir=`` persists the per-rank streams to an OTF2-shaped
+    archive (the merged timeline is then built from disk).
+    """
     from repro.apps import scenario
 
     outcome = run_app(
@@ -112,6 +119,7 @@ def compute_trace_row(
         tracing=True,
         workload=workload or DEFAULT_WORKLOAD,
         config_name=f"trace-{scenario_name}",
+        trace_dir=trace_dir,
     )
     merged: MergedTrace = outcome.merged_trace
     tolerance = collective_latency(ranks)
@@ -144,15 +152,27 @@ def compute_trace_table(
     scales: dict[str, int] | None = None,
     ranks: int = 4,
     backend: str = "serial",
+    trace_dir: str | None = None,
 ) -> list[tuple[TraceRow, RunOutcome]]:
     scales = scales or DEFAULT_SCALES
     cells: list[tuple[TraceRow, RunOutcome]] = []
     for app_name in apps:
         prepared = prepare_app(app_name, scales.get(app_name))
         for scenario_name in scenarios:
+            cell_dir = None
+            if trace_dir is not None:
+                # one archive per cell so backends/scenarios never
+                # overwrite each other's location files
+                cell_dir = str(
+                    Path(trace_dir) / f"{app_name}-{scenario_name}-{backend}"
+                )
             cells.append(
                 compute_trace_row(
-                    prepared, scenario_name, ranks=ranks, backend=backend
+                    prepared,
+                    scenario_name,
+                    ranks=ranks,
+                    backend=backend,
+                    trace_dir=cell_dir,
                 )
             )
     return cells
@@ -223,6 +243,20 @@ def main(argv: list[str] | None = None) -> int:
         help="exit non-zero unless every merged trace validates clean and "
         "agrees with the reducer's wait attribution",
     )
+    parser.add_argument(
+        "--trace-dir",
+        default=None,
+        help="persist each cell's per-rank streams as an OTF2-shaped "
+        "archive under DIR/<app>-<scenario>-<backend>; with --check the "
+        "streaming merge from disk must be bit-identical to the "
+        "in-memory merge",
+    )
+    parser.add_argument(
+        "--wait-states",
+        action="store_true",
+        help="also print each cell's classified wait states "
+        "(late-sender / late-receiver / imbalance-at-collective)",
+    )
     args = parser.parse_args(argv)
     apps = ("lulesh", "openfoam") if args.app == "both" else (args.app,)
     scenarios = tuple(args.scenario) if args.scenario else TRACE_SCENARIOS
@@ -239,6 +273,7 @@ def main(argv: list[str] | None = None) -> int:
         cells_b = compute_trace_table(
             apps, scenarios=scenarios, scales=scales,
             ranks=args.ranks, backend=backend,
+            trace_dir=args.trace_dir,
         )
         if backend == backends[0]:
             reference = cells_b
@@ -254,6 +289,40 @@ def main(argv: list[str] | None = None) -> int:
         for row, outcome in cells:
             print(f"\n--- {row.app}/{row.scenario} ({row.backend}) ---")
             print(outcome.merged_trace.render())
+    if args.wait_states:
+        from repro.trace import classify_wait_states, render_wait_state_report
+
+        for row, outcome in cells:
+            waits = classify_wait_states(outcome.merged_trace)
+            print(f"\n--- {row.app}/{row.scenario} ({row.backend}) ---")
+            print(render_wait_state_report(waits))
+
+    # streaming merge from the on-disk archive must reproduce the
+    # in-memory timeline exactly — the durable pipeline's core promise
+    streaming_mismatches: list[str] = []
+    if args.trace_dir is not None:
+        from repro.trace import open_merged_trace
+
+        for row, outcome in cells:
+            cell_dir = (
+                Path(args.trace_dir)
+                / f"{row.app}-{row.scenario}-{row.backend}"
+            )
+            streamed = open_merged_trace(str(cell_dir))
+            if list(streamed.events()) != list(outcome.merged_trace.events):
+                streaming_mismatches.append(
+                    f"{row.app}/{row.scenario} ({row.backend})"
+                )
+        for cell in streaming_mismatches:
+            print(
+                f"STREAMING MISMATCH: {cell}: disk-streamed merge differs "
+                f"from the in-memory timeline"
+            )
+        if args.check and not streaming_mismatches:
+            print(
+                f"STREAMING OK: {len(cells)} archive(s) stream-merge "
+                f"bit-identical to the in-memory timelines"
+            )
 
     # the bit-identity promise of --backend both holds with or without
     # --check: a mismatch is always reported and always fails the run
@@ -269,7 +338,8 @@ def main(argv: list[str] | None = None) -> int:
             if row.validation_problems:
                 failures.append(
                     f"{row.app}/{row.scenario} ({row.backend}): trace "
-                    f"validation: {'; '.join(row.validation_problems[:3])}"
+                    f"validation: "
+                    f"{'; '.join(str(p) for p in row.validation_problems[:3])}"
                 )
             if not row.waits_agree:
                 failures.append(
@@ -288,7 +358,7 @@ def main(argv: list[str] | None = None) -> int:
             )
         if failures:
             return 1
-    return 1 if mismatched_backends else 0
+    return 1 if (mismatched_backends or streaming_mismatches) else 0
 
 
 if __name__ == "__main__":

@@ -79,7 +79,10 @@ from repro.multirank.tracing import (
     MergedTrace,
     SyncPoint,
     WaitInterval,
+    align_stream,
+    compute_alignment,
     merge_rank_traces,
+    segment_windows,
     validate_tracing,
 )
 
@@ -109,10 +112,12 @@ __all__ = [
     "SupervisedBackend",
     "SyncPoint",
     "WaitInterval",
+    "align_stream",
     "apply_step",
     "build_pop_report",
     "build_tasks",
     "check_rank_result",
+    "compute_alignment",
     "execute_rank",
     "flatten_merged",
     "make_lewi_agents",
@@ -121,5 +126,6 @@ __all__ = [
     "resolve_backend",
     "run_multirank",
     "run_rebalanced",
+    "segment_windows",
     "validate_tracing",
 ]

@@ -218,7 +218,10 @@ def corrupt_result(task, result):
     * ``profile`` — the root call path's inclusive cycles become NaN
       (a torn shared-memory read / truncated pickle shape);
     * ``trace`` — the event stream loses its tail, dropping the final
-      ``MPI_Finalize`` marker and leaving regions unclosed.
+      ``MPI_Finalize`` marker and leaving regions unclosed.  With an
+      on-disk trace (``trace_dir``) the published location file itself
+      is byte-truncated — a half-written archive, exactly what a real
+      mid-write crash leaves behind.
 
     Both damages are exactly what :func:`check_rank_result` screens
     for, so the supervisor retries instead of poisoning the reduction.
@@ -234,6 +237,13 @@ def corrupt_result(task, result):
         return replace(result, profile=profile)
     if plan.corrupt_target == "trace" and result.trace:
         return replace(result, trace=result.trace[: len(result.trace) // 2])
+    if plan.corrupt_target == "trace" and result.trace_meta is not None:
+        from pathlib import Path
+
+        path = Path(result.trace_meta.path)
+        if path.exists():
+            data = path.read_bytes()
+            path.write_bytes(data[: len(data) // 2])
     return result
 
 
@@ -282,7 +292,22 @@ def check_rank_result(result, *, tracing: bool = False) -> None:
     if tracing:
         from repro.scorep.tracing import TraceEventKind, validate_trace
 
-        if not result.trace:
+        trace = result.trace
+        if trace is None and getattr(result, "trace_meta", None) is not None:
+            # on-disk trace: read the published location file back under
+            # the strict (footer-checked) reader, so byte truncation —
+            # the disk flavour of the corrupt fault — fails the gate
+            from repro.trace.store import TraceStoreError, load_location_file
+
+            try:
+                trace = load_location_file(result.trace_meta.path)
+            except TraceStoreError as exc:
+                raise RankFailedError(
+                    f"rank {result.rank} published an unreadable location "
+                    f"file: {exc}",
+                    rank=result.rank,
+                ) from exc
+        if not trace:
             raise RankFailedError(
                 f"rank {result.rank} returned no event trace although "
                 f"tracing was requested",
@@ -290,14 +315,14 @@ def check_rank_result(result, *, tracing: bool = False) -> None:
             )
         if not any(
             ev.kind is TraceEventKind.MPI and ev.region == "MPI_Finalize"
-            for ev in result.trace
+            for ev in trace
         ):
             raise RankFailedError(
                 f"rank {result.rank} returned a truncated event trace "
                 f"(no MPI_Finalize marker)",
                 rank=result.rank,
             )
-        problems = validate_trace(list(result.trace))
+        problems = validate_trace(list(trace))
         if problems:
             raise RankFailedError(
                 f"rank {result.rank} returned an inconsistent event trace: "

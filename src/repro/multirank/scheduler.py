@@ -87,6 +87,10 @@ class RankTask:
     in_child: bool = False
     #: the supervisor's per-rank deadline (None: unsupervised)
     deadline_seconds: float | None = None
+    #: OTF2-shaped archive directory: the rank writes its own location
+    #: file there (inside the worker — trace payloads never ride the
+    #: result pickle) instead of returning events in ``trace``
+    trace_dir: str | None = None
 
 
 @dataclass(frozen=True)
@@ -98,8 +102,11 @@ class RankResult:
     #: Score-P call-path profile in ``profile_io.to_dict`` form
     profile: dict | None = None
     talp_regions: tuple[RegionSample, ...] = ()
-    #: the rank's event-trace stream (``tracing=True`` + scorep tool)
+    #: the rank's event-trace stream (``tracing=True`` + scorep tool);
+    #: ``None`` when the trace went to disk instead (``trace_dir``)
     trace: tuple[TraceEvent, ...] | None = None
+    #: on-disk location summary (LocationMeta) when ``trace_dir`` was set
+    trace_meta: "object | None" = None
 
 
 @dataclass
@@ -168,6 +175,7 @@ def build_tasks(
     config_name: str = "",
     tracing: bool = False,
     faults: FaultSpec | None = None,
+    trace_dir: str | None = None,
 ) -> list[RankTask]:
     """One task per rank, workloads perturbed by the imbalance spec."""
     workloads = imbalance.workloads_for(ranks, workload)
@@ -188,6 +196,7 @@ def build_tasks(
             config_name=config_name,
             tracing=tracing,
             fault=fault_plan.get(rank),
+            trace_dir=trace_dir,
         )
         for rank in range(ranks)
     ]
@@ -219,6 +228,9 @@ def execute_rank(built, task: RankTask) -> RankResult:
         talp_bug_modulus=task.talp_bug_modulus,
         config_name=task.config_name,
         tracing=task.tracing,
+        trace_dir=task.trace_dir,
+        trace_location=task.rank,
+        trace_standalone=False,
     )
     profile = (
         to_dict(outcome.scorep_profile) if outcome.scorep_profile is not None else None
@@ -236,7 +248,7 @@ def execute_rank(built, task: RankTask) -> RankResult:
             for region in outcome.monitor.regions.values()
         )
     trace: tuple[TraceEvent, ...] | None = None
-    if outcome.tracer is not None:
+    if outcome.tracer is not None and task.trace_dir is None:
         trace = tuple(outcome.tracer.all_events())
     return corrupt_result(
         task,
@@ -246,6 +258,7 @@ def execute_rank(built, task: RankTask) -> RankResult:
             profile=profile,
             talp_regions=regions,
             trace=trace,
+            trace_meta=outcome.trace_meta,
         ),
     )
 
@@ -270,12 +283,21 @@ def run_multirank(
     faults: FaultSpec | None = None,
     degraded: str = "forbid",
     processes: int | None = None,
+    trace_dir: str | None = None,
 ) -> MultiRankOutcome:
     """Execute ``built`` across ``ranks`` simulated ranks and reduce.
 
     ``tracing=True`` (scorep tool only) additionally records one event
     trace per rank and merges them into a rank-tagged,
     collective-aligned timeline (``outcome.merged_trace``).
+
+    ``trace_dir=`` (with ``tracing=True``) makes the traces *durable*:
+    every rank writes its own OTF2-shaped location file from inside its
+    worker (no trace payloads in result pickles), and the parent
+    publishes the archive's global definitions plus a ``health.json``
+    supervision record once the world completes.  The merged timeline
+    is then built from the on-disk streams — bit-identical to the
+    in-memory path on every backend.
 
     ``faults`` injects a deterministic chaos scenario
     (:class:`~repro.multirank.faults.FaultSpec`); surviving it needs a
@@ -307,6 +329,8 @@ def run_multirank(
         )
     if tracing:
         validate_tracing(tool, mode)
+    if trace_dir is not None and not tracing:
+        raise CapiError("trace_dir= requires tracing=True")
     tasks = build_tasks(
         ranks=ranks,
         imbalance=imbalance,
@@ -322,6 +346,7 @@ def run_multirank(
         config_name=config_name,
         tracing=tracing,
         faults=faults,
+        trace_dir=trace_dir,
     )
     resolved = resolve_backend(backend, processes=processes)
     per_rank = resolved.map_ranks(built, tasks)
@@ -357,7 +382,37 @@ def run_multirank(
         missing_ranks=missing_ranks,
     )
     merged_trace = None
-    if tracing:
+    if tracing and trace_dir is not None:
+        from repro.trace.store import (
+            load_location,
+            write_definitions,
+            write_health_record,
+        )
+
+        metaless = [r.rank for r in per_rank if r.trace_meta is None]
+        if metaless:
+            raise CapiError(
+                f"trace_dir={trace_dir!r} but rank(s) {metaless} published "
+                f"no location file"
+            )
+        write_definitions(
+            trace_dir,
+            world_ranks=ranks,
+            locations=[r.trace_meta for r in per_rank],
+            frequency=per_rank[0].result.frequency,
+            meta={
+                "app": getattr(built, "name", ""),
+                "config": config_name,
+                "tool": tool,
+                "backend": getattr(resolved, "name", type(resolved).__name__),
+            },
+        )
+        write_health_record(trace_dir, health)
+        merged_trace = merge_rank_traces(
+            [load_location(trace_dir, r.rank) for r in per_rank],
+            rank_ids=[r.rank for r in per_rank],
+        )
+    elif tracing:
         traceless = [r.rank for r in per_rank if r.trace is None]
         if traceless:
             # unreachable today (validate_tracing guarantees a tracer on
@@ -513,6 +568,7 @@ def run_rebalanced(
     faults: FaultSpec | None = None,
     degraded: str = "forbid",
     processes: int | None = None,
+    trace_dir: str | None = None,
 ) -> RebalanceOutcome:
     """Close the DLB loop: measure, lend/borrow, re-run until balanced.
 
@@ -548,6 +604,11 @@ def run_rebalanced(
 
     if max_iterations < 1:
         raise CapiError(f"max_iterations must be >= 1, got {max_iterations}")
+    if trace_dir is not None:
+        raise CapiError(
+            "trace_dir= cannot be combined with dlb rebalancing: every "
+            "iteration re-runs the world and would rewrite the archive"
+        )
     common = dict(
         ranks=ranks,
         backend=backend,

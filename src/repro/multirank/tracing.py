@@ -43,11 +43,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from dataclasses import replace
+from typing import Iterable, Iterator
+
 from repro.errors import CapiError
 from repro.scorep.tracing import (
     RankedTraceEvent,
     TraceEvent,
     TraceEventKind,
+    TraceIssue,
     merge_streams,
     tag_events,
     validate_trace,
@@ -179,29 +183,30 @@ class MergedTrace:
 
     # -- consistency -----------------------------------------------------------
 
-    def validate(self) -> list[str]:
-        """Merged-stream consistency checks.
+    def validate(self) -> list[TraceIssue]:
+        """Merged-stream consistency checks, as machine-readable records.
 
         The global stream must be ``(timestamp, rank)``-ordered, every
         rank's projected substream must stay timestamp-monotone after
         alignment, and each projection must pass the single-stream
         :func:`~repro.scorep.tracing.validate_trace` nesting checks
         (enter/leave balance is a per-rank property; ranks interleave
-        freely in the global order).
+        freely in the global order).  Each defect is a
+        :class:`~repro.scorep.tracing.TraceIssue` with a stable ``code``
+        (``merge-order`` for global-order violations, the single-stream
+        codes otherwise) and the offending ``rank`` filled in;
+        ``str(issue)`` keeps the legacy message text.
         """
-        problems: list[str] = []
-        last_key = (-1.0, -1)
-        for ev in self.events:
-            key = (ev.timestamp_cycles, ev.rank)
-            if key < last_key:
-                problems.append(
-                    f"merged stream out of order at rank {ev.rank} {ev.region}"
+        return [
+            *validate_merge_order(self.events),
+            *(
+                issue
+                for rank, stream in zip(self.rank_labels, self.per_rank)
+                for issue in validate_rank_stream(
+                    rank, (ev.untagged() for ev in stream)
                 )
-            last_key = key
-        for rank, stream in zip(self.rank_labels, self.per_rank):
-            for problem in validate_trace([ev.untagged() for ev in stream]):
-                problems.append(f"rank {rank}: {problem}")
-        return problems
+            ),
+        ]
 
     # -- analyses --------------------------------------------------------------
 
@@ -279,37 +284,13 @@ class MergedTrace:
         return segments
 
     def _segment_windows(self) -> list[list[tuple[float, float]]]:
-        """Aligned ``(begin, end)`` work window per segment per rank.
-
-        Within one segment a rank's clock offset is constant, so the
-        aligned window bounds are exact shifts of the local ones and
-        window durations equal wait-free local durations.
-        """
-        windows: list[list[tuple[float, float]]] = []
-        begin_all = [0.0] * self.ranks
-        for sp in self.sync_points:
-            windows.append(
-                [
-                    (begin_all[r], sp.aligned_cycles - sp.wait_cycles[r])
-                    for r in range(self.ranks)
-                ]
-            )
-            begin_all = [sp.aligned_cycles] * self.ranks
-        windows.append(
+        return segment_windows(
+            self.sync_points,
             [
-                (
-                    begin_all[r],
-                    max(
-                        self.per_rank[r][-1].timestamp_cycles
-                        if self.per_rank[r]
-                        else 0.0,
-                        begin_all[r],
-                    ),
-                )
+                self.per_rank[r][-1].timestamp_cycles if self.per_rank[r] else 0.0
                 for r in range(self.ranks)
-            ]
+            ],
         )
-        return windows
 
     # -- rendering -------------------------------------------------------------
 
@@ -394,47 +375,24 @@ def _alignment_anchors(
     return anchors
 
 
-def merge_rank_traces(
-    per_rank_events: Sequence[Sequence[TraceEvent]],
-    *,
-    rank_ids: "Sequence[int] | None" = None,
-) -> MergedTrace:
-    """Merge N per-rank event streams into one aligned, rank-tagged timeline.
+def compute_alignment(
+    sync_seqs: "list[list[tuple[str, float]]]",
+) -> tuple[list[SyncPoint], tuple[float, ...], list[list[tuple[float, float]]]]:
+    """The full logical-clock solution for N sync sequences.
 
-    Implements the logical-clock rule described in the module docstring:
-    walk the matched synchronisation points in order, and at each one
-    shift every rank's clock forward so its collective event coincides
-    with the latest arriver's (offsets only ever grow, so per-rank
-    timestamp order is preserved).  Events between two sync points carry
-    the offset of the preceding one — the wait materialises *at* the
-    collective, exactly where a real rank blocks.
-
-    ``rank_ids`` names the true rank of each input stream (ascending) —
-    a degraded run merges only the surviving ranks, and their timeline
-    lanes must keep their original identity instead of being renumbered
-    by list position.  Defaults to positional (stream i is rank i).
-
-    The result is deterministic and bit-identical for any backend that
-    produced the same per-rank streams (the merge never looks at
-    anything but the streams themselves).
+    Walks the matched synchronisation anchors in order; at each one
+    every rank's clock is shifted forward so its collective event
+    coincides with the latest arriver's (offsets only ever grow, so
+    per-rank timestamp order is preserved).  Returns the sync points,
+    the final per-rank offsets (== total collective wait), and the
+    per-rank shift *schedule*: ``(local anchor time, offset valid from
+    that time on)`` pairs that :func:`align_stream` replays over any
+    event source — in-memory lists or on-disk readers alike.
     """
-    ranks = len(per_rank_events)
-    if rank_ids is not None:
-        ids = tuple(int(r) for r in rank_ids)
-        if len(ids) != ranks:
-            raise ValueError(
-                f"rank_ids names {len(ids)} ranks but {ranks} streams given"
-            )
-        if list(ids) != sorted(set(ids)):
-            raise ValueError("rank_ids must be strictly ascending")
-    else:
-        ids = tuple(range(ranks))
-    streams = [list(s) for s in per_rank_events]
-    anchors = _alignment_anchors([_sync_sequence(s) for s in streams])
-
+    ranks = len(sync_seqs)
+    anchors = _alignment_anchors(sync_seqs)
     offsets = [0.0] * ranks
     sync_points: list[SyncPoint] = []
-    #: per rank: (local time of anchor, offset valid from that time on)
     schedule: list[list[tuple[float, float]]] = [[] for _ in range(ranks)]
     for index, (op, locals_) in enumerate(anchors):
         aligned = max(t + offsets[r] for r, t in enumerate(locals_))
@@ -451,39 +409,156 @@ def merge_rank_traces(
                 wait_cycles=waits,
             )
         )
+    return sync_points, tuple(offsets), schedule
 
-    aligned_streams: list[list[RankedTraceEvent]] = []
-    for pos, stream in enumerate(streams):
-        plan = schedule[pos]
-        rank = ids[pos]
-        tagged = tag_events(rank, stream)
-        if plan:
-            shifted: list[RankedTraceEvent] = []
-            step = 0
-            offset = 0.0
-            for ev in tagged:
-                while step < len(plan) and ev.timestamp_cycles >= plan[step][0]:
-                    offset = plan[step][1]
-                    step += 1
-                shifted.append(
-                    ev
-                    if offset == 0.0
-                    else RankedTraceEvent(
-                        rank, ev.kind, ev.region, ev.timestamp_cycles + offset
-                    )
-                )
-            tagged = shifted
-        aligned_streams.append(tagged)
+
+def align_stream(
+    rank: int,
+    events: Iterable[TraceEvent],
+    plan: "list[tuple[float, float]]",
+) -> Iterator[RankedTraceEvent]:
+    """Tag and clock-align one rank's event stream, lazily.
+
+    Replays a :func:`compute_alignment` shift schedule over the stream:
+    events between two sync anchors carry the offset of the preceding
+    one — the wait materialises *at* the collective, exactly where a
+    real rank blocks.  Pure generator, so a streaming reader aligns in
+    O(1) memory per rank.
+    """
+    step = 0
+    offset = 0.0
+    for ev in events:
+        while step < len(plan) and ev.timestamp_cycles >= plan[step][0]:
+            offset = plan[step][1]
+            step += 1
+        yield RankedTraceEvent(
+            rank, ev.kind, ev.region, ev.timestamp_cycles + offset, ev.mid
+        )
+
+
+def _offset_at(plan: "list[tuple[float, float]]", t: float) -> float:
+    """The clock offset in force at local time ``t`` (schedule replay)."""
+    offset = 0.0
+    for anchor_t, anchor_offset in plan:
+        if t >= anchor_t:
+            offset = anchor_offset
+        else:
+            break
+    return offset
+
+
+def validate_merge_order(
+    events: Iterable[RankedTraceEvent],
+) -> Iterator[TraceIssue]:
+    """Check global ``(timestamp, rank)`` order of a merged stream."""
+    last_key = (-1.0, -1)
+    for ev in events:
+        key = (ev.timestamp_cycles, ev.rank)
+        if key < last_key:
+            yield TraceIssue(
+                "merge-order",
+                ev.region,
+                f"merged stream out of order at rank {ev.rank} {ev.region}",
+                rank=ev.rank,
+            )
+        last_key = key
+
+
+def validate_rank_stream(
+    rank: int, events: Iterable[TraceEvent]
+) -> Iterator[TraceIssue]:
+    """Single-stream checks with the rank stamped into each issue."""
+    for issue in validate_trace(events):
+        yield replace(issue, rank=rank, detail=f"rank {rank}: {issue.detail}")
+
+
+def segment_windows(
+    sync_points: Sequence[SyncPoint],
+    last_aligned: Sequence[float],
+) -> list[list[tuple[float, float]]]:
+    """Aligned ``(begin, end)`` work window per segment per rank.
+
+    Within one segment a rank's clock offset is constant, so the
+    aligned window bounds are exact shifts of the local ones and window
+    durations equal wait-free local durations.  ``last_aligned[r]`` is
+    rank r's aligned final-event timestamp, bounding the tail segment.
+    """
+    ranks = len(last_aligned)
+    windows: list[list[tuple[float, float]]] = []
+    begin_all = [0.0] * ranks
+    for sp in sync_points:
+        windows.append(
+            [
+                (begin_all[r], sp.aligned_cycles - sp.wait_cycles[r])
+                for r in range(ranks)
+            ]
+        )
+        begin_all = [sp.aligned_cycles] * ranks
+    windows.append(
+        [
+            (begin_all[r], max(last_aligned[r], begin_all[r]))
+            for r in range(ranks)
+        ]
+    )
+    return windows
+
+
+def merge_rank_traces(
+    per_rank_events: Sequence[Sequence[TraceEvent]],
+    *,
+    rank_ids: "Sequence[int] | None" = None,
+) -> MergedTrace:
+    """Merge N per-rank event streams into one aligned, rank-tagged timeline.
+
+    Implements the logical-clock rule described in the module docstring
+    via :func:`compute_alignment` + :func:`align_stream`.
+
+    ``rank_ids`` names the true rank of each input stream (ascending) —
+    a degraded run merges only the surviving ranks, and their timeline
+    lanes must keep their original identity instead of being renumbered
+    by list position.  Defaults to positional (stream i is rank i).
+
+    The result is deterministic and bit-identical for any backend that
+    produced the same per-rank streams (the merge never looks at
+    anything but the streams themselves).
+    """
+    ranks = len(per_rank_events)
+    ids = resolve_rank_ids(ranks, rank_ids)
+    streams = [list(s) for s in per_rank_events]
+    sync_points, offsets, schedule = compute_alignment(
+        [_sync_sequence(s) for s in streams]
+    )
+
+    aligned_streams = [
+        list(align_stream(ids[pos], stream, schedule[pos]))
+        for pos, stream in enumerate(streams)
+    ]
 
     return MergedTrace(
         ranks=ranks,
         events=merge_streams(aligned_streams),
         sync_points=sync_points,
-        rank_offsets=tuple(offsets),
+        rank_offsets=offsets,
         events_per_rank=tuple(len(s) for s in streams),
         per_rank=aligned_streams,
         rank_ids=ids,
     )
+
+
+def resolve_rank_ids(
+    ranks: int, rank_ids: "Sequence[int] | None"
+) -> tuple[int, ...]:
+    """Validate a degraded-world rank labelling (ascending true ids)."""
+    if rank_ids is None:
+        return tuple(range(ranks))
+    ids = tuple(int(r) for r in rank_ids)
+    if len(ids) != ranks:
+        raise ValueError(
+            f"rank_ids names {len(ids)} ranks but {ranks} streams given"
+        )
+    if list(ids) != sorted(set(ids)):
+        raise ValueError("rank_ids must be strictly ascending")
+    return ids
 
 
 def _top_regions_by_segment(

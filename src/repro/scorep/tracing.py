@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Sequence
 
+from repro.errors import CapiError
 from repro.execution.clock import VirtualClock
 
 #: additional per-event cycles for trace-buffer writes
@@ -37,6 +38,11 @@ class TraceEvent:
     kind: TraceEventKind
     region: str
     timestamp_cycles: float
+    #: matched message id for point-to-point MPI markers: the k-th send
+    #: on a rank carries mid=k, pairing with the k-th receive on its
+    #: SPMD ring partner (see :mod:`repro.simmpi.messages`).  ``None``
+    #: for non-message events.
+    mid: "int | None" = None
 
 
 @dataclass(frozen=True)
@@ -52,9 +58,10 @@ class RankedTraceEvent:
     kind: TraceEventKind
     region: str
     timestamp_cycles: float
+    mid: "int | None" = None
 
     def untagged(self) -> TraceEvent:
-        return TraceEvent(self.kind, self.region, self.timestamp_cycles)
+        return TraceEvent(self.kind, self.region, self.timestamp_cycles, self.mid)
 
 
 def tag_events(
@@ -62,7 +69,7 @@ def tag_events(
 ) -> list[RankedTraceEvent]:
     """Tag one rank's event stream with its rank (OTF2 location id)."""
     return [
-        RankedTraceEvent(rank, ev.kind, ev.region, ev.timestamp_cycles)
+        RankedTraceEvent(rank, ev.kind, ev.region, ev.timestamp_cycles, ev.mid)
         for ev in events
     ]
 
@@ -85,7 +92,14 @@ def merge_streams(
 
 @dataclass
 class ScorePTracer:
-    """Event-trace recorder, attachable next to the profile measurement."""
+    """Event-trace recorder, attachable next to the profile measurement.
+
+    When a ``writer`` is attached (see :class:`repro.trace.store.TraceWriter`)
+    full buffers spill to disk instead of accumulating in ``flushed``:
+    memory stays bounded at ``buffer_size`` events and the complete
+    stream only exists in the location file.  ``all_events()`` is then
+    unavailable — read the trace back via the store.
+    """
 
     clock: VirtualClock
     events: list[TraceEvent] = field(default_factory=list)
@@ -93,6 +107,10 @@ class ScorePTracer:
     buffer_size: int = 1 << 16
     flushed: list[TraceEvent] = field(default_factory=list)
     flush_count: int = 0
+    #: optional on-disk sink (duck-typed: write_events / close)
+    writer: object | None = None
+    #: events spilled to the writer so far
+    spilled: int = 0
 
     # -- recording --------------------------------------------------------------
 
@@ -102,32 +120,56 @@ class ScorePTracer:
     def leave(self, region: str) -> None:
         self._record(TraceEventKind.LEAVE, region)
 
-    def mpi(self, op: str) -> None:
-        self._record(TraceEventKind.MPI, op)
+    def mpi(self, op: str, *, mid: int | None = None) -> None:
+        self._record(TraceEventKind.MPI, op, mid=mid)
 
-    def _record(self, kind: TraceEventKind, region: str) -> None:
+    def _record(
+        self, kind: TraceEventKind, region: str, mid: int | None = None
+    ) -> None:
         self.clock.advance(TRACE_EVENT_EXTRA)
-        self.events.append(TraceEvent(kind, region, self.clock.now()))
+        self.events.append(TraceEvent(kind, region, self.clock.now(), mid))
         if len(self.events) >= self.buffer_size:
-            self.flushed.extend(self.events)
+            if self.writer is not None:
+                self.writer.write_events(self.events)
+                self.spilled += len(self.events)
+            else:
+                self.flushed.extend(self.events)
             self.events.clear()
             self.flush_count += 1
 
     # -- results ----------------------------------------------------------------
 
     def all_events(self) -> list[TraceEvent]:
+        if self.writer is not None:
+            raise CapiError(
+                "trace events were spilled to disk; read them back via "
+                "repro.trace.store instead of all_events()"
+            )
         return [*self.flushed, *self.events]
+
+    def close_writer(self):
+        """Flush the tail buffer and close the attached on-disk writer.
+
+        Returns the writer's :class:`~repro.trace.store.LocationMeta`.
+        """
+        if self.writer is None:
+            raise CapiError("no trace writer attached")
+        if self.events:
+            self.writer.write_events(self.events)
+            self.spilled += len(self.events)
+            self.events.clear()
+        return self.writer.close()
 
     def save(self, path: str | Path) -> int:
         events = self.all_events()
         with open(path, "w") as fh:
             for ev in events:
-                fh.write(
-                    json.dumps(
-                        {"k": ev.kind.value, "r": ev.region, "t": ev.timestamp_cycles}
-                    )
-                    + "\n"
-                )
+                record = {
+                    "k": ev.kind.value, "r": ev.region, "t": ev.timestamp_cycles
+                }
+                if ev.mid is not None:
+                    record["m"] = ev.mid
+                fh.write(json.dumps(record) + "\n")
         return len(events)
 
     @classmethod
@@ -136,29 +178,55 @@ class ScorePTracer:
         for line in Path(path).read_text().splitlines():
             data = json.loads(line)
             out.append(
-                TraceEvent(TraceEventKind(data["k"]), data["r"], data["t"])
+                TraceEvent(
+                    TraceEventKind(data["k"]), data["r"], data["t"],
+                    data.get("m"),
+                )
             )
         return out
 
 
-def validate_trace(events: list[TraceEvent]) -> list[str]:
+@dataclass(frozen=True)
+class TraceIssue:
+    """One machine-readable defect found by trace validation.
+
+    ``code`` is stable (CI asserts on it); ``detail`` is the human
+    rendering, and ``str(issue)`` returns it so legacy string handling
+    keeps working.  ``rank`` is filled in by the multi-rank validators.
+    """
+
+    code: str
+    region: str
+    detail: str
+    rank: int | None = None
+
+    def __str__(self) -> str:
+        return self.detail
+
+
+def validate_trace(events: Iterable[TraceEvent]) -> list[TraceIssue]:
     """Consistency checks a trace analyser would run.
 
-    Returns a list of violation descriptions: non-monotonic timestamps
-    and unbalanced enter/leave nesting per region stream.  Each defect
-    is reported exactly once: a LEAVE whose region sits deeper in the
-    stack resynchronises by popping through it (the skipped inner
-    regions are implicitly closed, like stack unwinding), so one
-    out-of-order LEAVE no longer leaves the mismatched region on the
-    stack forever and floods the report with spurious ``unclosed
-    region`` entries for every frame above it.
+    Returns a list of :class:`TraceIssue` records: non-monotonic
+    timestamps and unbalanced enter/leave nesting per region stream.
+    Each defect is reported exactly once: a LEAVE whose region sits
+    deeper in the stack resynchronises by popping through it (the
+    skipped inner regions are implicitly closed, like stack unwinding),
+    so one out-of-order LEAVE no longer leaves the mismatched region on
+    the stack forever and floods the report with spurious
+    ``unclosed-region`` entries for every frame above it.
     """
-    problems: list[str] = []
+    problems: list[TraceIssue] = []
     last_t = -1.0
     stack: list[str] = []
     for ev in events:
         if ev.timestamp_cycles < last_t:
-            problems.append(f"timestamp regression at {ev.region}")
+            problems.append(
+                TraceIssue(
+                    "timestamp-regression", ev.region,
+                    f"timestamp regression at {ev.region}",
+                )
+            )
         last_t = ev.timestamp_cycles
         if ev.kind is TraceEventKind.ENTER:
             stack.append(ev.region)
@@ -174,10 +242,20 @@ def validate_trace(events: list[TraceEvent]) -> list[str]:
                     skipped += 1
                 stack.pop()
                 problems.append(
-                    f"unbalanced LEAVE {ev.region} "
-                    f"(implicitly closed {skipped} inner region(s))"
+                    TraceIssue(
+                        "unbalanced-leave-resync", ev.region,
+                        f"unbalanced LEAVE {ev.region} "
+                        f"(implicitly closed {skipped} inner region(s))",
+                    )
                 )
             else:
-                problems.append(f"unbalanced LEAVE {ev.region}")
-    problems.extend(f"unclosed region {r}" for r in stack)
+                problems.append(
+                    TraceIssue(
+                        "unbalanced-leave", ev.region,
+                        f"unbalanced LEAVE {ev.region}",
+                    )
+                )
+    problems.extend(
+        TraceIssue("unclosed-region", r, f"unclosed region {r}") for r in stack
+    )
     return problems

@@ -1,0 +1,55 @@
+"""Point-to-point message matching for trace-based wait-state analysis.
+
+Scalasca labels a point-to-point wait *late sender* (receiver blocked
+for a message not yet sent) or *late receiver* (sender blocked in a
+synchronous send for a receiver not yet posted) by replaying matched
+send/recv pairs out of the trace.  Matching needs message identity; a
+real MPI gets it from (communicator, tag, source, dest) envelope order.
+
+Our simulated apps are SPMD ring exchanges: every rank issues the same
+point-to-point sequence, and message k sent by rank r is received as
+message k by rank ``(r + 1) % world``.  That makes identity simple and
+deterministic: the k-th send on a rank and the k-th receive on a rank
+pair across the ring.  :class:`MessageMatcher` hands out those
+sequence numbers as the ``mid`` stamped into MPI trace events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: point-to-point ops that originate a message
+SEND_OPS = frozenset({"MPI_Send", "MPI_Isend"})
+#: point-to-point ops that complete a message
+RECV_OPS = frozenset({"MPI_Recv", "MPI_Irecv"})
+
+
+def ring_partner(rank: int, world: int) -> int:
+    """The rank whose sends this rank receives (SPMD ring neighbour)."""
+    return (rank - 1) % world
+
+
+@dataclass
+class MessageMatcher:
+    """Per-rank send/recv sequence counters.
+
+    ``next_id(op)`` returns the message id for a point-to-point trace
+    event (``None`` for anything else): sends count up one sequence,
+    receives another.  The ids are per-rank-local but globally
+    matchable through the ring rule — send ``k`` on rank ``r`` pairs
+    with recv ``k`` on rank ``(r + 1) % world``.
+    """
+
+    sends: int = field(default=0)
+    recvs: int = field(default=0)
+
+    def next_id(self, op: str) -> int | None:
+        if op in SEND_OPS:
+            mid = self.sends
+            self.sends += 1
+            return mid
+        if op in RECV_OPS:
+            mid = self.recvs
+            self.recvs += 1
+            return mid
+        return None

@@ -1,0 +1,136 @@
+"""Structured alert records shared by health rendering and the watchdog.
+
+One record type for every alerting surface: the supervision health
+alerts (``render_health_alerts``), the trace watchdog, and the bench
+regression rules.  Text rendering is a *view* over the record
+(``Alert.render()``), and the JSONL serialisation is schema-stable so
+CI and downstream collectors can assert on ``code`` instead of
+grepping message text.
+
+JSONL schema (one object per line; absent optionals serialise as
+``null`` so every line has every key):
+
+    {"code": str,        stable alert identifier, kebab-case
+     "severity": str,    "info" | "warning" | "critical"
+     "rank": int|null,   offending rank, when rank-scoped
+     "region": str|null, offending source region, when region-scoped
+     "measured": float|null,   the observed value, for threshold rules
+     "threshold": float|null,  the limit it was compared against
+     "source": str|null, originating run/trace directory
+     "detail": str}      human-readable specifics
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+
+SEVERITIES = ("info", "warning", "critical")
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One structured alert (the unit both alerting paths emit)."""
+
+    code: str
+    severity: str
+    detail: str
+    rank: int | None = None
+    region: str | None = None
+    measured: float | None = None
+    threshold: float | None = None
+    source: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"severity must be one of {SEVERITIES}, got {self.severity!r}"
+            )
+
+    def render(self) -> str:
+        """The human-readable ``ALERT ...`` line (legacy view).
+
+        The field order reproduces the pre-structured health-alert
+        strings byte-for-byte: code, then rank, then the detail tail;
+        region and measured/threshold appear only for watchdog rules
+        that set them.
+        """
+        parts = [f"ALERT {self.code}"]
+        if self.rank is not None:
+            parts.append(f"rank={self.rank}")
+        if self.region is not None:
+            parts.append(f"region={self.region}")
+        if self.measured is not None and self.threshold is not None:
+            parts.append(
+                f"measured={self.measured:.6g} threshold={self.threshold:.6g}"
+            )
+        if self.detail:
+            parts.append(self.detail)
+        return " ".join(parts)
+
+    def to_json(self) -> str:
+        """One JSONL line, every schema key present."""
+        return json.dumps(asdict(self), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, line: str) -> "Alert":
+        data = json.loads(line)
+        return cls(
+            code=data["code"],
+            severity=data["severity"],
+            detail=data["detail"],
+            rank=data.get("rank"),
+            region=data.get("region"),
+            measured=data.get("measured"),
+            threshold=data.get("threshold"),
+            source=data.get("source"),
+        )
+
+
+def health_alerts(health) -> list[Alert]:
+    """Structured alerts for a run's supervision records.
+
+    One alert per retried rank (recovered, but only after failures —
+    warning), per lost rank (retries exhausted — critical), and one
+    for degraded POP coverage (critical).  Empty list means the run
+    was perfectly healthy; ``render_health_alerts`` in
+    :mod:`repro.experiments.anomalies` is the text view over this.
+    """
+    if health is None:
+        return []
+    alerts: list[Alert] = []
+    by_rank = {h.rank: h for h in health.per_rank or ()}
+    for rank in health.retried_ranks:
+        h = by_rank[rank]
+        alerts.append(
+            Alert(
+                code="retried",
+                severity="warning",
+                rank=rank,
+                detail=f"attempts={h.attempts} last_failure={h.failures[-1]!r}",
+            )
+        )
+    for rank in health.lost_ranks:
+        h = by_rank.get(rank)
+        detail = (
+            f"attempts={h.attempts} last_failure={h.failures[-1]!r}"
+            if h is not None and h.failures
+            else "no supervision record"
+        )
+        alerts.append(
+            Alert(code="lost", severity="critical", rank=rank, detail=detail)
+        )
+    if health.degraded:
+        alerts.append(
+            Alert(
+                code="degraded",
+                severity="critical",
+                measured=health.coverage,
+                threshold=1.0,
+                detail=(
+                    f"coverage={health.coverage:.1%} "
+                    f"missing_ranks={list(health.missing_ranks)}"
+                ),
+            )
+        )
+    return alerts

@@ -41,6 +41,7 @@ from repro.scorep.measurement import ScorePMeasurement
 from repro.scorep.regions import CallTreeNode
 from repro.scorep.tracing import TRACE_EVENT_EXTRA, ScorePTracer
 from repro.simmpi.comm import SimComm
+from repro.simmpi.messages import MessageMatcher
 from repro.simmpi.pmpi import PmpiLayer
 from repro.simmpi.world import MpiWorld
 from repro.talp.dlb import DlbLibrary
@@ -57,11 +58,14 @@ class _MpiTraceMarker:
     """PMPI interceptor writing MPI markers into the event trace."""
 
     tracer: ScorePTracer
+    #: stamps ring-matchable message ids onto point-to-point markers so
+    #: the wait-state classifier can pair sends with receives
+    matcher: MessageMatcher = field(default_factory=MessageMatcher)
 
     def on_mpi_call(self, op: str, cost_cycles: float) -> float:
         # tracer.mpi() advances the clock by TRACE_EVENT_EXTRA itself,
         # so no additional cycles are reported here (no double charge)
-        self.tracer.mpi(op)
+        self.tracer.mpi(op, mid=self.matcher.next_id(op))
         return 0.0
 
     def estimate_extra(self) -> float:
@@ -141,6 +145,10 @@ class RunOutcome:
     #: set on the multi-rank path; carries missing-rank information when
     #: the run completed degraded (``degraded="allow"``)
     health: "object | None" = None
+    #: summary of the on-disk location file written for this run
+    #: (LocationMeta) — set when ``trace_dir=`` was passed on the
+    #: single-rank path
+    trace_meta: "object | None" = None
 
 
 def run_app(
@@ -165,12 +173,29 @@ def run_app(
     dlb_max_iterations: int = 8,
     faults: "object | None" = None,
     degraded: str = "forbid",
+    trace_dir: "str | None" = None,
+    trace_location: int = 0,
+    trace_standalone: bool = True,
 ) -> RunOutcome:
     """Execute one instrumentation/measurement configuration.
 
     ``tracing=True`` (scorep tool only) attaches an event tracer next to
     the profile: every region enter/leave and MPI operation lands in
     ``outcome.tracer`` with timestamps, at extra per-event cost.
+
+    ``trace_dir=`` (requires ``tracing=True``) persists the event
+    stream to an OTF2-shaped archive instead of memory: the tracer
+    spills full buffers to a per-location file under ``trace_dir`` (see
+    :mod:`repro.trace.store`) and ``outcome.trace_meta`` summarises the
+    closed location.  On the single-rank path the event list is then
+    only on disk (``outcome.tracer.all_events()`` raises; read it back
+    with :func:`repro.trace.store.load_location`).  ``trace_location``
+    names the location (rank) id; ``trace_standalone=False`` suppresses
+    the global definitions write for callers (the rank scheduler) that
+    publish their own archive-level tables.  On the multi-rank path
+    every rank writes its own location file from inside its worker —
+    trace payloads never travel through result pickles — and the parent
+    publishes definitions plus a ``health.json`` supervision record.
 
     Passing ``imbalance=ImbalanceSpec(...)`` switches to the multi-rank
     path (``ImbalanceSpec()`` is a uniform world): the app executes once
@@ -225,6 +250,13 @@ def run_app(
         from repro.multirank.tracing import validate_tracing
 
         validate_tracing(tool, mode)
+    if trace_dir is not None and not tracing:
+        raise CapiError("trace_dir= requires tracing=True")
+    if trace_dir is not None and dlb is not None:
+        raise CapiError(
+            "trace_dir= cannot be combined with dlb rebalancing: every "
+            "iteration re-runs the world and would rewrite the archive"
+        )
     if imbalance is not None:
         return _run_app_multirank(
             built,
@@ -247,6 +279,7 @@ def run_app(
             faults=faults,
             degraded=degraded,
             processes=processes,
+            trace_dir=trace_dir,
         )
     if mode == "ic" and ic is None:
         raise CapiError("mode='ic' requires an instrumentation configuration")
@@ -266,6 +299,12 @@ def run_app(
     xray_rt: XRayRuntime | None = None
     startup: StartupReport | None = None
     engine_tool = "none"
+
+    trace_writer = None
+    if trace_dir is not None:
+        from repro.trace.store import TraceWriter
+
+        trace_writer = TraceWriter(trace_dir, trace_location)
 
     if mode != "vanilla":
         xray_rt = XRayRuntime(loader.image)
@@ -299,6 +338,7 @@ def run_app(
                 emulate_talp_bug=emulate_talp_bug,
                 talp_bug_threshold=talp_bug_threshold,
                 talp_bug_modulus=talp_bug_modulus,
+                trace_writer=trace_writer,
             )
 
     engine = ExecutionEngine(
@@ -326,6 +366,19 @@ def run_app(
     if outcome.measurement is not None:
         outcome.measurement.finalize()
         outcome.scorep_profile = outcome.measurement.profile()
+    if outcome.tracer is not None and trace_writer is not None:
+        meta = outcome.tracer.close_writer()
+        outcome.trace_meta = meta
+        if trace_standalone:
+            from repro.trace.store import write_definitions
+
+            write_definitions(
+                trace_dir,
+                world_ranks=1,
+                locations=[meta],
+                frequency=clock.frequency,
+                meta={"app": built.name, "config": config_name, "tool": tool},
+            )
     if outcome.monitor is not None:
         outcome.monitor.stop_all_open()
         failed_reg = (
@@ -364,6 +417,7 @@ def _run_app_multirank(
     faults: "object | None" = None,
     degraded: str = "forbid",
     processes: int | None = None,
+    trace_dir: "str | None" = None,
 ) -> RunOutcome:
     """Dispatch to the multirank subsystem and fold into a RunOutcome."""
     from repro.multirank import run_multirank, run_rebalanced
@@ -385,6 +439,7 @@ def _run_app_multirank(
         faults=faults,
         degraded=degraded,
         processes=processes,
+        trace_dir=trace_dir,
     )
     rebalance = None
     if dlb is not None:
@@ -425,11 +480,14 @@ def _install_tool(
     talp_bug_threshold: int | None = None,
     talp_bug_modulus: int | None = None,
     tracing: bool = False,
+    trace_writer: "object | None" = None,
 ) -> None:
     """Wire the measurement bridge and install it as the XRay handler."""
     if tool == "scorep":
         measurement = ScorePMeasurement(clock=clock, cost_model=cm)
-        tracer = ScorePTracer(clock=clock) if tracing else None
+        tracer = (
+            ScorePTracer(clock=clock, writer=trace_writer) if tracing else None
+        )
         bridge = ScorePBridge(
             runtime=xray_rt,
             loader=loader,

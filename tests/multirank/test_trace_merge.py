@@ -167,7 +167,9 @@ class TestAnalyses:
         good = [ev(E, "b", 1), ev(L, "b", 3), ev(M, "MPI_Finalize", 6)]
         merged = merge_rank_traces([bad, good])
         problems = merged.validate()
-        assert problems == ["rank 0: unclosed region a"]
+        assert [str(p) for p in problems] == ["rank 0: unclosed region a"]
+        assert problems[0].code == "unclosed-region"
+        assert problems[0].rank == 0
 
     def test_render_mentions_waits_and_critical_path(self):
         fast = [ev(M, "MPI_Allreduce", 20), ev(M, "MPI_Finalize", 40)]

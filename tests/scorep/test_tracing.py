@@ -119,8 +119,9 @@ class TestValidation:
         tracer.enter("a")
         tracer.leave("b")
         problems = validate_trace(tracer.all_events())
-        assert any("unbalanced" in p for p in problems)
-        assert any("unclosed" in p for p in problems)
+        codes = {p.code for p in problems}
+        assert any(code.startswith("unbalanced-leave") for code in codes)
+        assert "unclosed-region" in codes
 
     def test_out_of_order_leave_resyncs_no_cascade(self, tracer):
         """Regression: one LEAVE of an outer region used to leave the
@@ -135,7 +136,9 @@ class TestValidation:
             tracer.leave(f"r{i}")
         problems = validate_trace(tracer.all_events())
         assert len(problems) == 1
-        assert "unbalanced LEAVE main" in problems[0]
+        assert problems[0].code == "unbalanced-leave-resync"
+        assert problems[0].region == "main"
+        assert "unbalanced LEAVE main" in str(problems[0])
 
     def test_stray_leave_still_single_report(self, tracer):
         """A LEAVE of a never-entered region reports once and does not
@@ -146,13 +149,19 @@ class TestValidation:
         tracer.leave("kernel")
         tracer.leave("main")
         problems = validate_trace(tracer.all_events())
-        assert problems == ["unbalanced LEAVE ghost"]
+        assert [str(p) for p in problems] == ["unbalanced LEAVE ghost"]
+        assert problems[0].code == "unbalanced-leave"
+        assert problems[0].rank is None
 
     def test_each_unclosed_region_reported_once(self, tracer):
         tracer.enter("a")
         tracer.enter("b")
         problems = validate_trace(tracer.all_events())
-        assert sorted(problems) == ["unclosed region a", "unclosed region b"]
+        assert sorted(str(p) for p in problems) == [
+            "unclosed region a",
+            "unclosed region b",
+        ]
+        assert {p.code for p in problems} == {"unclosed-region"}
 
 
 class TestRankTaggedStreams:

@@ -1,0 +1,112 @@
+"""Structured alerts: JSONL schema stability and the legacy text view."""
+
+import json
+
+import pytest
+
+from repro.experiments.anomalies import render_health_alerts
+from repro.multirank.faults import HealthReport, RankHealth
+from repro.trace import Alert, health_alerts
+
+SCHEMA_KEYS = {
+    "code", "severity", "rank", "region", "measured", "threshold",
+    "source", "detail",
+}
+
+
+class TestAlertRecord:
+    def test_jsonl_round_trip(self):
+        alert = Alert(
+            code="wait-regression",
+            severity="warning",
+            detail="fraction over budget",
+            rank=2,
+            region="solve",
+            measured=0.42,
+            threshold=0.2,
+            source="/runs/a",
+        )
+        assert Alert.from_json(alert.to_json()) == alert
+
+    def test_every_line_has_every_key(self):
+        line = Alert(code="lost", severity="critical", detail="x").to_json()
+        record = json.loads(line)
+        assert set(record) == SCHEMA_KEYS
+        assert record["rank"] is None
+        assert record["measured"] is None
+
+    def test_invalid_severity_rejected(self):
+        with pytest.raises(ValueError, match="severity"):
+            Alert(code="x", severity="fatal", detail="y")
+
+    def test_render_shape(self):
+        alert = Alert(
+            code="trace-truncated", severity="critical",
+            detail="missing footer", rank=3, source="/runs/a",
+        )
+        assert alert.render() == "ALERT trace-truncated rank=3 missing footer"
+
+    def test_render_with_threshold(self):
+        alert = Alert(
+            code="wait-regression", severity="warning",
+            detail="over budget", measured=0.5, threshold=0.25,
+        )
+        assert "measured=0.5 threshold=0.25" in alert.render()
+
+
+def _health():
+    return HealthReport(
+        ranks=3,
+        per_rank=(
+            RankHealth(rank=0, outcome="ok", attempts=2,
+                       latency_seconds=1.0, failures=("attempt 1: crash",)),
+            RankHealth(rank=1, outcome="ok", attempts=1, latency_seconds=0.5),
+            RankHealth(rank=2, outcome="lost", attempts=3,
+                       latency_seconds=2.0,
+                       failures=("a", "b", "attempt 3: crash")),
+        ),
+        missing_ranks=(2,),
+    )
+
+
+class TestHealthAlerts:
+    def test_none_and_healthy_are_silent(self):
+        assert health_alerts(None) == []
+        healthy = HealthReport(
+            ranks=2,
+            per_rank=(
+                RankHealth(rank=0, outcome="ok", attempts=1, latency_seconds=0.1),
+                RankHealth(rank=1, outcome="ok", attempts=1, latency_seconds=0.1),
+            ),
+        )
+        assert health_alerts(healthy) == []
+
+    def test_retried_lost_degraded_records(self):
+        alerts = health_alerts(_health())
+        assert [a.code for a in alerts] == ["retried", "lost", "degraded"]
+        assert [a.severity for a in alerts] == [
+            "warning", "critical", "critical",
+        ]
+        retried, lost, degraded = alerts
+        assert retried.rank == 0
+        assert lost.rank == 2
+        assert degraded.measured == pytest.approx(2 / 3)
+        assert degraded.threshold == 1.0
+
+    def test_text_view_is_the_render_of_the_records(self):
+        """render_health_alerts is a pure view: line i == record i."""
+        alerts = health_alerts(_health())
+        assert render_health_alerts(_health()) == [
+            a.render() for a in alerts
+        ]
+
+    def test_legacy_line_shapes_preserved(self):
+        lines = render_health_alerts(_health())
+        assert lines[0].startswith("ALERT retried rank=0 attempts=2")
+        assert lines[1].startswith("ALERT lost rank=2 attempts=3")
+        assert "coverage=66.7%" in lines[2]
+        assert "missing_ranks=[2]" in lines[2]
+
+    def test_records_serialise_as_schema_valid_jsonl(self):
+        for alert in health_alerts(_health()):
+            assert set(json.loads(alert.to_json())) == SCHEMA_KEYS
