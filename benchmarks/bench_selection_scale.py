@@ -55,6 +55,12 @@ ENGINE_FLOOR = 2.0
 #: >=5x over the dict-based kernels at the 8k-node bench graph
 ANALYSIS_FLOOR = 5.0
 
+#: acceptance floor (ISSUE 8): batched evaluation of >= SERVICE_BATCH
+#: mixed specs over one warm snapshot >= 3x per-query sequential
+#: throughput, every batched result bit-identical to sequential
+SERVICE_FLOOR = 3.0
+SERVICE_BATCH = 32
+
 #: multi-rank engine benchmark shape (serial vs multiprocessing backend)
 MULTIRANK_RANKS = 8
 
@@ -335,6 +341,76 @@ def measure_selection(prepared) -> dict:
         "seconds": total_new,
         "seed_seconds": total_ref,
         "speedup": total_ref / total_new,
+    }
+
+
+def measure_selection_service(prepared) -> dict:
+    """Batched multi-tenant evaluation vs per-query sequential (ISSUE 8).
+
+    Builds a mixed batch of ``SERVICE_BATCH`` queries (the paper's four
+    specifications plus the serve harness variants, cycled), evaluates
+    it through the service stack — :class:`GraphStore` warm entry +
+    :class:`BatchEvaluator` — and compares against evaluating every
+    query independently with no shared state, after asserting each
+    batched result is bit-identical to its sequential counterpart.
+    Records cold (first batch: snapshot + cache build) and warm
+    (steady-state) batch timings plus the store's warm/cold hit rates.
+    """
+    from repro.core.pipeline import compile_spec
+    from repro.experiments.serve import spec_mix
+    from repro.service import BatchEvaluator, GraphStore
+
+    graph = prepared.app.graph
+    mix = spec_mix()
+    names = sorted(mix)
+    batch_names = [names[i % len(names)] for i in range(SERVICE_BATCH)]
+    specs = [compile_spec(mix[name], spec_name=name) for name in batch_names]
+
+    # sequential reference: every query pays the full evaluation
+    def sequential():
+        return [evaluate_pipeline(spec.entry, graph) for spec in specs]
+
+    seq_results = sequential()
+    t_seq = _best_of(sequential)
+
+    store = GraphStore()
+    store.admit("bench", graph)
+    evaluator = BatchEvaluator()
+    t0 = time.perf_counter()
+    cold_entry = store.entry("bench")  # cold: snapshot + cache build
+    cold = evaluator.evaluate(specs, cold_entry)
+    t_cold = time.perf_counter() - t0
+    t_warm = _best_of(lambda: evaluator.evaluate(specs, store.entry("bench")))
+    warm = evaluator.evaluate(specs, store.entry("bench"))
+
+    for name, seq, batched in zip(batch_names, seq_results, cold.results):
+        if seq.selected != batched.selected:
+            raise AssertionError(
+                f"cold batched result for {name!r} differs from sequential on "
+                f"{len(seq.selected ^ batched.selected)} functions"
+            )
+    for name, seq, batched in zip(batch_names, seq_results, warm.results):
+        if seq.selected != batched.selected:
+            raise AssertionError(
+                f"warm batched result for {name!r} differs from sequential on "
+                f"{len(seq.selected ^ batched.selected)} functions"
+            )
+    return {
+        "graph_nodes": len(graph),
+        "graph_edges": graph.edge_count(),
+        "batch_size": SERVICE_BATCH,
+        "unique_specs": len(set(batch_names)),
+        "deduped": cold.deduped,
+        "cross_hits_cold": cold.cross_hits,
+        "cross_hits_warm": warm.cross_hits,
+        "sequential_seconds": t_seq,
+        "sequential_requests_per_second": SERVICE_BATCH / t_seq,
+        "cold_batch_seconds": t_cold,
+        "warm_batch_seconds": t_warm,
+        "batched_requests_per_second": SERVICE_BATCH / t_warm,
+        "speedup": t_seq / t_warm,
+        "store": store.stats.as_dict(),
+        "bit_identical": True,
     }
 
 
@@ -759,6 +835,7 @@ def measure_trace_pipeline(prepared, ranks: int = MULTIRANK_RANKS) -> dict:
 def collect_record(scale: int = BENCH_SCALE, ranks: int = MULTIRANK_RANKS) -> dict:
     prepared = prepare_app("openfoam", scale)
     selection = measure_selection(prepared)
+    selection_service = measure_selection_service(prepared)
     analysis = measure_analysis(prepared)
     engine = measure_engine(prepared)
     multirank = measure_multirank(prepared, ranks)
@@ -770,6 +847,7 @@ def collect_record(scale: int = BENCH_SCALE, ranks: int = MULTIRANK_RANKS) -> di
         "app": "openfoam",
         "scale": scale,
         "selection": selection,
+        "selection_service": selection_service,
         "analysis": analysis,
         "engine": engine,
         "multirank": multirank,
@@ -778,6 +856,7 @@ def collect_record(scale: int = BENCH_SCALE, ranks: int = MULTIRANK_RANKS) -> di
         "trace_pipeline": trace_pipeline,
         "floors": {
             "selection": SELECTION_FLOOR,
+            "selection_service": SERVICE_FLOOR,
             "engine": ENGINE_FLOOR,
             "analysis": ANALYSIS_FLOOR,
             "supervised_overhead_ceiling": SUPERVISED_OVERHEAD_CEILING,
@@ -801,6 +880,10 @@ def test_selection_scale_speedup_and_record(benchmark, openfoam_prepared):
     record = collect_record(BENCH_SCALE)
     write_record(record)
     assert record["selection"]["speedup"] >= SELECTION_FLOOR, record["selection"]
+    svc = record["selection_service"]
+    assert svc["bit_identical"], svc
+    assert svc["batch_size"] >= SERVICE_BATCH, svc
+    assert svc["speedup"] >= SERVICE_FLOOR, svc
     assert record["engine"]["speedup"] >= ENGINE_FLOOR, record["engine"]
     assert record["analysis"]["speedup"] >= ANALYSIS_FLOOR, record["analysis"]
     assert record["analysis"]["results_identical"], record["analysis"]
@@ -848,6 +931,13 @@ def main() -> int:
     ana = record["analysis"]
     print(f"selection: {sel['seed_seconds']:.3f}s -> {sel['seconds']:.3f}s "
           f"({sel['speedup']:.1f}x, floor {SELECTION_FLOOR}x)")
+    svc = record["selection_service"]
+    print(f"service:   batch of {svc['batch_size']} mixed specs "
+          f"({svc['unique_specs']} unique): sequential "
+          f"{svc['sequential_requests_per_second']:,.0f} req/s -> batched "
+          f"{svc['batched_requests_per_second']:,.0f} req/s "
+          f"({svc['speedup']:.1f}x, floor {SERVICE_FLOOR}x), warm hit rate "
+          f"{100 * svc['store']['hit_rate']:.0f}%, bit-identical")
     print(f"analysis:  {ana['seed_seconds']:.3f}s -> {ana['seconds']:.3f}s "
           f"({ana['speedup']:.1f}x, floor {ANALYSIS_FLOOR}x; "
           f"{ana['reachable_from_main']} nodes reachable from main)")
@@ -877,6 +967,8 @@ def main() -> int:
     print(f"record written to {path}")
     ok = (
         sel["speedup"] >= SELECTION_FLOOR
+        and svc["speedup"] >= SERVICE_FLOOR
+        and svc["bit_identical"]
         and eng["speedup"] >= ENGINE_FLOOR
         and ana["speedup"] >= ANALYSIS_FLOOR
         and sup["overhead"] < SUPERVISED_OVERHEAD_CEILING

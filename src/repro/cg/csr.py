@@ -460,6 +460,42 @@ class CsrSnapshot:
         self._meta_columns: dict[str, np.ndarray] = {}
         self._waves: list[np.ndarray] | None | bool = False
 
+    @property
+    def graph(self) -> "CallGraph":
+        """The snapshotted graph, checked to still be at this version.
+
+        The evaluate phase of the compile/evaluate split runs against a
+        supplied snapshot (:func:`repro.core.pipeline.evaluate_compiled`)
+        and must never silently read a graph that moved on — a stale
+        snapshot raises instead of aliasing the live structure.
+        """
+        if self._graph.version != self.version:
+            raise RuntimeError(
+                "stale CsrSnapshot: the graph mutated since csr() was taken"
+            )
+        return self._graph
+
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes of the snapshot's numpy arrays.
+
+        Used by the service-layer :class:`~repro.service.GraphStore` for
+        byte-budgeted LRU eviction.  Includes lazily-built caches (meta
+        columns, topological waves) at their current size.
+        """
+        total = (
+            self.succ_indptr.nbytes
+            + self.succ_indices.nbytes
+            + self.pred_indptr.nbytes
+            + self.pred_indices.nbytes
+            + self.alive.nbytes
+            + self.live_ids.nbytes
+        )
+        total += sum(column.nbytes for column in self._meta_columns.values())
+        if isinstance(self._waves, list):
+            total += sum(wave.nbytes for wave in self._waves)
+        return total
+
     def out_degrees(self) -> np.ndarray:
         return np.diff(self.succ_indptr)
 

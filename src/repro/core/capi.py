@@ -14,7 +14,7 @@ from pathlib import Path
 from repro.cg.graph import CallGraph
 from repro.core.ic import ICProvenance, InstrumentationConfig
 from repro.core.inlining import CompensationResult, compensate_inlining
-from repro.core.pipeline import PipelineBuilder, SelectionResult, evaluate_pipeline
+from repro.core.pipeline import SelectionResult, compile_spec, evaluate_pipeline
 from repro.core.spec.modules import load_spec, load_spec_file
 from repro.program.linker import LinkedProgram
 
@@ -102,8 +102,8 @@ class Capi:
             if hit is not None and hit[0] is linked:
                 return hit[1]
         spec = load_spec(spec_source, search_paths=self.search_paths)
-        entry, _ = PipelineBuilder().build(spec)
-        selection = evaluate_pipeline(entry, self.graph)
+        compiled = compile_spec(spec, spec_name=spec_name)
+        selection = evaluate_pipeline(compiled.entry, self.graph)
         ic = InstrumentationConfig(
             functions=selection.selected,
             provenance=ICProvenance(
@@ -133,9 +133,9 @@ class Capi:
         """Run a specification from a ``.capi`` file."""
         spec_path = Path(spec_path)
         spec = load_spec_file(spec_path, search_paths=self.search_paths)
-        entry, _ = PipelineBuilder().build(spec)
+        compiled = compile_spec(spec, spec_name=spec_path.stem)
         # no whole-outcome memo here: the file may change on disk
-        selection = evaluate_pipeline(entry, self.graph)
+        selection = evaluate_pipeline(compiled.entry, self.graph)
         ic = InstrumentationConfig(
             functions=selection.selected,
             provenance=ICProvenance(

@@ -30,6 +30,13 @@ from dataclasses import dataclass, field
 from repro.cg.graph import CallGraph
 
 
+#: default LRU cap on structural-key entries within one graph version —
+#: high enough that a realistic working set of distinct specs stays warm,
+#: low enough that an endless stream of one-off specs cannot grow the
+#: store unboundedly between graph mutations
+DEFAULT_CACHE_ENTRIES = 4096
+
+
 class CrossRunCache:
     """Selector results shared across pipeline runs on one graph.
 
@@ -38,9 +45,18 @@ class CrossRunCache:
     key is valid for as long as the graph's :attr:`~repro.cg.graph.
     CallGraph.version` is unchanged.  Binding to a different graph
     object or observing a version bump drops the whole store.
+
+    Within one graph version the store is additionally LRU-capped at
+    ``max_entries`` distinct structural keys: every distinct spec adds
+    entries, so an uncapped store grows without bound under a stream of
+    one-off queries.  ``hits`` and ``evictions`` count served reuses and
+    capacity evictions for diagnostics.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_entries: int = DEFAULT_CACHE_ENTRIES) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be at least 1")
+        self.max_entries = max_entries
         #: strong reference: keeps the bound graph alive so a recycled
         #: ``id()`` of a freed graph can never alias into this store
         self._graph: CallGraph | None = None
@@ -48,6 +64,9 @@ class CrossRunCache:
         self._store: dict[str, frozenset[int]] = {}
         #: cross-run hits served (diagnostics / tests)
         self.hits = 0
+        #: entries dropped to keep the store within ``max_entries``
+        #: (wholesale version drops are *not* counted here)
+        self.evictions = 0
 
     def store_for(self, graph: CallGraph) -> dict[str, frozenset[int]]:
         """The live store for ``graph``, invalidated on version change."""
@@ -57,6 +76,24 @@ class CrossRunCache:
             self._version = version
             self._store = {}
         return self._store
+
+    def get(self, key: str) -> frozenset[int] | None:
+        """LRU lookup in the bound store; counts and refreshes hits."""
+        hit = self._store.pop(key, None)
+        if hit is None:
+            return None
+        self._store[key] = hit  # re-insert: most recently used
+        self.hits += 1
+        return hit
+
+    def put(self, key: str, result: frozenset[int]) -> None:
+        """Insert one result, evicting least-recently-used past the cap."""
+        store = self._store
+        store.pop(key, None)
+        store[key] = result
+        while len(store) > self.max_entries:
+            store.pop(next(iter(store)))
+            self.evictions += 1
 
     def __len__(self) -> int:
         return len(self._store)
@@ -70,18 +107,17 @@ class EvalContext:
     _cache: dict[int, frozenset[int]] = field(default_factory=dict)
     #: evaluation statistics: selector description -> result size
     trace: list[tuple[str, int]] = field(default_factory=list)
-    #: optional cross-run store (see :class:`CrossRunCache`); holds the
-    #: structural-key dict already bound to this context's graph version
-    cross_run: dict[str, frozenset[int]] | None = None
-    _cross_cache: "CrossRunCache | None" = None
+    #: optional cross-run cache (see :class:`CrossRunCache`), already
+    #: bound to this context's graph version via :meth:`with_cross_run`
+    cross_run: "CrossRunCache | None" = None
 
     @classmethod
     def with_cross_run(
         cls, graph: CallGraph, cache: "CrossRunCache"
     ) -> "EvalContext":
         ctx = cls(graph)
-        ctx.cross_run = cache.store_for(graph)
-        ctx._cross_cache = cache
+        cache.store_for(graph)  # bind (drops the store on version change)
+        ctx.cross_run = cache
         return ctx
 
     def evaluate_ids(self, selector: "Selector") -> frozenset[int]:
@@ -97,8 +133,6 @@ class EvalContext:
             if hit is not None:
                 self._cache[key] = hit
                 self.trace.append((selector.describe(), len(hit)))
-                if self._cross_cache is not None:
-                    self._cross_cache.hits += 1
                 return hit
         select_ids = getattr(selector, "select_ids", None)
         if select_ids is not None:
@@ -108,7 +142,7 @@ class EvalContext:
             result = frozenset(self.graph.names_to_ids(selector.select(self)))
         self._cache[key] = result
         if struct_key is not None:
-            cross[struct_key] = result
+            cross.put(struct_key, result)
         self.trace.append((selector.describe(), len(result)))
         return result
 

@@ -111,6 +111,23 @@ class SelectionError(CapiError):
     """Selector evaluation failed at runtime."""
 
 
+class ServiceError(CapiError):
+    """Selection-service error (unknown graph key, closed service, …)."""
+
+
+class ServiceClosedError(ServiceError):
+    """The selection service no longer accepts requests."""
+
+
+class BatchMismatchError(ServiceError):
+    """A batched result differed from its sequential evaluation.
+
+    Raised only in verification mode — batched and sequential evaluation
+    are bit-identical by construction, so this firing means a selector
+    broke purity (mutated state or depended on evaluation order).
+    """
+
+
 # ---------------------------------------------------------------------------
 # Measurement substrates
 # ---------------------------------------------------------------------------

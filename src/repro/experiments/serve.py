@@ -1,0 +1,341 @@
+"""Selection-service client mix — many tenants, warm graphs, live edits.
+
+The harness stands up a :class:`~repro.service.SelectionService` over
+the paper's applications (:func:`repro.workflow.serve_selection`) and
+drives a synthetic multi-tenant mix against it: tenant threads submit
+interleaved queries drawn from the paper's four specifications plus
+deterministic variants, while graph edits land between batches and
+version-bump exactly the edited graph's warm state.
+
+Run with ``python -m repro.experiments.serve``; ``--check`` turns the
+run into a correctness smoke test (non-zero exit unless every batched
+result is bit-identical to its sequential re-derivation, nothing fails,
+batching actually engages, and an edit observably changes a result),
+which CI uses.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import threading
+from dataclasses import dataclass
+
+from repro._util import format_table
+from repro.apps import PAPER_SPECS
+from repro.cg.graph import NodeMeta
+from repro.experiments.runner import DEFAULT_SCALES, prepare_app
+from repro.workflow import serve_selection
+
+#: spec sources the mix draws from: the paper's four plus deterministic
+#: variants — flops thresholds and a reachability query that visibly
+#: changes when an edit grafts a node under ``main``
+EXTRA_SPECS: dict[str, str] = {
+    "flops>=1": 'flops(">=", 1, %%)',
+    "flops>=25": 'flops(">=", 25, %%)',
+    "reach-main": 'onCallPathFrom(byName("main", %%))',
+    "hot-reachable": (
+        'intersect(onCallPathFrom(byName("main", %%)), '
+        'flops(">=", 10, loopDepth(">=", 1, %%)))'
+    ),
+}
+
+
+def spec_mix() -> dict[str, str]:
+    """Name → source for the full synthetic query mix."""
+    mix = dict(PAPER_SPECS)
+    mix.update(EXTRA_SPECS)
+    return mix
+
+
+def _graft_node(index: int):
+    """A graph edit adding a hot kernel under ``main``.
+
+    The new node carries flops and a loop, so it lands in the
+    ``kernels``/``reach-main`` selections — the post-edit result set
+    provably differs from the pre-edit one.
+    """
+
+    def mutate(graph) -> None:
+        name = f"svc_edit_{index}"
+        graph.add_node(
+            name,
+            NodeMeta(flops=64, loop_depth=2, statements=12, has_body=True),
+        )
+        graph.add_edge("main", name)
+
+    return mutate
+
+
+@dataclass(frozen=True)
+class ServeReport:
+    """One client-mix run, condensed for the table and ``--check``."""
+
+    apps: tuple[str, ...]
+    tenants: int
+    requests: int
+    responses: int
+    failures: int
+    edits: int
+    batches: int
+    mean_batch_size: float
+    max_batch_size: int
+    deduped: int
+    cross_hits: int
+    warm_hit_rate: float
+    invalidations: int
+    requests_per_second: float
+    mean_latency_seconds: float
+    #: every batched result re-derived sequentially inside the service
+    verified: bool
+    #: some (graph, spec) pair returned different results across an edit
+    result_changed_after_edit: bool
+
+
+def run_service_mix(
+    apps: tuple[str, ...] = ("lulesh",),
+    *,
+    scales: dict[str, int] | None = None,
+    tenants: int = 8,
+    requests_per_tenant: int = 12,
+    edit_every: int = 10,
+    window_seconds: float = 0.02,
+    max_batch: int = 64,
+    seed: int = 0,
+    verify: bool = False,
+) -> ServeReport:
+    """Drive the synthetic client mix and return the condensed report.
+
+    Phase 1 releases all tenant threads at once (mixed specs over mixed
+    graphs, an edit interleaved every ``edit_every`` submissions).
+    Phase 2 is deterministic: snapshot ``reach-main`` per graph, graft a
+    node under ``main``, snapshot again — proving the version bump
+    invalidated exactly that graph's warm results.
+    """
+    scales = scales or DEFAULT_SCALES
+    # uncached builds: the mix *mutates* its graphs, and the process-wide
+    # prepare_app cache must keep serving pristine apps to everyone else
+    prepared = [
+        prepare_app.__wrapped__(name, scales.get(name)) for name in apps
+    ]
+    mix = spec_mix()
+    spec_names = sorted(mix)
+    service = serve_selection(
+        {p.name: p.app for p in prepared},
+        window_seconds=window_seconds,
+        max_batch=max_batch,
+        verify=verify,
+    )
+    graph_keys = [p.name for p in prepared]
+    edit_counter = threading.Lock()
+    edit_state = {"submitted": 0, "index": 0}
+
+    def maybe_edit(rng: random.Random) -> None:
+        if not edit_every:
+            return
+        with edit_counter:
+            edit_state["submitted"] += 1
+            if edit_state["submitted"] % edit_every:
+                return
+            edit_state["index"] += 1
+            index = edit_state["index"]
+        service.submit_edit(rng.choice(graph_keys), _graft_node(index))
+
+    failures: list[BaseException] = []
+    failures_lock = threading.Lock()
+
+    def tenant_worker(tenant_id: int) -> None:
+        rng = random.Random(seed * 7919 + tenant_id)
+        futures = []
+        for _ in range(requests_per_tenant):
+            name = rng.choice(spec_names)
+            futures.append(
+                service.submit(
+                    rng.choice(graph_keys),
+                    mix[name],
+                    tenant=f"tenant-{tenant_id}",
+                    spec_name=name,
+                )
+            )
+            maybe_edit(rng)
+        for future in futures:
+            try:
+                future.result(timeout=60.0)
+            except BaseException as exc:  # noqa: BLE001 - collected
+                with failures_lock:
+                    failures.append(exc)
+
+    try:
+        threads = [
+            threading.Thread(target=tenant_worker, args=(t,))
+            for t in range(tenants)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        # deterministic invalidation proof, per graph
+        changed = False
+        for key in graph_keys:
+            before = service.select(
+                key, mix["reach-main"], tenant="prober", spec_name="reach-main"
+            )
+            with edit_counter:
+                edit_state["index"] += 1
+                index = edit_state["index"]
+            service.edit(key, _graft_node(index))
+            after = service.select(
+                key, mix["reach-main"], tenant="prober", spec_name="reach-main"
+            )
+            if after.graph_version <= before.graph_version:
+                raise AssertionError(
+                    f"edit did not bump {key!r}'s graph version"
+                )
+            if frozenset(after.selection.selected) != frozenset(
+                before.selection.selected
+            ):
+                changed = True
+        stats = service.stats_snapshot()
+    finally:
+        service.close()
+
+    if failures:
+        raise failures[0]
+    return ServeReport(
+        apps=tuple(apps),
+        tenants=tenants,
+        requests=stats["requests"],
+        responses=stats["responses"],
+        failures=stats["failures"],
+        edits=stats["edits"],
+        batches=stats["batches"],
+        mean_batch_size=stats["mean_batch_size"],
+        max_batch_size=stats["max_batch_size"],
+        deduped=stats["deduped"],
+        cross_hits=stats["cross_hits"],
+        warm_hit_rate=stats["store"]["hit_rate"],
+        invalidations=stats["store"]["invalidations"],
+        requests_per_second=stats["requests_per_second"],
+        mean_latency_seconds=stats["mean_latency_seconds"],
+        verified=verify,
+        result_changed_after_edit=changed,
+    )
+
+
+def render_serve_report(report: ServeReport) -> str:
+    headers = [
+        "apps", "tenants", "req", "resp", "fail", "edits",
+        "batches", "mean", "max", "dedup", "xhits",
+        "warm", "inval", "req/s", "lat(ms)",
+    ]
+    body = [(
+        "+".join(report.apps),
+        str(report.tenants),
+        str(report.requests),
+        str(report.responses),
+        str(report.failures),
+        str(report.edits),
+        str(report.batches),
+        f"{report.mean_batch_size:.1f}",
+        str(report.max_batch_size),
+        str(report.deduped),
+        str(report.cross_hits),
+        f"{100 * report.warm_hit_rate:.0f}%",
+        str(report.invalidations),
+        f"{report.requests_per_second:.0f}",
+        f"{1000 * report.mean_latency_seconds:.2f}",
+    )]
+    title = (
+        "SELECTION SERVICE — multi-tenant client mix "
+        "(batched, warm store, live edits)"
+    )
+    return format_table(headers, body, title=title)
+
+
+def check_report(report: ServeReport) -> list[str]:
+    """The ``--check`` contract; empty list means the run is good."""
+    problems = []
+    if report.failures:
+        problems.append(f"{report.failures} request(s) failed")
+    if report.responses != report.requests:
+        problems.append(
+            f"answered {report.responses} of {report.requests} requests"
+        )
+    if not report.verified:
+        problems.append("verify mode was off — bit-identity not re-derived")
+    if report.max_batch_size < 2:
+        problems.append("batching never engaged (max batch size < 2)")
+    if not report.result_changed_after_edit:
+        problems.append("no result changed across a graph edit")
+    if not report.invalidations:
+        problems.append("edits never invalidated a warm store entry")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--app", choices=["lulesh", "openfoam", "both"], default="lulesh"
+    )
+    parser.add_argument(
+        "--nodes",
+        type=int,
+        default=None,
+        help="override the per-app call-graph size (smoke runs use a "
+        "few hundred nodes)",
+    )
+    parser.add_argument("--tenants", type=int, default=8)
+    parser.add_argument(
+        "--requests", type=int, default=12, help="queries per tenant"
+    )
+    parser.add_argument(
+        "--edit-every",
+        type=int,
+        default=10,
+        help="interleave a graph edit every N submissions (0 disables)",
+    )
+    parser.add_argument(
+        "--window", type=float, default=0.02,
+        help="micro-batch window in seconds",
+    )
+    parser.add_argument("--max-batch", type=int, default=64)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="verify every batched result against its sequential "
+        "re-derivation and exit non-zero on any failure",
+    )
+    args = parser.parse_args(argv)
+    apps = ("lulesh", "openfoam") if args.app == "both" else (args.app,)
+    scales = None
+    if args.nodes is not None:
+        scales = {name: args.nodes for name in apps}
+    report = run_service_mix(
+        apps,
+        scales=scales,
+        tenants=args.tenants,
+        requests_per_tenant=args.requests,
+        edit_every=args.edit_every,
+        window_seconds=args.window,
+        max_batch=args.max_batch,
+        seed=args.seed,
+        verify=args.check,
+    )
+    print(render_serve_report(report))
+    if args.check:
+        problems = check_report(report)
+        if problems:
+            for problem in problems:
+                print(f"CHECK FAILED: {problem}")
+            return 1
+        print(
+            f"CHECK OK: {report.responses} batched responses bit-identical "
+            f"to sequential evaluation across {report.edits} live edit(s)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,54 @@
+"""Selection-as-a-service: warm graph store, batching, multi-tenant queries.
+
+The one-shot pipeline (build app → compile spec → select → run) serves
+the paper's experiments; this package serves *traffic*.  The unit of
+work is a selection query — ``(tenant, graph key, spec source)`` — and
+the architecture amortises everything a query would otherwise pay for:
+
+* :class:`GraphStore` keeps many call graphs warm: one frozen
+  :class:`~repro.cg.csr.CsrSnapshot` plus one bound
+  :class:`~repro.core.selectors.base.CrossRunCache` per graph, with LRU
+  eviction by bytes and version-keyed invalidation on mutation.
+* :class:`BatchEvaluator` evaluates N compiled specs over one snapshot
+  in a single pass, deduplicating whole queries and shared
+  sub-expressions by structural key — each unique selector expression
+  runs once per graph version.
+* :class:`SelectionService` is the front door: bounded async admission,
+  a micro-batching window, per-tenant FIFO queues drained round-robin,
+  serialised graph edits, and request/latency/hit-rate statistics.
+
+Batched results are bit-identical to sequential one-shot evaluation
+(selector purity); ``verify=True`` re-derives and asserts it per batch.
+See ``docs/service.md`` for the architecture and semantics.
+"""
+
+from repro.service.batch import BatchEvaluator, BatchOutcome
+from repro.service.service import (
+    DEFAULT_MAX_BATCH,
+    DEFAULT_MAX_IN_FLIGHT,
+    DEFAULT_WINDOW_SECONDS,
+    SelectionService,
+    ServiceResponse,
+    ServiceStats,
+)
+from repro.service.store import (
+    DEFAULT_MAX_BYTES,
+    GraphEntry,
+    GraphStore,
+    StoreStats,
+)
+
+__all__ = [
+    "BatchEvaluator",
+    "BatchOutcome",
+    "DEFAULT_MAX_BATCH",
+    "DEFAULT_MAX_BYTES",
+    "DEFAULT_MAX_IN_FLIGHT",
+    "DEFAULT_WINDOW_SECONDS",
+    "GraphEntry",
+    "GraphStore",
+    "SelectionService",
+    "ServiceResponse",
+    "ServiceStats",
+    "StoreStats",
+]

@@ -1,0 +1,130 @@
+"""Batched evaluation: N compiled specs over one snapshot in one pass.
+
+A batch evaluates every query against the *same* warm
+``(CsrSnapshot, CrossRunCache)`` pair (one :class:`~repro.service.store.
+GraphEntry`), deduplicating work at two levels:
+
+* **whole-query dedup** — queries whose compiled entry selectors share a
+  structural :attr:`~repro.core.pipeline.CompiledSpec.cache_key` are
+  evaluated once; the rest of the group reuses the result (reported as
+  ``deduped``).
+* **sub-expression dedup** — distinct queries still share structurally
+  identical *sub*-pipelines through the entry's cross-run cache, so each
+  unique selector expression runs once per graph version, across the
+  whole batch and across batches.
+
+Selectors are pure functions of ``(expression, graph version)``, so both
+levels preserve bit-identical results; ``verify=True`` re-derives every
+unique query sequentially (fresh context, no caches) and raises
+:class:`~repro.errors.BatchMismatchError` on any difference — the
+``serve --check`` / CI guarantee.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.pipeline import CompiledSpec, SelectionResult, evaluate_pipeline
+from repro.core.selectors.base import EvalContext
+from repro.errors import BatchMismatchError
+from repro.service.store import GraphEntry
+
+
+@dataclass
+class BatchOutcome:
+    """Results of one batch pass, parallel to the submitted specs."""
+
+    results: list[SelectionResult]
+    graph_version: int
+    #: structurally distinct queries actually evaluated
+    unique_evaluated: int
+    #: queries served by another query's evaluation in this batch
+    deduped: int
+    #: structural-key hits served from the warm cross-run cache
+    cross_hits: int
+    #: every unique result re-derived sequentially and compared
+    verified: bool = False
+
+
+class BatchEvaluator:
+    """Evaluate batches of compiled specs over warm graph entries."""
+
+    def __init__(self, *, verify: bool = False) -> None:
+        self.verify = verify
+
+    def evaluate(
+        self, specs: Sequence[CompiledSpec], entry: GraphEntry
+    ) -> BatchOutcome:
+        """One single-pass evaluation of ``specs`` over ``entry``.
+
+        The entry must be current (the store re-checks versions on
+        access); a graph that mutated since the entry was taken raises
+        via the snapshot freshness check rather than mixing versions.
+        """
+        graph = entry.snapshot.graph  # freshness-checked
+        if entry.version != graph.version:
+            raise BatchMismatchError(
+                f"stale graph entry {entry.key!r}: version {entry.version} "
+                f"!= graph version {graph.version}"
+            )
+        ctx = EvalContext.with_cross_run(graph, entry.cache)
+        hits_before = entry.cache.hits
+        results: list[SelectionResult | None] = [None] * len(specs)
+        first_by_key: dict[str, int] = {}
+        deduped = 0
+        for i, spec in enumerate(specs):
+            key = spec.cache_key
+            if key is not None:
+                j = first_by_key.get(key)
+                if j is not None:
+                    first = results[j]
+                    assert first is not None
+                    results[i] = SelectionResult(
+                        selected=first.selected,
+                        duration_seconds=0.0,
+                        graph_size=first.graph_size,
+                        trace=list(first.trace),
+                    )
+                    deduped += 1
+                    continue
+                first_by_key[key] = i
+            start = time.perf_counter()
+            trace_start = len(ctx.trace)
+            selected = ctx.evaluate(spec.entry)
+            results[i] = SelectionResult(
+                selected=selected,
+                duration_seconds=time.perf_counter() - start,
+                graph_size=len(graph),
+                trace=ctx.trace[trace_start:],
+            )
+        outcome = BatchOutcome(
+            results=results,  # type: ignore[arg-type]
+            graph_version=entry.version,
+            unique_evaluated=len(specs) - deduped,
+            deduped=deduped,
+            cross_hits=entry.cache.hits - hits_before,
+        )
+        if self.verify:
+            self._verify(specs, entry, outcome)
+            outcome.verified = True
+        return outcome
+
+    def _verify(
+        self,
+        specs: Sequence[CompiledSpec],
+        entry: GraphEntry,
+        outcome: BatchOutcome,
+    ) -> None:
+        """Re-derive every query sequentially; raise on any difference."""
+        graph = entry.snapshot.graph
+        for spec, batched in zip(specs, outcome.results):
+            sequential = evaluate_pipeline(spec.entry, graph)
+            if sequential.selected != batched.selected:
+                diff = sequential.selected ^ batched.selected
+                raise BatchMismatchError(
+                    f"batched result for {spec.spec_name or spec.cache_key!r} "
+                    f"differs from its sequential evaluation on "
+                    f"{len(diff)} function(s)"
+                )

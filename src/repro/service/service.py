@@ -1,0 +1,406 @@
+"""Multi-tenant selection service: async admission over warm graphs.
+
+The service turns the one-shot pipeline (build → compile → select) into
+a long-lived query front door:
+
+* **admission** — :meth:`SelectionService.submit` enqueues a
+  ``(tenant, graph key, spec source)`` request and returns a
+  :class:`concurrent.futures.Future`.  Admission is bounded
+  (``max_in_flight``): past the bound, submitters block — backpressure
+  instead of unbounded queue growth.
+* **micro-batching** — a single worker thread gathers requests across
+  per-tenant FIFO queues (round-robin, so one chatty tenant cannot
+  starve the rest) until ``max_batch`` requests are queued or the
+  ``window_seconds`` micro-batch window closes, then evaluates each
+  graph's group in one :class:`~repro.service.batch.BatchEvaluator`
+  pass over the warm store entry.
+* **graph edits** — :meth:`submit_edit` runs a mutation against an
+  admitted graph *inside the worker loop*, serialised with evaluation:
+  an edit never races a batch, and the version bump invalidates exactly
+  that graph's warm state on next access.
+* **observability** — :meth:`stats` snapshots request/latency counters,
+  batching effectiveness (dedup, cross-run hits, batch sizes) and the
+  store's warm/cold hit rates.
+
+Compilation is amortised through a per-service LRU of spec source →
+:class:`~repro.core.pipeline.CompiledSpec` (compiled specs are
+graph-independent and immutable, so one entry serves every tenant).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.cg.graph import CallGraph
+from repro.core.pipeline import CompiledSpec, SelectionResult, compile_spec
+from repro.errors import ServiceClosedError, ServiceError
+from repro.service.batch import BatchEvaluator
+from repro.service.store import GraphStore
+
+#: default micro-batch window: long enough to coalesce a burst of
+#: concurrent clients, short enough to stay invisible at human scale
+DEFAULT_WINDOW_SECONDS = 0.002
+DEFAULT_MAX_BATCH = 64
+DEFAULT_MAX_IN_FLIGHT = 1024
+DEFAULT_COMPILE_CACHE = 256
+
+
+@dataclass(frozen=True)
+class ServiceResponse:
+    """One answered selection query."""
+
+    selection: SelectionResult
+    graph_key: str
+    #: graph version the result was computed at (mutations bump it)
+    graph_version: int
+    tenant: str
+
+
+@dataclass
+class _Request:
+    tenant: str
+    graph_key: str
+    source: str
+    spec_name: str
+    future: Future
+    enqueued_at: float
+
+
+@dataclass
+class _Edit:
+    graph_key: str
+    mutate: Callable[[CallGraph], object]
+    future: Future
+
+
+@dataclass
+class ServiceStats:
+    """Mutable counters; :meth:`SelectionService.stats` snapshots them."""
+
+    requests: int = 0
+    responses: int = 0
+    failures: int = 0
+    edits: int = 0
+    batches: int = 0
+    batched_requests: int = 0
+    max_batch_size: int = 0
+    deduped: int = 0
+    unique_evaluated: int = 0
+    cross_hits: int = 0
+    compile_hits: int = 0
+    compile_misses: int = 0
+    latency_sum: float = 0.0
+    latency_max: float = 0.0
+    per_tenant: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.batched_requests / self.batches if self.batches else 0.0
+
+    @property
+    def mean_latency(self) -> float:
+        return self.latency_sum / self.responses if self.responses else 0.0
+
+
+class SelectionService:
+    """Long-lived, batched selection query service over a GraphStore."""
+
+    def __init__(
+        self,
+        store: GraphStore | None = None,
+        *,
+        window_seconds: float = DEFAULT_WINDOW_SECONDS,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        max_in_flight: int = DEFAULT_MAX_IN_FLIGHT,
+        compile_cache_entries: int = DEFAULT_COMPILE_CACHE,
+        verify: bool = False,
+    ) -> None:
+        if max_batch < 1:
+            raise ServiceError("max_batch must be at least 1")
+        if max_in_flight < 1:
+            raise ServiceError("max_in_flight must be at least 1")
+        self.store = store if store is not None else GraphStore()
+        self.window_seconds = window_seconds
+        self.max_batch = max_batch
+        self.verify = verify
+        self._evaluator = BatchEvaluator(verify=verify)
+        self._compile_cache: dict[str, CompiledSpec] = {}
+        self._compile_cap = compile_cache_entries
+        self._cond = threading.Condition()
+        self._queues: dict[str, deque[_Request]] = {}
+        self._edits: deque[_Edit] = deque()
+        self._in_flight = threading.BoundedSemaphore(max_in_flight)
+        self._closing = False
+        self._started_at = time.monotonic()
+        self.stats = ServiceStats()
+        self._worker = threading.Thread(
+            target=self._run, name="selection-service", daemon=True
+        )
+        self._worker.start()
+
+    # -- client surface ----------------------------------------------------------
+
+    def admit(self, key: str, graph: CallGraph) -> None:
+        """Register a call graph so queries can target it by key."""
+        self.store.admit(key, graph)
+
+    def submit(
+        self,
+        graph_key: str,
+        spec_source: str,
+        *,
+        tenant: str = "default",
+        spec_name: str = "",
+    ) -> "Future[ServiceResponse]":
+        """Enqueue one selection query; resolves to a :class:`ServiceResponse`.
+
+        Blocks for admission once ``max_in_flight`` requests are
+        pending (backpressure).  Raises :class:`ServiceClosedError`
+        after :meth:`close`.
+        """
+        if self._closing:
+            raise ServiceClosedError("selection service is closed")
+        self._in_flight.acquire()
+        request = _Request(
+            tenant=tenant,
+            graph_key=graph_key,
+            source=spec_source,
+            spec_name=spec_name,
+            future=Future(),
+            enqueued_at=time.monotonic(),
+        )
+        with self._cond:
+            if self._closing:
+                self._in_flight.release()
+                raise ServiceClosedError("selection service is closed")
+            self._queues.setdefault(tenant, deque()).append(request)
+            self.stats.requests += 1
+            self.stats.per_tenant[tenant] = (
+                self.stats.per_tenant.get(tenant, 0) + 1
+            )
+            self._cond.notify_all()
+        return request.future
+
+    def select(
+        self,
+        graph_key: str,
+        spec_source: str,
+        *,
+        tenant: str = "default",
+        spec_name: str = "",
+        timeout: float | None = 30.0,
+    ) -> ServiceResponse:
+        """Synchronous :meth:`submit` convenience."""
+        return self.submit(
+            graph_key, spec_source, tenant=tenant, spec_name=spec_name
+        ).result(timeout=timeout)
+
+    def submit_edit(
+        self, graph_key: str, mutate: Callable[[CallGraph], object]
+    ) -> "Future[int]":
+        """Apply ``mutate(graph)`` serialised with evaluation.
+
+        The callable runs in the worker thread between batches — never
+        concurrently with a batch over any graph.  The future resolves
+        to the graph's post-edit version.
+        """
+        if self._closing:
+            raise ServiceClosedError("selection service is closed")
+        edit = _Edit(graph_key=graph_key, mutate=mutate, future=Future())
+        with self._cond:
+            if self._closing:
+                raise ServiceClosedError("selection service is closed")
+            self._edits.append(edit)
+            self._cond.notify_all()
+        return edit.future
+
+    def edit(
+        self,
+        graph_key: str,
+        mutate: Callable[[CallGraph], object],
+        *,
+        timeout: float | None = 30.0,
+    ) -> int:
+        return self.submit_edit(graph_key, mutate).result(timeout=timeout)
+
+    def stats_snapshot(self) -> dict:
+        """Point-in-time service + store statistics."""
+        with self._cond:
+            s = self.stats
+            elapsed = time.monotonic() - self._started_at
+            return {
+                "requests": s.requests,
+                "responses": s.responses,
+                "failures": s.failures,
+                "edits": s.edits,
+                "batches": s.batches,
+                "mean_batch_size": s.mean_batch_size,
+                "max_batch_size": s.max_batch_size,
+                "deduped": s.deduped,
+                "unique_evaluated": s.unique_evaluated,
+                "cross_hits": s.cross_hits,
+                "compile_hits": s.compile_hits,
+                "compile_misses": s.compile_misses,
+                "mean_latency_seconds": s.mean_latency,
+                "max_latency_seconds": s.latency_max,
+                "requests_per_second": s.responses / elapsed if elapsed else 0.0,
+                "per_tenant": dict(s.per_tenant),
+                "store": self.store.stats.as_dict(),
+                "uptime_seconds": elapsed,
+            }
+
+    def close(self, timeout: float | None = 30.0) -> None:
+        """Stop admission, drain queued work, stop the worker."""
+        with self._cond:
+            if self._closing:
+                self._cond.notify_all()
+            self._closing = True
+            self._cond.notify_all()
+        self._worker.join(timeout=timeout)
+        if self._worker.is_alive():  # pragma: no cover - defensive
+            raise ServiceError("selection service worker failed to stop")
+
+    def __enter__(self) -> "SelectionService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- worker ------------------------------------------------------------------
+
+    def _pending(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    def _run(self) -> None:
+        while True:
+            batch, edits = self._gather()
+            if batch is None and not edits:
+                return
+            for edit in edits:
+                self._apply_edit(edit)
+            if batch:
+                self._process(batch)
+
+    def _gather(self) -> tuple[list[_Request] | None, list[_Edit]]:
+        """Wait for work, honour the micro-batch window, drain fairly."""
+        with self._cond:
+            while not self._closing and not self._pending() and not self._edits:
+                self._cond.wait()
+            if self._closing and not self._pending() and not self._edits:
+                return None, []
+            # the window opens at the first observed request; more
+            # requests coalesce until it closes or max_batch is reached
+            if self._pending():
+                deadline = time.monotonic() + self.window_seconds
+                while self._pending() < self.max_batch and not self._closing:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._cond.wait(remaining)
+            edits = list(self._edits)
+            self._edits.clear()
+            batch = list(self._drain_round_robin(self.max_batch))
+            return batch, edits
+
+    def _drain_round_robin(self, limit: int) -> Iterator[_Request]:
+        """Pop up to ``limit`` requests, one per tenant per round."""
+        taken = 0
+        while taken < limit:
+            progressed = False
+            for tenant in sorted(self._queues):
+                queue = self._queues[tenant]
+                if queue and taken < limit:
+                    yield queue.popleft()
+                    taken += 1
+                    progressed = True
+            if not progressed:
+                return
+
+    def _apply_edit(self, edit: _Edit) -> None:
+        try:
+            graph = self.store.graph(edit.graph_key)
+            edit.mutate(graph)
+        except BaseException as exc:  # noqa: BLE001 - forwarded to the client
+            edit.future.set_exception(exc)
+            return
+        with self._cond:
+            self.stats.edits += 1
+        edit.future.set_result(graph.version)
+
+    def _compile(self, request: _Request) -> CompiledSpec:
+        cache = self._compile_cache
+        compiled = cache.pop(request.source, None)
+        if compiled is not None:
+            cache[request.source] = compiled  # LRU touch
+            self.stats.compile_hits += 1
+            return compiled
+        compiled = compile_spec(request.source, spec_name=request.spec_name)
+        self.stats.compile_misses += 1
+        cache[request.source] = compiled
+        while len(cache) > self._compile_cap:
+            cache.pop(next(iter(cache)))
+        return compiled
+
+    def _process(self, batch: list[_Request]) -> None:
+        """Compile, group by graph, evaluate each group in one pass."""
+        groups: dict[str, list[_Request]] = {}
+        for request in batch:
+            groups.setdefault(request.graph_key, []).append(request)
+        completed_at = time.monotonic
+        for graph_key, requests in groups.items():
+            specs: list[CompiledSpec] = []
+            compiled_requests: list[_Request] = []
+            for request in requests:
+                try:
+                    specs.append(self._compile(request))
+                except BaseException as exc:  # noqa: BLE001 - client error
+                    self._fail(request, exc)
+                    continue
+                compiled_requests.append(request)
+            if not compiled_requests:
+                continue
+            try:
+                entry = self.store.entry(graph_key)
+                outcome = self._evaluator.evaluate(specs, entry)
+            except BaseException as exc:  # noqa: BLE001 - client error
+                for request in compiled_requests:
+                    self._fail(request, exc)
+                continue
+            now = completed_at()
+            with self._cond:
+                self.stats.batches += 1
+                self.stats.batched_requests += len(compiled_requests)
+                self.stats.max_batch_size = max(
+                    self.stats.max_batch_size, len(compiled_requests)
+                )
+                self.stats.deduped += outcome.deduped
+                self.stats.unique_evaluated += outcome.unique_evaluated
+                self.stats.cross_hits += outcome.cross_hits
+            for request, result in zip(compiled_requests, outcome.results):
+                latency = now - request.enqueued_at
+                with self._cond:
+                    self.stats.responses += 1
+                    self.stats.latency_sum += latency
+                    self.stats.latency_max = max(
+                        self.stats.latency_max, latency
+                    )
+                request.future.set_result(
+                    ServiceResponse(
+                        selection=result,
+                        graph_key=graph_key,
+                        graph_version=outcome.graph_version,
+                        tenant=request.tenant,
+                    )
+                )
+                self._in_flight.release()
+
+    def _fail(self, request: _Request, exc: BaseException) -> None:
+        with self._cond:
+            self.stats.failures += 1
+        request.future.set_exception(exc)
+        self._in_flight.release()

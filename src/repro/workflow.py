@@ -9,6 +9,11 @@ the paper's Fig. 3 pipeline.
   ``inactive`` (sleds, nothing patched), ``full`` (all sleds patched) or
   an IC-driven selective instrumentation, under the ``none``/``scorep``/
   ``talp`` measurement tool.
+* :func:`serve_selection` — stand up a long-lived
+  :class:`~repro.service.SelectionService` over one or many built apps:
+  their call graphs are admitted into a warm
+  :class:`~repro.service.GraphStore` and selection queries from many
+  tenants are answered batched (see :mod:`repro.service`).
 
 Each call returns a :class:`RunOutcome` carrying the timing result
 (Table II's Tinit/Ttotal), the DynCaPI startup report (§VI-B anomalies)
@@ -17,8 +22,9 @@ and the tool artefacts (Score-P profile / TALP report).
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Mapping
 from dataclasses import dataclass, field
-from typing import Literal
+from typing import TYPE_CHECKING, Literal
 
 from repro.cg.graph import CallGraph
 from repro.cg.merge import build_whole_program_cg
@@ -48,6 +54,9 @@ from repro.talp.dlb import DlbLibrary
 from repro.talp.monitor import TalpMonitor
 from repro.talp.report import TalpReport, build_report
 from repro.xray.runtime import XRayRuntime
+
+if TYPE_CHECKING:  # service imports stay lazy: serving is optional
+    from repro.service import SelectionService
 
 Mode = Literal["vanilla", "inactive", "full", "ic"]
 Tool = Literal["none", "scorep", "talp"]
@@ -111,6 +120,68 @@ def build_app(
     if graph is None:
         graph = build_whole_program_cg(program)
     return BuiltApp(program=program, linked=linked, graph=graph)
+
+
+def serve_selection(
+    apps: "BuiltApp | Mapping[str, BuiltApp] | Iterable[BuiltApp]",
+    *,
+    max_bytes: int | None = None,
+    cache_entries: int | None = None,
+    window_seconds: float | None = None,
+    max_batch: int | None = None,
+    max_in_flight: int | None = None,
+    verify: bool = False,
+) -> "SelectionService":
+    """Start a selection service over one or many built applications.
+
+    Each app's whole-program call graph is admitted into a warm
+    :class:`~repro.service.GraphStore` under the app's name (pass a
+    mapping to choose keys); the returned
+    :class:`~repro.service.SelectionService` answers
+    ``(tenant, graph key, spec source)`` queries batched, with results
+    bit-identical to one-shot :meth:`~repro.core.capi.Capi.select`
+    evaluation.  ``verify=True`` re-derives every batch sequentially and
+    asserts that identity (the ``serve --check`` mode).  Close the
+    service when done (it is a context manager).
+    """
+    from repro.service import GraphStore, SelectionService
+    from repro.service.service import (
+        DEFAULT_MAX_BATCH,
+        DEFAULT_MAX_IN_FLIGHT,
+        DEFAULT_WINDOW_SECONDS,
+    )
+    from repro.service.store import DEFAULT_MAX_BYTES
+
+    if isinstance(apps, BuiltApp):
+        keyed = {apps.name: apps}
+    elif isinstance(apps, Mapping):
+        keyed = dict(apps)
+    else:
+        keyed = {app.name: app for app in apps}
+    if not keyed:
+        raise CapiError("serve_selection needs at least one built app")
+    store_kwargs: dict = {}
+    if max_bytes is not None:
+        store_kwargs["max_bytes"] = max_bytes
+    else:
+        store_kwargs["max_bytes"] = DEFAULT_MAX_BYTES
+    if cache_entries is not None:
+        store_kwargs["cache_entries"] = cache_entries
+    store = GraphStore(**store_kwargs)
+    service = SelectionService(
+        store,
+        window_seconds=(
+            DEFAULT_WINDOW_SECONDS if window_seconds is None else window_seconds
+        ),
+        max_batch=DEFAULT_MAX_BATCH if max_batch is None else max_batch,
+        max_in_flight=(
+            DEFAULT_MAX_IN_FLIGHT if max_in_flight is None else max_in_flight
+        ),
+        verify=verify,
+    )
+    for key, app in keyed.items():
+        service.admit(key, app.graph)
+    return service
 
 
 @dataclass

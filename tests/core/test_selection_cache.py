@@ -222,7 +222,10 @@ class TestCachePurity:
         # both selections carry their own full traces
         assert len(b.selection.trace) >= len(a.selection.trace)
 
-    def test_custom_registry_pipelines_stay_uncached(self):
+    def test_default_factory_registry_pipelines_are_cached(self):
+        """A custom registry whose factories *are* the default ones keys
+        selectors exactly like the default registry (no silently lost
+        cross-run caching for plain dict copies)."""
         from repro.core.selectors.registry import DEFAULT_REGISTRY
 
         registry = dict(DEFAULT_REGISTRY)
@@ -230,10 +233,157 @@ class TestCachePurity:
         cache = CrossRunCache()
         entry = PipelineBuilder(registry).build(load_spec(SPEC))[0]
         evaluate_pipeline(entry, graph, cross_run=cache)
-        # selector names may mean anything under a custom registry, so
-        # no registry-resolved selector was keyed into the shared store
-        # (%% is builder-internal, never registry-resolved: it may stay)
+        reference = CrossRunCache()
+        default_entry = PipelineBuilder().build(load_spec(SPEC))[0]
+        evaluate_pipeline(default_entry, graph, cross_run=reference)
+        assert set(cache._store) == set(reference._store)
+        assert len(cache._store) > 1
+
+    def test_non_default_factory_warns_and_stays_uncached(self):
+        """A name bound to a different factory warns (once) and keeps its
+        selector — and every ancestor — out of the shared store."""
+        from repro.core.selectors.registry import DEFAULT_REGISTRY
+        from repro.core.selectors.structural import ByName
+
+        registry = dict(DEFAULT_REGISTRY)
+
+        def custom_by_name(pattern, inner):
+            return ByName(pattern, inner)  # same behaviour, different factory
+
+        registry["byName"] = custom_by_name
+        graph = small_graph()
+        cache = CrossRunCache()
+        with pytest.warns(RuntimeWarning, match="byName"):
+            entry = PipelineBuilder(registry).build(load_spec(SPEC))[0]
+        evaluate_pipeline(entry, graph, cross_run=cache)
+        # byName and the onCallPathTo built on top of it are unkeyed;
+        # %% is builder-internal and stays keyable
         assert set(cache._store) <= {"%%"}
+
+    def test_non_default_factory_warns_once_per_name(self):
+        from repro.core.selectors.registry import DEFAULT_REGISTRY
+        from repro.core.selectors.structural import ByName
+
+        registry = dict(DEFAULT_REGISTRY)
+        registry["byName"] = lambda pattern, inner: ByName(pattern, inner)
+        spec = 'join(byName("a", %%), byName("b", %%))'
+        builder = PipelineBuilder(registry)
+        with pytest.warns(RuntimeWarning) as caught:
+            builder.build(load_spec(spec))
+        assert len([w for w in caught if w.category is RuntimeWarning]) == 1
+
+
+class TestCrossRunCacheCap:
+    def test_put_beyond_cap_evicts_least_recently_used(self):
+        cache = CrossRunCache(max_entries=3)
+        cache.store_for(small_graph())
+        for key in ("a", "b", "c"):
+            cache.put(key, frozenset())
+        assert cache.get("a") is not None  # touch: a becomes most recent
+        cache.put("d", frozenset())  # b (now oldest) is evicted
+        assert set(cache._store) == {"c", "a", "d"}
+        assert cache.evictions == 1
+        assert cache.get("b") is None
+
+    def test_hits_and_misses_are_counted(self):
+        cache = CrossRunCache(max_entries=4)
+        cache.store_for(small_graph())
+        cache.put("x", frozenset({1}))
+        assert cache.get("x") == frozenset({1})
+        assert cache.get("nope") is None
+        assert cache.hits == 1
+
+    def test_version_drop_is_wholesale_and_uncounted(self):
+        graph = small_graph()
+        cache = CrossRunCache(max_entries=8)
+        cache.store_for(graph)
+        cache.put("x", frozenset({1}))
+        graph.add_node("more", NodeMeta(statements=1))
+        assert cache.store_for(graph) == {}  # version bump: store dropped
+        assert cache.evictions == 0  # capacity evictions only
+
+    def test_cap_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CrossRunCache(max_entries=0)
+
+    def test_capped_cache_stays_correct_under_one_off_spec_stream(self):
+        graph = small_graph()
+        cache = CrossRunCache(max_entries=2)
+        for i in range(6):
+            spec = f'join(byName("kernel", %%), byName("k{i}", %%))'
+            entry = PipelineBuilder().build(load_spec(spec))[0]
+            res = evaluate_pipeline(entry, graph, cross_run=cache)
+            assert res.selected == frozenset({"kernel"})
+            assert len(cache) <= 2
+        assert cache.evictions > 0
+
+
+class TestCompileEvaluateSplit:
+    def test_compile_spec_exposes_structural_cache_key(self):
+        from repro.core.pipeline import cache_key, compile_spec
+        from repro.core.spec.modules import load_spec as parse
+
+        compiled = compile_spec(SPEC, spec_name="mpi")
+        assert compiled.spec_name == "mpi"
+        assert compiled.source == SPEC
+        spec_ast = parse(SPEC)
+        assert compiled.cache_key == cache_key(spec_ast.statements[-1])
+        assert compiled.cache_key == 'onCallPathTo(byName(s\'MPI_.*\',%%))'
+
+    def test_public_key_api_is_the_old_private_one(self):
+        from repro.core import pipeline
+
+        assert pipeline._canonical_key is pipeline.cache_key
+        assert pipeline._attach_cache_key is pipeline.attach_cache_key
+
+    def test_compiled_spec_is_graph_independent(self):
+        from repro.core.pipeline import compile_spec
+
+        compiled = compile_spec(SPEC)
+        a, b = small_graph(), small_graph()
+        b.add_node("extra", NodeMeta(statements=1, has_body=True))
+        b.add_edge("extra", "MPI_Allreduce")
+        res_a = evaluate_pipeline(compiled.entry, a)
+        res_b = evaluate_pipeline(compiled.entry, b)
+        assert "extra" in res_b.selected
+        assert "extra" not in res_a.selected
+
+    def test_evaluate_compiled_runs_against_supplied_pair(self):
+        from repro.core.pipeline import compile_spec, evaluate_compiled
+
+        graph = small_graph()
+        compiled = compile_spec(SPEC)
+        snapshot = graph.csr()
+        cache = CrossRunCache()
+        first = evaluate_compiled(compiled, snapshot, cross_run=cache)
+        second = evaluate_compiled(compiled, snapshot, cross_run=cache)
+        assert first.selected == second.selected
+        assert cache.hits > 0
+        reference = evaluate_pipeline(
+            PipelineBuilder().build(load_spec(SPEC))[0], graph
+        )
+        assert first.selected == reference.selected
+
+    def test_evaluate_compiled_rejects_stale_snapshots(self):
+        from repro.core.pipeline import compile_spec, evaluate_compiled
+
+        graph = small_graph()
+        snapshot = graph.csr()
+        graph.add_node("mutant", NodeMeta(statements=1))
+        with pytest.raises(RuntimeError, match="stale"):
+            evaluate_compiled(compile_spec(SPEC), snapshot)
+
+    def test_equal_keys_imply_equal_selections(self):
+        from repro.core.pipeline import compile_spec
+
+        graph = small_graph()
+        a = compile_spec('subtract(%%, byName("main", %%))')
+        b = compile_spec('x = byName("main", %%)\nsubtract(%%, %x)')
+        assert a.cache_key == b.cache_key  # %x expands to its definition
+        assert (
+            evaluate_pipeline(a.entry, graph).selected
+            == evaluate_pipeline(b.entry, graph).selected
+        )
 
 
 class TestMemoBounds:

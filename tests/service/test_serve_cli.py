@@ -1,0 +1,50 @@
+"""The synthetic client-mix harness (``python -m repro.experiments.serve``)."""
+
+from repro.experiments import serve
+
+
+def test_run_service_mix_check_contract():
+    report = serve.run_service_mix(
+        ("lulesh",),
+        scales={"lulesh": 220},
+        tenants=3,
+        requests_per_tenant=5,
+        edit_every=6,
+        window_seconds=0.05,
+        seed=42,
+        verify=True,
+    )
+    assert serve.check_report(report) == []
+    assert report.responses == report.requests
+    assert report.result_changed_after_edit
+    assert report.invalidations > 0
+    assert report.edits > 0
+
+
+def test_main_check_exits_zero(capsys):
+    rc = serve.main(
+        [
+            "--nodes", "220",
+            "--tenants", "2",
+            "--requests", "4",
+            "--edit-every", "5",
+            "--check",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0, out
+    assert "CHECK OK" in out
+
+
+def test_check_report_flags_problems():
+    report = serve.run_service_mix(
+        ("lulesh",),
+        scales={"lulesh": 220},
+        tenants=2,
+        requests_per_tenant=3,
+        edit_every=0,  # no interleaved edits; phase 2 still edits
+        window_seconds=0.05,
+        verify=False,
+    )
+    problems = serve.check_report(report)
+    assert any("verify" in p for p in problems)
