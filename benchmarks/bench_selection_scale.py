@@ -61,6 +61,14 @@ ANALYSIS_FLOOR = 5.0
 SERVICE_FLOOR = 3.0
 SERVICE_BATCH = 32
 
+#: acceptance floor (ISSUE 9): re-selection after an
+#: ``INCREMENTAL_EDITS``-edge delta through the mutation-journal path
+#: (delta CSR refresh + support-set cache retention) >= 3x the same
+#: edit replayed on a journal-less twin (from-scratch rebuild +
+#: wholesale cache drop), results bit-identical
+INCREMENTAL_FLOOR = 3.0
+INCREMENTAL_EDITS = 16
+
 #: multi-rank engine benchmark shape (serial vs multiprocessing backend)
 MULTIRANK_RANKS = 8
 
@@ -410,6 +418,120 @@ def measure_selection_service(prepared) -> dict:
         "batched_requests_per_second": SERVICE_BATCH / t_warm,
         "speedup": t_seq / t_warm,
         "store": store.stats.as_dict(),
+        "bit_identical": True,
+    }
+
+
+def _fresh_edges(graph):
+    """Yield ``(caller, callee)`` pairs absent from ``graph`` — checked
+    against the live graph at yield time, so consuming an edge and
+    immediately adding it keeps the stream fresh forever.  Deterministic
+    (prime-stride pairing), no RNG."""
+    names = [node.name for node in graph.nodes()]
+    n = len(names)
+    stride = 0
+    while True:
+        stride += 7919  # prime: cycles through all pairings over time
+        for i in range(n):
+            j = (i + stride) % n
+            if i == j:
+                continue
+            caller_id = graph.id_of(names[i])
+            callee_id = graph.id_of(names[j])
+            if callee_id in graph.succ_ids(caller_id):
+                continue
+            yield names[i], names[j]
+
+
+def measure_incremental(prepared, edits: int = INCREMENTAL_EDITS) -> dict:
+    """Delta refresh + re-selection vs full rebuild after a small edit.
+
+    Two identical copies of the bench graph serve the paper's spec mix
+    through warm :class:`GraphStore` entries.  Each rep applies the same
+    ``edits`` fresh call edges to both copies and re-evaluates every
+    spec: the *incremental* copy repairs its snapshot through the
+    mutation journal and keeps every cross-run result whose recorded
+    support set the delta provably missed; the *full* copy carries a
+    zero-capacity journal (``copy(max_delta_entries=0)``), so the same
+    edit forces a from-scratch CSR rebuild and a wholesale cache drop —
+    the pre-ISSUE-9 behaviour.  Results must be bit-identical per rep
+    (and, on the last rep, bit-identical to a cache-free fresh
+    evaluation); the speedup floor is ``INCREMENTAL_FLOOR``.
+    """
+    from repro.core.pipeline import compile_spec
+    from repro.experiments.serve import spec_mix
+    from repro.service import BatchEvaluator, GraphStore
+
+    inc_graph = prepared.app.graph.copy()
+    full_graph = prepared.app.graph.copy(max_delta_entries=0)
+    mix = spec_mix()
+    specs = [compile_spec(mix[name], spec_name=name) for name in sorted(mix)]
+
+    inc_store, full_store = GraphStore(), GraphStore()
+    inc_store.admit("bench", inc_graph)
+    full_store.admit("bench", full_graph)
+    evaluator = BatchEvaluator()
+    # warm both stores: snapshot built, cross-run caches populated
+    evaluator.evaluate(specs, inc_store.entry("bench"))
+    evaluator.evaluate(specs, full_store.entry("bench"))
+
+    stream = _fresh_edges(inc_graph)
+    reps = 3
+    t_inc = t_full = float("inf")
+    inc_batch = full_batch = None
+    for _ in range(reps):
+        for caller, callee in (next(stream) for _ in range(edits)):
+            inc_graph.add_edge(caller, callee)
+            full_graph.add_edge(caller, callee)
+        t0 = time.perf_counter()
+        inc_batch = evaluator.evaluate(specs, inc_store.entry("bench"))
+        t_inc = min(t_inc, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        full_batch = evaluator.evaluate(specs, full_store.entry("bench"))
+        t_full = min(t_full, time.perf_counter() - t0)
+        for spec, inc_res, full_res in zip(
+            specs, inc_batch.results, full_batch.results
+        ):
+            if inc_res.selected != full_res.selected:
+                raise AssertionError(
+                    f"incremental result for {spec.spec_name!r} differs from "
+                    f"full rebuild on "
+                    f"{len(inc_res.selected ^ full_res.selected)} functions"
+                )
+    # the delta paths must actually have engaged: every stale access on
+    # the incremental store repaired through the journal, never on the
+    # journal-less twin
+    inc_stats, full_stats = inc_store.stats, full_store.stats
+    if inc_stats.delta_refreshes != reps:
+        raise AssertionError(
+            f"journal answered {inc_stats.delta_refreshes} of {reps} "
+            "incremental refreshes"
+        )
+    if full_stats.delta_refreshes != 0 or full_stats.cache_retained != 0:
+        raise AssertionError("zero-capacity journal still served a delta")
+    # last rep vs a cache-free fresh evaluation — selector purity gate
+    for spec, inc_res in zip(specs, inc_batch.results):
+        fresh = evaluate_pipeline(spec.entry, inc_graph)
+        if inc_res.selected != fresh.selected:
+            raise AssertionError(
+                f"incremental result for {spec.spec_name!r} differs from a "
+                f"fresh evaluation on "
+                f"{len(inc_res.selected ^ fresh.selected)} functions"
+            )
+    touched = inc_stats.cache_retained + inc_stats.cache_dropped
+    return {
+        "graph_nodes": len(inc_graph),
+        "graph_edges": inc_graph.edge_count(),
+        "edits_per_delta": edits,
+        "reps": reps,
+        "specs": len(specs),
+        "incremental_seconds": t_inc,
+        "full_rebuild_seconds": t_full,
+        "speedup": t_full / t_inc,
+        "delta_refreshes": inc_stats.delta_refreshes,
+        "cache_retained": inc_stats.cache_retained,
+        "cache_dropped": inc_stats.cache_dropped,
+        "retention_rate": inc_stats.cache_retained / touched if touched else 0.0,
         "bit_identical": True,
     }
 
@@ -836,6 +958,7 @@ def collect_record(scale: int = BENCH_SCALE, ranks: int = MULTIRANK_RANKS) -> di
     prepared = prepare_app("openfoam", scale)
     selection = measure_selection(prepared)
     selection_service = measure_selection_service(prepared)
+    incremental = measure_incremental(prepared)
     analysis = measure_analysis(prepared)
     engine = measure_engine(prepared)
     multirank = measure_multirank(prepared, ranks)
@@ -848,6 +971,7 @@ def collect_record(scale: int = BENCH_SCALE, ranks: int = MULTIRANK_RANKS) -> di
         "scale": scale,
         "selection": selection,
         "selection_service": selection_service,
+        "incremental": incremental,
         "analysis": analysis,
         "engine": engine,
         "multirank": multirank,
@@ -857,6 +981,7 @@ def collect_record(scale: int = BENCH_SCALE, ranks: int = MULTIRANK_RANKS) -> di
         "floors": {
             "selection": SELECTION_FLOOR,
             "selection_service": SERVICE_FLOOR,
+            "incremental": INCREMENTAL_FLOOR,
             "engine": ENGINE_FLOOR,
             "analysis": ANALYSIS_FLOOR,
             "supervised_overhead_ceiling": SUPERVISED_OVERHEAD_CEILING,
@@ -884,6 +1009,10 @@ def test_selection_scale_speedup_and_record(benchmark, openfoam_prepared):
     assert svc["bit_identical"], svc
     assert svc["batch_size"] >= SERVICE_BATCH, svc
     assert svc["speedup"] >= SERVICE_FLOOR, svc
+    inc = record["incremental"]
+    assert inc["bit_identical"], inc
+    assert inc["delta_refreshes"] == inc["reps"], inc
+    assert inc["speedup"] >= INCREMENTAL_FLOOR, inc
     assert record["engine"]["speedup"] >= ENGINE_FLOOR, record["engine"]
     assert record["analysis"]["speedup"] >= ANALYSIS_FLOOR, record["analysis"]
     assert record["analysis"]["results_identical"], record["analysis"]
@@ -938,6 +1067,12 @@ def main() -> int:
           f"{svc['batched_requests_per_second']:,.0f} req/s "
           f"({svc['speedup']:.1f}x, floor {SERVICE_FLOOR}x), warm hit rate "
           f"{100 * svc['store']['hit_rate']:.0f}%, bit-identical")
+    inc = record["incremental"]
+    print(f"incremental: {inc['edits_per_delta']}-edge delta, re-selection "
+          f"{inc['full_rebuild_seconds'] * 1e3:.2f}ms full -> "
+          f"{inc['incremental_seconds'] * 1e3:.2f}ms journal "
+          f"({inc['speedup']:.1f}x, floor {INCREMENTAL_FLOOR}x), "
+          f"{100 * inc['retention_rate']:.0f}% cache retained, bit-identical")
     print(f"analysis:  {ana['seed_seconds']:.3f}s -> {ana['seconds']:.3f}s "
           f"({ana['speedup']:.1f}x, floor {ANALYSIS_FLOOR}x; "
           f"{ana['reachable_from_main']} nodes reachable from main)")
@@ -969,6 +1104,8 @@ def main() -> int:
         sel["speedup"] >= SELECTION_FLOOR
         and svc["speedup"] >= SERVICE_FLOOR
         and svc["bit_identical"]
+        and inc["speedup"] >= INCREMENTAL_FLOOR
+        and inc["bit_identical"]
         and eng["speedup"] >= ENGINE_FLOOR
         and ana["speedup"] >= ANALYSIS_FLOOR
         and sup["overhead"] < SUPERVISED_OVERHEAD_CEILING

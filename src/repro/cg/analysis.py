@@ -67,11 +67,46 @@ def call_depth_dense(graph: CallGraph, root_id: int) -> np.ndarray:
 
     ``-1`` marks unreachable ids; selectors filter with vectorised
     comparisons instead of per-node dict lookups.
+
+    Memoised on the snapshot under ``("depth", root_id)`` (with the
+    root's reach mask alongside), so repeated depth filters over one
+    graph version share the BFS — and a delta refresh carries the
+    arrays over when the edit leaves the root's reachable set untouched.
+    Treat the returned array as read-only.
     """
     snapshot = graph.csr()
-    return _csr.bfs_depths(
-        snapshot.succ_indptr, snapshot.succ_indices, root_id, snapshot.n
-    )
+    dense = snapshot.analyses.get(("depth", root_id))
+    if dense is None:
+        dense = _csr.bfs_depths(
+            snapshot.succ_indptr, snapshot.succ_indices, root_id, snapshot.n
+        )
+        snapshot.analyses[("depth", root_id)] = dense
+        snapshot.analyses.setdefault(("reach", root_id), dense >= 0)
+    return dense
+
+
+def reach_ids_frozen(graph: CallGraph, root_id: int) -> frozenset[int]:
+    """Ids reachable from ``root_id``, memoised on the snapshot.
+
+    The shared support set of every root-keyed analysis result — what
+    the delta-aware cross-run cache records as a dependency so an edit
+    inside the reachable region drops exactly the results it can affect.
+    """
+    snapshot = graph.csr()
+    reachset = snapshot.analyses.get(("reachset", root_id))
+    if reachset is None:
+        mask = snapshot.analyses.get(("reach", root_id))
+        if mask is None:
+            mask = _csr.sweep(
+                snapshot.succ_indptr,
+                snapshot.succ_indices,
+                (root_id,),
+                snapshot.n,
+            )
+            snapshot.analyses[("reach", root_id)] = mask
+        reachset = frozenset(np.flatnonzero(mask).tolist())
+        snapshot.analyses[("reachset", root_id)] = reachset
+    return reachset
 
 
 def call_depth_ids_from(graph: CallGraph, root_id: int) -> dict[int, int]:
@@ -142,7 +177,14 @@ def _aggregate_arrays(
             )
             node_ids = np.flatnonzero(reached)
             return node_ids, best[node_ids]
-    comp_of, comp_members = _csr.tarjan_scc(indptr, indices, (root_id,), snapshot.n)
+    comp_of, comp_members = _csr.scc_condense(
+        indptr,
+        indices,
+        snapshot.pred_indptr,
+        snapshot.pred_indices,
+        (root_id,),
+        snapshot.n,
+    )
     ncomp = len(comp_members)
     if metric is None:
         statements = snapshot.meta_column("statements")
@@ -174,10 +216,23 @@ def aggregate_statement_dense(graph: CallGraph, root_id: int) -> np.ndarray:
     The array equivalent of ``aggregate_statement_ids(...).get(nid, 0)``
     — what the ``statementAggregation`` selector consumes for its
     vectorised threshold filter.
+
+    Memoised on the snapshot under ``("agg", root_id)`` (with the root's
+    reach mask alongside); a delta refresh carries the array over when
+    the edit cannot reach the root's aggregation region.  Treat the
+    returned array as read-only.
     """
-    node_ids, totals = _aggregate_arrays(graph, root_id, None)
-    dense = np.zeros(graph.id_bound, dtype=np.int64)
-    dense[node_ids] = totals
+    snapshot = graph.csr()
+    dense = snapshot.analyses.get(("agg", root_id))
+    if dense is None:
+        node_ids, totals = _aggregate_arrays(graph, root_id, None)
+        dense = np.zeros(snapshot.n, dtype=np.int64)
+        dense[node_ids] = totals
+        snapshot.analyses[("agg", root_id)] = dense
+        if ("reach", root_id) not in snapshot.analyses:
+            mask = np.zeros(snapshot.n, dtype=bool)
+            mask[node_ids] = True
+            snapshot.analyses[("reach", root_id)] = mask
     return dense
 
 

@@ -67,6 +67,66 @@ def edges_to_csr(
     return indptr, indices
 
 
+def splice_csr(
+    old_indptr: np.ndarray,
+    old_indices: np.ndarray,
+    rows: Sequence[int],
+    row_values: Sequence[np.ndarray],
+    n_new: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Rebuild ``(indptr, indices)`` with ``rows`` replaced or appended.
+
+    ``rows`` must be sorted ascending, parallel to ``row_values`` (each
+    a sorted ``INDEX_DTYPE`` target array); rows at or past the old row
+    count are appends.  Untouched row spans are block-copied from the
+    old arrays, so the cost is O(touched rows) Python iterations plus
+    memcpy — and because :func:`edges_to_csr` lays rows out in id order
+    with sorted targets, the result is bit-identical to a from-scratch
+    build of the same adjacency.
+    """
+    old_n = old_indptr.size - 1
+    counts = np.zeros(n_new, dtype=np.int64)
+    counts[:old_n] = np.diff(old_indptr)
+    for row, values in zip(rows, row_values):
+        counts[row] = values.size
+    indptr = np.zeros(n_new + 1, dtype=INDEX_DTYPE)
+    np.cumsum(counts, out=indptr[1:], dtype=np.int64)
+    indices = np.empty(int(indptr[-1]), dtype=INDEX_DTYPE)
+    prev = 0
+    for row, values in zip(rows, row_values):
+        stop = min(row, old_n)
+        if stop > prev:
+            src0, src1 = old_indptr[prev], old_indptr[stop]
+            dst0 = indptr[prev]
+            indices[dst0 : dst0 + (src1 - src0)] = old_indices[src0:src1]
+        if values.size:
+            dst = indptr[row]
+            indices[dst : dst + values.size] = values
+        prev = row + 1
+    if prev < old_n:
+        src0, src1 = old_indptr[prev], old_indptr[old_n]
+        dst0 = indptr[prev]
+        indices[dst0 : dst0 + (src1 - src0)] = old_indices[src0:src1]
+    return indptr, indices
+
+
+def _sorted_row(adjacency: Sequence[set], row: int) -> np.ndarray:
+    """One adjacency row as a sorted ``INDEX_DTYPE`` target array."""
+    targets = adjacency[row]
+    out = np.fromiter(targets, dtype=INDEX_DTYPE, count=len(targets))
+    out.sort()
+    return out
+
+
+def _extend(arr: np.ndarray, n: int, fill) -> np.ndarray:
+    """``arr`` grown to length ``n`` with ``fill`` (shared when equal)."""
+    if arr.shape[0] == n:
+        return arr
+    out = np.full(n, fill, dtype=arr.dtype)
+    out[: arr.shape[0]] = arr
+    return out
+
+
 def _gather(
     indptr: np.ndarray, indices: np.ndarray, frontier: np.ndarray
 ) -> np.ndarray:
@@ -83,13 +143,20 @@ def _gather(
 
 
 def sweep(
-    indptr: np.ndarray, indices: np.ndarray, seeds: Iterable[int], n: int
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    seeds: Iterable[int],
+    n: int,
+    within: np.ndarray | None = None,
 ) -> np.ndarray:
     """Frontier-vectorised reachability: boolean visited mask over ids.
 
     Each iteration gathers the whole frontier's adjacency in one ragged
     numpy gather, drops already-visited targets and dedupes — no
-    per-node Python iteration.
+    per-node Python iteration.  ``within`` optionally restricts the
+    sweep to a node subset (targets outside the mask are never entered);
+    seeds are assumed to lie inside it.  The restricted form is what the
+    forward–backward SCC recursion runs on.
     """
     visited = np.zeros(n, dtype=bool)
     frontier = np.unique(np.fromiter(seeds, dtype=np.int64))
@@ -98,7 +165,10 @@ def sweep(
     visited[frontier] = True
     while frontier.size:
         neighbors = _gather(indptr, indices, frontier)
-        neighbors = neighbors[~visited[neighbors]]
+        if within is None:
+            neighbors = neighbors[~visited[neighbors]]
+        else:
+            neighbors = neighbors[within[neighbors] & ~visited[neighbors]]
         if neighbors.size == 0:
             break
         frontier = np.unique(neighbors.astype(np.int64))
@@ -163,6 +233,86 @@ def peel_topological(
     return waves if remaining == 0 else None
 
 
+def forward_backward_scc(
+    succ_indptr: np.ndarray,
+    succ_indices: np.ndarray,
+    pred_indptr: np.ndarray,
+    pred_indices: np.ndarray,
+    seeds: Iterable[int],
+    n: int,
+) -> tuple[np.ndarray, list[list[int]]]:
+    """Vectorised forward–backward SCC over the seeds' reachable subgraph.
+
+    The FB recursion (Fleischer/Hendrickson/Pınar): pick a pivot, its
+    SCC is forward-reach ∩ backward-reach within the current subset;
+    the three remainders (forward-only, backward-only, untouched) are
+    independent subproblems.  Every reach runs as a restricted
+    :func:`sweep` — frontier-vectorised ragged gathers — so cycle-heavy
+    graphs that defeat the wave fast path avoid the sequential
+    per-node DFS of :func:`tarjan_scc`.
+
+    Returns ``(comp_of, comp_members)`` shaped like :func:`tarjan_scc`:
+    ``comp_of[nid]`` is ``-1`` outside the reachable subgraph, and
+    component ids are assigned in an unspecified (but deterministic)
+    emission order — consumers must order via :func:`topo_order`.
+    """
+    comp_of = np.full(n, -1, dtype=INDEX_DTYPE)
+    comp_members: list[list[int]] = []
+    visited = sweep(succ_indptr, succ_indices, seeds, n)
+    roots = np.flatnonzero(visited)
+    if roots.size == 0:
+        return comp_of, comp_members
+    worklist: list[np.ndarray] = [roots]
+    while worklist:
+        nodes = worklist.pop()
+        if nodes.size == 0:
+            continue
+        if nodes.size == 1:
+            nid = int(nodes[0])
+            comp_of[nid] = len(comp_members)
+            comp_members.append([nid])
+            continue
+        allowed = np.zeros(n, dtype=bool)
+        allowed[nodes] = True
+        pivot = (int(nodes[0]),)
+        fwd = sweep(succ_indptr, succ_indices, pivot, n, within=allowed)
+        bwd = sweep(pred_indptr, pred_indices, pivot, n, within=allowed)
+        scc_mask = fwd & bwd
+        members = np.flatnonzero(scc_mask)
+        comp_of[members] = len(comp_members)
+        comp_members.append(members.tolist())
+        worklist.append(np.flatnonzero(fwd & ~scc_mask))
+        worklist.append(np.flatnonzero(bwd & ~scc_mask))
+        rest = ~(fwd | bwd)
+        worklist.append(nodes[rest[nodes]])
+    return comp_of, comp_members
+
+
+def scc_condense(
+    succ_indptr: np.ndarray,
+    succ_indices: np.ndarray,
+    pred_indptr: np.ndarray,
+    pred_indices: np.ndarray,
+    seeds: Iterable[int],
+    n: int,
+) -> tuple[np.ndarray, list[list[int]]]:
+    """SCC kernel dispatch for cyclic graphs: FB at scale, Tarjan below.
+
+    Small graphs stay on the sequential Tarjan (per-sweep numpy dispatch
+    costs more than it vectorises there, the same
+    :data:`VECTOR_MIN_SIZE` threshold as every other kernel); large
+    cyclic graphs take the forward–backward recursion.  Component *ids*
+    may differ between the kernels but the partition is identical (SCCs
+    are unique), and every consumer orders components explicitly via
+    :func:`topo_order`.
+    """
+    if n + succ_indices.size < VECTOR_MIN_SIZE:
+        return tarjan_scc(succ_indptr, succ_indices, seeds, n)
+    return forward_backward_scc(
+        succ_indptr, succ_indices, pred_indptr, pred_indices, seeds, n
+    )
+
+
 def condense(
     snapshot: "CsrSnapshot", root_id: int
 ) -> tuple[np.ndarray, list[list[int]]]:
@@ -177,7 +327,14 @@ def condense(
     """
     indptr, indices = snapshot.succ_indptr, snapshot.succ_indices
     if snapshot.topological_waves() is None:
-        return tarjan_scc(indptr, indices, (root_id,), snapshot.n)
+        return scc_condense(
+            indptr,
+            indices,
+            snapshot.pred_indptr,
+            snapshot.pred_indices,
+            (root_id,),
+            snapshot.n,
+        )
     visited = sweep(indptr, indices, (root_id,), snapshot.n)
     order = np.flatnonzero(visited)
     comp_of = np.full(snapshot.n, -1, dtype=INDEX_DTYPE)
@@ -433,16 +590,32 @@ class CsrSnapshot:
         "pred_indices",
         "alive",
         "live_ids",
+        "analyses",
+        "refreshed_from",
         "_graph",
         "_meta_columns",
         "_waves",
     )
 
-    def __init__(self, graph: "CallGraph"):
+    def __init__(self, graph: "CallGraph", *, _base=None, _delta=None):
         self._graph = graph
         self.version = graph.version
         n = graph.id_bound
         self.n = n
+        self._meta_columns: dict[str, np.ndarray] = {}
+        self._waves: list[np.ndarray] | None | bool = False
+        #: root-keyed analysis memo: ``(kind, root_id) -> array/frozenset``
+        #: ("reach" mask, "depth" BFS array, "agg" statement totals,
+        #: "reachset" id frozenset) — filled by :mod:`repro.cg.analysis`,
+        #: carried through :meth:`refresh` when the delta leaves the
+        #: root's reachable set untouched
+        self.analyses: dict[tuple[str, int], object] = {}
+        #: version this snapshot was delta-refreshed from (``None`` for a
+        #: from-scratch build) — service stats report on it
+        self.refreshed_from: int | None = None
+        if _base is not None and _delta is not None:
+            self._refresh_from(graph, _base, _delta)
+            return
         succ = graph._succ
         counts = np.fromiter((len(s) for s in succ), dtype=np.int64, count=n)
         edge_total = int(counts.sum())
@@ -457,8 +630,113 @@ class CsrSnapshot:
         alive[live] = True
         self.alive = alive
         self.live_ids = np.flatnonzero(alive).astype(INDEX_DTYPE)
-        self._meta_columns: dict[str, np.ndarray] = {}
-        self._waves: list[np.ndarray] | None | bool = False
+
+    def refresh(
+        self, graph: "CallGraph", *, max_rows: int | None = None
+    ) -> "CsrSnapshot":
+        """A snapshot of ``graph``'s *current* version, built incrementally.
+
+        Consumes the mutation journal since this snapshot's version:
+        touched CSR rows are re-spliced, new rows appended, the alive
+        mask, meta columns and root-keyed analyses extended/patched —
+        with every untouched span block-copied (or shared outright), so
+        the cost is O(delta), not O(graph).  The hard contract is
+        bit-identity: the produced arrays equal a from-scratch
+        ``CsrSnapshot(graph)`` at the new version (property-tested).
+
+        Falls back to a full rebuild when the snapshot is already
+        current-version-equal (returns ``self``), the journal truncated,
+        the snapshot belongs to a different graph, or the delta touches
+        more than ``max_rows`` CSR rows (``None`` = no limit).
+        """
+        if graph is not self._graph:
+            return CsrSnapshot(graph)
+        if graph.version == self.version:
+            return self
+        delta = graph.delta_since(self.version)
+        if delta is None or (max_rows is not None and delta.row_count > max_rows):
+            return CsrSnapshot(graph)
+        return CsrSnapshot(graph, _base=self, _delta=delta)
+
+    def _refresh_from(self, graph: "CallGraph", base, delta) -> None:
+        self.refreshed_from = base.version
+        n, old_n = self.n, base.n
+        if delta.succ_rows:
+            rows = sorted(delta.succ_rows)
+            values = [_sorted_row(graph._succ, r) for r in rows]
+            self.succ_indptr, self.succ_indices = splice_csr(
+                base.succ_indptr, base.succ_indices, rows, values, n
+            )
+        else:
+            # no succ rows touched implies no new ids either
+            self.succ_indptr, self.succ_indices = (
+                base.succ_indptr,
+                base.succ_indices,
+            )
+        if delta.pred_rows:
+            rows = sorted(delta.pred_rows)
+            values = [_sorted_row(graph._pred, r) for r in rows]
+            self.pred_indptr, self.pred_indices = splice_csr(
+                base.pred_indptr, base.pred_indices, rows, values, n
+            )
+        else:
+            self.pred_indptr, self.pred_indices = (
+                base.pred_indptr,
+                base.pred_indices,
+            )
+        if delta.universe_changed:
+            alive = np.zeros(n, dtype=bool)
+            alive[:old_n] = base.alive
+            for nid in delta.added:
+                alive[nid] = True
+            for nid in delta.removed:
+                alive[nid] = False
+            self.alive = alive
+            self.live_ids = np.flatnonzero(alive).astype(INDEX_DTYPE)
+        else:
+            self.alive = base.alive
+            self.live_ids = base.live_ids
+        # waves are a pure function of the succ arrays: share when unchanged
+        if self.succ_indptr is base.succ_indptr and base._waves is not False:
+            self._waves = base._waves
+        # meta columns: extend and patch only the touched ids
+        patch = delta.added | delta.meta_touched | delta.removed
+        for attr, column in base._meta_columns.items():
+            if not patch and n == old_n:
+                self._meta_columns[attr] = column
+                continue
+            new_column = np.zeros(n, dtype=column.dtype)
+            new_column[:old_n] = column
+            for nid in patch:
+                node = graph._nodes[nid]
+                value = getattr(node.meta, attr) if node is not None else None
+                new_column[nid] = value or 0
+            self._meta_columns[attr] = new_column
+        # root-keyed analyses: carry those whose supporting reachable set
+        # the delta provably left alone (no touched id is reachable; new
+        # ids cannot be reachable then — any edge making one reachable
+        # would touch an old reachable id)
+        touched = [
+            t
+            for t in (delta.struct_touched | delta.meta_touched)
+            if t < old_n
+        ]
+        touched_arr = np.fromiter(touched, dtype=np.int64, count=len(touched))
+        for (kind, root), reach in base.analyses.items():
+            if kind != "reach":
+                continue
+            if touched_arr.size and bool(reach[touched_arr].any()):
+                continue
+            self.analyses[("reach", root)] = _extend(reach, n, False)
+            depth = base.analyses.get(("depth", root))
+            if depth is not None:
+                self.analyses[("depth", root)] = _extend(depth, n, -1)
+            agg = base.analyses.get(("agg", root))
+            if agg is not None:
+                self.analyses[("agg", root)] = _extend(agg, n, 0)
+            reachset = base.analyses.get(("reachset", root))
+            if reachset is not None:
+                self.analyses[("reachset", root)] = reachset
 
     @property
     def graph(self) -> "CallGraph":
@@ -492,6 +770,11 @@ class CsrSnapshot:
             + self.live_ids.nbytes
         )
         total += sum(column.nbytes for column in self._meta_columns.values())
+        total += sum(
+            value.nbytes
+            for value in self.analyses.values()
+            if isinstance(value, np.ndarray)
+        )
         if isinstance(self._waves, list):
             total += sum(wave.nbytes for wave in self._waves)
         return total

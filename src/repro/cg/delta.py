@@ -1,0 +1,179 @@
+"""Mutation journal for call graphs: typed delta entries and the bounded log.
+
+The paper's workload is not one static graph but a stream of small edits
+(a new build, one changed TU, a profile-validated edge).  Consumers that
+cache derived state against a graph *version* — CSR snapshots, cross-run
+selector caches, warm service entries — used to invalidate wholesale on
+any bump.  The journal makes invalidation proportional to the edit:
+every version bump appends exactly one :class:`DeltaEntry`, so a
+consumer holding version ``v`` can ask the graph "what changed since
+``v``?" (:meth:`repro.cg.graph.CallGraph.delta_since`) and receive a
+:class:`GraphDelta` summarising the touched ids — or ``None`` when the
+bounded log has truncated past ``v``, the signal to fall back to a full
+rebuild.
+
+The log is intentionally small (:data:`DELTA_LOG_MAX` entries): it only
+needs to cover the gap between two accesses of a warm consumer, and a
+gap wider than the log means the graph changed so much that incremental
+repair would cost more than rebuilding anyway.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from itertools import islice
+
+#: default bound on journal entries kept; one entry per version bump
+DELTA_LOG_MAX = 4096
+
+_EMPTY: frozenset[int] = frozenset()
+
+
+class DeltaKind(enum.Enum):
+    """What one version bump did to the graph."""
+
+    NODE_ADDED = "node_added"
+    EDGE_ADDED = "edge_added"
+    REASON_UPGRADED = "reason_upgraded"
+    META_MERGED = "meta_merged"
+    NODE_REMOVED = "node_removed"
+
+
+@dataclass(frozen=True)
+class DeltaEntry:
+    """One journal record; exactly one per version bump.
+
+    ``node`` is the subject id (the added/removed/merged node, or the
+    edge caller); ``other`` is the edge callee for edge kinds.  Node
+    removal additionally records the neighbour ids the node had at
+    removal time (``preds``/``succs``) — the live graph no longer holds
+    those edges, but an incremental CSR refresh must know which rows to
+    patch.
+    """
+
+    kind: DeltaKind
+    node: int
+    other: int = -1
+    preds: tuple[int, ...] = ()
+    succs: tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class GraphDelta:
+    """Aggregate of every journal entry between two versions.
+
+    ``struct_touched`` is the union of ids whose adjacency or edge
+    metadata changed (edge endpoints, upgraded-reason endpoints, removed
+    nodes and their recorded neighbours, added nodes);
+    ``succ_rows``/``pred_rows`` name exactly the CSR rows an incremental
+    refresh must rewrite.  An empty delta (``base_version == version``)
+    is valid and touches nothing.
+    """
+
+    base_version: int
+    version: int
+    added: frozenset[int] = _EMPTY
+    removed: frozenset[int] = _EMPTY
+    meta_touched: frozenset[int] = _EMPTY
+    struct_touched: frozenset[int] = _EMPTY
+    succ_rows: frozenset[int] = _EMPTY
+    pred_rows: frozenset[int] = _EMPTY
+
+    @property
+    def universe_changed(self) -> bool:
+        """Whether the live id set itself changed (adds or removals)."""
+        return bool(self.added or self.removed)
+
+    @property
+    def row_count(self) -> int:
+        """Number of CSR rows a refresh must rewrite (both directions)."""
+        return len(self.succ_rows) + len(self.pred_rows)
+
+
+@dataclass
+class DeltaLog:
+    """Bounded journal: one entry per version bump, oldest dropped first.
+
+    Invariant: the covered version window is
+    ``(base_version, base_version + len(entries)]`` — appending an entry
+    accompanies a version bump, and dropping the oldest entry advances
+    ``base_version`` so truncation is always observable.
+    """
+
+    max_entries: int = DELTA_LOG_MAX
+    #: version at the start of the covered window (entries describe the
+    #: bumps base_version+1 .. base_version+len)
+    base_version: int = 0
+    _entries: deque = field(default_factory=deque)
+
+    def record(self, entry: DeltaEntry) -> None:
+        self._entries.append(entry)
+        while len(self._entries) > self.max_entries:
+            self._entries.popleft()
+            self.base_version += 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries_since(self, version: int, current: int) -> list[DeltaEntry] | None:
+        """Entries describing bumps after ``version``, or ``None``.
+
+        ``None`` means the log cannot answer — ``version`` predates the
+        bounded window (truncated) or does not belong to this graph's
+        lineage — and the caller must fall back to a full rebuild.
+        """
+        if version < self.base_version or version > current:
+            return None
+        return list(islice(self._entries, version - self.base_version, None))
+
+
+def summarize(
+    entries: list[DeltaEntry], base_version: int, version: int
+) -> GraphDelta:
+    """Fold journal entries into one :class:`GraphDelta`."""
+    added: set[int] = set()
+    removed: set[int] = set()
+    meta: set[int] = set()
+    struct: set[int] = set()
+    succ_rows: set[int] = set()
+    pred_rows: set[int] = set()
+    for entry in entries:
+        kind = entry.kind
+        if kind is DeltaKind.NODE_ADDED:
+            added.add(entry.node)
+            struct.add(entry.node)
+            succ_rows.add(entry.node)
+            pred_rows.add(entry.node)
+        elif kind is DeltaKind.EDGE_ADDED:
+            struct.add(entry.node)
+            struct.add(entry.other)
+            succ_rows.add(entry.node)
+            pred_rows.add(entry.other)
+        elif kind is DeltaKind.REASON_UPGRADED:
+            # the CSR arrays are reason-blind, but reasons are observable
+            # metadata: cached results must treat both endpoints as dirty
+            struct.add(entry.node)
+            struct.add(entry.other)
+        elif kind is DeltaKind.META_MERGED:
+            meta.add(entry.node)
+        elif kind is DeltaKind.NODE_REMOVED:
+            removed.add(entry.node)
+            struct.add(entry.node)
+            struct.update(entry.preds)
+            struct.update(entry.succs)
+            succ_rows.add(entry.node)
+            succ_rows.update(entry.preds)
+            pred_rows.add(entry.node)
+            pred_rows.update(entry.succs)
+    return GraphDelta(
+        base_version=base_version,
+        version=version,
+        added=frozenset(added),
+        removed=frozenset(removed),
+        meta_touched=frozenset(meta),
+        struct_touched=frozenset(struct),
+        succ_rows=frozenset(succ_rows),
+        pred_rows=frozenset(pred_rows),
+    )

@@ -29,6 +29,14 @@ from typing import Iterable, Iterator
 import numpy as np
 
 from repro.cg.csr import VECTOR_MIN_SIZE, CsrSnapshot, sweep
+from repro.cg.delta import (
+    DELTA_LOG_MAX,
+    DeltaEntry,
+    DeltaKind,
+    DeltaLog,
+    GraphDelta,
+    summarize,
+)
 from repro.errors import CallGraphError
 
 
@@ -122,7 +130,7 @@ class NameSetView(AbstractSet):
 class CallGraph:
     """Mutable whole-program call graph over interned function ids."""
 
-    def __init__(self) -> None:
+    def __init__(self, *, max_delta_entries: int = DELTA_LOG_MAX) -> None:
         #: live name -> id (removed nodes are dropped from this map)
         self._ids: dict[str, int] = {}
         #: id -> name, never shrinks (ids are stable, tombstones stay)
@@ -136,10 +144,17 @@ class CallGraph:
         self._live_count = 0
         #: structure version; bumped on any mutation (invalidates columns)
         self._version = 0
+        #: bounded mutation journal: exactly one entry per version bump
+        self._log = DeltaLog(max_entries=max_delta_entries)
         #: NodeMeta attr -> (version, id-indexed value column)
         self._columns: dict[str, tuple[int, list]] = {}
         #: cached CSR snapshot; valid while its version matches
         self._csr: CsrSnapshot | None = None
+
+    def _bump(self, entry: DeltaEntry) -> None:
+        """Advance the version and journal the mutation, atomically."""
+        self._version += 1
+        self._log.record(entry)
 
     # -- construction -----------------------------------------------------------
 
@@ -154,7 +169,7 @@ class CallGraph:
             self._succ.append(set())
             self._pred.append(set())
             self._live_count += 1
-            self._version += 1
+            self._bump(DeltaEntry(DeltaKind.NODE_ADDED, nid))
         return nid
 
     def add_node(self, name: str, meta: NodeMeta | None = None) -> CGNode:
@@ -170,8 +185,13 @@ class CallGraph:
         node = self._nodes[nid]
         assert node is not None
         if meta is not None:
-            node.meta = meta.merged_with(node.meta)
-            self._version += 1
+            merged = meta.merged_with(node.meta)
+            # a no-op merge (declaration folded into an existing
+            # definition, or an identical re-add) must not kill
+            # version-keyed caches and warm service entries
+            if merged != node.meta:
+                node.meta = merged
+                self._bump(DeltaEntry(DeltaKind.META_MERGED, nid))
         return node
 
     def add_edge(
@@ -182,7 +202,7 @@ class CallGraph:
         if v not in self._succ[u]:
             # structure changed: version-keyed caches (columns, cross-run
             # selector results) must observe profile-validated edges too
-            self._version += 1
+            self._bump(DeltaEntry(DeltaKind.EDGE_ADDED, u, v))
         self._succ[u].add(v)
         self._pred[v].add(u)
         # keep the strongest (most static) reason when an edge is re-added
@@ -193,12 +213,20 @@ class CallGraph:
             if old is not None:
                 # a reason upgrade is observable metadata: version-keyed
                 # caches must not survive it
-                self._version += 1
+                self._bump(DeltaEntry(DeltaKind.REASON_UPGRADED, u, v))
 
     def remove_node(self, name: str) -> None:
         nid = self._ids.get(name)
         if nid is None:
             raise CallGraphError(f"unknown node {name!r}")
+        # journal the neighbour rows before they are cleared: an
+        # incremental CSR refresh must patch exactly these rows
+        entry = DeltaEntry(
+            DeltaKind.NODE_REMOVED,
+            nid,
+            preds=tuple(self._pred[nid]),
+            succs=tuple(self._succ[nid]),
+        )
         for p in self._pred[nid]:
             self._succ[p].discard(nid)
             self._edge_reasons.pop((p << 32) | nid, None)
@@ -210,7 +238,7 @@ class CallGraph:
         self._nodes[nid] = None
         del self._ids[name]
         self._live_count -= 1
-        self._version += 1
+        self._bump(entry)
 
     # -- id layer ----------------------------------------------------------------
 
@@ -223,6 +251,23 @@ class CallGraph:
         structure and metadata.
         """
         return self._version
+
+    def delta_since(self, version: int) -> GraphDelta | None:
+        """What changed since ``version``, or ``None`` (rebuild needed).
+
+        Folds the mutation journal into one
+        :class:`~repro.cg.delta.GraphDelta`.  ``None`` means the bounded
+        log truncated past ``version`` (or ``version`` is not of this
+        graph's lineage) and the consumer must fall back to a full
+        rebuild — the consumer-side contract every delta-aware cache
+        (CSR refresh, cross-run retention, warm store entries) follows.
+        """
+        if version == self._version:
+            return GraphDelta(base_version=version, version=version)
+        entries = self._log.entries_since(version, self._version)
+        if entries is None:
+            return None
+        return summarize(entries, version, self._version)
 
     @property
     def id_bound(self) -> int:
@@ -337,14 +382,21 @@ class CallGraph:
     def csr(self) -> CsrSnapshot:
         """Frozen CSR snapshot of the current graph version.
 
-        Cached until the graph mutates (any ``version`` bump rebuilds on
-        next access), so repeated sweeps, condensations and selector
-        evaluations over a settled graph share one set of arrays.
+        Cached until the graph mutates; after a mutation the next access
+        *refreshes* the previous snapshot through the delta journal
+        (:meth:`~repro.cg.csr.CsrSnapshot.refresh` — bit-identical to a
+        from-scratch build) when the edit touched few rows, and rebuilds
+        from scratch when the journal truncated or the delta is large
+        relative to the graph.
         """
         snapshot = self._csr
-        if snapshot is None or snapshot.version != self._version:
+        if snapshot is None:
             snapshot = CsrSnapshot(self)
-            self._csr = snapshot
+        elif snapshot.version != self._version:
+            snapshot = snapshot.refresh(
+                self, max_rows=max(64, len(self._names) >> 3)
+            )
+        self._csr = snapshot
         return snapshot
 
     def reachable_ids(self, roots: Iterable[int]) -> set[int]:
@@ -390,8 +442,10 @@ class CallGraph:
         """Reverse-reachable set: nodes from which a target is reachable."""
         return set(self.ids_to_names(self.reaching_ids(self.names_to_ids(targets))))
 
-    def copy(self) -> "CallGraph":
-        out = CallGraph()
+    def copy(self, *, max_delta_entries: int | None = None) -> "CallGraph":
+        if max_delta_entries is None:
+            max_delta_entries = self._log.max_entries
+        out = CallGraph(max_delta_entries=max_delta_entries)
         for node in self.nodes():
             out.add_node(node.name, replace(node.meta))
         names = self._names

@@ -14,7 +14,13 @@ from pathlib import Path
 from repro.cg.graph import CallGraph
 from repro.core.ic import ICProvenance, InstrumentationConfig
 from repro.core.inlining import CompensationResult, compensate_inlining
-from repro.core.pipeline import SelectionResult, compile_spec, evaluate_pipeline
+from repro.core.pipeline import (
+    SelectionResult,
+    compile_spec,
+    evaluate_compiled,
+    evaluate_pipeline,
+)
+from repro.core.selectors.base import CrossRunCache
 from repro.core.spec.modules import load_spec, load_spec_file
 from repro.program.linker import LinkedProgram
 
@@ -75,6 +81,11 @@ class Capi:
     #: modules may change on disk between calls.
     _outcomes: dict = field(default_factory=dict, repr=False)
     _outcomes_version: int = field(default=-1, repr=False)
+    #: refinement state: compiled specs are graph-independent (plain
+    #: LRU), and the cross-run cache rides the delta-aware invalidation
+    #: of :class:`CrossRunCache` across graph edits
+    _refine_compiled: dict = field(default_factory=dict, repr=False)
+    _refine_cache: CrossRunCache | None = field(default=None, repr=False)
 
     def select(
         self,
@@ -123,6 +134,44 @@ class Capi:
             while len(self._outcomes) > _MEMO_CAP:
                 self._outcomes.pop(next(iter(self._outcomes)))
         return outcome
+
+    def refine(
+        self,
+        spec_source: str,
+        *,
+        spec_name: str = "",
+    ) -> SelectionResult:
+        """Iterative refinement query through the compile/evaluate split.
+
+        Where :meth:`select` deliberately evaluates in a fresh context —
+        its ``selection_seconds`` provenance is Table I's time column and
+        must measure one full evaluation — ``refine`` is the fast path
+        for interactive spec iteration: the compiled spec is LRU-cached,
+        evaluation runs against the graph's warm
+        :class:`~repro.cg.csr.CsrSnapshot` (delta-refreshed across small
+        edits), and a per-instance
+        :class:`~repro.core.selectors.base.CrossRunCache` shares
+        sub-expression results between successive refinements, keeping
+        whatever the mutation journal proves untouched.  Results are
+        identical to :meth:`select` on the same source; only the timing
+        provenance differs in meaning (time-to-answer, not
+        cost-of-selection).
+        """
+        key = (spec_source, spec_name)
+        memoize = not self.search_paths
+        compiled = self._refine_compiled.get(key) if memoize else None
+        if compiled is None:
+            spec = load_spec(spec_source, search_paths=self.search_paths)
+            compiled = compile_spec(spec, spec_name=spec_name)
+            if memoize:
+                self._refine_compiled[key] = compiled
+                while len(self._refine_compiled) > _MEMO_CAP:
+                    self._refine_compiled.pop(next(iter(self._refine_compiled)))
+        if self._refine_cache is None:
+            self._refine_cache = CrossRunCache()
+        return evaluate_compiled(
+            compiled, self.graph.csr(), cross_run=self._refine_cache
+        )
 
     def select_file(
         self,

@@ -305,6 +305,18 @@ def evaluate_compiled(
     version.  The snapshot is freshness-checked: evaluating against a
     snapshot whose graph has since mutated raises rather than mixing
     versions.
+
+    Both memo layers under this entry point are keyed to survive small
+    graph deltas rather than any version bump: the heavy sweep and
+    aggregation intermediates live on the snapshot keyed by *root id*
+    (``("reach"/"depth"/"agg", root_id)`` in ``CsrSnapshot.analyses``)
+    and are carried through a delta refresh whenever no touched id lies
+    in the root's reachable cone, while the cross-run cache keys final
+    selector results by structural expression and drops, per delta, only
+    those whose recorded support sets intersect the touched ids.  A
+    16-edge edit on a 400k-node graph therefore re-runs the pipeline
+    stages whose supporting components the edit touched — everything
+    else is served warm.
     """
     return _evaluate(compiled.entry, snapshot.graph, cross_run)
 

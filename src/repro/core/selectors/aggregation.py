@@ -10,8 +10,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.cg.analysis import aggregate_statement_dense
-from repro.core.selectors.base import EvalContext, Selector
+from repro.cg.analysis import aggregate_statement_dense, reach_ids_frozen
+from repro.core.selectors.base import EvalContext, Selector, union_support
 
 
 class StatementAggregation(Selector):
@@ -35,6 +35,21 @@ class StatementAggregation(Selector):
         candidates = np.fromiter(inner, dtype=np.int64, count=len(inner))
         kept = candidates[aggregated[candidates] >= self.threshold]
         return set(kept.tolist())
+
+    def delta_supports(self, ctx: EvalContext):
+        supports = ctx.supports_of(self.inner)
+        if supports is None:
+            return None
+        root_id = ctx.graph.id_of(self.root)
+        if root_id is None:
+            return supports
+        # aggregated totals read both the statement metadata and the
+        # path structure of everything in the root's forward cone
+        cone = reach_ids_frozen(ctx.graph, root_id)
+        return (
+            union_support(supports[0], cone),
+            union_support(supports[1], cone),
+        )
 
     def describe(self) -> str:
         return f"statementAggregation(>={self.threshold:g})"

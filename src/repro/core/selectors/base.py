@@ -18,9 +18,19 @@ reuses shared sub-pipelines).  On top of that, an opt-in
 :class:`CrossRunCache` persists results **across** evaluation contexts:
 selectors built from a spec carry a structural ``cache_key`` (the
 canonical repr of their defining expression), and the cache is bound to
-one call graph *version* — any graph mutation invalidates it wholesale.
-Repeated ``select_all()`` sweeps over an unchanged graph (rank sweeps,
-the Table I/II harnesses) become near-free.
+one call graph *version*.  Repeated ``select_all()`` sweeps over an
+unchanged graph (rank sweeps, the Table I/II harnesses) become
+near-free.
+
+On a version bump the cache consults the graph's mutation journal
+(:meth:`~repro.cg.graph.CallGraph.delta_since`) instead of dropping
+wholesale: each stored result carries its **delta supports** — the id
+sets whose metadata / structure the result depends on, reported by
+:meth:`Selector.delta_supports` — and entries whose supports are
+disjoint from the delta's touched ids survive the edit.  Universe
+changes (node adds/removals) and journal truncation still drop the
+store wholesale, which keeps the soundness argument local to
+edge/reason/meta deltas.
 """
 
 from __future__ import annotations
@@ -36,6 +46,44 @@ from repro.cg.graph import CallGraph
 #: store unboundedly between graph mutations
 DEFAULT_CACHE_ENTRIES = 4096
 
+#: largest *constructed* support set worth tracking — beyond this, the
+#: per-delta disjointness checks cost more than recomputing the selector,
+#: so ``supports_of`` degrades to ``None`` (drop on any delta).  Shared
+#: references returned by :func:`union_support` bypass the cap: they cost
+#: nothing to keep no matter their size.
+SUPPORT_CAP = 131072
+
+_EMPTY_SUPPORT: frozenset[int] = frozenset()
+
+
+def union_support(a: frozenset[int], b: frozenset[int]) -> frozenset[int]:
+    """Union of two support sets, sharing a reference when one is empty.
+
+    Selector supports are dominated by a few huge reachable sets flowing
+    unchanged through combinator chains; returning the non-empty operand
+    instead of copying keeps paper-scale supports O(1) memory per entry.
+    """
+    if not a:
+        return b
+    if not b:
+        return a
+    return a | b
+
+
+def combined_supports(
+    ctx: "EvalContext", *selectors: "Selector"
+) -> tuple[frozenset[int], frozenset[int]] | None:
+    """Union the delta supports of several inputs; ``None`` poisons."""
+    meta = _EMPTY_SUPPORT
+    struct = _EMPTY_SUPPORT
+    for selector in selectors:
+        supports = ctx.supports_of(selector)
+        if supports is None:
+            return None
+        meta = union_support(meta, supports[0])
+        struct = union_support(struct, supports[1])
+    return (meta, struct)
+
 
 class CrossRunCache:
     """Selector results shared across pipeline runs on one graph.
@@ -45,6 +93,12 @@ class CrossRunCache:
     key is valid for as long as the graph's :attr:`~repro.cg.graph.
     CallGraph.version` is unchanged.  Binding to a different graph
     object or observing a version bump drops the whole store.
+
+    On a version bump of the *same* graph the journal is consulted: an
+    edge/reason/meta delta keeps every entry whose recorded supports are
+    disjoint from the delta's touched ids (``retained``/``dropped``
+    count the outcome); universe changes and truncated journals drop the
+    store wholesale, uncounted.
 
     Within one graph version the store is additionally LRU-capped at
     ``max_entries`` distinct structural keys: every distinct spec adds
@@ -62,20 +116,67 @@ class CrossRunCache:
         self._graph: CallGraph | None = None
         self._version: int | None = None
         self._store: dict[str, frozenset[int]] = {}
+        #: per-key delta supports: ``(meta_ids, struct_ids)`` or ``None``
+        #: when unknown (such entries cannot survive any delta)
+        self._supports: dict[
+            str, tuple[frozenset[int], frozenset[int]] | None
+        ] = {}
         #: cross-run hits served (diagnostics / tests)
         self.hits = 0
         #: entries dropped to keep the store within ``max_entries``
         #: (wholesale version drops are *not* counted here)
         self.evictions = 0
+        #: entries that survived a delta-based invalidation
+        self.retained = 0
+        #: entries dropped by a delta-based invalidation (wholesale
+        #: version drops are *not* counted here either)
+        self.dropped = 0
 
     def store_for(self, graph: CallGraph) -> dict[str, frozenset[int]]:
-        """The live store for ``graph``, invalidated on version change."""
+        """The live store for ``graph``, invalidated on version change.
+
+        A version bump of the already-bound graph goes through the
+        mutation journal: when it can answer and the id universe is
+        unchanged, only entries whose supports intersect the delta's
+        touched ids are dropped.
+        """
         version = graph.version
-        if self._graph is not graph or self._version != version:
-            self._graph = graph
-            self._version = version
-            self._store = {}
+        if self._graph is graph and self._version == version:
+            return self._store
+        if self._graph is graph and self._store:
+            delta = graph.delta_since(self._version)
+            if delta is not None and not delta.universe_changed:
+                self._retain(delta)
+                self._version = version
+                return self._store
+        self._graph = graph
+        self._version = version
+        self._store = {}
+        self._supports = {}
         return self._store
+
+    def _retain(self, delta) -> None:
+        """Drop exactly the entries the delta can affect."""
+        meta_touched = delta.meta_touched
+        struct_touched = delta.struct_touched
+        keep: dict[str, frozenset[int]] = {}
+        keep_supports: dict[
+            str, tuple[frozenset[int], frozenset[int]] | None
+        ] = {}
+        for key, result in self._store.items():
+            supports = self._supports.get(key)
+            if supports is not None:
+                meta_sup, struct_sup = supports
+                if meta_sup.isdisjoint(meta_touched) and struct_sup.isdisjoint(
+                    struct_touched
+                ):
+                    keep[key] = result
+                    keep_supports[key] = supports
+                    self.retained += 1
+                    continue
+            self.dropped += 1
+        self._store = keep
+        self._supports = keep_supports
 
     def get(self, key: str) -> frozenset[int] | None:
         """LRU lookup in the bound store; counts and refreshes hits."""
@@ -86,13 +187,26 @@ class CrossRunCache:
         self.hits += 1
         return hit
 
-    def put(self, key: str, result: frozenset[int]) -> None:
-        """Insert one result, evicting least-recently-used past the cap."""
+    def put(
+        self,
+        key: str,
+        result: frozenset[int],
+        supports: tuple[frozenset[int], frozenset[int]] | None = None,
+    ) -> None:
+        """Insert one result, evicting least-recently-used past the cap.
+
+        ``supports`` records the ``(meta_ids, struct_ids)`` the result
+        depends on; ``None`` marks the dependency set unknown, so the
+        entry is dropped by the first delta-based invalidation.
+        """
         store = self._store
         store.pop(key, None)
         store[key] = result
+        self._supports[key] = supports
         while len(store) > self.max_entries:
-            store.pop(next(iter(store)))
+            evicted = next(iter(store))
+            store.pop(evicted)
+            self._supports.pop(evicted, None)
             self.evictions += 1
 
     def __len__(self) -> int:
@@ -105,6 +219,10 @@ class EvalContext:
 
     graph: CallGraph
     _cache: dict[int, frozenset[int]] = field(default_factory=dict)
+    #: per-instance memo of :meth:`supports_of` results
+    _supports: dict[
+        int, "tuple[frozenset[int], frozenset[int]] | None"
+    ] = field(default_factory=dict)
     #: evaluation statistics: selector description -> result size
     trace: list[tuple[str, int]] = field(default_factory=list)
     #: optional cross-run cache (see :class:`CrossRunCache`), already
@@ -142,9 +260,34 @@ class EvalContext:
             result = frozenset(self.graph.names_to_ids(selector.select(self)))
         self._cache[key] = result
         if struct_key is not None:
-            cross.put(struct_key, result)
+            cross.put(struct_key, result, supports=self.supports_of(selector))
         self.trace.append((selector.describe(), len(result)))
         return result
+
+    def supports_of(
+        self, selector: "Selector"
+    ) -> "tuple[frozenset[int], frozenset[int]] | None":
+        """Delta supports of a selector, memoised per instance.
+
+        ``(meta_ids, struct_ids)``: the result of ``selector`` can only
+        change under an edge/reason/meta delta that touches one of these
+        ids (universe changes invalidate everything regardless, so
+        supports never need to account for new or removed nodes).
+        ``None`` means the dependency set is unknown or too large to
+        track (:data:`SUPPORT_CAP`) — such results drop on any delta.
+        """
+        key = id(selector)
+        if key in self._supports:
+            return self._supports[key]
+        # recursion guard: a selector cycle degrades to "unknown"
+        self._supports[key] = None
+        supports = selector.delta_supports(self)
+        if supports is not None:
+            meta_sup, struct_sup = supports
+            if len(meta_sup) > SUPPORT_CAP or len(struct_sup) > SUPPORT_CAP:
+                supports = None
+        self._supports[key] = supports
+        return supports
 
     def evaluate(self, selector: "Selector") -> frozenset[str]:
         """Evaluate to function names (boundary/compatibility surface)."""
@@ -171,6 +314,21 @@ class Selector:
         """Compute the selected function-name set (uncached)."""
         return set(ctx.graph.ids_to_names(self.select_ids(ctx)))
 
+    def delta_supports(
+        self, ctx: EvalContext
+    ) -> "tuple[frozenset[int], frozenset[int]] | None":
+        """``(meta_ids, struct_ids)`` this selector's result depends on.
+
+        The contract (for deltas that do not change the id universe —
+        those invalidate wholesale upstream): any edit sequence touching
+        only metadata of ids outside ``meta_ids`` and structure of ids
+        outside ``struct_ids`` leaves :meth:`select_ids` unchanged.
+        ``None`` (the conservative default) declares the dependency set
+        unknown.  Access through :meth:`EvalContext.supports_of`, never
+        directly — the memo there doubles as the recursion guard.
+        """
+        return None
+
     def describe(self) -> str:
         return type(self).__name__
 
@@ -185,6 +343,11 @@ class AllSelector(Selector):
     def select_ids(self, ctx: EvalContext) -> set[int]:
         return ctx.graph.node_id_set()
 
+    def delta_supports(self, ctx: EvalContext):
+        # the id universe itself; only adds/removes change it, and those
+        # invalidate wholesale before supports are even consulted
+        return (_EMPTY_SUPPORT, _EMPTY_SUPPORT)
+
     def describe(self) -> str:
         return "%%"
 
@@ -198,6 +361,9 @@ class NamedRef(Selector):
 
     def select_ids(self, ctx: EvalContext) -> set[int]:
         return ctx.evaluate_ids(self.inner)
+
+    def delta_supports(self, ctx: EvalContext):
+        return ctx.supports_of(self.inner)
 
     def describe(self) -> str:
         return f"%{self.name}"

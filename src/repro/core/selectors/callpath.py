@@ -9,8 +9,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro._util import COMPARE_OPS, compare
-from repro.cg.analysis import call_depth_dense, call_path_between_ids
-from repro.core.selectors.base import EvalContext, Selector
+from repro.cg.analysis import (
+    call_depth_dense,
+    call_path_between_ids,
+    reach_ids_frozen,
+)
+from repro.core.selectors.base import EvalContext, Selector, union_support
 from repro.errors import SpecSemanticError
 
 
@@ -27,6 +31,14 @@ class OnCallPathTo(Selector):
     def select_ids(self, ctx: EvalContext) -> set[int]:
         return ctx.graph.reaching_ids(ctx.evaluate_ids(self.inner))
 
+    def delta_supports(self, ctx: EvalContext):
+        supports = ctx.supports_of(self.inner)
+        if supports is None:
+            return None
+        # any edge that grows the reaching set has its callee already in
+        # it, so the result is its own structural support
+        return (supports[0], union_support(supports[1], ctx.evaluate_ids(self)))
+
 
 class OnCallPathFrom(Selector):
     """The input functions plus everything transitively reachable."""
@@ -36,6 +48,13 @@ class OnCallPathFrom(Selector):
 
     def select_ids(self, ctx: EvalContext) -> set[int]:
         return ctx.graph.reachable_ids(ctx.evaluate_ids(self.inner))
+
+    def delta_supports(self, ctx: EvalContext):
+        supports = ctx.supports_of(self.inner)
+        if supports is None:
+            return None
+        # mirror image: an edge growing the reachable set starts inside it
+        return (supports[0], union_support(supports[1], ctx.evaluate_ids(self)))
 
 
 class CallPath(Selector):
@@ -55,6 +74,25 @@ class CallPath(Selector):
             ctx.graph,
             ctx.evaluate_ids(self.sources),
             ctx.evaluate_ids(self.targets),
+        )
+
+    def delta_supports(self, ctx: EvalContext):
+        src_sup = ctx.supports_of(self.sources)
+        tgt_sup = ctx.supports_of(self.targets)
+        if src_sup is None or tgt_sup is None:
+            return None
+        # the intersection can grow through an edge landing in either
+        # sweep, so the structural support is their union (not the
+        # result): forward cone of the sources plus backward cone of the
+        # targets
+        graph = ctx.graph
+        cone = frozenset(
+            graph.reachable_ids(ctx.evaluate_ids(self.sources))
+            | graph.reaching_ids(ctx.evaluate_ids(self.targets))
+        )
+        return (
+            union_support(src_sup[0], tgt_sup[0]),
+            union_support(union_support(src_sup[1], tgt_sup[1]), cone),
         )
 
 
@@ -88,3 +126,17 @@ class CallDepth(Selector):
         reached = depths[candidates]
         keep = (reached >= 0) & COMPARE_OPS[self.op](reached, self.depth)
         return set(candidates[keep].tolist())
+
+    def delta_supports(self, ctx: EvalContext):
+        supports = ctx.supports_of(self.inner)
+        if supports is None:
+            return None
+        root_id = ctx.graph.id_of(self.root)
+        if root_id is None:
+            # no root means a constant empty result until nodes change,
+            # and node adds invalidate wholesale anyway
+            return supports
+        # shortest depths can only move when an edge touches the root's
+        # forward cone; the memoised frozenset is shared across entries
+        cone = reach_ids_frozen(ctx.graph, root_id)
+        return (supports[0], union_support(supports[1], cone))

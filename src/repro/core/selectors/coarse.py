@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.selectors.base import EvalContext, Selector
+from repro.core.selectors.base import EvalContext, Selector, union_support
 
 
 class Coarse(Selector):
@@ -53,6 +53,20 @@ class Coarse(Selector):
         single_caller = candidates[in_degrees[candidates] == 1]
         collapsed = set(single_caller.tolist()) - critical
         return result - collapsed
+
+    def delta_supports(self, ctx: EvalContext):
+        supports = ctx.supports_of(self.inner)
+        if supports is None:
+            return None
+        meta_sup, struct_sup = supports
+        if self.critical is not None:
+            crit = ctx.supports_of(self.critical)
+            if crit is None:
+                return None
+            meta_sup = union_support(meta_sup, crit[0])
+            struct_sup = union_support(struct_sup, crit[1])
+        # the collapse test reads each candidate's in-degree
+        return (meta_sup, union_support(struct_sup, ctx.evaluate_ids(self.inner)))
 
     def describe(self) -> str:
         return "coarse" + ("+critical" if self.critical else "")

@@ -1,12 +1,14 @@
 """Set-algebra combinators: join, subtract, intersect, complement.
 
 All four operate on interned-id sets, so the set-algebra is over small
-ints regardless of function-name length.
+ints regardless of function-name length.  Their delta supports are the
+union of their inputs' supports: pure set-algebra adds no graph
+dependency of its own.
 """
 
 from __future__ import annotations
 
-from repro.core.selectors.base import EvalContext, Selector
+from repro.core.selectors.base import EvalContext, Selector, combined_supports
 
 
 class Join(Selector):
@@ -20,6 +22,9 @@ class Join(Selector):
         for sel in self.inputs:
             out |= ctx.evaluate_ids(sel)
         return out
+
+    def delta_supports(self, ctx: EvalContext):
+        return combined_supports(ctx, *self.inputs)
 
     def describe(self) -> str:
         return f"join/{len(self.inputs)}"
@@ -38,6 +43,9 @@ class Subtract(Selector):
             out -= ctx.evaluate_ids(sel)
         return out
 
+    def delta_supports(self, ctx: EvalContext):
+        return combined_supports(ctx, self.base, *self.removed)
+
 
 class Intersect(Selector):
     """Intersection of all inputs."""
@@ -53,6 +61,9 @@ class Intersect(Selector):
             out &= ctx.evaluate_ids(sel)
         return out
 
+    def delta_supports(self, ctx: EvalContext):
+        return combined_supports(ctx, *self.inputs)
+
 
 class Complement(Selector):
     """All functions not selected by the input."""
@@ -62,3 +73,8 @@ class Complement(Selector):
 
     def select_ids(self, ctx: EvalContext) -> set[int]:
         return ctx.graph.node_id_set() - ctx.evaluate_ids(self.inner)
+
+    def delta_supports(self, ctx: EvalContext):
+        # the universe term only moves on node adds/removals, which
+        # invalidate wholesale before supports are consulted
+        return combined_supports(ctx, self.inner)

@@ -14,7 +14,7 @@ from __future__ import annotations
 from typing import Callable
 
 from repro._util import COMPARE_OPS, compare
-from repro.core.selectors.base import EvalContext, Selector
+from repro.core.selectors.base import EvalContext, Selector, union_support
 from repro.errors import SpecSemanticError
 
 MetricFn = Callable[[EvalContext, int], float]
@@ -76,6 +76,17 @@ class MetricThreshold(Selector):
             for nid in ctx.evaluate_ids(self.inner)
             if op_fn(fn(ctx, nid), threshold)
         }
+
+    def delta_supports(self, ctx: EvalContext):
+        supports = ctx.supports_of(self.inner)
+        if supports is None:
+            return None
+        candidates = ctx.evaluate_ids(self.inner)
+        if self.metric in _COLUMN_METRICS:
+            # metadata read per candidate id
+            return (union_support(supports[0], candidates), supports[1])
+        # degree metrics (callSites/callers) read candidate adjacency
+        return (supports[0], union_support(supports[1], candidates))
 
     def describe(self) -> str:
         return f"{self.metric}({self.op}{self.threshold:g})"

@@ -8,8 +8,19 @@ from __future__ import annotations
 
 import re
 
-from repro.core.selectors.base import EvalContext, Selector
+from repro.core.selectors.base import EvalContext, Selector, union_support
 from repro.errors import SpecSemanticError
+
+
+def _meta_filter_supports(ctx: EvalContext, inner: Selector):
+    """Supports of a per-candidate metadata filter over ``inner``."""
+    supports = ctx.supports_of(inner)
+    if supports is None:
+        return None
+    return (
+        union_support(supports[0], ctx.evaluate_ids(inner)),
+        supports[1],
+    )
 
 
 class _MetaFlag(Selector):
@@ -23,6 +34,9 @@ class _MetaFlag(Selector):
     def select_ids(self, ctx: EvalContext) -> set[int]:
         column = ctx.graph.meta_column(self._attr)
         return {nid for nid in ctx.evaluate_ids(self.inner) if column[nid]}
+
+    def delta_supports(self, ctx: EvalContext):
+        return _meta_filter_supports(ctx, self.inner)
 
 
 class InSystemHeader(_MetaFlag):
@@ -72,6 +86,11 @@ class ByName(Selector):
             nid for nid in ctx.evaluate_ids(self.inner) if fullmatch(name_of(nid))
         }
 
+    def delta_supports(self, ctx: EvalContext):
+        # a node's name is immutable for the lifetime of its id, so the
+        # filter adds no dependency beyond the input's own
+        return ctx.supports_of(self.inner)
+
     def describe(self) -> str:
         return f"byName({self.pattern})"
 
@@ -93,3 +112,6 @@ class ByPath(Selector):
         return {
             nid for nid in ctx.evaluate_ids(self.inner) if search(column[nid])
         }
+
+    def delta_supports(self, ctx: EvalContext):
+        return _meta_filter_supports(ctx, self.inner)

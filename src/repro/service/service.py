@@ -11,9 +11,12 @@ a long-lived query front door:
 * **micro-batching** — a single worker thread gathers requests across
   per-tenant FIFO queues (round-robin, so one chatty tenant cannot
   starve the rest) until ``max_batch`` requests are queued or the
-  ``window_seconds`` micro-batch window closes, then evaluates each
-  graph's group in one :class:`~repro.service.batch.BatchEvaluator`
-  pass over the warm store entry.
+  micro-batch window closes, then evaluates each graph's group in one
+  :class:`~repro.service.batch.BatchEvaluator` pass over the warm store
+  entry.  The window is *adaptive*: ``window_seconds`` caps it, but
+  lone-request gathers halve it (an idle queue should not pay latency
+  for coalescing that never happens) and near-full gathers double it
+  back toward the cap — ``stats_snapshot()`` exposes the current value.
 * **graph edits** — :meth:`submit_edit` runs a mutation against an
   admitted graph *inside the worker loop*, serialised with evaluation:
   an edit never races a batch, and the version bump invalidates exactly
@@ -126,6 +129,10 @@ class SelectionService:
             raise ServiceError("max_in_flight must be at least 1")
         self.store = store if store is not None else GraphStore()
         self.window_seconds = window_seconds
+        #: current adaptive window, bounded by ``(window_seconds / 64,
+        #: window_seconds]`` — shrinks while gathers come up solo,
+        #: widens again under burst
+        self._window = window_seconds
         self.max_batch = max_batch
         self.verify = verify
         self._evaluator = BatchEvaluator(verify=verify)
@@ -250,6 +257,10 @@ class SelectionService:
                 "max_latency_seconds": s.latency_max,
                 "requests_per_second": s.responses / elapsed if elapsed else 0.0,
                 "per_tenant": dict(s.per_tenant),
+                "window": {
+                    "configured_seconds": self.window_seconds,
+                    "current_seconds": self._window,
+                },
                 "store": self.store.stats.as_dict(),
                 "uptime_seconds": elapsed,
             }
@@ -295,8 +306,10 @@ class SelectionService:
                 return None, []
             # the window opens at the first observed request; more
             # requests coalesce until it closes or max_batch is reached
+            windowed = False
             if self._pending():
-                deadline = time.monotonic() + self.window_seconds
+                windowed = True
+                deadline = time.monotonic() + self._window
                 while self._pending() < self.max_batch and not self._closing:
                     remaining = deadline - time.monotonic()
                     if remaining <= 0:
@@ -305,7 +318,24 @@ class SelectionService:
             edits = list(self._edits)
             self._edits.clear()
             batch = list(self._drain_round_robin(self.max_batch))
+            if windowed and self.window_seconds > 0:
+                self._adapt_window(len(batch))
             return batch, edits
+
+    def _adapt_window(self, gathered: int) -> None:
+        """Track the arrival rate: shrink on solo gathers, widen on burst.
+
+        A full window that still gathers one request means coalescing
+        buys nothing but latency, so the wait halves (floored at 1/64 of
+        the configured window rather than zero, keeping a step back up
+        once traffic returns).  A gather at or past half of ``max_batch``
+        means requests queue faster than the window drains them, so it
+        doubles back toward the configured cap.
+        """
+        if gathered <= 1:
+            self._window = max(self.window_seconds / 64, self._window / 2)
+        elif gathered >= max(2, self.max_batch // 2):
+            self._window = min(self.window_seconds, self._window * 2)
 
     def _drain_round_robin(self, limit: int) -> Iterator[_Request]:
         """Pop up to ``limit`` requests, one per tenant per round."""

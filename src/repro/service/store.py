@@ -53,6 +53,13 @@ class StoreStats:
     cold_builds: int = 0
     #: subset of ``cold_builds`` caused by a graph mutation
     invalidations: int = 0
+    #: subset of ``invalidations`` where the snapshot was repaired
+    #: through the mutation journal instead of rebuilt from scratch
+    delta_refreshes: int = 0
+    #: cross-run results that survived delta-based invalidations
+    cache_retained: int = 0
+    #: cross-run results dropped by delta-based invalidations
+    cache_dropped: int = 0
     #: warm entries dropped by the byte-budget LRU
     evictions: int = 0
 
@@ -67,6 +74,9 @@ class StoreStats:
             "warm_hits": self.warm_hits,
             "cold_builds": self.cold_builds,
             "invalidations": self.invalidations,
+            "delta_refreshes": self.delta_refreshes,
+            "cache_retained": self.cache_retained,
+            "cache_dropped": self.cache_dropped,
             "evictions": self.evictions,
             "hit_rate": self.hit_rate,
         }
@@ -150,10 +160,14 @@ class GraphStore:
         """The warm ``(snapshot, cache)`` entry for ``key``'s current version.
 
         Warm and current → LRU-touched and returned.  Stale (graph
-        mutated) → snapshot rebuilt, same cache object re-bound (it
-        drops its results itself on the version change).  Absent (cold
-        or previously evicted) → built fresh.  Either build path runs
-        byte-budget eviction afterwards.
+        mutated) → snapshot refreshed through the mutation journal when
+        it can answer (falling back to a from-scratch rebuild), and the
+        same cache object re-bound — it consults the same journal to
+        keep results the delta provably left alone.  Absent (cold or
+        previously evicted) → built fresh.  Either build path runs
+        byte-budget eviction afterwards, and ``StoreStats`` reports how
+        much warmth survived (``delta_refreshes``, ``cache_retained`` /
+        ``cache_dropped``).
         """
         with self._lock:
             graph = self.graph(key)
@@ -164,13 +178,22 @@ class GraphStore:
                 return entry
             if entry is not None:
                 self.stats.invalidations += 1
-                cache = entry.cache  # keeps its identity; drops on re-bind
+                cache = entry.cache  # keeps its identity across re-binds
             else:
                 cache = CrossRunCache(self.cache_entries)
+            retained, dropped = cache.retained, cache.dropped
+            # bind now so the delta-aware retention runs while the
+            # journal still covers the entry's version
+            cache.store_for(graph)
+            self.stats.cache_retained += cache.retained - retained
+            self.stats.cache_dropped += cache.dropped - dropped
+            snapshot = graph.csr()
+            if entry is not None and snapshot.refreshed_from is not None:
+                self.stats.delta_refreshes += 1
             entry = GraphEntry(
                 key=key,
                 graph=graph,
-                snapshot=graph.csr(),
+                snapshot=snapshot,
                 cache=cache,
                 version=graph.version,
             )

@@ -398,6 +398,176 @@ class TestMemoBounds:
         assert len(capi._outcomes) <= _MEMO_CAP
 
 
+def two_region_graph() -> CallGraph:
+    """Two disconnected call trees: edits in one cannot affect the other."""
+    g = CallGraph()
+    g.add_node("main", NodeMeta(statements=10, has_body=True))
+    g.add_node("kernel", NodeMeta(statements=20, flops=100, has_body=True))
+    g.add_edge("main", "kernel")
+    g.add_node("other_root", NodeMeta(statements=3, has_body=True))
+    g.add_node("other_leaf", NodeMeta(statements=4, flops=50, has_body=True))
+    g.add_edge("other_root", "other_leaf")
+    return g
+
+
+class TestDeltaAwareRetention:
+    """Delta-based invalidation: entries whose supports the edit provably
+    left alone survive a version bump instead of dropping wholesale."""
+
+    def _evaluate(self, source, graph, cache):
+        entry = PipelineBuilder().build(load_spec(source))[0]
+        return evaluate_pipeline(entry, graph, cross_run=cache)
+
+    def test_disjoint_edge_add_keeps_untouched_entries(self):
+        graph = two_region_graph()
+        cache = CrossRunCache()
+        main_spec = 'onCallPathFrom(byName("main", %%))'
+        other_spec = 'onCallPathFrom(byName("other_root", %%))'
+        before_main = self._evaluate(main_spec, graph, cache)
+        self._evaluate(other_spec, graph, cache)
+        populated = len(cache)
+        assert populated > 0
+        # edge inside the *other* region: main's entries must survive
+        graph.add_edge("other_root", "other_root")
+        cache.store_for(graph)
+        assert cache.retained > 0
+        assert cache.dropped > 0  # the other-region entries had to go
+        hits = cache.hits
+        again = self._evaluate(main_spec, graph, cache)
+        assert cache.hits > hits  # served warm across the edit
+        assert again.selected == before_main.selected
+
+    def test_touched_entries_recompute_correctly(self):
+        graph = two_region_graph()
+        cache = CrossRunCache()
+        spec = 'onCallPathFrom(byName("other_root", %%))'
+        before = self._evaluate(spec, graph, cache)
+        assert "kernel" not in before.selected
+        graph.add_edge("other_leaf", "kernel")  # grows the reachable cone
+        after = self._evaluate(spec, graph, cache)
+        assert "kernel" in after.selected
+        # reference: cache-free evaluation agrees exactly
+        reference = evaluate_pipeline(
+            PipelineBuilder().build(load_spec(spec))[0], graph
+        )
+        assert after.selected == reference.selected
+
+    def test_meta_merge_drops_metric_entries_only(self):
+        graph = two_region_graph()
+        graph.add_edge("main", "decl")  # declaration-only node
+        cache = CrossRunCache()
+        flops_spec = 'flops(">=", 60, onCallPathFrom(byName("main", %%)))'
+        other_spec = 'byName("other_.*", %%)'
+        self._evaluate(flops_spec, graph, cache)
+        other_before = self._evaluate(other_spec, graph, cache)
+        # definition arrives for decl: meta merge inside main's cone
+        graph.add_node("decl", NodeMeta(statements=2, flops=99, has_body=True))
+        cache.store_for(graph)
+        assert cache.retained > 0  # the other-region entry survived
+        reference = evaluate_pipeline(
+            PipelineBuilder().build(load_spec(flops_spec))[0], graph
+        )
+        assert self._evaluate(flops_spec, graph, cache).selected == (
+            reference.selected
+        )
+        assert self._evaluate(other_spec, graph, cache).selected == (
+            other_before.selected
+        )
+
+    def test_universe_change_still_drops_wholesale(self):
+        graph = two_region_graph()
+        cache = CrossRunCache()
+        self._evaluate(SPEC, graph, cache)
+        assert len(cache) > 0
+        graph.add_node("brand_new", NodeMeta(statements=1))
+        assert cache.store_for(graph) == {}
+        assert cache.retained == 0 and cache.dropped == 0  # uncounted
+
+    def test_truncated_journal_drops_wholesale(self):
+        graph = two_region_graph()
+        source = graph.copy(max_delta_entries=1)
+        cache = CrossRunCache()
+        self._evaluate(SPEC, source, cache)
+        assert len(cache) > 0
+        # more bumps than the journal can hold between binds
+        source.add_edge("kernel", "main")
+        source.add_edge("other_leaf", "other_root")
+        assert source.delta_since(cache._version) is None
+        assert cache.store_for(source) == {}
+        assert cache.retained == 0
+
+    def test_reason_upgrade_invalidates_dependent_paths(self):
+        from repro.cg.graph import EdgeReason
+
+        graph = two_region_graph()
+        graph.add_edge("kernel", "other_leaf", EdgeReason.PROFILE)
+        cache = CrossRunCache()
+        spec = 'onCallPathFrom(byName("main", %%))'
+        self._evaluate(spec, graph, cache)
+        graph.add_edge("kernel", "other_leaf", EdgeReason.DIRECT)  # upgrade
+        cache.store_for(graph)
+        # endpoints sit inside the cached cone: the entry must drop even
+        # though the adjacency arrays are unchanged
+        assert cache.dropped > 0
+
+    def test_unknown_supports_drop_on_any_delta(self):
+        graph = two_region_graph()
+        cache = CrossRunCache()
+        cache.store_for(graph)
+        cache.put("mystery", frozenset({1}))  # no supports recorded
+        graph.add_edge("other_root", "other_root")
+        assert cache.store_for(graph) == {}
+        assert cache.dropped == 1
+
+
+class TestCapiRefine:
+    """Satellite: refinement queries ride the compile/evaluate split."""
+
+    def test_refine_matches_select(self):
+        graph = small_graph()
+        capi = Capi(graph=graph, app_name="t")
+        assert capi.refine(SPEC).selected == capi.select(SPEC).selection.selected
+
+    def test_refine_reuses_compiled_spec_and_cache(self):
+        graph = small_graph()
+        capi = Capi(graph=graph)
+        capi.refine(SPEC)
+        compiled = capi._refine_compiled[(SPEC, "")]
+        assert capi._refine_cache is not None
+        hits = capi._refine_cache.hits
+        capi.refine(SPEC)
+        assert capi._refine_compiled[(SPEC, "")] is compiled
+        assert capi._refine_cache.hits > hits
+
+    def test_refine_tracks_graph_edits(self):
+        graph = small_graph()
+        graph.add_node("callback", NodeMeta(statements=5, has_body=True))
+        capi = Capi(graph=graph)
+        spec = 'onCallPathFrom(byName("main", %%))'
+        assert "callback" not in capi.refine(spec).selected
+        graph.add_edge("main", "callback")
+        assert "callback" in capi.refine(spec).selected
+
+    def test_refine_leaves_select_timing_semantics_alone(self):
+        """Table I's time column: select() still evaluates in a fresh
+        context even after refine() warmed the instance's cache."""
+        graph = small_graph()
+        capi = Capi(graph=graph)
+        capi.refine(SPEC)
+        outcome = capi.select(SPEC, spec_name="timed")
+        # a full trace (every pipeline stage evaluated, none cache-short)
+        assert len(outcome.selection.trace) >= 3
+        assert outcome.selection.duration_seconds >= 0.0
+
+    def test_refine_with_search_paths_skips_compile_memo(self, tmp_path):
+        mod = tmp_path / "custom.capi"
+        mod.write_text('byName("kernel", %%)')
+        capi = Capi(graph=small_graph(), search_paths=[tmp_path])
+        src = '!import("custom.capi")\nbyName("kernel", %%)'
+        assert capi.refine(src).selected == frozenset({"kernel"})
+        assert capi._refine_compiled == {}
+
+
 class TestEdgeReasonVersioning:
     def test_reason_upgrade_bumps_version(self):
         from repro.cg.graph import EdgeReason

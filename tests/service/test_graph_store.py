@@ -190,3 +190,63 @@ class TestEvictedReadmission:
         assert stats.warm_hits == 2
         assert stats.hit_rate == pytest.approx(2 / 3)
         assert stats.as_dict()["hit_rate"] == stats.hit_rate
+
+
+class TestDeltaWarmth:
+    """Warm entries survive small edits through the mutation journal."""
+
+    def test_edge_edit_refreshes_snapshot_through_journal(self):
+        store = GraphStore()
+        graph = make_graph()
+        store.admit("g", graph)
+        first = store.entry("g")
+        graph.add_edge("fn_0_1", "fn_0_7")  # both already exist
+        entry = store.entry("g")
+        assert store.stats.invalidations == 1
+        assert store.stats.delta_refreshes == 1
+        assert entry.snapshot.refreshed_from == first.version
+        # the refreshed entry answers exactly like uncached evaluation
+        for source in SPECS:
+            compiled = compile_spec(source)
+            warm = BatchEvaluator().evaluate([compiled], entry).results[0]
+            assert warm.selected == evaluate_pipeline(
+                compiled.entry, graph
+            ).selected, source
+
+    def test_cache_retention_reported_in_stats(self):
+        store = GraphStore()
+        graph = make_graph()
+        # a detached island: edits there cannot touch main's cone
+        graph.add_node("island", NodeMeta(statements=2, has_body=True))
+        graph.add_node("island_leaf", NodeMeta(statements=2, has_body=True))
+        graph.add_edge("island", "island_leaf")
+        store.admit("g", graph)
+        evaluator = BatchEvaluator()
+        compiled = [compile_spec(s, spec_name=s) for s in SPECS]
+        warm = evaluator.evaluate(compiled, store.entry("g")).results
+        graph.add_edge("island", "island")  # island-only structural edit
+        entry = store.entry("g")
+        stats = store.stats
+        assert stats.delta_refreshes == 1
+        assert stats.cache_retained > 0  # main-cone entries survived
+        assert stats.as_dict()["cache_retained"] == stats.cache_retained
+        again = evaluator.evaluate(compiled, entry)
+        assert again.cross_hits > 0  # served from the surviving entries
+        for spec, before, after in zip(compiled, warm, again.results):
+            assert before.selected == after.selected, spec.spec_name
+            assert after.selected == evaluate_pipeline(
+                spec.entry, graph
+            ).selected, spec.spec_name
+
+    def test_node_add_reports_no_retention(self):
+        store = GraphStore()
+        graph = make_graph()
+        store.admit("g", graph)
+        evaluator = BatchEvaluator()
+        compiled = [compile_spec(s, spec_name=s) for s in SPECS]
+        evaluator.evaluate(compiled, store.entry("g"))
+        graph.add_node("fresh", NodeMeta(statements=1, has_body=True))
+        store.entry("g")
+        # universe change: wholesale drop, nothing retained or counted
+        assert store.stats.cache_retained == 0
+        assert store.stats.cache_dropped == 0

@@ -213,3 +213,76 @@ class TestServeSelection:
 
         with pytest.raises(CapiError, match="at least one"):
             serve_selection({})
+
+
+class TestAdaptiveWindow:
+    def test_solo_traffic_shrinks_window_toward_floor(self):
+        with make_service(window_seconds=0.004, max_batch=8) as service:
+            for _ in range(10):
+                service.select("g", SPECS[0])
+            snapshot = service.stats_snapshot()
+            window = snapshot["window"]
+            assert window["configured_seconds"] == 0.004
+            assert window["current_seconds"] < 0.004
+            assert window["current_seconds"] >= 0.004 / 64  # floored
+
+    def test_adapt_widens_under_burst_and_caps_at_configured(self):
+        with make_service(window_seconds=0.004, max_batch=8) as service:
+            service._window = 0.004 / 64
+            for gathered in (4, 8, 8, 8, 8, 8):
+                service._adapt_window(gathered)
+            assert service._window == 0.004  # doubled back, capped
+            service._adapt_window(1)
+            assert service._window == 0.002
+
+    def test_mid_size_batches_leave_window_alone(self):
+        with make_service(window_seconds=0.004, max_batch=8) as service:
+            service._window = 0.001
+            service._adapt_window(2)  # below max(2, max_batch // 2) = 4
+            assert service._window == 0.001
+
+    def test_zero_window_never_adapts(self):
+        with make_service(window_seconds=0.0) as service:
+            for _ in range(3):
+                service.select("g", SPECS[0])
+            window = service.stats_snapshot()["window"]
+            assert window["current_seconds"] == 0.0
+
+    def test_burst_results_unaffected_by_adaptation(self):
+        with make_service(window_seconds=0.002, max_batch=4) as service:
+            futures = [
+                service.submit("g", SPECS[i % len(SPECS)], tenant=f"t{i}")
+                for i in range(12)
+            ]
+            responses = [f.result(timeout=30.0) for f in futures]
+            for i, response in enumerate(responses):
+                compiled = compile_spec(SPECS[i % len(SPECS)])
+                direct = evaluate_pipeline(
+                    compiled.entry, service.store.graph("g")
+                )
+                assert frozenset(response.selection.selected) == frozenset(
+                    direct.selected
+                )
+
+
+class TestDeltaEditWarmth:
+    def test_submit_edit_reports_surviving_warmth(self):
+        with make_service() as service:
+            # warm the entry, then edit between existing nodes only
+            service.select("g", REACH)
+            service.select("g", SPECS[1])
+
+            def rewire(graph):
+                graph.add_edge("fn_11_2", "fn_11_9")
+
+            service.edit("g", rewire)
+            after = service.select("g", REACH)
+            stats = service.stats_snapshot()["store"]
+            assert stats["invalidations"] == 1
+            assert stats["delta_refreshes"] == 1
+            assert stats["cache_retained"] + stats["cache_dropped"] > 0
+            compiled = compile_spec(REACH)
+            direct = evaluate_pipeline(compiled.entry, service.store.graph("g"))
+            assert frozenset(after.selection.selected) == frozenset(
+                direct.selected
+            )
