@@ -61,6 +61,15 @@ ANALYSIS_FLOOR = 5.0
 SERVICE_FLOOR = 3.0
 SERVICE_BATCH = 32
 
+#: acceptance ceiling (ISSUE 10): the sharded, supervised service —
+#: heartbeats, deadline checks, quarantine admission, health accounting
+#: — must cost < 10% wall time over the unsupervised single-worker
+#: service when no fault fires; the request wave driven per variant
+#: (large enough that a run lasts tens of milliseconds — scheduler
+#: noise on shorter runs swamps a sub-10% ratio)
+SERVICE_SUPERVISION_REQUESTS = 32 * SERVICE_BATCH
+SERVICE_SUPERVISION_REPS = 7
+
 #: acceptance floor (ISSUE 9): re-selection after an
 #: ``INCREMENTAL_EDITS``-edge delta through the mutation-journal path
 #: (delta CSR refresh + support-set cache retention) >= 3x the same
@@ -419,6 +428,146 @@ def measure_selection_service(prepared) -> dict:
         "speedup": t_seq / t_warm,
         "store": store.stats.as_dict(),
         "bit_identical": True,
+    }
+
+
+def measure_service_supervision(prepared, scale: int = BENCH_SCALE) -> dict:
+    """Healthy-path cost of service supervision + sharding (ISSUE 10).
+
+    Drives the same ``SERVICE_SUPERVISION_REQUESTS`` mixed-spec wave
+    through an unsupervised single-worker :class:`SelectionService` and
+    through the supervised one (heartbeats, deadline checks, quarantine
+    admission, health accounting — no fault injected), asserts the
+    answers are bit-identical and the supervised health snapshot is
+    clean (no restarts, no wedges, no lost requests, nothing
+    quarantined), and records the wall-time overhead against
+    ``SUPERVISED_OVERHEAD_CEILING``.  Interleaved best-of-
+    ``SERVICE_SUPERVISION_REPS`` per variant: the warm per-request cost
+    is small, so the ratio needs the scheduler noise squeezed out.
+
+    Also records (no floor) multi-graph shard scaling: four independent
+    graphs driven through ``shards=1`` vs ``shards=4``, answers
+    asserted identical across shard counts.
+    """
+    from repro.experiments.runner import prepare_app as _prepare
+    from repro.experiments.serve import spec_mix
+    from repro.service import GraphStore, SelectionService, shard_of
+
+    graph = prepared.app.graph
+    mix = spec_mix()
+    names = sorted(mix)
+    plan = [names[i % len(names)] for i in range(SERVICE_SUPERVISION_REQUESTS)]
+
+    def drive(service, keys):
+        futures = [
+            service.submit(
+                keys[i % len(keys)],
+                mix[name],
+                tenant=f"t{i % 4}",
+                spec_name=name,
+            )
+            for i, name in enumerate(plan)
+        ]
+        return [
+            frozenset(f.result(timeout=120.0).selection.selected)
+            for f in futures
+        ]
+
+    def run_once(supervised: bool):
+        store = GraphStore()
+        store.admit("bench", graph)
+        service = SelectionService(
+            store,
+            window_seconds=0.0,
+            max_batch=SERVICE_BATCH,
+            supervised=supervised,
+        )
+        try:
+            t0 = time.perf_counter()
+            answers = drive(service, ["bench"])
+            elapsed = time.perf_counter() - t0
+            return elapsed, answers, service.stats_snapshot()["health"]
+        finally:
+            service.close()
+
+    t_plain = t_sup = float("inf")
+    plain_answers = sup_answers = health = None
+    for _ in range(SERVICE_SUPERVISION_REPS):
+        elapsed, plain_answers, _ = run_once(False)
+        t_plain = min(t_plain, elapsed)
+        elapsed, sup_answers, health = run_once(True)
+        t_sup = min(t_sup, elapsed)
+    if plain_answers != sup_answers:
+        raise AssertionError(
+            "supervised answers differ from the unsupervised baseline"
+        )
+    if health["restarts"] or health["wedges"] or health["lost"]:
+        raise AssertionError(
+            f"healthy supervised run reported faults: {health}"
+        )
+    quarantine = health["quarantine"]
+    if quarantine["opened_total"] or quarantine["tracked"]:
+        raise AssertionError(
+            f"healthy supervised run quarantined specs: {quarantine}"
+        )
+
+    # multi-graph shard scaling: four independent graph objects (a graph
+    # is owned by exactly one shard), same wave spread across their keys
+    shard_nodes = max(600, scale // 4)
+    copies = {
+        f"bench-{i}": _prepare.__wrapped__("openfoam", shard_nodes).app.graph
+        for i in range(4)
+    }
+    occupied = len({shard_of(key, 4) for key in copies})
+
+    def run_sharded(shards: int):
+        store = GraphStore()
+        for key, copy in copies.items():
+            store.admit(key, copy)
+        service = SelectionService(
+            store,
+            window_seconds=0.0,
+            max_batch=SERVICE_BATCH,
+            shards=shards,
+            supervised=True,
+        )
+        try:
+            t0 = time.perf_counter()
+            answers = drive(service, sorted(copies))
+            return time.perf_counter() - t0, answers
+        finally:
+            service.close()
+
+    t_one = t_four = float("inf")
+    one_answers = four_answers = None
+    for _ in range(2):
+        elapsed, one_answers = run_sharded(1)
+        t_one = min(t_one, elapsed)
+        elapsed, four_answers = run_sharded(4)
+        t_four = min(t_four, elapsed)
+    if one_answers != four_answers:
+        raise AssertionError("answers changed with the shard count")
+
+    return {
+        "requests": SERVICE_SUPERVISION_REQUESTS,
+        "max_batch": SERVICE_BATCH,
+        "graph_nodes": len(graph),
+        "baseline_seconds": t_plain,
+        "supervised_seconds": t_sup,
+        "overhead": t_sup / t_plain - 1,
+        "ceiling": SUPERVISED_OVERHEAD_CEILING,
+        "bit_identical": True,
+        "healthy": True,
+        "shard_scaling": {
+            "graphs": len(copies),
+            "nodes_per_graph": shard_nodes,
+            "requests": SERVICE_SUPERVISION_REQUESTS,
+            "occupied_shards": occupied,
+            "one_shard_seconds": t_one,
+            "four_shard_seconds": t_four,
+            "speedup": t_one / t_four,
+            "bit_identical": True,
+        },
     }
 
 
@@ -958,6 +1107,7 @@ def collect_record(scale: int = BENCH_SCALE, ranks: int = MULTIRANK_RANKS) -> di
     prepared = prepare_app("openfoam", scale)
     selection = measure_selection(prepared)
     selection_service = measure_selection_service(prepared)
+    service_supervision = measure_service_supervision(prepared, scale)
     incremental = measure_incremental(prepared)
     analysis = measure_analysis(prepared)
     engine = measure_engine(prepared)
@@ -971,6 +1121,7 @@ def collect_record(scale: int = BENCH_SCALE, ranks: int = MULTIRANK_RANKS) -> di
         "scale": scale,
         "selection": selection,
         "selection_service": selection_service,
+        "service_supervision": service_supervision,
         "incremental": incremental,
         "analysis": analysis,
         "engine": engine,
@@ -985,6 +1136,7 @@ def collect_record(scale: int = BENCH_SCALE, ranks: int = MULTIRANK_RANKS) -> di
             "engine": ENGINE_FLOOR,
             "analysis": ANALYSIS_FLOOR,
             "supervised_overhead_ceiling": SUPERVISED_OVERHEAD_CEILING,
+            "service_supervision_overhead_ceiling": SUPERVISED_OVERHEAD_CEILING,
             "trace_memory_ratio_ceiling": TRACE_MEMORY_RATIO_CEILING,
         },
     }
@@ -1009,6 +1161,10 @@ def test_selection_scale_speedup_and_record(benchmark, openfoam_prepared):
     assert svc["bit_identical"], svc
     assert svc["batch_size"] >= SERVICE_BATCH, svc
     assert svc["speedup"] >= SERVICE_FLOOR, svc
+    ssup = record["service_supervision"]
+    assert ssup["bit_identical"] and ssup["healthy"], ssup
+    assert ssup["overhead"] < SUPERVISED_OVERHEAD_CEILING, ssup
+    assert ssup["shard_scaling"]["bit_identical"], ssup
     inc = record["incremental"]
     assert inc["bit_identical"], inc
     assert inc["delta_refreshes"] == inc["reps"], inc
@@ -1067,6 +1223,16 @@ def main() -> int:
           f"{svc['batched_requests_per_second']:,.0f} req/s "
           f"({svc['speedup']:.1f}x, floor {SERVICE_FLOOR}x), warm hit rate "
           f"{100 * svc['store']['hit_rate']:.0f}%, bit-identical")
+    ssup = record["service_supervision"]
+    sscale = ssup["shard_scaling"]
+    print(f"service supervision: {ssup['requests']} requests, unsupervised "
+          f"{ssup['baseline_seconds']:.3f}s -> supervised "
+          f"{ssup['supervised_seconds']:.3f}s ({100 * ssup['overhead']:+.1f}%, "
+          f"ceiling +{100 * SUPERVISED_OVERHEAD_CEILING:.0f}%); "
+          f"{sscale['graphs']} graphs on {sscale['occupied_shards']} shards "
+          f"{sscale['one_shard_seconds']:.3f}s -> "
+          f"{sscale['four_shard_seconds']:.3f}s "
+          f"({sscale['speedup']:.2f}x, recorded), bit-identical")
     inc = record["incremental"]
     print(f"incremental: {inc['edits_per_delta']}-edge delta, re-selection "
           f"{inc['full_rebuild_seconds'] * 1e3:.2f}ms full -> "
@@ -1104,6 +1270,9 @@ def main() -> int:
         sel["speedup"] >= SELECTION_FLOOR
         and svc["speedup"] >= SERVICE_FLOOR
         and svc["bit_identical"]
+        and ssup["overhead"] < SUPERVISED_OVERHEAD_CEILING
+        and ssup["bit_identical"]
+        and ssup["healthy"]
         and inc["speedup"] >= INCREMENTAL_FLOOR
         and inc["bit_identical"]
         and eng["speedup"] >= ENGINE_FLOOR

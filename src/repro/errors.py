@@ -128,6 +128,35 @@ class BatchMismatchError(ServiceError):
     """
 
 
+class ServiceTimeoutError(ServiceError):
+    """A service request ran out of time.
+
+    Raised to the client when :meth:`SelectionService.select` times out
+    (the request is cancelled and its admission slot released), and set
+    on a request's future when the shard supervisor rescued it from a
+    dead or wedged worker after its retry budget was exhausted.
+    """
+
+
+class QuarantinedSpecError(ServiceError):
+    """The spec's structural key is quarantined on this graph.
+
+    A spec whose evaluation failed ``quarantine_threshold`` consecutive
+    times trips a per-``(graph, cache key)`` circuit breaker: further
+    requests fail fast with this error instead of burning a worker on a
+    known-poison query, until a half-open probe succeeds after the
+    cooldown.
+    """
+
+
+class InjectedServiceFaultError(ServiceError):
+    """A deterministic service chaos fault fired (see service.faults).
+
+    Always *transient*: the worker treats it as retryable, so a bounded
+    retry budget heals every finite fault schedule.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Measurement substrates
 # ---------------------------------------------------------------------------

@@ -12,6 +12,15 @@ run into a correctness smoke test (non-zero exit unless every batched
 result is bit-identical to its sequential re-derivation, nothing fails,
 batching actually engages, and an edit observably changes a result),
 which CI uses.
+
+``--check-faults`` is the supervision gate: for every preset in
+:data:`~repro.service.faults.SERVICE_FAULT_SCENARIOS` it stands up a
+sharded supervised service, drives a multi-tenant wave through the
+injected chaos, and requires the scenario to *heal* — every future
+resolves (result, cancellation, or typed error), the planned faults
+demonstrably fired, the service keeps serving, and a post-recovery
+sweep answers bit-identically to a fault-free reference service over
+the same graphs.
 """
 
 from __future__ import annotations
@@ -19,12 +28,15 @@ from __future__ import annotations
 import argparse
 import random
 import threading
+import time
 from dataclasses import dataclass
 
 from repro._util import format_table
 from repro.apps import PAPER_SPECS
 from repro.cg.graph import NodeMeta
+from repro.errors import QuarantinedSpecError, ReproError
 from repro.experiments.runner import DEFAULT_SCALES, prepare_app
+from repro.service.faults import SERVICE_FAULT_SCENARIOS
 from repro.workflow import serve_selection
 
 #: spec sources the mix draws from: the paper's four plus deterministic
@@ -103,6 +115,7 @@ def run_service_mix(
     max_batch: int = 64,
     seed: int = 0,
     verify: bool = False,
+    shards: int = 1,
 ) -> ServeReport:
     """Drive the synthetic client mix and return the condensed report.
 
@@ -125,6 +138,8 @@ def run_service_mix(
         window_seconds=window_seconds,
         max_batch=max_batch,
         verify=verify,
+        shards=shards,
+        seed=seed,
     )
     graph_keys = [p.name for p in prepared]
     edit_counter = threading.Lock()
@@ -273,6 +288,328 @@ def check_report(report: ServeReport) -> list[str]:
     return problems
 
 
+@dataclass(frozen=True)
+class FaultDrillReport:
+    """One chaos scenario driven to (attempted) recovery."""
+
+    scenario: str
+    requests: int
+    #: futures that resolved with an answer
+    answered: int
+    #: futures resolved by cancellation (the injected client race)
+    cancelled: int
+    #: futures resolved with a typed ``ReproError``
+    typed_failures: int
+    #: futures that never resolved — any non-zero value fails the gate
+    unresolved: int
+    restarts: int
+    wedges: int
+    retried: int
+    contained_groups: int
+    quarantine_opened: int
+    quarantine_fast_fails: int
+    lost: int
+    #: per-kind count of faults that actually fired
+    injected: dict
+    #: post-recovery sweep matched the fault-free reference, per query
+    recovered_identical: bool
+    still_serving: bool
+
+    @property
+    def healed(self) -> bool:
+        """The scenario's acceptance contract (see ``fault_drill_problems``)."""
+        return not fault_drill_problems(self)
+
+
+#: fault kinds each scenario plans — the drill requires at least one of
+#: each to actually fire, so a green gate can't be an injection no-op
+_SCENARIO_KINDS: dict[str, tuple[str, ...]] = {
+    "compile-error": ("compile",),
+    "eval-crash": ("eval",),
+    "worker-hang": ("hang",),
+    "worker-death": ("death",),
+    "cancel-race": ("cancel",),
+    "poison-spec": (),
+}
+
+
+def fault_drill_problems(report: FaultDrillReport) -> list[str]:
+    """Why a drill does *not* count as healed; empty list means it does."""
+    problems = []
+    if report.unresolved:
+        problems.append(f"{report.unresolved} future(s) never resolved")
+    if not report.still_serving:
+        problems.append("service stopped serving after the fault wave")
+    if not report.recovered_identical:
+        problems.append(
+            "post-recovery answers differ from the fault-free reference"
+        )
+    if report.lost:
+        problems.append(
+            f"{report.lost} request(s) exhausted the retry budget"
+        )
+    for kind in _SCENARIO_KINDS.get(report.scenario, ()):
+        if not report.injected.get(kind):
+            problems.append(f"planned {kind!r} fault never fired")
+    if report.scenario == "poison-spec":
+        if not report.quarantine_opened:
+            problems.append("poison spec never tripped the quarantine breaker")
+        if not report.quarantine_fast_fails:
+            problems.append("quarantine never failed a request fast")
+    elif report.typed_failures:
+        problems.append(
+            f"{report.typed_failures} typed failure(s) in a transient-only "
+            f"scenario (all should have healed via retry)"
+        )
+    if report.scenario == "cancel-race" and not report.cancelled:
+        problems.append("cancellation race never cancelled a future")
+    return problems
+
+
+def _drill_graphs(app: str, nodes: "int | None") -> dict:
+    """Independent, structurally identical graphs for a multi-shard drill.
+
+    Each key gets its *own* graph object (a graph may only be owned by
+    one shard), built from the same deterministic generator so every
+    key answers every spec identically — which is what lets the drill
+    compare faulted and fault-free services query by query.
+    """
+    return {
+        f"{app}#{i}": prepare_app.__wrapped__(app, nodes).app
+        for i in range(4)
+    }
+
+
+def run_fault_drill(
+    scenario: str,
+    *,
+    app: str = "lulesh",
+    nodes: "int | None" = None,
+    tenants: int = 4,
+    requests_per_tenant: int = 12,
+    shards: int = 2,
+    seed: int = 0,
+) -> FaultDrillReport:
+    """Drive one chaos preset through fault, recovery, and verification."""
+    fault_spec = SERVICE_FAULT_SCENARIOS[scenario]
+    keyed = _drill_graphs(app, nodes)
+    graph_keys = sorted(keyed)
+    mix = spec_mix()
+    spec_names = sorted(mix)
+
+    # fault-free reference answers, computed on an unsupervised
+    # single-worker service over graphs built by the same generator
+    reference: dict[tuple[str, str], frozenset] = {}
+    with serve_selection(
+        _drill_graphs(app, nodes), window_seconds=0.0, supervised=False
+    ) as plain:
+        for key in graph_keys:
+            for name in spec_names:
+                response = plain.select(key, mix[name], spec_name=name)
+                reference[(key, name)] = frozenset(
+                    response.selection.selected
+                )
+
+    service = serve_selection(
+        keyed,
+        window_seconds=0.0,
+        max_batch=8,
+        shards=shards,
+        seed=seed,
+        faults=fault_spec,
+        shard_deadline_seconds=0.15,
+        supervise_interval=0.02,
+        quarantine_cooldown_seconds=0.05,
+    )
+    try:
+        rng = random.Random(seed * 6271 + 17)
+        futures = []
+        for t in range(tenants):
+            for _ in range(requests_per_tenant):
+                name = rng.choice(spec_names)
+                futures.append(
+                    (
+                        service.submit(
+                            rng.choice(graph_keys),
+                            mix[name],
+                            tenant=f"tenant-{t}",
+                            spec_name=name,
+                        ),
+                        name,
+                    )
+                )
+        answered = cancelled = typed = unresolved = 0
+        for future, _ in futures:
+            try:
+                future.result(timeout=30.0)
+                answered += 1
+            except TimeoutError:
+                unresolved += 1
+            except ReproError:
+                typed += 1
+            except BaseException:  # noqa: BLE001 - CancelledError et al.
+                cancelled += 1
+
+        # flush phase: a short main wave may not have reached every
+        # planned injection index (round-scoped kinds especially), so
+        # keep feeding sacrificial queries until the whole schedule has
+        # fired — the verification sweep must run against an exhausted
+        # injector, not race it
+        affected = [
+            i
+            for i in range(shards)
+            if not fault_spec.only_shards or i in fault_spec.only_shards
+        ]
+        planned = {
+            "compile": fault_spec.compile_errors * len(affected),
+            "eval": fault_spec.eval_crashes * len(affected),
+            "hang": fault_spec.hangs * len(affected),
+            "death": fault_spec.deaths * len(affected),
+            "cancel": fault_spec.cancel_races * len(affected),
+        }
+        flush_deadline = time.monotonic() + 30.0
+
+        def schedule_exhausted() -> bool:
+            injected = service.stats_snapshot()["health"]["injected"]
+            return all(
+                injected.get(kind, 0) >= count
+                for kind, count in planned.items()
+            )
+
+        while (
+            not schedule_exhausted() and time.monotonic() < flush_deadline
+        ):
+            flushers = [
+                service.submit(
+                    key, mix["flops>=1"], tenant="flush", spec_name="flops>=1"
+                )
+                for key in graph_keys
+            ]
+            for flusher in flushers:
+                try:
+                    flusher.result(timeout=10.0)
+                except BaseException:  # noqa: BLE001 - sacrificial
+                    pass
+
+        # drive the quarantine breaker through open → half-open →
+        # closed on *every* shard: keep probing the poisoned query on
+        # each graph key until it heals everywhere
+        poison_recovered = True
+        if fault_spec.poison_specs:
+            marker = fault_spec.poison_specs[0]
+            probe_deadline = time.monotonic() + 30.0
+            pending_keys = set(graph_keys)
+            while pending_keys and time.monotonic() < probe_deadline:
+                for key in sorted(pending_keys):
+                    try:
+                        service.select(
+                            key, mix[marker], spec_name=marker, timeout=10.0
+                        )
+                        pending_keys.discard(key)
+                    except QuarantinedSpecError:
+                        pass
+                    except ReproError:
+                        pass
+                if pending_keys:
+                    time.sleep(0.02)
+            poison_recovered = not pending_keys
+
+        # post-recovery sweep: the injection schedule is exhausted, so
+        # every (graph, spec) pair must answer bit-identically to the
+        # fault-free reference
+        still_serving = True
+        identical = poison_recovered
+        for key in graph_keys:
+            for name in spec_names:
+                try:
+                    response = service.select(
+                        key, mix[name], spec_name=name, timeout=30.0
+                    )
+                except BaseException:  # noqa: BLE001 - gate evidence
+                    still_serving = False
+                    identical = False
+                    break
+                if (
+                    frozenset(response.selection.selected)
+                    != reference[(key, name)]
+                ):
+                    identical = False
+            else:
+                continue
+            break
+        stats = service.stats_snapshot()
+    finally:
+        service.close()
+
+    health = stats["health"]
+    quarantine = health["quarantine"] or {}
+    return FaultDrillReport(
+        scenario=scenario,
+        requests=len(futures),
+        answered=answered,
+        cancelled=cancelled,
+        typed_failures=typed,
+        unresolved=unresolved,
+        restarts=health["restarts"],
+        wedges=health["wedges"],
+        retried=stats["retried"],
+        contained_groups=stats["contained_groups"],
+        quarantine_opened=quarantine.get("opened_total", 0),
+        quarantine_fast_fails=quarantine.get("fast_fails", 0),
+        lost=health["lost"],
+        injected=dict(health["injected"]),
+        recovered_identical=identical,
+        still_serving=still_serving,
+    )
+
+
+def run_fault_drills(
+    scenarios: "tuple[str, ...] | None" = None,
+    *,
+    app: str = "lulesh",
+    nodes: "int | None" = None,
+    shards: int = 2,
+    seed: int = 0,
+) -> list[FaultDrillReport]:
+    names = scenarios or tuple(sorted(SERVICE_FAULT_SCENARIOS))
+    return [
+        run_fault_drill(name, app=app, nodes=nodes, shards=shards, seed=seed)
+        for name in names
+    ]
+
+
+def render_fault_drills(reports: list[FaultDrillReport]) -> str:
+    headers = [
+        "scenario", "req", "ok", "cancel", "typed", "unres",
+        "restarts", "retried", "contained", "quar", "fastfail",
+        "lost", "identical", "healed",
+    ]
+    body = [
+        (
+            r.scenario,
+            str(r.requests),
+            str(r.answered),
+            str(r.cancelled),
+            str(r.typed_failures),
+            str(r.unresolved),
+            str(r.restarts),
+            str(r.retried),
+            str(r.contained_groups),
+            str(r.quarantine_opened),
+            str(r.quarantine_fast_fails),
+            str(r.lost),
+            "yes" if r.recovered_identical else "NO",
+            "yes" if r.healed else "NO",
+        )
+        for r in reports
+    ]
+    title = (
+        "SELECTION SERVICE — chaos drill "
+        "(sharded workers, supervisor, quarantine)"
+    )
+    return format_table(headers, body, title=title)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -302,13 +639,47 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--max-batch", type=int, default=64)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="worker shards (graph keys are hash-partitioned across them)",
+    )
+    parser.add_argument(
         "--check",
         action="store_true",
         help="verify every batched result against its sequential "
         "re-derivation and exit non-zero on any failure",
     )
+    parser.add_argument(
+        "--check-faults",
+        action="store_true",
+        help="run every service chaos preset through a supervised "
+        "sharded service and exit non-zero unless all of them heal",
+    )
     args = parser.parse_args(argv)
     apps = ("lulesh", "openfoam") if args.app == "both" else (args.app,)
+    if args.check_faults:
+        drill_app = apps[0]
+        reports = run_fault_drills(
+            app=drill_app,
+            nodes=args.nodes,
+            shards=max(2, args.shards),
+            seed=args.seed,
+        )
+        print(render_fault_drills(reports))
+        failed = False
+        for report in reports:
+            for problem in fault_drill_problems(report):
+                print(f"FAULT CHECK FAILED [{report.scenario}]: {problem}")
+                failed = True
+        if failed:
+            return 1
+        print(
+            f"FAULT CHECK OK: {len(reports)} chaos scenario(s) healed — "
+            f"every future resolved and post-recovery answers matched the "
+            f"fault-free reference"
+        )
+        return 0
     scales = None
     if args.nodes is not None:
         scales = {name: args.nodes for name in apps}
@@ -322,6 +693,7 @@ def main(argv: list[str] | None = None) -> int:
         max_batch=args.max_batch,
         seed=args.seed,
         verify=args.check,
+        shards=args.shards,
     )
     print(render_serve_report(report))
     if args.check:

@@ -16,6 +16,15 @@ the architecture amortises everything a query would otherwise pay for:
 * :class:`SelectionService` is the front door: bounded async admission,
   a micro-batching window, per-tenant FIFO queues drained round-robin,
   serialised graph edits, and request/latency/hit-rate statistics.
+* **Supervision** (PR 10): the worker is sharded per graph key
+  (:func:`~repro.service.shard.shard_of`, ``shards=N``), each shard
+  heartbeats to a supervisor that deposes wedged workers and respawns
+  dead ones with seeded-backoff retries; failed batch groups are re-run
+  query by query (blast-radius containment) and repeatedly-failing
+  structural keys are quarantined behind a
+  :class:`~repro.service.health.QuarantineBreaker`.  Deterministic
+  chaos (:class:`~repro.service.faults.ServiceFaultSpec`) proves every
+  finite fault schedule heals.
 
 Batched results are bit-identical to sequential one-shot evaluation
 (selector purity); ``verify=True`` re-derives and asserts it per batch.
@@ -23,14 +32,26 @@ See ``docs/service.md`` for the architecture and semantics.
 """
 
 from repro.service.batch import BatchEvaluator, BatchOutcome
+from repro.service.faults import (
+    SERVICE_FAULT_SCENARIOS,
+    ServiceFaultInjector,
+    ServiceFaultSpec,
+    resolve_service_faults,
+)
+from repro.service.health import (
+    QuarantineBreaker,
+    ServiceHealth,
+)
 from repro.service.service import (
     DEFAULT_MAX_BATCH,
     DEFAULT_MAX_IN_FLIGHT,
+    DEFAULT_SHARD_DEADLINE,
     DEFAULT_WINDOW_SECONDS,
     SelectionService,
     ServiceResponse,
     ServiceStats,
 )
+from repro.service.shard import ServiceShard, shard_of
 from repro.service.store import (
     DEFAULT_MAX_BYTES,
     GraphEntry,
@@ -44,11 +65,20 @@ __all__ = [
     "DEFAULT_MAX_BATCH",
     "DEFAULT_MAX_BYTES",
     "DEFAULT_MAX_IN_FLIGHT",
+    "DEFAULT_SHARD_DEADLINE",
     "DEFAULT_WINDOW_SECONDS",
     "GraphEntry",
     "GraphStore",
+    "QuarantineBreaker",
+    "SERVICE_FAULT_SCENARIOS",
     "SelectionService",
+    "ServiceFaultInjector",
+    "ServiceFaultSpec",
+    "ServiceHealth",
     "ServiceResponse",
+    "ServiceShard",
     "ServiceStats",
     "StoreStats",
+    "resolve_service_faults",
+    "shard_of",
 ]

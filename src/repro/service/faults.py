@@ -1,0 +1,240 @@
+"""Deterministic fault injection for the selection service.
+
+The selection service only earns its "supervised" name if the
+supervision is *proven*: this module is the service-side twin of
+:mod:`repro.multirank.faults`.  A :class:`ServiceFaultSpec` is a pure
+function of its fields and a seed; it compiles per worker shard into one
+:class:`ServiceFaultInjector`, so the same spec driven by the same
+request sequence breaks the same operations on any machine.
+
+Five fault kinds are injected inside the shard worker loop:
+
+* **compile error** — a compile attempt raises
+  :class:`~repro.errors.InjectedServiceFaultError` (transient: the
+  request is re-enqueued with seeded backoff and heals on retry);
+* **eval crash** — an evaluation pass (group or isolated) raises the
+  same transient error, exercising both the retry path and the batch
+  blast-radius containment (a failed group is re-run query by query);
+* **hang** — the worker sleeps past the supervisor's shard deadline
+  (bounded: ``deadline + hang_excess_seconds``); the supervisor must
+  depose the wedged worker, rescue its in-flight batch and respawn;
+* **death** — the worker thread raises outside every per-request guard
+  and dies; the supervisor must notice the corpse and respawn;
+* **cancel race** — one gathered request's future is cancelled just
+  before processing, reproducing a client timing out in ``select()``
+  while the worker resolves: the guarded resolution paths must survive
+  and the admission slot must still be released exactly once.
+
+Separately, **poison specs** model a query that is *deterministically*
+broken: every evaluation attempt of a spec whose name or source contains
+a poison marker fails with :class:`~repro.errors.SelectionError` for its
+first ``poison_times`` attempts.  Poison failures are **not** transient
+— they are attributed to the spec's structural key and drive the
+per-graph quarantine circuit breaker (open after K consecutive
+failures, half-open probe after a cooldown).
+
+Disruptive kinds (hang/death/cancel) are drawn over a small
+``disrupt_window`` of early processing rounds so a short drill is
+guaranteed to hit them; per-operation kinds (compile/eval) draw over
+``window`` operations.  Any finite schedule is recoverable by a
+supervisor with enough retries — the chaos acceptance contract is that
+every preset in :data:`SERVICE_FAULT_SCENARIOS` heals with answers
+bit-identical to a fault-free run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._util import rng_for
+from repro.errors import InjectedServiceFaultError, SelectionError, ServiceError
+
+#: per-operation fault kinds (one op = one compile / one evaluate call)
+OP_KINDS = ("compile", "eval")
+#: per-round fault kinds (one op = one non-empty worker processing round)
+ROUND_KINDS = ("hang", "death", "cancel")
+FAULT_KINDS = OP_KINDS + ROUND_KINDS
+
+
+@dataclass(frozen=True)
+class ServiceFaultSpec:
+    """Deterministic fault assignment for the service worker shards.
+
+    ``compile_errors``/``eval_crashes`` count injected transient
+    failures per shard, drawn over the first ``window`` operations of
+    that kind; ``hangs``/``deaths``/``cancel_races`` count disruptive
+    events per shard, drawn over the first ``disrupt_window`` processing
+    rounds.  ``poison_specs`` name markers (matched against a spec's
+    name or source); each marker's first ``poison_times`` evaluation
+    attempts fail deterministically, driving the quarantine breaker.
+    ``only_shards`` restricts injection to the named shard indices
+    (empty = every shard), which lets isolation tests wedge one shard
+    while proving its neighbours keep serving.
+    """
+
+    seed: int = 7
+    window: int = 32
+    disrupt_window: int = 4
+    compile_errors: int = 0
+    eval_crashes: int = 0
+    hangs: int = 0
+    hang_excess_seconds: float = 0.25
+    deaths: int = 0
+    cancel_races: int = 0
+    poison_specs: tuple[str, ...] = ()
+    poison_times: int = 3
+    only_shards: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        for name in (
+            "compile_errors", "eval_crashes", "hangs", "deaths", "cancel_races"
+        ):
+            if getattr(self, name) < 0:
+                raise ServiceError(f"{name} must be non-negative")
+        if self.window < 1 or self.disrupt_window < 1:
+            raise ServiceError("fault windows must be >= 1")
+        if self.compile_errors > self.window or self.eval_crashes > self.window:
+            raise ServiceError(
+                f"per-op fault counts cannot exceed window={self.window}"
+            )
+        disruptions = max(self.hangs, self.deaths, self.cancel_races)
+        if disruptions > self.disrupt_window:
+            raise ServiceError(
+                f"per-round fault counts cannot exceed "
+                f"disrupt_window={self.disrupt_window}"
+            )
+        if self.poison_times < 1:
+            raise ServiceError("poison_times must be >= 1")
+        if self.hang_excess_seconds <= 0.0:
+            raise ServiceError("hang_excess_seconds must be positive")
+
+    @property
+    def quiet(self) -> bool:
+        """True when the spec injects nothing at all."""
+        return (
+            self.compile_errors == 0
+            and self.eval_crashes == 0
+            and self.hangs == 0
+            and self.deaths == 0
+            and self.cancel_races == 0
+            and not self.poison_specs
+        )
+
+    def plan(self, shard_index: int) -> dict[str, frozenset[int]]:
+        """Afflicted operation indices per kind for one shard.
+
+        Deterministic in ``(seed, shard_index, kind)``: the same spec
+        breaks the same ops of the same shard on every run and machine.
+        A shard excluded by ``only_shards`` gets an empty plan.
+        """
+        if self.only_shards and shard_index not in self.only_shards:
+            return {kind: frozenset() for kind in FAULT_KINDS}
+        counts = {
+            "compile": (self.compile_errors, self.window),
+            "eval": (self.eval_crashes, self.window),
+            "hang": (self.hangs, self.disrupt_window),
+            "death": (self.deaths, self.disrupt_window),
+            "cancel": (self.cancel_races, self.disrupt_window),
+        }
+        plan: dict[str, frozenset[int]] = {}
+        for kind, (count, window) in counts.items():
+            if count == 0:
+                plan[kind] = frozenset()
+                continue
+            perm = rng_for(
+                self.seed, "service-faults", shard_index, kind
+            ).permutation(window)
+            plan[kind] = frozenset(int(i) for i in perm[:count])
+        return plan
+
+
+class ServiceFaultInjector:
+    """One shard's live injection state (owned by that shard's worker).
+
+    Counts operations per kind and fires when the counter lands on a
+    planned index.  Poison state is per marker: :meth:`poisoned` peeks
+    (used to fail a whole batch group, which the containment pass then
+    isolates), :meth:`consume_poison` burns one of the marker's
+    ``poison_times`` on an isolated evaluation attempt.
+
+    A replacement worker spawned after a death or depose inherits the
+    shard's injector, so the surviving schedule carries across restarts
+    — exactly like attempt-window fault plans in the multirank layer.
+    """
+
+    def __init__(self, spec: ServiceFaultSpec, shard_index: int):
+        self.spec = spec
+        self.shard_index = shard_index
+        self._plan = spec.plan(shard_index)
+        self._ops = {kind: 0 for kind in FAULT_KINDS}
+        active = not spec.only_shards or shard_index in spec.only_shards
+        self._poison_left = {
+            marker: spec.poison_times if active else 0
+            for marker in spec.poison_specs
+        }
+
+    def fires(self, kind: str) -> bool:
+        """Advance the kind's op counter; True when this op is afflicted."""
+        index = self._ops[kind]
+        self._ops[kind] = index + 1
+        return index in self._plan[kind]
+
+    def poison_marker(self, spec_name: str, source: str) -> str | None:
+        """The still-active poison marker matching this spec, if any."""
+        for marker, left in self._poison_left.items():
+            if left > 0 and (marker in spec_name or marker in source):
+                return marker
+        return None
+
+    def consume_poison(self, marker: str) -> None:
+        """Burn one poisoned evaluation attempt of ``marker``."""
+        self._poison_left[marker] -= 1
+
+    def injected_so_far(self) -> dict[str, int]:
+        """Ops already afflicted per kind (diagnostics / tests)."""
+        return {
+            kind: sum(1 for i in self._plan[kind] if i < self._ops[kind])
+            for kind in FAULT_KINDS
+        }
+
+
+def poison_error(marker: str, spec_name: str, shard_index: int) -> SelectionError:
+    """The deterministic evaluation failure a poisoned spec raises."""
+    return SelectionError(
+        f"injected poison evaluation failure for spec "
+        f"{spec_name or marker!r} (marker {marker!r}, shard {shard_index})"
+    )
+
+
+#: named chaos presets the ``serve --check-faults`` drill and the chaos
+#: acceptance tests iterate: every preset must heal (all futures
+#: resolve, the service keeps serving, recovered answers bit-identical
+#: to a fault-free run).  Counts stay below the drill's retry budget so
+#: healing is guaranteed, not probabilistic.
+SERVICE_FAULT_SCENARIOS: dict[str, ServiceFaultSpec] = {
+    "compile-error": ServiceFaultSpec(compile_errors=2),
+    "eval-crash": ServiceFaultSpec(eval_crashes=2),
+    "worker-hang": ServiceFaultSpec(hangs=1, hang_excess_seconds=0.25),
+    "worker-death": ServiceFaultSpec(deaths=1),
+    "cancel-race": ServiceFaultSpec(cancel_races=2),
+    "poison-spec": ServiceFaultSpec(
+        poison_specs=("hot-reachable",), poison_times=4
+    ),
+}
+
+
+def resolve_service_faults(
+    faults: "ServiceFaultSpec | str | None",
+) -> ServiceFaultSpec | None:
+    """Accept a spec instance, a preset name, or None."""
+    if faults is None or isinstance(faults, ServiceFaultSpec):
+        return faults
+    if isinstance(faults, str):
+        try:
+            return SERVICE_FAULT_SCENARIOS[faults]
+        except KeyError:
+            raise ServiceError(
+                f"unknown service fault preset {faults!r}; available: "
+                f"{sorted(SERVICE_FAULT_SCENARIOS)}"
+            ) from None
+    raise ServiceError(f"object {faults!r} is not a ServiceFaultSpec")

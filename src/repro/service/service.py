@@ -1,4 +1,4 @@
-"""Multi-tenant selection service: async admission over warm graphs.
+"""Multi-tenant selection service: supervised, sharded admission front door.
 
 The service turns the one-shot pipeline (build → compile → select) into
 a long-lived query front door:
@@ -7,43 +7,82 @@ a long-lived query front door:
   ``(tenant, graph key, spec source)`` request and returns a
   :class:`concurrent.futures.Future`.  Admission is bounded
   (``max_in_flight``): past the bound, submitters block — backpressure
-  instead of unbounded queue growth.
-* **micro-batching** — a single worker thread gathers requests across
-  per-tenant FIFO queues (round-robin, so one chatty tenant cannot
-  starve the rest) until ``max_batch`` requests are queued or the
-  micro-batch window closes, then evaluates each graph's group in one
-  :class:`~repro.service.batch.BatchEvaluator` pass over the warm store
-  entry.  The window is *adaptive*: ``window_seconds`` caps it, but
-  lone-request gathers halve it (an idle queue should not pay latency
-  for coalescing that never happens) and near-full gathers double it
-  back toward the cap — ``stats_snapshot()`` exposes the current value.
-* **graph edits** — :meth:`submit_edit` runs a mutation against an
-  admitted graph *inside the worker loop*, serialised with evaluation:
-  an edit never races a batch, and the version bump invalidates exactly
-  that graph's warm state on next access.
-* **observability** — :meth:`stats` snapshots request/latency counters,
-  batching effectiveness (dedup, cross-run hits, batch sizes) and the
-  store's warm/cold hit rates.
+  instead of unbounded queue growth.  A client that stops waiting
+  cancels its future (``select`` does this on timeout) and the slot is
+  reclaimed when the worker next sees the request.
+* **sharding** — ``shards=N`` splits the worker into N
+  :class:`~repro.service.shard.ServiceShard` threads, each owning a
+  disjoint hash-slice of graph keys with its own per-tenant queues and
+  adaptive micro-batch window.  A graph's edits stay serialised with
+  its evaluations (same key → same shard) while unrelated graphs
+  proceed in parallel — and a wedged or crashed shard cannot take its
+  siblings down.  The default of one shard preserves the PR 8 single
+  worker exactly.
+* **supervision** — a supervisor thread heartbeats every shard:
+  a dead worker is respawned, a worker that overruns
+  ``shard_deadline_seconds`` mid-round is deposed (generation bump; the
+  zombie exits on wake) and respawned, and the interrupted round's
+  requests are re-enqueued with seeded backoff up to ``max_attempts``
+  before failing fast with :class:`~repro.errors.ServiceTimeoutError`.
+  Incidents land in a :class:`~repro.service.health.ServiceHealth`
+  record — surfaced via ``stats_snapshot()["health"]`` and emitted as
+  :class:`~repro.trace.alerts.Alert` records (optionally appended to an
+  ``alerts_path`` JSONL file the PR 7 watchdog tooling can ingest).
+* **containment** — a failed group evaluation is re-run query by query
+  so only the culprit fails, and a spec whose structural key fails
+  ``quarantine_threshold`` consecutive times on a graph is quarantined
+  behind a circuit breaker (fail fast with
+  :class:`~repro.errors.QuarantinedSpecError`, half-open probe after
+  ``quarantine_cooldown_seconds``).
+* **micro-batching / edits / observability** — as in PR 8: per-tenant
+  FIFO queues drained round-robin, an adaptive coalescing window per
+  shard, serialised graph edits via :meth:`submit_edit`, and
+  :meth:`stats_snapshot` for counters.
 
 Compilation is amortised through a per-service LRU of spec source →
 :class:`~repro.core.pipeline.CompiledSpec` (compiled specs are
-graph-independent and immutable, so one entry serves every tenant).
+graph-independent and immutable, so one entry serves every tenant and
+every shard); the cache and its hit counters live under the service
+lock so concurrent shards never tear them.
+
+Deterministic chaos (seeded compile errors, evaluation crashes, worker
+hangs/deaths, cancellation races, poison specs) plugs in via
+``faults=`` — a :class:`~repro.service.faults.ServiceFaultSpec` or a
+preset name — and requires ``supervised=True``; the chaos acceptance
+contract is that every finite schedule heals with answers bit-identical
+to a fault-free run.
 """
 
 from __future__ import annotations
 
+import heapq
+import json
 import threading
 import time
-from collections import deque
-from concurrent.futures import Future
+from concurrent.futures import Future, InvalidStateError
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass, field
-from typing import Callable, Iterator
+from typing import Callable
 
+from repro._util import rng_for
 from repro.cg.graph import CallGraph
 from repro.core.pipeline import CompiledSpec, SelectionResult, compile_spec
-from repro.errors import ServiceClosedError, ServiceError
+from repro.errors import (
+    ServiceClosedError,
+    ServiceError,
+    ServiceTimeoutError,
+)
 from repro.service.batch import BatchEvaluator
+from repro.service.faults import ServiceFaultInjector, resolve_service_faults
+from repro.service.health import (
+    DEFAULT_QUARANTINE_COOLDOWN,
+    DEFAULT_QUARANTINE_THRESHOLD,
+    QuarantineBreaker,
+    ServiceHealth,
+)
+from repro.service.shard import ServiceShard, shard_of
 from repro.service.store import GraphStore
+from repro.trace.alerts import Alert
 
 #: default micro-batch window: long enough to coalesce a burst of
 #: concurrent clients, short enough to stay invisible at human scale
@@ -51,6 +90,15 @@ DEFAULT_WINDOW_SECONDS = 0.002
 DEFAULT_MAX_BATCH = 64
 DEFAULT_MAX_IN_FLIGHT = 1024
 DEFAULT_COMPILE_CACHE = 256
+#: a worker round (one batch + its edits) overrunning this is wedged
+DEFAULT_SHARD_DEADLINE = 10.0
+#: supervisor tick: heartbeat checks + due-retry dispatch
+DEFAULT_SUPERVISE_INTERVAL = 0.05
+#: total attempts per request before the supervisor gives up on it
+DEFAULT_MAX_ATTEMPTS = 3
+#: first-retry backoff; doubles per attempt, jittered, capped
+BACKOFF_BASE_SECONDS = 0.01
+BACKOFF_CAP_SECONDS = 0.25
 
 
 @dataclass(frozen=True)
@@ -72,6 +120,12 @@ class _Request:
     spec_name: str
     future: Future
     enqueued_at: float
+    #: failed attempts so far (transient faults + supervisor rescues)
+    attempts: int = 0
+    #: exactly-once completion: whichever path sets ``done`` first owns
+    #: the resolution and the single admission-slot release
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    done: bool = False
 
 
 @dataclass
@@ -79,11 +133,13 @@ class _Edit:
     graph_key: str
     mutate: Callable[[CallGraph], object]
     future: Future
+    done: bool = False
+    lock: threading.Lock = field(default_factory=threading.Lock)
 
 
 @dataclass
 class ServiceStats:
-    """Mutable counters; :meth:`SelectionService.stats` snapshots them."""
+    """Mutable counters; :meth:`SelectionService.stats_snapshot` reads them."""
 
     requests: int = 0
     responses: int = 0
@@ -97,6 +153,14 @@ class ServiceStats:
     cross_hits: int = 0
     compile_hits: int = 0
     compile_misses: int = 0
+    #: requests whose future the client cancelled before resolution
+    cancelled: int = 0
+    #: retries scheduled (transient faults + rescued in-flight work)
+    retried: int = 0
+    #: group evaluations that failed and were re-run query by query
+    contained_groups: int = 0
+    #: individual containment re-runs that produced an answer
+    isolated_reruns: int = 0
     latency_sum: float = 0.0
     latency_max: float = 0.0
     per_tenant: dict[str, int] = field(default_factory=dict)
@@ -111,7 +175,7 @@ class ServiceStats:
 
 
 class SelectionService:
-    """Long-lived, batched selection query service over a GraphStore."""
+    """Long-lived, batched, supervised selection service over a GraphStore."""
 
     def __init__(
         self,
@@ -122,39 +186,97 @@ class SelectionService:
         max_in_flight: int = DEFAULT_MAX_IN_FLIGHT,
         compile_cache_entries: int = DEFAULT_COMPILE_CACHE,
         verify: bool = False,
+        shards: int = 1,
+        supervised: bool = True,
+        faults: "object | str | None" = None,
+        seed: int = 0,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        shard_deadline_seconds: float = DEFAULT_SHARD_DEADLINE,
+        supervise_interval: float = DEFAULT_SUPERVISE_INTERVAL,
+        quarantine_threshold: int = DEFAULT_QUARANTINE_THRESHOLD,
+        quarantine_cooldown_seconds: float = DEFAULT_QUARANTINE_COOLDOWN,
+        alerts_path: "str | None" = None,
     ) -> None:
         if max_batch < 1:
             raise ServiceError("max_batch must be at least 1")
         if max_in_flight < 1:
             raise ServiceError("max_in_flight must be at least 1")
+        if shards < 1:
+            raise ServiceError("shards must be at least 1")
+        if max_attempts < 1:
+            raise ServiceError("max_attempts must be at least 1")
+        if shard_deadline_seconds <= 0.0:
+            raise ServiceError("shard_deadline_seconds must be positive")
+        if supervise_interval <= 0.0:
+            raise ServiceError("supervise_interval must be positive")
+        fault_spec = resolve_service_faults(faults)
+        if fault_spec is not None and not fault_spec.quiet and not supervised:
+            raise ServiceError(
+                "fault injection requires supervised=True: an unsupervised "
+                "service has no one to heal the faults"
+            )
         self.store = store if store is not None else GraphStore()
         self.window_seconds = window_seconds
-        #: current adaptive window, bounded by ``(window_seconds / 64,
-        #: window_seconds]`` — shrinks while gathers come up solo,
-        #: widens again under burst
-        self._window = window_seconds
         self.max_batch = max_batch
         self.verify = verify
+        self.seed = seed
+        self.supervised = supervised
+        self.max_attempts = max_attempts
+        self.shard_deadline_seconds = shard_deadline_seconds
+        self.supervise_interval = supervise_interval
         self._evaluator = BatchEvaluator(verify=verify)
         self._compile_cache: dict[str, CompiledSpec] = {}
         self._compile_cap = compile_cache_entries
-        self._cond = threading.Condition()
-        self._queues: dict[str, deque[_Request]] = {}
-        self._edits: deque[_Edit] = deque()
+        #: guards stats, the compile LRU and the retry heap.  Ordering:
+        #: a shard's condition may be held while taking this lock,
+        #: never the reverse.
+        self._lock = threading.Lock()
         self._in_flight = threading.BoundedSemaphore(max_in_flight)
         self._closing = False
         self._started_at = time.monotonic()
         self.stats = ServiceStats()
-        self._worker = threading.Thread(
-            target=self._run, name="selection-service", daemon=True
+        self._alerts_path = alerts_path
+        self._alerts_lock = threading.Lock()
+        self._health = ServiceHealth(
+            sink=self._append_alert if alerts_path else None
         )
-        self._worker.start()
+        self._breaker: QuarantineBreaker | None = (
+            QuarantineBreaker(
+                threshold=quarantine_threshold,
+                cooldown_seconds=quarantine_cooldown_seconds,
+            )
+            if supervised
+            else None
+        )
+        #: seeded-backoff retry queue: (due, tiebreak, request)
+        self._retry_heap: list[tuple[float, int, _Request]] = []
+        self._retry_seq = 0
+        #: deposed worker threads still sleeping off a bounded hang
+        self._zombies: list[threading.Thread] = []
+        self._shards = [ServiceShard(self, i) for i in range(shards)]
+        if fault_spec is not None:
+            for shard in self._shards:
+                shard.injector = ServiceFaultInjector(fault_spec, shard.index)
+        for shard in self._shards:
+            shard.spawn()
+        self._supervisor_stop = threading.Event()
+        self._supervisor: threading.Thread | None = None
+        if supervised:
+            self._supervisor = threading.Thread(
+                target=self._supervise,
+                name="selection-supervisor",
+                daemon=True,
+            )
+            self._supervisor.start()
 
     # -- client surface ----------------------------------------------------------
 
     def admit(self, key: str, graph: CallGraph) -> None:
         """Register a call graph so queries can target it by key."""
         self.store.admit(key, graph)
+
+    def _shard_for(self, graph_key: str) -> ServiceShard:
+        return self._shards[shard_of(graph_key, len(self._shards))]
 
     def submit(
         self,
@@ -168,11 +290,16 @@ class SelectionService:
 
         Blocks for admission once ``max_in_flight`` requests are
         pending (backpressure).  Raises :class:`ServiceClosedError`
-        after :meth:`close`.
+        after :meth:`close`.  Cancelling the returned future before it
+        resolves is honoured: the worker discards the request and
+        releases its admission slot.
         """
         if self._closing:
             raise ServiceClosedError("selection service is closed")
         self._in_flight.acquire()
+        if self._closing:
+            self._in_flight.release()
+            raise ServiceClosedError("selection service is closed")
         request = _Request(
             tenant=tenant,
             graph_key=graph_key,
@@ -181,16 +308,12 @@ class SelectionService:
             future=Future(),
             enqueued_at=time.monotonic(),
         )
-        with self._cond:
-            if self._closing:
-                self._in_flight.release()
-                raise ServiceClosedError("selection service is closed")
-            self._queues.setdefault(tenant, deque()).append(request)
+        with self._lock:
             self.stats.requests += 1
             self.stats.per_tenant[tenant] = (
                 self.stats.per_tenant.get(tenant, 0) + 1
             )
-            self._cond.notify_all()
+        self._shard_for(graph_key).enqueue(request)
         return request.future
 
     def select(
@@ -202,28 +325,40 @@ class SelectionService:
         spec_name: str = "",
         timeout: float | None = 30.0,
     ) -> ServiceResponse:
-        """Synchronous :meth:`submit` convenience."""
-        return self.submit(
+        """Synchronous :meth:`submit`; cancels its request on timeout.
+
+        A timed-out request no longer leaks its ``max_in_flight`` slot:
+        the future is cancelled, the worker discards the request at the
+        next gather (or the guarded resolution drops the late answer),
+        and the slot is released exactly once either way.
+        """
+        future = self.submit(
             graph_key, spec_source, tenant=tenant, spec_name=spec_name
-        ).result(timeout=timeout)
+        )
+        try:
+            return future.result(timeout=timeout)
+        except (FuturesTimeoutError, TimeoutError):
+            if future.cancel():
+                raise ServiceTimeoutError(
+                    f"selection on graph {graph_key!r} timed out after "
+                    f"{timeout}s (request cancelled, slot reclaimed)"
+                ) from None
+            # resolved in the race window between timeout and cancel
+            return future.result(timeout=0)
 
     def submit_edit(
         self, graph_key: str, mutate: Callable[[CallGraph], object]
     ) -> "Future[int]":
-        """Apply ``mutate(graph)`` serialised with evaluation.
+        """Apply ``mutate(graph)`` serialised with the graph's evaluation.
 
-        The callable runs in the worker thread between batches — never
-        concurrently with a batch over any graph.  The future resolves
-        to the graph's post-edit version.
+        The callable runs in the owning shard's worker thread between
+        batches — never concurrently with a batch over that graph.  The
+        future resolves to the graph's post-edit version.
         """
         if self._closing:
             raise ServiceClosedError("selection service is closed")
         edit = _Edit(graph_key=graph_key, mutate=mutate, future=Future())
-        with self._cond:
-            if self._closing:
-                raise ServiceClosedError("selection service is closed")
-            self._edits.append(edit)
-            self._cond.notify_all()
+        self._shard_for(graph_key).enqueue_edit(edit)
         return edit.future
 
     def edit(
@@ -236,11 +371,16 @@ class SelectionService:
         return self.submit_edit(graph_key, mutate).result(timeout=timeout)
 
     def stats_snapshot(self) -> dict:
-        """Point-in-time service + store statistics."""
-        with self._cond:
+        """Point-in-time service + store + supervision statistics.
+
+        Per-shard window/queue figures are read without the shards'
+        locks — they are single-word reads of floats/ints (atomic in
+        CPython), and the snapshot is a monitoring view, not a barrier.
+        """
+        with self._lock:
             s = self.stats
             elapsed = time.monotonic() - self._started_at
-            return {
+            snapshot = {
                 "requests": s.requests,
                 "responses": s.responses,
                 "failures": s.failures,
@@ -253,28 +393,114 @@ class SelectionService:
                 "cross_hits": s.cross_hits,
                 "compile_hits": s.compile_hits,
                 "compile_misses": s.compile_misses,
+                "cancelled": s.cancelled,
+                "retried": s.retried,
+                "contained_groups": s.contained_groups,
+                "isolated_reruns": s.isolated_reruns,
                 "mean_latency_seconds": s.mean_latency,
                 "max_latency_seconds": s.latency_max,
                 "requests_per_second": s.responses / elapsed if elapsed else 0.0,
                 "per_tenant": dict(s.per_tenant),
-                "window": {
-                    "configured_seconds": self.window_seconds,
-                    "current_seconds": self._window,
-                },
-                "store": self.store.stats.as_dict(),
-                "uptime_seconds": elapsed,
             }
+        snapshot["window"] = {
+            "configured_seconds": self.window_seconds,
+            "current_seconds": self._shards[0]._window,
+            "per_shard_seconds": [shard._window for shard in self._shards],
+        }
+        snapshot["store"] = self.store.stats.as_dict()
+        snapshot["uptime_seconds"] = elapsed
+        snapshot["health"] = self._health_snapshot()
+        return snapshot
+
+    def _health_snapshot(self) -> dict:
+        with self._lock:
+            self._zombies = [t for t in self._zombies if t.is_alive()]
+            zombies = len(self._zombies)
+        injected: dict[str, int] = {}
+        shards = []
+        for shard in self._shards:
+            worker = shard.worker
+            shards.append(
+                {
+                    "index": shard.index,
+                    "restarts": shard.restarts,
+                    "generation": shard.generation,
+                    "queued": shard.pending(),
+                    "busy": shard.busy_since is not None,
+                    "alive": worker is not None and worker.is_alive(),
+                }
+            )
+            if shard.injector is not None:
+                for kind, count in shard.injector.injected_so_far().items():
+                    injected[kind] = injected.get(kind, 0) + count
+        with self._lock:
+            retry_depth = len(self._retry_heap)
+        return {
+            **self._health.counters(),
+            "zombies": zombies,
+            "supervised": self.supervised,
+            "shard_count": len(self._shards),
+            "shards": shards,
+            "retry_queue_depth": retry_depth,
+            "quarantine": (
+                self._breaker.snapshot() if self._breaker is not None else None
+            ),
+            "injected": injected,
+        }
+
+    def health_alerts(self) -> list[Alert]:
+        """Structured alerts emitted so far (restart/quarantine/loss)."""
+        return self._health.alerts()
 
     def close(self, timeout: float | None = 30.0) -> None:
-        """Stop admission, drain queued work, stop the worker."""
-        with self._cond:
-            if self._closing:
-                self._cond.notify_all()
+        """Stop admission, drain queued work, stop workers + supervisor."""
+        with self._lock:
+            already = self._closing
             self._closing = True
-            self._cond.notify_all()
-        self._worker.join(timeout=timeout)
-        if self._worker.is_alive():  # pragma: no cover - defensive
-            raise ServiceError("selection service worker failed to stop")
+            pending_retries = [item[2] for item in self._retry_heap]
+            self._retry_heap.clear()
+        # retries still waiting out their backoff are failed, not
+        # re-enqueued: a drained shard will never gather them, and a
+        # typed failure beats a future that never resolves
+        for request in pending_retries:
+            if not self._discard_cancelled(request):
+                self._finish_error(
+                    request,
+                    ServiceTimeoutError(
+                        "service closed while the request awaited its retry"
+                    ),
+                )
+        for shard in self._shards:
+            with shard._cond:
+                shard._cond.notify_all()
+        deadline = time.monotonic() + (timeout if timeout is not None else 0.0)
+        for shard in self._shards:
+            # the supervisor may swap in replacement workers while we
+            # drain, so poll the drained flag instead of one thread
+            while not shard.drained:
+                worker = shard.worker
+                if worker is None:  # pragma: no cover - defensive
+                    break
+                remaining = deadline - time.monotonic()
+                if timeout is not None and remaining <= 0:
+                    break
+                worker.join(
+                    timeout=min(0.05, remaining) if timeout is not None else 0.05
+                )
+                if not worker.is_alive() and worker is shard.worker:
+                    if shard.drained or not self.supervised:
+                        break
+        if self._supervisor is not None:
+            self._supervisor_stop.set()
+            self._supervisor.join(timeout=timeout)
+        if already:
+            return
+        for shard in self._shards:
+            worker = shard.worker
+            if worker is not None and worker.is_alive() and not shard.drained:
+                raise ServiceError(
+                    f"selection shard {shard.index} failed to stop"
+                )
 
     def __enter__(self) -> "SelectionService":
         return self
@@ -282,155 +508,298 @@ class SelectionService:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    # -- worker ------------------------------------------------------------------
+    # -- completion (exactly-once, cancellation-safe) ----------------------------
 
-    def _pending(self) -> int:
-        return sum(len(q) for q in self._queues.values())
+    def _claim(self, request: _Request) -> bool:
+        """Atomically claim the right to resolve ``request``.
 
-    def _run(self) -> None:
-        while True:
-            batch, edits = self._gather()
-            if batch is None and not edits:
-                return
-            for edit in edits:
-                self._apply_edit(edit)
-            if batch:
-                self._process(batch)
-
-    def _gather(self) -> tuple[list[_Request] | None, list[_Edit]]:
-        """Wait for work, honour the micro-batch window, drain fairly."""
-        with self._cond:
-            while not self._closing and not self._pending() and not self._edits:
-                self._cond.wait()
-            if self._closing and not self._pending() and not self._edits:
-                return None, []
-            # the window opens at the first observed request; more
-            # requests coalesce until it closes or max_batch is reached
-            windowed = False
-            if self._pending():
-                windowed = True
-                deadline = time.monotonic() + self._window
-                while self._pending() < self.max_batch and not self._closing:
-                    remaining = deadline - time.monotonic()
-                    if remaining <= 0:
-                        break
-                    self._cond.wait(remaining)
-            edits = list(self._edits)
-            self._edits.clear()
-            batch = list(self._drain_round_robin(self.max_batch))
-            if windowed and self.window_seconds > 0:
-                self._adapt_window(len(batch))
-            return batch, edits
-
-    def _adapt_window(self, gathered: int) -> None:
-        """Track the arrival rate: shrink on solo gathers, widen on burst.
-
-        A full window that still gathers one request means coalescing
-        buys nothing but latency, so the wait halves (floored at 1/64 of
-        the configured window rather than zero, keeping a step back up
-        once traffic returns).  A gather at or past half of ``max_batch``
-        means requests queue faster than the window drains them, so it
-        doubles back toward the configured cap.
+        The winner must resolve the future (guarded) and release the
+        admission slot; every later claimant backs off.  This is what
+        makes client cancellation, zombie workers and retry dispatch
+        coexist without double-resolution or slot leaks.
         """
-        if gathered <= 1:
-            self._window = max(self.window_seconds / 64, self._window / 2)
-        elif gathered >= max(2, self.max_batch // 2):
-            self._window = min(self.window_seconds, self._window * 2)
+        with request.lock:
+            if request.done:
+                return False
+            request.done = True
+            return True
 
-    def _drain_round_robin(self, limit: int) -> Iterator[_Request]:
-        """Pop up to ``limit`` requests, one per tenant per round."""
-        taken = 0
-        while taken < limit:
-            progressed = False
-            for tenant in sorted(self._queues):
-                queue = self._queues[tenant]
-                if queue and taken < limit:
-                    yield queue.popleft()
-                    taken += 1
-                    progressed = True
-            if not progressed:
-                return
+    def _discard_cancelled(self, request: _Request) -> bool:
+        """Drop a client-cancelled request; True when it must be skipped."""
+        if not request.future.cancelled():
+            return False
+        if self._claim(request):
+            self._in_flight.release()
+            with self._lock:
+                self.stats.cancelled += 1
+        return True
 
-    def _apply_edit(self, edit: _Edit) -> None:
-        try:
-            graph = self.store.graph(edit.graph_key)
-            edit.mutate(graph)
-        except BaseException as exc:  # noqa: BLE001 - forwarded to the client
-            edit.future.set_exception(exc)
+    def _finish_response(
+        self,
+        request: _Request,
+        result: SelectionResult,
+        graph_key: str,
+        graph_version: int,
+        now: float,
+    ) -> None:
+        if not self._claim(request):
             return
-        with self._cond:
-            self.stats.edits += 1
-        edit.future.set_result(graph.version)
+        latency = now - request.enqueued_at
+        with self._lock:
+            self.stats.responses += 1
+            self.stats.latency_sum += latency
+            self.stats.latency_max = max(self.stats.latency_max, latency)
+        try:
+            request.future.set_result(
+                ServiceResponse(
+                    selection=result,
+                    graph_key=graph_key,
+                    graph_version=graph_version,
+                    tenant=request.tenant,
+                )
+            )
+        except InvalidStateError:
+            # client cancelled between the gather-time check and now;
+            # the answer is dropped but the slot is still released once
+            with self._lock:
+                self.stats.responses -= 1
+                self.stats.latency_sum -= latency
+                self.stats.cancelled += 1
+        self._in_flight.release()
+
+    def _finish_error(self, request: _Request, exc: BaseException) -> None:
+        if not self._claim(request):
+            return
+        with self._lock:
+            self.stats.failures += 1
+        try:
+            request.future.set_exception(exc)
+        except InvalidStateError:
+            with self._lock:
+                self.stats.failures -= 1
+                self.stats.cancelled += 1
+        self._in_flight.release()
+
+    def _finish_edit(
+        self,
+        edit: _Edit,
+        *,
+        version: "int | None" = None,
+        error: "BaseException | None" = None,
+    ) -> None:
+        with edit.lock:
+            if edit.done:
+                return
+            edit.done = True
+        try:
+            if error is not None:
+                edit.future.set_exception(error)
+            else:
+                with self._lock:
+                    self.stats.edits += 1
+                edit.future.set_result(version)
+        except InvalidStateError:  # pragma: no cover - client cancelled
+            pass
+
+    # -- retry / quarantine plumbing ---------------------------------------------
+
+    def _backoff_delay(self, shard_index: int, attempts: int) -> float:
+        base = min(
+            BACKOFF_CAP_SECONDS, BACKOFF_BASE_SECONDS * (2 ** (attempts - 1))
+        )
+        jitter = rng_for(
+            self.seed, "service-backoff", shard_index, attempts
+        ).random()
+        return base * (0.5 + 0.5 * jitter)
+
+    def _retry_or_fail(
+        self, request: _Request, shard_index: int, exc: BaseException
+    ) -> None:
+        """Schedule one more attempt, or fail the request for good.
+
+        Used for transient injected faults and for requests rescued
+        from a dead/wedged shard.  Retries go through the seeded
+        backoff heap; the supervisor dispatches them when due.  On a
+        closing, unsupervised, or exhausted service the request fails
+        with the triggering error instead.
+        """
+        if self._discard_cancelled(request):
+            return
+        request.attempts += 1
+        if (
+            request.attempts >= self.max_attempts
+            or not self.supervised
+        ):
+            self._health.record_lost(
+                shard_index,
+                f"request on graph {request.graph_key!r} failed after "
+                f"{request.attempts} attempts: {exc}",
+            )
+            self._finish_error(request, exc)
+            return
+        with self._lock:
+            self.stats.retried += 1
+        self._health.record_rescued(1)
+        if self._closing:
+            # the backoff heap stops draining into shards at close; the
+            # caller is (or just respawned) the shard's worker, so a
+            # direct re-enqueue is still gathered before the drain ends
+            self._shard_for(request.graph_key).enqueue(request)
+            return
+        due = time.monotonic() + self._backoff_delay(
+            shard_index, request.attempts
+        )
+        with self._lock:
+            self._retry_seq += 1
+            heapq.heappush(self._retry_heap, (due, self._retry_seq, request))
+
+    def _admit_spec(self, graph_key: str, spec_key: str) -> str:
+        if self._breaker is None:
+            return "ok"
+        return self._breaker.admit(graph_key, spec_key)
+
+    def _record_spec_success(self, graph_key: str, spec_key: str) -> None:
+        if self._breaker is not None:
+            self._breaker.record_success(graph_key, spec_key)
+
+    def _record_spec_failure(
+        self,
+        graph_key: str,
+        spec_key: str,
+        request: _Request,
+        exc: BaseException,
+    ) -> None:
+        """Fail the request; non-service errors strike the quarantine key.
+
+        :class:`ServiceError` subtypes (unknown graph key, closed
+        service, …) describe the *service's* state, not the spec's, so
+        they never quarantine a spec.
+        """
+        if self._breaker is not None and not isinstance(exc, ServiceError):
+            opened = self._breaker.record_failure(graph_key, spec_key)
+            if opened:
+                self._health.record_quarantine(
+                    graph_key,
+                    spec_key,
+                    f"opened after {self._breaker.threshold} consecutive "
+                    f"failures; last: {exc}",
+                )
+        self._finish_error(request, exc)
+
+    def _append_alert(self, alert: Alert) -> None:
+        with self._alerts_lock:
+            with open(self._alerts_path, "a", encoding="utf-8") as fh:
+                fh.write(alert.to_json() + "\n")
+
+    # -- compile cache (shared across shards, under the service lock) ------------
 
     def _compile(self, request: _Request) -> CompiledSpec:
-        cache = self._compile_cache
-        compiled = cache.pop(request.source, None)
-        if compiled is not None:
-            cache[request.source] = compiled  # LRU touch
-            self.stats.compile_hits += 1
-            return compiled
+        with self._lock:
+            compiled = self._compile_cache.pop(request.source, None)
+            if compiled is not None:
+                self._compile_cache[request.source] = compiled  # LRU touch
+                self.stats.compile_hits += 1
+                return compiled
+        # compile outside the lock: a concurrent duplicate compile is
+        # benign (specs are immutable), a serialised one is a stall
         compiled = compile_spec(request.source, spec_name=request.spec_name)
-        self.stats.compile_misses += 1
-        cache[request.source] = compiled
-        while len(cache) > self._compile_cap:
-            cache.pop(next(iter(cache)))
+        with self._lock:
+            self.stats.compile_misses += 1
+            self._compile_cache[request.source] = compiled
+            while len(self._compile_cache) > self._compile_cap:
+                self._compile_cache.pop(next(iter(self._compile_cache)))
         return compiled
 
-    def _process(self, batch: list[_Request]) -> None:
-        """Compile, group by graph, evaluate each group in one pass."""
-        groups: dict[str, list[_Request]] = {}
-        for request in batch:
-            groups.setdefault(request.graph_key, []).append(request)
-        completed_at = time.monotonic
-        for graph_key, requests in groups.items():
-            specs: list[CompiledSpec] = []
-            compiled_requests: list[_Request] = []
-            for request in requests:
-                try:
-                    specs.append(self._compile(request))
-                except BaseException as exc:  # noqa: BLE001 - client error
-                    self._fail(request, exc)
-                    continue
-                compiled_requests.append(request)
-            if not compiled_requests:
-                continue
-            try:
-                entry = self.store.entry(graph_key)
-                outcome = self._evaluator.evaluate(specs, entry)
-            except BaseException as exc:  # noqa: BLE001 - client error
-                for request in compiled_requests:
-                    self._fail(request, exc)
-                continue
-            now = completed_at()
-            with self._cond:
-                self.stats.batches += 1
-                self.stats.batched_requests += len(compiled_requests)
-                self.stats.max_batch_size = max(
-                    self.stats.max_batch_size, len(compiled_requests)
-                )
-                self.stats.deduped += outcome.deduped
-                self.stats.unique_evaluated += outcome.unique_evaluated
-                self.stats.cross_hits += outcome.cross_hits
-            for request, result in zip(compiled_requests, outcome.results):
-                latency = now - request.enqueued_at
-                with self._cond:
-                    self.stats.responses += 1
-                    self.stats.latency_sum += latency
-                    self.stats.latency_max = max(
-                        self.stats.latency_max, latency
-                    )
-                request.future.set_result(
-                    ServiceResponse(
-                        selection=result,
-                        graph_key=graph_key,
-                        graph_version=outcome.graph_version,
-                        tenant=request.tenant,
-                    )
-                )
-                self._in_flight.release()
+    # -- supervisor --------------------------------------------------------------
 
-    def _fail(self, request: _Request, exc: BaseException) -> None:
-        with self._cond:
-            self.stats.failures += 1
-        request.future.set_exception(exc)
-        self._in_flight.release()
+    def _supervise(self) -> None:
+        while not self._supervisor_stop.wait(self.supervise_interval):
+            try:
+                self._supervise_once()
+            except Exception as exc:  # pragma: no cover - must not die
+                self._health.emit(
+                    Alert(
+                        code="service-supervisor-error",
+                        severity="critical",
+                        detail=f"supervisor pass failed: {exc!r}",
+                    )
+                )
+        # one final pass so retries that raced close()'s flush still
+        # resolve their futures (with a typed error) instead of hanging
+        self._dispatch_due_retries(flush=True)
+
+    def _supervise_once(self) -> None:
+        self._dispatch_due_retries()
+        now = time.monotonic()
+        for shard in self._shards:
+            self._check_shard(shard, now)
+
+    def _dispatch_due_retries(self, flush: bool = False) -> None:
+        now = time.monotonic()
+        due: list[_Request] = []
+        with self._lock:
+            while self._retry_heap and (
+                flush or self._retry_heap[0][0] <= now
+            ):
+                due.append(heapq.heappop(self._retry_heap)[2])
+        for request in due:
+            if self._discard_cancelled(request):
+                continue
+            if flush:
+                self._finish_error(
+                    request,
+                    ServiceTimeoutError(
+                        "service closed while the request awaited its retry"
+                    ),
+                )
+            else:
+                self._shard_for(request.graph_key).enqueue(request)
+
+    def _check_shard(self, shard: ServiceShard, now: float) -> None:
+        """Depose a wedged worker / replace a dead one, rescue its round."""
+        rescued_requests: list[_Request] = []
+        rescued_edits: list[_Edit] = []
+        wedged = False
+        with shard._cond:
+            worker = shard.worker
+            dead = (
+                worker is not None
+                and not worker.is_alive()
+                and not shard.drained
+            )
+            wedged = (
+                not dead
+                and shard.busy_since is not None
+                and now - shard.busy_since > self.shard_deadline_seconds
+            )
+            if not dead and not wedged:
+                return
+            rescued_requests = list(shard.active_batch)
+            rescued_edits = list(shard.active_edits)
+            shard.active_batch = []
+            shard.active_edits = []
+            shard.busy_since = None
+            shard.restarts += 1
+            if wedged and worker is not None:
+                with self._lock:
+                    self._zombies.append(worker)
+        detail = (
+            f"round overran the {self.shard_deadline_seconds:.3g}s deadline"
+            if wedged
+            else "worker thread died mid-service"
+        )
+        self._health.record_restart(shard.index, wedged=wedged, detail=detail)
+        for edit in rescued_edits:
+            self._finish_edit(
+                edit,
+                error=ServiceTimeoutError(
+                    f"edit on graph {edit.graph_key!r} was in flight on "
+                    f"shard {shard.index} when it {detail}"
+                ),
+            )
+        rescue_error = ServiceTimeoutError(
+            f"request was in flight on shard {shard.index} when it {detail}"
+        )
+        for request in rescued_requests:
+            self._retry_or_fail(request, shard.index, rescue_error)
+        shard.spawn()  # generation bump deposes any zombie

@@ -1,0 +1,436 @@
+"""Worker shards: the service's unit of serialisation *and* of failure.
+
+Each :class:`ServiceShard` owns a disjoint hash-slice of graph keys
+(:func:`shard_of` over the process-stable FNV hash), with its own
+per-tenant queues, adaptive micro-batch window and worker thread.
+Because a graph key maps to exactly one shard, the PR 8 contract — a
+graph's edits are serialised with its evaluations — is preserved
+per-shard while unrelated graphs proceed in parallel, and a wedged or
+crashed shard cannot take its siblings down.
+
+The worker loop is written for supervision:
+
+* **heartbeat / deadline** — the shard stamps ``busy_since`` when a
+  processing round starts and clears it when the round ends; the
+  service's supervisor deposes a shard whose round overruns the shard
+  deadline.
+* **generation depose** — every spawned worker carries its generation.
+  The supervisor bumps ``generation`` when it deposes a shard, so a
+  zombie worker waking from a hang sees a newer generation and exits
+  without touching a single request; its rescued batch is already on
+  the retry path.  (If a *legitimately slow* round is deposed, the old
+  worker may still finish its requests — resolution is exactly-once by
+  the request's ``done`` flag, retries of already-resolved requests are
+  dropped at dispatch, and by selector purity either resolution carries
+  the same answer.)
+* **guarded resolution** — every future resolution and every admission
+  slot release goes through the service's atomic finish helpers; a
+  client cancelling mid-flight can no longer raise ``InvalidStateError``
+  inside the loop (the PR 8 worker-killing bug).
+* **blast-radius containment** — a failed group evaluation re-runs each
+  of the group's queries individually, so only the culprit fails (and
+  only *its* structural key takes a quarantine strike).
+* **fault injection** — a :class:`~repro.service.faults.\
+ServiceFaultInjector` plugged into the loop fires seeded compile
+  errors, evaluation crashes, hangs, deaths and cancellation races; the
+  injector lives on the shard, not the worker, so a replacement worker
+  inherits the remaining schedule across respawns.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import TYPE_CHECKING, Iterator
+
+from repro._util import stable_hash
+from repro.core.pipeline import CompiledSpec
+from repro.errors import (
+    InjectedServiceFaultError,
+    QuarantinedSpecError,
+    ServiceError,
+)
+from repro.service.faults import ServiceFaultInjector, poison_error
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.service.service import SelectionService, _Edit, _Request
+
+
+def shard_of(graph_key: str, shards: int) -> int:
+    """The shard index owning ``graph_key`` — a stable partition.
+
+    Deterministic in the key alone (process-stable FNV-1a, not the
+    salted builtin ``hash``), so routing is reproducible across runs
+    and machines and every key belongs to exactly one shard.
+    """
+    if shards < 1:
+        raise ServiceError("shard count must be at least 1")
+    if shards == 1:
+        return 0
+    return stable_hash(graph_key) % shards
+
+
+class ServiceShard:
+    """One worker shard: queues, window, worker thread, injection state."""
+
+    def __init__(self, service: "SelectionService", index: int) -> None:
+        self.service = service
+        self.index = index
+        self._cond = threading.Condition()
+        self._queues: dict[str, deque["_Request"]] = {}
+        self._edits: deque["_Edit"] = deque()
+        #: current adaptive micro-batch window (see ``_adapt_window``)
+        self._window = service.window_seconds
+        #: bumped by the supervisor to depose the current worker
+        self.generation = 0
+        self.heartbeat = time.monotonic()
+        #: start of the in-progress processing round (None when idle) —
+        #: the supervisor's deadline clock
+        self.busy_since: float | None = None
+        #: work owned by the in-progress round, rescuable on depose
+        self.active_batch: list["_Request"] = []
+        self.active_edits: list["_Edit"] = []
+        #: survives worker respawns: the fault schedule carries across
+        self.injector: ServiceFaultInjector | None = None
+        #: set by a worker exiting the clean close-drain path
+        self.drained = False
+        self.restarts = 0
+        self.worker: threading.Thread | None = None
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def spawn(self) -> None:
+        """Start a (replacement) worker at a fresh generation."""
+        with self._cond:
+            self.generation += 1
+            generation = self.generation
+            self._cond.notify_all()
+        worker = threading.Thread(
+            target=self._run,
+            args=(generation,),
+            name=f"selection-shard-{self.index}",
+            daemon=True,
+        )
+        self.worker = worker
+        worker.start()
+
+    def pending(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    def enqueue(self, request: "_Request") -> None:
+        with self._cond:
+            self._queues.setdefault(request.tenant, deque()).append(request)
+            self._cond.notify_all()
+
+    def enqueue_edit(self, edit: "_Edit") -> None:
+        with self._cond:
+            self._edits.append(edit)
+            self._cond.notify_all()
+
+    # -- worker loop -------------------------------------------------------------
+
+    def _run(self, generation: int) -> None:
+        service = self.service
+        while True:
+            gathered = self._gather(generation)
+            if gathered is None:
+                return  # deposed (zombie) or closed-and-drained
+            batch, edits = gathered
+            if not batch and not edits:
+                continue
+            if self.injector is not None and not self._survive_disruption(
+                generation, batch
+            ):
+                return  # injected death, or deposed while hanging
+            for edit in edits:
+                self._apply_edit(edit)
+            groups: dict[str, list["_Request"]] = {}
+            for request in batch:
+                if service._discard_cancelled(request):
+                    continue
+                groups.setdefault(request.graph_key, []).append(request)
+            for graph_key, requests in groups.items():
+                self._process_group(graph_key, requests)
+            with self._cond:
+                self.active_batch = []
+                self.active_edits = []
+                self.busy_since = None
+                self.heartbeat = time.monotonic()
+
+    def _gather(
+        self, generation: int
+    ) -> "tuple[list[_Request], list[_Edit]] | None":
+        """Wait for work, honour the window, drain fairly, stamp the round.
+
+        Returns ``None`` when this worker must exit: deposed (a newer
+        generation exists) or the service is closing with this shard's
+        queues drained (``drained`` is set so the supervisor knows the
+        exit was clean).
+        """
+        service = self.service
+        with self._cond:
+            while (
+                generation == self.generation
+                and not service._closing
+                and not self.pending()
+                and not self._edits
+            ):
+                self.heartbeat = time.monotonic()
+                self._cond.wait(timeout=0.5)
+            if generation != self.generation:
+                return None
+            if service._closing and not self.pending() and not self._edits:
+                self.drained = True
+                return None
+            windowed = False
+            if self.pending():
+                windowed = True
+                deadline = time.monotonic() + self._window
+                while (
+                    self.pending() < service.max_batch
+                    and not service._closing
+                    and generation == self.generation
+                ):
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._cond.wait(remaining)
+                if generation != self.generation:
+                    return None
+            edits = list(self._edits)
+            self._edits.clear()
+            batch = [
+                request
+                for request in self._drain_round_robin(service.max_batch)
+                if not service._discard_cancelled(request)
+            ]
+            if windowed and service.window_seconds > 0:
+                self._adapt_window(len(batch))
+            # register the round under the lock so a supervisor rescue
+            # sees exactly the work this round owns
+            self.active_batch = list(batch)
+            self.active_edits = list(edits)
+            self.busy_since = (
+                time.monotonic() if (batch or edits) else None
+            )
+            self.heartbeat = time.monotonic()
+            return batch, edits
+
+    def _adapt_window(self, gathered: int) -> None:
+        """Track the arrival rate: shrink on solo gathers, widen on burst.
+
+        A full window that still gathers one request means coalescing
+        buys nothing but latency, so the wait halves (floored at 1/64 of
+        the configured window rather than zero, keeping a step back up
+        once traffic returns).  A gather at or past half of ``max_batch``
+        means requests queue faster than the window drains them, so it
+        doubles back toward the configured cap.
+        """
+        service = self.service
+        if gathered <= 1:
+            self._window = max(service.window_seconds / 64, self._window / 2)
+        elif gathered >= max(2, service.max_batch // 2):
+            self._window = min(service.window_seconds, self._window * 2)
+
+    def _drain_round_robin(self, limit: int) -> Iterator["_Request"]:
+        """Pop up to ``limit`` requests, one per tenant per round."""
+        taken = 0
+        while taken < limit:
+            progressed = False
+            for tenant in sorted(self._queues):
+                queue = self._queues[tenant]
+                if queue and taken < limit:
+                    yield queue.popleft()
+                    taken += 1
+                    progressed = True
+            if not progressed:
+                return
+
+    def _survive_disruption(
+        self, generation: int, batch: "list[_Request]"
+    ) -> bool:
+        """Fire round-scoped injections; False means this worker exits.
+
+        * **hang** — sleep past the shard deadline (bounded by the
+          spec's ``hang_excess_seconds``); the supervisor deposes and
+          rescues mid-sleep, so the woken zombie sees a newer
+          generation and exits before touching any request.
+        * **death** — the worker exits mid-round with its active batch
+          registered, modelling an unexpected loop-killing exception;
+          the supervisor notices the corpse and respawns.
+        * **cancel** — cancel one gathered request's future,
+          reproducing a client timing out in ``select()`` exactly when
+          the worker starts its round; the guarded finish paths must
+          survive and release the admission slot exactly once.
+        """
+        injector = self.injector
+        assert injector is not None
+        if injector.fires("cancel") and batch:
+            batch[0].future.cancel()
+        if injector.fires("death"):
+            return False
+        if injector.fires("hang"):
+            deadline = self.service.shard_deadline_seconds
+            time.sleep(deadline + injector.spec.hang_excess_seconds)
+            with self._cond:
+                if generation != self.generation:
+                    return False  # deposed while asleep: exit untouched
+        return True
+
+    # -- processing --------------------------------------------------------------
+
+    def _apply_edit(self, edit: "_Edit") -> None:
+        service = self.service
+        try:
+            graph = service.store.graph(edit.graph_key)
+            edit.mutate(graph)
+        except BaseException as exc:  # noqa: BLE001 - forwarded to the client
+            service._finish_edit(edit, error=exc)
+            return
+        service._finish_edit(edit, version=graph.version)
+
+    def _compile_op(self, request: "_Request") -> CompiledSpec:
+        if self.injector is not None and self.injector.fires("compile"):
+            raise InjectedServiceFaultError(
+                f"injected compile error (shard {self.index})"
+            )
+        return self.service._compile(request)
+
+    def _process_group(
+        self, graph_key: str, requests: "list[_Request]"
+    ) -> None:
+        """Compile, gate through quarantine, evaluate the group in one pass."""
+        service = self.service
+        specs: list[CompiledSpec] = []
+        kept: list[tuple["_Request", str]] = []
+        for request in requests:
+            try:
+                compiled = self._compile_op(request)
+            except InjectedServiceFaultError as exc:
+                service._retry_or_fail(request, self.index, exc)
+                continue
+            except BaseException as exc:  # noqa: BLE001 - client error
+                service._finish_error(request, exc)
+                continue
+            spec_key = compiled.cache_key or f"src:{request.source}"
+            verdict = service._admit_spec(graph_key, spec_key)
+            if verdict == "fast_fail":
+                service._finish_error(
+                    request,
+                    QuarantinedSpecError(
+                        f"spec {request.spec_name or spec_key!r} is "
+                        f"quarantined on graph {graph_key!r} "
+                        f"(cooldown pending)"
+                    ),
+                )
+                continue
+            specs.append(compiled)
+            kept.append((request, spec_key))
+        if not kept:
+            return
+        try:
+            outcome = self._evaluate_group(graph_key, specs, kept)
+        except BaseException:  # noqa: BLE001 - contained below
+            # blast-radius containment: re-run each query individually
+            # so only the culprit fails / takes a quarantine strike
+            with service._lock:
+                service.stats.contained_groups += 1
+            for (request, spec_key), spec in zip(kept, specs):
+                self._process_isolated(graph_key, request, spec, spec_key)
+            return
+        now = time.monotonic()
+        with service._lock:
+            stats = service.stats
+            stats.batches += 1
+            stats.batched_requests += len(kept)
+            stats.max_batch_size = max(stats.max_batch_size, len(kept))
+            stats.deduped += outcome.deduped
+            stats.unique_evaluated += outcome.unique_evaluated
+            stats.cross_hits += outcome.cross_hits
+        for (request, spec_key), result in zip(kept, outcome.results):
+            service._record_spec_success(graph_key, spec_key)
+            service._finish_response(
+                request, result, graph_key, outcome.graph_version, now
+            )
+
+    def _evaluate_group(
+        self,
+        graph_key: str,
+        specs: list[CompiledSpec],
+        kept: "list[tuple[_Request, str]]",
+    ):
+        """One batched pass; injected faults strike the *group* attempt."""
+        service = self.service
+        injector = self.injector
+        if injector is not None:
+            if injector.fires("eval"):
+                raise InjectedServiceFaultError(
+                    f"injected group evaluation crash (shard {self.index})"
+                )
+            for request, _ in kept:
+                marker = injector.poison_marker(
+                    request.spec_name, request.source
+                )
+                if marker is not None:
+                    # peek only: the isolated re-run consumes the attempt
+                    raise poison_error(
+                        marker, request.spec_name, self.index
+                    )
+        entry = service.store.entry(graph_key)
+        return service._evaluator.evaluate(specs, entry)
+
+    def _process_isolated(
+        self,
+        graph_key: str,
+        request: "_Request",
+        spec: CompiledSpec,
+        spec_key: str,
+    ) -> None:
+        """Containment re-run of one query after its group failed.
+
+        Quarantine admission already happened at group build, so this
+        path only *reports* outcomes to the breaker: a non-service
+        failure is a strike against the spec's structural key, success
+        clears it (closing a half-open probe).
+        """
+        service = self.service
+        if service._discard_cancelled(request):
+            return
+        injector = self.injector
+        try:
+            if injector is not None:
+                marker = injector.poison_marker(
+                    request.spec_name, request.source
+                )
+                if marker is not None:
+                    injector.consume_poison(marker)
+                    raise poison_error(marker, request.spec_name, self.index)
+                if injector.fires("eval"):
+                    raise InjectedServiceFaultError(
+                        f"injected evaluation crash "
+                        f"(shard {self.index}, isolated)"
+                    )
+            entry = service.store.entry(graph_key)
+            outcome = service._evaluator.evaluate([spec], entry)
+        except InjectedServiceFaultError as exc:
+            service._retry_or_fail(request, self.index, exc)
+            return
+        except BaseException as exc:  # noqa: BLE001 - client error
+            service._record_spec_failure(graph_key, spec_key, request, exc)
+            return
+        with service._lock:
+            service.stats.isolated_reruns += 1
+            service.stats.batches += 1
+            service.stats.batched_requests += 1
+            service.stats.deduped += outcome.deduped
+            service.stats.unique_evaluated += outcome.unique_evaluated
+            service.stats.cross_hits += outcome.cross_hits
+        service._record_spec_success(graph_key, spec_key)
+        service._finish_response(
+            request,
+            outcome.results[0],
+            graph_key,
+            outcome.graph_version,
+            time.monotonic(),
+        )

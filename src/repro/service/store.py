@@ -21,8 +21,15 @@ the pair every query over the graph evaluates against
   graph object additionally caches its latest snapshot internally; the
   store budget governs service-held state.)
 
-The store is locked for concurrent admission/inspection, but evaluation
-traffic is expected to come from the service's single worker thread.
+The store serves *concurrent* evaluation traffic: the selection
+service's worker shards each own a disjoint slice of graph keys and hit
+the store in parallel.  Warm hits and all bookkeeping run under one
+global lock; the expensive build path (snapshot + cache bind) runs
+under a *per-key* build lock with the global lock released, so one
+shard's big cold build never stalls its siblings' warm hits.  Per-graph
+consistency needs no store-level help: a graph's edits and evaluations
+are serialised by its owning shard (a graph object admitted under two
+different keys would break that premise and is unsupported).
 """
 
 from __future__ import annotations
@@ -114,6 +121,10 @@ class GraphStore:
         #: warm entries in recency order (oldest first — dict order)
         self._warm: dict[str, GraphEntry] = {}
         self._lock = threading.RLock()
+        #: per-key build serialisation: cold builds drop the global
+        #: lock, so two shards racing different keys build in parallel
+        #: while two racing the *same* key build exactly once
+        self._build_locks: dict[str, threading.Lock] = {}
         self.stats = StoreStats()
 
     # -- admission ---------------------------------------------------------------
@@ -169,38 +180,59 @@ class GraphStore:
         much warmth survived (``delta_refreshes``, ``cache_retained`` /
         ``cache_dropped``).
         """
+        entry = self._warm_hit(key)
+        if entry is not None:
+            return entry
+        with self._lock:
+            build_lock = self._build_locks.setdefault(key, threading.Lock())
+        with build_lock:
+            # re-check: the shard we queued behind may have built it
+            entry = self._warm_hit(key)
+            if entry is not None:
+                return entry
+            with self._lock:
+                graph = self.graph(key)
+                stale = self._warm.pop(key, None)
+                if stale is not None:
+                    self.stats.invalidations += 1
+                    cache = stale.cache  # keeps identity across re-binds
+                else:
+                    cache = CrossRunCache(self.cache_entries)
+            retained, dropped = cache.retained, cache.dropped
+            # bind (delta-aware retention while the journal still
+            # covers the stale version) and snapshot outside the global
+            # lock: the expensive part of a cold build must not stall
+            # other shards' warm hits
+            cache.store_for(graph)
+            snapshot = graph.csr()
+            with self._lock:
+                self.stats.cache_retained += cache.retained - retained
+                self.stats.cache_dropped += cache.dropped - dropped
+                if stale is not None and snapshot.refreshed_from is not None:
+                    self.stats.delta_refreshes += 1
+                entry = GraphEntry(
+                    key=key,
+                    graph=graph,
+                    snapshot=snapshot,
+                    cache=cache,
+                    version=graph.version,
+                )
+                self.stats.cold_builds += 1
+                self._warm[key] = entry
+                self._evict()
+                return entry
+
+    def _warm_hit(self, key: str) -> GraphEntry | None:
+        """LRU-touch and return the warm, version-current entry, if any."""
         with self._lock:
             graph = self.graph(key)
-            entry = self._warm.pop(key, None)
+            entry = self._warm.get(key)
             if entry is not None and entry.version == graph.version:
+                self._warm.pop(key)
                 self._warm[key] = entry  # re-insert: most recently used
                 self.stats.warm_hits += 1
                 return entry
-            if entry is not None:
-                self.stats.invalidations += 1
-                cache = entry.cache  # keeps its identity across re-binds
-            else:
-                cache = CrossRunCache(self.cache_entries)
-            retained, dropped = cache.retained, cache.dropped
-            # bind now so the delta-aware retention runs while the
-            # journal still covers the entry's version
-            cache.store_for(graph)
-            self.stats.cache_retained += cache.retained - retained
-            self.stats.cache_dropped += cache.dropped - dropped
-            snapshot = graph.csr()
-            if entry is not None and snapshot.refreshed_from is not None:
-                self.stats.delta_refreshes += 1
-            entry = GraphEntry(
-                key=key,
-                graph=graph,
-                snapshot=snapshot,
-                cache=cache,
-                version=graph.version,
-            )
-            self.stats.cold_builds += 1
-            self._warm[key] = entry
-            self._evict()
-            return entry
+            return None
 
     def peek(self, key: str) -> GraphEntry | None:
         """The warm entry if present — no LRU touch, no build (tests)."""

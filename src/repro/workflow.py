@@ -131,6 +131,7 @@ def serve_selection(
     max_batch: int | None = None,
     max_in_flight: int | None = None,
     verify: bool = False,
+    **service_kwargs,
 ) -> "SelectionService":
     """Start a selection service over one or many built applications.
 
@@ -141,7 +142,11 @@ def serve_selection(
     ``(tenant, graph key, spec source)`` queries batched, with results
     bit-identical to one-shot :meth:`~repro.core.capi.Capi.select`
     evaluation.  ``verify=True`` re-derives every batch sequentially and
-    asserts that identity (the ``serve --check`` mode).  Close the
+    asserts that identity (the ``serve --check`` mode).  Extra keyword
+    arguments pass straight through to
+    :class:`~repro.service.SelectionService` — e.g. ``shards=4`` for a
+    sharded worker pool, ``faults="worker-hang"`` for a supervised chaos
+    drill, or ``supervised=False`` for the bare PR 8 worker.  Close the
     service when done (it is a context manager).
     """
     from repro.service import GraphStore, SelectionService
@@ -178,6 +183,7 @@ def serve_selection(
             DEFAULT_MAX_IN_FLIGHT if max_in_flight is None else max_in_flight
         ),
         verify=verify,
+        **service_kwargs,
     )
     for key, app in keyed.items():
         service.admit(key, app.graph)

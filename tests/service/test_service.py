@@ -172,23 +172,24 @@ class TestLifecycle:
 class TestFairness:
     def test_drain_round_robin_interleaves_tenants(self):
         service = make_service()
+        shard = service._shards[0]
         try:
             chatty = [object() for _ in range(6)]
             quiet = [object()]
-            service_queues = {
+            shard_queues = {
                 "chatty": deque(chatty),
                 "quiet": deque(quiet),
             }
-            with service._cond:
-                service._queues = service_queues
-                drained = list(service._drain_round_robin(4))
+            with shard._cond:
+                shard._queues = shard_queues
+                drained = list(shard._drain_round_robin(4))
             # round 1 takes one from each tenant: quiet is not starved
             assert drained[0] is chatty[0]
             assert drained[1] is quiet[0]
             assert drained[2:] == chatty[1:3]
         finally:
-            with service._cond:
-                service._queues = {}
+            with shard._cond:
+                shard._queues = {}
             service.close()
 
 
@@ -228,18 +229,20 @@ class TestAdaptiveWindow:
 
     def test_adapt_widens_under_burst_and_caps_at_configured(self):
         with make_service(window_seconds=0.004, max_batch=8) as service:
-            service._window = 0.004 / 64
+            shard = service._shards[0]
+            shard._window = 0.004 / 64
             for gathered in (4, 8, 8, 8, 8, 8):
-                service._adapt_window(gathered)
-            assert service._window == 0.004  # doubled back, capped
-            service._adapt_window(1)
-            assert service._window == 0.002
+                shard._adapt_window(gathered)
+            assert shard._window == 0.004  # doubled back, capped
+            shard._adapt_window(1)
+            assert shard._window == 0.002
 
     def test_mid_size_batches_leave_window_alone(self):
         with make_service(window_seconds=0.004, max_batch=8) as service:
-            service._window = 0.001
-            service._adapt_window(2)  # below max(2, max_batch // 2) = 4
-            assert service._window == 0.001
+            shard = service._shards[0]
+            shard._window = 0.001
+            shard._adapt_window(2)  # below max(2, max_batch // 2) = 4
+            assert shard._window == 0.001
 
     def test_zero_window_never_adapts(self):
         with make_service(window_seconds=0.0) as service:
